@@ -1,0 +1,27 @@
+"""Benchmark-harness helpers.
+
+Every benchmark prints the rows of the paper artifact it regenerates and
+also writes them to ``benchmarks/output/<name>.txt`` so EXPERIMENTS.md can
+reference a stable record.  Run with ``pytest benchmarks/ --benchmark-only
+-s`` to see the tables inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,42 @@
+"""Batch-size saturation (Section VII-B).
+
+"Increasing N from 1 to 16 reduces DRAM accesses for all dataflows since
+it gives more filter reuse, but saturates afterwards."  This bench sweeps
+RS across batch sizes 1..256 and checks the saturation point.
+"""
+
+from repro.analysis.report import format_table
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.energy.model import evaluate_network
+from repro.nn.networks import alexnet_conv_layers
+
+BATCHES = (1, 4, 16, 64, 256)
+
+
+def run_batch_sweep():
+    hw = HardwareConfig.equal_area(256, DATAFLOWS["RS"].rf_bytes_per_pe)
+    results = {}
+    for n in BATCHES:
+        ev = evaluate_network(DATAFLOWS["RS"], alexnet_conv_layers(n), hw)
+        results[n] = (ev.dram_accesses_per_op, ev.energy_per_op)
+    return results
+
+
+def test_batch_saturation(benchmark, emit):
+    results = benchmark.pedantic(run_batch_sweep, rounds=1, iterations=1)
+    rows = [[n, f"{dram:.5f}", f"{energy:.3f}"]
+            for n, (dram, energy) in results.items()]
+    emit("batch_saturation", format_table(
+        ["Batch N", "DRAM/op", "Energy/op"], rows,
+        title="Section VII-B: batch-size scaling of RS "
+              "(AlexNet CONV, 256 PEs)"))
+
+    # N = 1 -> 16 reduces DRAM noticeably; 16 -> 256 changes little.
+    drop_1_16 = results[1][0] - results[16][0]
+    drop_16_256 = results[16][0] - results[256][0]
+    assert drop_1_16 > 0
+    assert abs(drop_16_256) < drop_1_16
+    # Energy follows the same saturating pattern.
+    assert results[16][1] < results[1][1]
+    assert abs(results[256][1] - results[16][1]) < 0.2

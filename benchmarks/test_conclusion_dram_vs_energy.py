@@ -1,0 +1,36 @@
+"""Section VIII conclusion: DRAM bandwidth alone does not dictate
+energy efficiency.
+
+"We also observe that DRAM bandwidth alone does not dictate
+energy-efficiency; dataflows that require high bandwidth to the on-chip
+global buffer can also result in significant energy cost."  NLR is the
+proof point: its DRAM traffic is the *lowest* of all six dataflows, yet
+its energy is ~2x RS because every weight is read from the global buffer
+on every MAC.
+"""
+
+from repro.analysis.experiments import run_conv_suite
+from repro.analysis.report import format_table
+
+
+def test_dram_traffic_does_not_dictate_energy(benchmark, emit):
+    suite = benchmark.pedantic(run_conv_suite, kwargs={
+        "pe_counts": (256,), "batches": (16,)}, rounds=1, iterations=1)
+    rows = []
+    cells = {d: suite[(d, 256, 16)] for d in
+             ("RS", "WS", "OSA", "OSB", "OSC", "NLR")}
+    for name, cell in cells.items():
+        lv = cell.level_per_op
+        rows.append([name, f"{cell.dram_accesses_per_op:.5f}",
+                     f"{lv.buffer:.2f}", f"{cell.energy_per_op:.2f}"])
+    emit("conclusion_dram_vs_energy", format_table(
+        ["Dataflow", "DRAM/op", "buffer E/op", "total E/op"], rows,
+        title="Section VIII: low DRAM traffic does not imply low energy "
+              "(CONV, 256 PEs, N=16)"))
+
+    nlr, rs = cells["NLR"], cells["RS"]
+    # NLR moves less DRAM data than RS ...
+    assert nlr.dram_accesses_per_op < rs.dram_accesses_per_op
+    # ... but burns far more energy, dominated by buffer traffic.
+    assert nlr.energy_per_op > 1.8 * rs.energy_per_op
+    assert nlr.level_per_op.buffer > 10 * rs.level_per_op.buffer

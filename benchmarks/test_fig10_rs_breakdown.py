@@ -1,0 +1,35 @@
+"""Fig. 10: energy breakdown of the RS dataflow across AlexNet layers,
+plus the chip-validation ratio (RF dominates CONV, DRAM dominates FC)."""
+
+from repro.analysis.experiments import conv_energy_fraction, fig10_rs_breakdown
+from repro.analysis.report import format_table
+
+
+def test_fig10_energy_breakdown(benchmark, emit):
+    rows_by_layer = benchmark.pedantic(fig10_rs_breakdown, rounds=1,
+                                       iterations=1)
+    rows = []
+    for name, row in rows_by_layer.items():
+        b = row.breakdown
+        rows.append([
+            name, f"{row.total:.3e}",
+            f"{b.alu / row.total:.1%}", f"{b.dram / row.total:.1%}",
+            f"{b.buffer / row.total:.1%}", f"{b.array / row.total:.1%}",
+            f"{b.rf / row.total:.1%}",
+            f"{row.rf_to_other_onchip_ratio:.2f}",
+        ])
+    table = format_table(
+        ["Layer", "Energy", "ALU", "DRAM", "Buffer", "Array", "RF",
+         "RF:rest(-DRAM)"],
+        rows,
+        title="Fig. 10: RS energy breakdown, AlexNet, 256 PEs / 512B RF / "
+              "128kB buffer / N=16")
+    conv_share = conv_energy_fraction()
+    table += f"\n\nCONV layers' share of total AlexNet energy: {conv_share:.1%}"
+    emit("fig10_rs_breakdown", table)
+
+    for name, row in rows_by_layer.items():
+        dominant = max(("alu", "dram", "buffer", "array", "rf"),
+                       key=lambda f: getattr(row.breakdown, f))
+        assert dominant == ("rf" if name.startswith("CONV") else "dram")
+    assert 0.7 < conv_share < 0.9

@@ -1,0 +1,35 @@
+"""Fig. 11a-c: average DRAM accesses per operation, CONV layers of
+AlexNet, across PE-array sizes and batch sizes."""
+
+from repro.analysis.experiments import run_conv_suite
+from repro.analysis.report import format_table
+from repro.dataflows.registry import dataflow_names
+
+
+def test_fig11_dram_accesses(benchmark, emit):
+    suite = benchmark.pedantic(run_conv_suite, rounds=1, iterations=1)
+    tables = []
+    for sub, pes in (("a", 256), ("b", 512), ("c", 1024)):
+        rows = []
+        for name in dataflow_names():
+            cells = [suite[(name, pes, n)] for n in (1, 16, 64)]
+            rows.append([name] + [
+                (f"{c.dram_reads_per_op:.5f}+{c.dram_writes_per_op:.5f}"
+                 if c.feasible else "infeasible")
+                for c in cells
+            ])
+        tables.append(format_table(
+            ["Dataflow", "N=1 (rd+wr)", "N=16 (rd+wr)", "N=64 (rd+wr)"],
+            rows,
+            title=f"Fig. 11{sub}: DRAM accesses/op, CONV layers, "
+                  f"{pes} PEs"))
+    emit("fig11_dram_conv", "\n\n".join(tables))
+
+    # Shape checks: WS missing at (256, 64); WS and OSC are the heavy
+    # DRAM users; writes identical across feasible dataflows.
+    assert not suite[("WS", 256, 64)].feasible
+    for pes in (256, 512, 1024):
+        low = max(suite[(d, pes, 16)].dram_accesses_per_op
+                  for d in ("RS", "OSB", "NLR"))
+        assert suite[("WS", pes, 16)].dram_accesses_per_op > low
+        assert suite[("OSC", pes, 16)].dram_accesses_per_op > low

@@ -1,0 +1,59 @@
+"""Fig. 12a-d: normalized energy/op of the six dataflows in CONV layers,
+by hierarchy level (a-c) and by data type at 1024 PEs (d)."""
+
+from repro.analysis.experiments import fig12_energy
+from repro.analysis.report import format_table
+from repro.dataflows.registry import dataflow_names
+
+
+def test_fig12_energy(benchmark, emit):
+    suite, norm = benchmark.pedantic(fig12_energy, rounds=1, iterations=1)
+    tables = []
+    for sub, pes in (("a", 256), ("b", 512), ("c", 1024)):
+        rows = []
+        for name in dataflow_names():
+            row = [name]
+            for n in (1, 16, 64):
+                cell = suite[(name, pes, n)]
+                if not cell.feasible:
+                    row.append("infeasible")
+                    continue
+                lv = cell.level_per_op
+                row.append(
+                    f"{cell.energy_per_op / norm:.2f} "
+                    f"(alu {lv.alu / norm:.2f} dram {lv.dram / norm:.2f} "
+                    f"buf {lv.buffer / norm:.2f} arr {lv.array / norm:.2f} "
+                    f"rf {lv.rf / norm:.2f})")
+            rows.append(row)
+        tables.append(format_table(
+            ["Dataflow", "N=1", "N=16", "N=64"], rows,
+            title=f"Fig. 12{sub}: normalized energy/op by level, CONV, "
+                  f"{pes} PEs (norm: RS @ 256 PEs, N=1)"))
+
+    rows = []
+    for name in dataflow_names():
+        row = [name]
+        for n in (1, 16, 64):
+            cell = suite[(name, 1024, n)]
+            if not cell.feasible:
+                row.append("infeasible")
+                continue
+            ty = cell.type_per_op
+            row.append(f"if {ty.ifmaps / norm:.2f} w {ty.weights / norm:.2f} "
+                       f"ps {ty.psums / norm:.2f}")
+        rows.append(row)
+    tables.append(format_table(
+        ["Dataflow", "N=1", "N=16", "N=64"], rows,
+        title="Fig. 12d: normalized energy/op by data type, CONV, 1024 PEs"))
+    emit("fig12_energy_conv", "\n\n".join(tables))
+
+    # Headline: RS wins everywhere; the band is 1.4x-2.5x.
+    ratios = []
+    for pes in (256, 512, 1024):
+        for n in (1, 16, 64):
+            rs = suite[("RS", pes, n)].energy_per_op
+            for d in dataflow_names():
+                cell = suite[(d, pes, n)]
+                if d != "RS" and cell.feasible:
+                    ratios.append(cell.energy_per_op / rs)
+    assert min(ratios) > 1.3 and max(ratios) < 3.0

@@ -1,0 +1,35 @@
+"""Fig. 13a-c: normalized energy-delay product, CONV layers of AlexNet."""
+
+from repro.analysis.experiments import fig13_edp
+from repro.analysis.report import format_table
+from repro.dataflows.registry import dataflow_names
+
+
+def test_fig13_edp(benchmark, emit):
+    suite, base = benchmark.pedantic(fig13_edp, rounds=1, iterations=1)
+    tables = []
+    for sub, pes in (("a", 256), ("b", 512), ("c", 1024)):
+        rows = []
+        for name in dataflow_names():
+            row = [name]
+            for n in (1, 16, 64):
+                cell = suite[(name, pes, n)]
+                row.append(f"{cell.edp_per_op / base:.2f}"
+                           if cell.feasible else "infeasible")
+            rows.append(row)
+        tables.append(format_table(
+            ["Dataflow", "N=1", "N=16", "N=64"], rows,
+            title=f"Fig. 13{sub}: normalized EDP, CONV layers, {pes} PEs "
+                  f"(norm: RS @ 256 PEs, N=1)"))
+    emit("fig13_edp_conv", "\n\n".join(tables))
+
+    # Shape: RS lowest everywhere; OSA/OSC blow up at batch 1 on the
+    # biggest array (utilization collapse).
+    for pes in (256, 512, 1024):
+        for n in (1, 16, 64):
+            rs = suite[("RS", pes, n)].edp_per_op
+            for d in dataflow_names():
+                cell = suite[(d, pes, n)]
+                if d != "RS" and cell.feasible:
+                    assert cell.edp_per_op > rs
+    assert suite[("OSA", 1024, 1)].edp_per_op > 3 * suite[("RS", 1024, 1)].edp_per_op

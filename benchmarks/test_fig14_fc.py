@@ -1,0 +1,63 @@
+"""Fig. 14a-d: the FC-layer comparison at 1024 PEs -- DRAM accesses,
+energy by level and by data type, and EDP."""
+
+from repro.analysis.experiments import fig14_fc
+from repro.analysis.report import format_table
+from repro.dataflows.registry import dataflow_names
+
+BATCHES = (16, 64, 256)
+
+
+def test_fig14_fc(benchmark, emit):
+    suite, e_norm, edp_norm = benchmark.pedantic(fig14_fc, rounds=1,
+                                                 iterations=1)
+    tables = []
+
+    rows = [[name] + [f"{suite[(name, 1024, n)].dram_reads_per_op:.4f}"
+                      f"+{suite[(name, 1024, n)].dram_writes_per_op:.5f}"
+                      for n in BATCHES]
+            for name in dataflow_names()]
+    tables.append(format_table(
+        ["Dataflow", "N=16 (rd+wr)", "N=64 (rd+wr)", "N=256 (rd+wr)"], rows,
+        title="Fig. 14a: DRAM accesses/op, FC layers, 1024 PEs"))
+
+    rows = []
+    for name in dataflow_names():
+        row = [name]
+        for n in BATCHES:
+            lv = suite[(name, 1024, n)].level_per_op
+            row.append(f"{suite[(name, 1024, n)].energy_per_op / e_norm:.2f}"
+                       f" (dram {lv.dram / e_norm:.2f} rf {lv.rf / e_norm:.2f})")
+        rows.append(row)
+    tables.append(format_table(
+        ["Dataflow", "N=16", "N=64", "N=256"], rows,
+        title="Fig. 14b: normalized energy/op by level, FC (norm: RS N=1)"))
+
+    rows = []
+    for name in dataflow_names():
+        row = [name]
+        for n in BATCHES:
+            ty = suite[(name, 1024, n)].type_per_op
+            row.append(f"if {ty.ifmaps / e_norm:.2f} w {ty.weights / e_norm:.2f} "
+                       f"ps {ty.psums / e_norm:.2f}")
+        rows.append(row)
+    tables.append(format_table(
+        ["Dataflow", "N=16", "N=64", "N=256"], rows,
+        title="Fig. 14c: normalized energy/op by data type, FC"))
+
+    rows = [[name] + [f"{suite[(name, 1024, n)].edp_per_op / edp_norm:.2f}"
+                      for n in BATCHES]
+            for name in dataflow_names()]
+    tables.append(format_table(
+        ["Dataflow", "N=16", "N=64", "N=256"], rows,
+        title="Fig. 14d: normalized EDP, FC layers (norm: RS N=1)"))
+    emit("fig14_fc", "\n\n".join(tables))
+
+    # Shape: RS lowest energy at every batch; OSA's EDP explodes.
+    for n in BATCHES:
+        rs = suite[("RS", 1024, n)].energy_per_op
+        for d in dataflow_names():
+            if d != "RS":
+                assert suite[(d, 1024, n)].energy_per_op >= rs
+        assert (suite[("OSA", 1024, n)].edp_per_op
+                > 10 * suite[("RS", 1024, n)].edp_per_op)

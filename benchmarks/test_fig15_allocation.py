@@ -1,0 +1,33 @@
+"""Fig. 15: processing-area vs storage-area allocation for RS under a
+fixed total chip area."""
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import fig15_area_allocation_sweep
+
+
+def test_fig15_allocation_sweep(benchmark, emit):
+    points = benchmark.pedantic(fig15_area_allocation_sweep, rounds=1,
+                                iterations=1)
+    e_min = min(p.energy_per_op for p in points.values())
+    d_min = min(p.delay_per_op for p in points.values())
+    rows = []
+    for num_pes, pt in sorted(points.items()):
+        rows.append([
+            f"{pt.active_pes:.0f}/{num_pes}",
+            f"{pt.rf_bytes_per_pe} B",
+            f"{pt.buffer_kb:.0f} kB",
+            f"{pt.storage_area_fraction:.0%}",
+            f"{pt.energy_per_op / e_min:.3f}",
+            f"{pt.delay_per_op / d_min:.1f}",
+        ])
+    emit("fig15_allocation", format_table(
+        ["Active/total PEs", "RF/PE", "Buffer", "Storage area",
+         "Norm. energy/op", "Norm. delay"], rows,
+        title="Fig. 15: RS energy vs delay under fixed total area "
+              "(AlexNet CONV, N=16)"))
+
+    # Shape: >5x throughput span, <20% energy span (paper: >10x / 13%).
+    energies = [p.energy_per_op for p in points.values()]
+    delays = [p.delay_per_op for p in points.values()]
+    assert max(delays) / min(delays) > 5
+    assert max(energies) / min(energies) < 1.20

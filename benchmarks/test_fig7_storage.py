@@ -1,0 +1,29 @@
+"""Fig. 7: the area/byte curve and the per-dataflow storage allocation."""
+
+from repro.analysis.experiments import fig7_storage_allocation
+from repro.analysis.report import format_table
+from repro.arch.area import curve_anchors
+
+
+def test_fig7a_area_curve(benchmark, emit):
+    anchors = benchmark.pedantic(curve_anchors, rounds=3, iterations=1)
+    rows = [[f"{int(size):,} B", f"{area:.1f}x"] for size, area in anchors]
+    emit("fig7a_area_curve", format_table(
+        ["Memory size", "Norm. area/byte"], rows,
+        title="Fig. 7a: normalized area per byte vs on-chip memory size"))
+
+
+def test_fig7b_storage_allocation(benchmark, emit):
+    rows_by_df = benchmark.pedantic(fig7_storage_allocation, args=(256,),
+                                    rounds=3, iterations=1)
+    rows = [[r.dataflow, f"{r.rf_bytes_per_pe} B",
+             f"{r.total_rf_kb:.0f} kB", f"{r.buffer_kb:.0f} kB",
+             f"{r.total_kb:.0f} kB"]
+            for r in rows_by_df.values()]
+    emit("fig7b_storage_allocation", format_table(
+        ["Dataflow", "RF/PE", "Total RF", "Global buffer", "Total storage"],
+        rows,
+        title="Fig. 7b: accelerator storage under equal area (256 PEs)"))
+    # Paper: buffer sizes differ by up to ~2.6x; totals by ~80 kB.
+    buffers = [r.buffer_kb for r in rows_by_df.values()]
+    assert 2.2 < max(buffers) / min(buffers) < 3.0

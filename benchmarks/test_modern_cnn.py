@@ -1,0 +1,45 @@
+"""Modern-CNN extension: the paper's prospective claim about CONV share.
+
+Section VII-A: "CONV layers still consume approximately 80% of total
+energy in AlexNet, and the percentage is expected to go even higher in
+modern CNNs that have more CONV layers."  This bench evaluates RS on
+ResNet-18 (the paper's reference [5]) and VGG16 and checks the CONV
+energy share indeed rises above AlexNet's.
+"""
+
+from repro.analysis.report import format_table
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.energy.model import evaluate_network
+from repro.nn.networks import alexnet, resnet18, vgg16
+
+
+def conv_share(layers, hw):
+    ev = evaluate_network(DATAFLOWS["RS"], layers, hw)
+    conv = sum(e.breakdown.total for layer, e
+               in zip(ev.layers, ev.evaluations) if not layer.is_fc)
+    return conv / ev.breakdown.total, ev.energy_per_op
+
+
+def run_modern_cnns():
+    hw = HardwareConfig.eyeriss_paper_baseline(256)
+    return {
+        "AlexNet": conv_share(alexnet(16), hw),
+        "VGG16": conv_share(vgg16(16), hw),
+        "ResNet-18": conv_share(resnet18(16), hw),
+    }
+
+
+def test_modern_cnn_conv_share(benchmark, emit):
+    results = benchmark.pedantic(run_modern_cnns, rounds=1, iterations=1)
+    rows = [[name, f"{share:.1%}", f"{energy:.2f}"]
+            for name, (share, energy) in results.items()]
+    emit("modern_cnn_conv_share", format_table(
+        ["Network", "CONV share of energy", "RS energy/op"], rows,
+        title="Section VII-A claim: CONV energy share grows in modern "
+              "CNNs (RS, 256 PEs, N=16)"))
+
+    alexnet_share = results["AlexNet"][0]
+    assert 0.70 < alexnet_share < 0.90        # the paper's ~80%
+    assert results["VGG16"][0] > alexnet_share
+    assert results["ResNet-18"][0] > alexnet_share

@@ -1,0 +1,14 @@
+"""Table II: the AlexNet CONV/FC shape configurations."""
+
+from repro.analysis.report import format_table
+from repro.nn.networks import alexnet
+
+
+def test_table2_alexnet_shapes(benchmark, emit):
+    layers = benchmark.pedantic(alexnet, rounds=3, iterations=1)
+    rows = [[l.name, l.H, l.R, l.E, l.C, l.M, l.U, f"{l.macs:,}"]
+            for l in layers]
+    emit("table2_alexnet_shapes", format_table(
+        ["Layer", "H", "R", "E", "C", "M", "U", "MACs/image"], rows,
+        title="Table II: CONV/FC layer shape configurations in AlexNet"))
+    assert len(layers) == 8

@@ -1,0 +1,22 @@
+"""Table III: the dataflow taxonomy, cross-checked against the models."""
+
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.dataflows.taxonomy import TABLE_III, ReuseKind, render_table_iii
+from repro.mapping.optimizer import optimize_mapping
+from repro.nn.layer import conv_layer
+
+
+def test_table3_taxonomy(benchmark, emit):
+    text = benchmark.pedantic(render_table_iii, rounds=3, iterations=1)
+    emit("table3_taxonomy", text)
+
+    # Cross-check the claimed RF usage against the produced mappings.
+    layer = conv_layer("CONV2", H=31, R=5, E=27, C=48, M=256, U=1, N=16)
+    for name, df in DATAFLOWS.items():
+        hw = HardwareConfig.equal_area(256, df.rf_bytes_per_pe)
+        best = optimize_mapping(df, layer, hw).best
+        claims_rf_psum = ReuseKind.PSUM in TABLE_III[name].rf
+        assert (best.psum.d > 1) == claims_rf_psum or name == "RS"
+        if not TABLE_III[name].rf:  # NLR: no RF at all
+            assert best.ifmap.d == best.filter.d == best.psum.d == 1

@@ -1,0 +1,22 @@
+"""Table IV: normalized energy cost of each hierarchy level."""
+
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+from repro.analysis.report import format_table
+
+CONDITIONS = {
+    MemoryLevel.DRAM: "",
+    MemoryLevel.BUFFER: "> 100 kB",
+    MemoryLevel.ARRAY: "1-2 mm",
+    MemoryLevel.RF: "0.5 kB",
+}
+
+
+def test_table4_energy_costs(benchmark, emit):
+    costs = benchmark.pedantic(EnergyCosts.table_iv, rounds=3, iterations=1)
+    rows = [[level.value, CONDITIONS[level], f"{costs.cost(level):g}x"]
+            for level in MemoryLevel.storage_levels()]
+    emit("table4_energy_costs", format_table(
+        ["Level", "Condition", "Norm. energy"], rows,
+        title="Table IV: normalized energy cost relative to a MAC "
+              "(65nm process)"))
+    assert costs.dram / costs.rf == 200

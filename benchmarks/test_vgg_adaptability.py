@@ -1,0 +1,49 @@
+"""Adaptability extension: the dataflow comparison on VGG16.
+
+Section III-B motivates *adaptive processing*: a dataflow must stay
+efficient across very different layer shapes, and Section V argues RS
+"can adapt to different CNN shape configurations".  The paper evaluates
+AlexNet only; this extension re-runs the equal-area comparison on the 13
+CONV layers of VGG16 (3x3 filters, plane sizes 224 down to 14, channel
+depths 3 to 512) and checks the RS advantage carries over.
+"""
+
+from repro.analysis.report import format_table
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.energy.model import evaluate_network
+from repro.nn.networks import vgg16
+
+
+def run_vgg():
+    layers = [l for l in vgg16(batch_size=1) if not l.is_fc]
+    results = {}
+    for name, df in DATAFLOWS.items():
+        hw = HardwareConfig.equal_area(256, df.rf_bytes_per_pe)
+        ev = evaluate_network(df, layers, hw)
+        results[name] = ev if ev.feasible else None
+    return results
+
+
+def test_vgg16_adaptability(benchmark, emit):
+    results = benchmark.pedantic(run_vgg, rounds=1, iterations=1)
+    rs = results["RS"]
+    rows = []
+    for name, ev in results.items():
+        if ev is None:
+            rows.append([name, "infeasible", "-", "-"])
+            continue
+        rows.append([
+            name, f"{ev.energy_per_op:.2f}",
+            f"{ev.energy_per_op / rs.energy_per_op:.2f}x",
+            f"{ev.dram_accesses_per_op:.5f}",
+        ])
+    emit("vgg_adaptability", format_table(
+        ["Dataflow", "energy/op", "vs RS", "DRAM/op"], rows,
+        title="Adaptability extension: VGG16 CONV layers, 256 PEs, N=1 "
+              "(equal area)"))
+
+    # RS must remain the most energy-efficient dataflow on VGG16 too.
+    for name, ev in results.items():
+        if name != "RS" and ev is not None:
+            assert ev.energy_per_op > rs.energy_per_op

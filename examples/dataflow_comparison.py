@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Compare all six dataflows on AlexNet under equal-area constraints.
+
+Reproduces the headline result of the paper (Section VII-B): under the
+same area and processing parallelism, the RS dataflow is 1.4x-2.5x more
+energy efficient than WS / OSA / OSB / OSC / NLR in the CONV layers of
+AlexNet, and WS cannot operate at all at 256 PEs with batch 64.
+
+Run:  python examples/dataflow_comparison.py [num_pes] [batch]
+"""
+
+import sys
+
+from repro import DATAFLOWS
+from repro.analysis.experiments import hardware_for
+from repro.analysis.report import format_table
+from repro.energy.model import evaluate_network
+from repro.nn.networks import alexnet_conv_layers
+
+
+def main(num_pes: int = 256, batch: int = 16) -> None:
+    layers = alexnet_conv_layers(batch)
+    rows = []
+    rs_energy = None
+    for name in DATAFLOWS:
+        hw = hardware_for(name, num_pes)
+        evaluation = evaluate_network(DATAFLOWS[name], layers, hw)
+        if not evaluation.feasible:
+            rows.append([name, "infeasible", "-", "-", "-", "-"])
+            continue
+        energy = evaluation.energy_per_op
+        if name == "RS":
+            rs_energy = energy
+        rows.append([
+            name,
+            f"{energy:.3f}",
+            f"{energy / rs_energy:.2f}x" if rs_energy else "-",
+            f"{evaluation.dram_accesses_per_op:.5f}",
+            f"{evaluation.edp_per_op:.5f}",
+            f"{1 / evaluation.delay_per_op:.0f}",
+        ])
+    print(format_table(
+        ["dataflow", "energy/op", "vs RS", "DRAM/op", "EDP/op", "active PEs"],
+        rows,
+        title=(f"AlexNet CONV layers, {num_pes} PEs, batch {batch} "
+               f"(equal storage area)"),
+    ))
+
+
+if __name__ == "__main__":
+    pes = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    main(pes, n)

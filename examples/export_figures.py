@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Export every figure's data series as CSV for re-plotting.
+
+Writes fig7b/fig10/fig11-13/fig14/fig15 data under ``figure_data/`` in
+long format, ready for pandas/matplotlib/gnuplot.
+
+Run:  python examples/export_figures.py [output_dir]
+"""
+
+import sys
+
+from repro.analysis.export import export_all
+
+
+def main(directory: str = "figure_data") -> None:
+    paths = export_all(directory)
+    print(f"Exported {len(paths)} figure datasets:")
+    for name, path in paths.items():
+        lines = sum(1 for _ in open(path)) - 1
+        print(f"  {name:<12} {path}  ({lines} rows)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figure_data")

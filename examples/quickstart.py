@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate the row-stationary dataflow on one CONV layer.
+
+Builds the paper's baseline accelerator (256 PEs, 512 B RF/PE, 128 kB
+buffer), asks the mapping optimizer for the most energy-efficient RS
+mapping of AlexNet CONV2, and prints the reuse splits, the energy
+breakdown, and the DRAM traffic -- the core quantities of the paper's
+analysis framework (Section VI-C).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DATAFLOWS, HardwareConfig
+from repro.energy.model import evaluate_layer
+from repro.nn.networks import alexnet
+
+
+def main() -> None:
+    hw = HardwareConfig.eyeriss_paper_baseline(num_pes=256)
+    print(f"Hardware: {hw.describe()}\n")
+
+    layer = next(l for l in alexnet(batch_size=16) if l.name == "CONV2")
+    print(f"Layer:    {layer.describe()}\n")
+
+    rs = DATAFLOWS["RS"]
+    evaluation = evaluate_layer(rs, layer, hw)
+    if evaluation is None:
+        raise SystemExit("no feasible RS mapping (unexpected)")
+
+    mapping = evaluation.mapping
+    print(mapping.describe())
+    print()
+
+    level = evaluation.breakdown.by_level
+    total = level.total
+    print(f"Energy per MAC (normalized): {evaluation.energy_per_op:.3f}")
+    print(f"  ALU    {level.alu / total:6.1%}")
+    print(f"  DRAM   {level.dram / total:6.1%}")
+    print(f"  Buffer {level.buffer / total:6.1%}")
+    print(f"  Array  {level.array / total:6.1%}")
+    print(f"  RF     {level.rf / total:6.1%}")
+    print()
+    print(f"DRAM accesses per op: {mapping.dram_accesses_per_op:.5f}")
+    print(f"Active PEs: {mapping.active_pes} / {hw.num_pes}")
+
+
+if __name__ == "__main__":
+    main()

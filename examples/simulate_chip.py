@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Run the functional RS simulator and verify it against Eq. (1).
+
+This plays the role of the fabricated Eyeriss chip in the paper: the
+dataflow is executed end to end -- logical PE sets, two-phase folding,
+1-D row primitives, diagonal/horizontal/vertical data movement -- on a
+small CONV layer with real tensors, and the result is checked against the
+direct convolution reference.  The observed access trace shows the RF
+carrying the overwhelming majority of traffic, the property the chip
+measurement verified (Section VII-A).
+
+Run:  python examples/simulate_chip.py
+"""
+
+import numpy as np
+
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.nn.layer import conv_layer
+from repro.nn.reference import conv_layer_reference, random_layer_tensors
+from repro.sim import simulate_layer
+
+
+def main() -> None:
+    # A scaled-down CONV layer (AlexNet CONV3-like geometry).
+    layer = conv_layer("mini-conv3", H=15, R=3, E=13, C=8, M=16, U=1, N=2)
+    hw = HardwareConfig.eyeriss_chip()
+    print(f"Layer:    {layer.describe()}")
+    print(f"Hardware: {hw.describe()} (the fabricated chip's geometry)\n")
+
+    ifmap, weights, bias = random_layer_tensors(layer, seed=7, integer=True)
+    ofmap, report = simulate_layer(layer, hw, ifmap, weights, bias)
+
+    reference = conv_layer_reference(ifmap, weights, bias, stride=layer.U)
+    assert np.array_equal(ofmap, reference), "simulator diverged from Eq.(1)"
+    print("Functional check: simulator output == direct convolution  [OK]\n")
+
+    trace = report.trace
+    print(f"Processing passes: {report.passes_executed}")
+    print(f"MACs executed:     {trace.macs:,} (expected {layer.macs:,})")
+    print("\nAccess counts by hierarchy level:")
+    for level in MemoryLevel.storage_levels():
+        print(f"  {level.value:>7}: {trace.level_total(level):>12,} words")
+
+    costs = EnergyCosts.table_iv()
+    rf = trace.level_total(MemoryLevel.RF) * costs.rf
+    other = (trace.level_total(MemoryLevel.BUFFER) * costs.buffer
+             + trace.level_total(MemoryLevel.ARRAY) * costs.array
+             + trace.macs * costs.alu)
+    print(f"\nRF energy vs rest (except DRAM): {rf / other:.1f} : 1 "
+          f"(the chip measured ~4:1 in CONV layers)")
+
+
+if __name__ == "__main__":
+    main()

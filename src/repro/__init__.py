@@ -1,0 +1,42 @@
+"""Eyeriss reproduction: energy-efficient dataflow analysis for CNN accelerators.
+
+This package reproduces "Eyeriss: A Spatial Architecture for Energy-Efficient
+Dataflow for Convolutional Neural Networks" (Chen, Emer, Sze; ISCA 2016).
+
+Top-level re-exports cover the public API used by the examples and benchmarks:
+
+* :mod:`repro.nn` -- CNN layer shapes and reference workloads (AlexNet).
+* :mod:`repro.arch` -- the spatial-architecture hardware model (Table IV
+  energy costs, Fig. 7a area curve, Eq. (2) storage allocation).
+* :mod:`repro.mapping` -- the analysis framework: reuse splits and the
+  Eq. (3)/(4) energy formulas, plus the per-dataflow mapping optimizer.
+* :mod:`repro.dataflows` -- the six dataflow models (RS, WS, OSA, OSB, OSC,
+  NLR).
+* :mod:`repro.energy` -- energy/EDP accounting and breakdown records.
+* :mod:`repro.sim` -- a functional simulator that executes the RS dataflow
+  on real tensors and verifies it against a numpy reference.
+* :mod:`repro.analysis` -- drivers that regenerate every figure and table of
+  the paper's evaluation.
+"""
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS, get_dataflow
+from repro.energy.model import evaluate_layer, evaluate_network
+from repro.mapping.optimizer import optimize_mapping
+from repro.nn.layer import LayerShape
+from repro.nn.networks import alexnet
+
+__all__ = [
+    "EnergyCosts",
+    "HardwareConfig",
+    "DATAFLOWS",
+    "get_dataflow",
+    "evaluate_layer",
+    "evaluate_network",
+    "optimize_mapping",
+    "LayerShape",
+    "alexnet",
+]
+
+__version__ = "1.0.0"

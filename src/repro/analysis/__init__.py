@@ -1,0 +1,29 @@
+"""Experiment drivers that regenerate every table and figure (Section VII)."""
+
+from repro.analysis.experiments import (
+    ConvSuiteResult,
+    fig7_storage_allocation,
+    fig10_rs_breakdown,
+    fig11_dram_accesses,
+    fig12_energy,
+    fig13_edp,
+    fig14_fc,
+    run_conv_suite,
+    run_fc_suite,
+)
+from repro.analysis.sweep import fig15_area_allocation_sweep
+from repro.analysis.report import format_table
+
+__all__ = [
+    "ConvSuiteResult",
+    "fig7_storage_allocation",
+    "fig10_rs_breakdown",
+    "fig11_dram_accesses",
+    "fig12_energy",
+    "fig13_edp",
+    "fig14_fc",
+    "run_conv_suite",
+    "run_fc_suite",
+    "fig15_area_allocation_sweep",
+    "format_table",
+]

@@ -1,0 +1,252 @@
+"""Drivers for the paper's evaluation experiments (Section VII).
+
+One function per figure.  All of them share the same machinery: build the
+equal-area hardware for each dataflow (Section VI-B), run the mapping
+optimizer on the AlexNet layers, and aggregate.  Results are cached per
+(PE count, batch, dataflow) because Figs. 11-13 reuse the same
+evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.hardware import HardwareConfig
+from repro.arch.storage import allocate_storage
+from repro.dataflows.registry import DATAFLOWS
+from repro.energy.breakdown import LevelBreakdown, TypeBreakdown
+from repro.energy.model import NetworkEvaluation, evaluate_network
+from repro.nn.networks import alexnet, alexnet_conv_layers, alexnet_fc_layers
+
+#: The sweeps of Section VII-B (CONV) and VII-C (FC).
+CONV_PE_COUNTS: Tuple[int, ...] = (256, 512, 1024)
+CONV_BATCHES: Tuple[int, ...] = (1, 16, 64)
+FC_PE_COUNT: int = 1024
+FC_BATCHES: Tuple[int, ...] = (16, 64, 256)
+
+
+def hardware_for(dataflow_name: str, num_pes: int) -> HardwareConfig:
+    """The equal-area hardware configuration of one dataflow."""
+    dataflow = DATAFLOWS[dataflow_name]
+    return HardwareConfig.equal_area(num_pes, dataflow.rf_bytes_per_pe)
+
+
+@lru_cache(maxsize=None)
+def _evaluate(dataflow_name: str, num_pes: int, batch: int,
+              workload: str) -> NetworkEvaluation:
+    layers = {
+        "conv": alexnet_conv_layers,
+        "fc": alexnet_fc_layers,
+        "all": alexnet,
+    }[workload](batch)
+    hw = hardware_for(dataflow_name, num_pes)
+    return evaluate_network(DATAFLOWS[dataflow_name], layers, hw)
+
+
+# ----------------------------------------------------------------------
+# Fig. 7b -- storage allocation under the equal-area constraint.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StorageRow:
+    dataflow: str
+    rf_bytes_per_pe: int
+    total_rf_kb: float
+    buffer_kb: float
+    total_kb: float
+
+
+def fig7_storage_allocation(num_pes: int = 256) -> Dict[str, StorageRow]:
+    """Per-dataflow storage split for a given PE count (Fig. 7b)."""
+    rows = {}
+    for name, dataflow in DATAFLOWS.items():
+        allocation = allocate_storage(num_pes, dataflow.rf_bytes_per_pe)
+        rows[name] = StorageRow(
+            dataflow=name,
+            rf_bytes_per_pe=dataflow.rf_bytes_per_pe,
+            total_rf_kb=allocation.total_rf_bytes / 1024,
+            buffer_kb=allocation.buffer_bytes / 1024,
+            total_kb=allocation.total_storage_bytes / 1024,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 -- RS energy breakdown per AlexNet layer.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig10Row:
+    layer: str
+    breakdown: LevelBreakdown          # whole-layer energy by level
+    macs: int
+
+    @property
+    def total(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def rf_to_other_onchip_ratio(self) -> float:
+        """RF energy vs (buffer + array + ALU): the chip-verified ~4:1."""
+        other = (self.breakdown.buffer + self.breakdown.array
+                 + self.breakdown.alu)
+        return self.breakdown.rf / other if other else float("inf")
+
+
+def fig10_rs_breakdown(num_pes: int = 256,
+                       batch: int = 16) -> Dict[str, Fig10Row]:
+    """Fig. 10: RS energy per layer with the paper's baseline setup.
+
+    The paper uses 256 PEs, 512 B RF/PE, a 128 kB buffer and batch 16;
+    :meth:`HardwareConfig.eyeriss_paper_baseline` reproduces it (and it
+    coincides with the RS equal-area allocation).
+    """
+    evaluation = _evaluate("RS", num_pes, batch, "all")
+    rows = {}
+    for layer, layer_eval in zip(evaluation.layers, evaluation.evaluations):
+        if layer_eval is None:
+            raise RuntimeError(f"RS infeasible on {layer.name}")
+        rows[layer.name] = Fig10Row(
+            layer=layer.name,
+            breakdown=layer_eval.breakdown.by_level,
+            macs=layer.macs,
+        )
+    return rows
+
+
+def conv_energy_fraction(num_pes: int = 256, batch: int = 16) -> float:
+    """Fraction of total AlexNet energy spent in CONV layers (~80%)."""
+    rows = fig10_rs_breakdown(num_pes, batch)
+    conv = sum(r.total for name, r in rows.items() if name.startswith("CONV"))
+    total = sum(r.total for r in rows.values())
+    return conv / total
+
+
+# ----------------------------------------------------------------------
+# Figs. 11-13 -- the CONV-layer dataflow comparison suite.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ConvSuiteResult:
+    """One (dataflow, PE count, batch) cell of the CONV comparison."""
+
+    dataflow: str
+    num_pes: int
+    batch: int
+    feasible: bool
+    dram_reads_per_op: float = float("nan")
+    dram_writes_per_op: float = float("nan")
+    energy_per_op: float = float("nan")
+    level_per_op: Optional[LevelBreakdown] = None
+    type_per_op: Optional[TypeBreakdown] = None
+    delay_per_op: float = float("nan")
+
+    @property
+    def dram_accesses_per_op(self) -> float:
+        return self.dram_reads_per_op + self.dram_writes_per_op
+
+    @property
+    def edp_per_op(self) -> float:
+        return self.energy_per_op * self.delay_per_op
+
+
+def _suite_cell(name: str, num_pes: int, batch: int,
+                workload: str) -> ConvSuiteResult:
+    evaluation = _evaluate(name, num_pes, batch, workload)
+    if not evaluation.feasible:
+        return ConvSuiteResult(dataflow=name, num_pes=num_pes, batch=batch,
+                               feasible=False)
+    macs = evaluation.total_macs
+    breakdown = evaluation.breakdown
+    return ConvSuiteResult(
+        dataflow=name,
+        num_pes=num_pes,
+        batch=batch,
+        feasible=True,
+        dram_reads_per_op=evaluation.dram_reads_per_op,
+        dram_writes_per_op=evaluation.dram_writes_per_op,
+        energy_per_op=evaluation.energy_per_op,
+        level_per_op=breakdown.by_level.scaled(1.0 / macs),
+        type_per_op=breakdown.by_type.scaled(1.0 / macs),
+        delay_per_op=evaluation.delay_per_op,
+    )
+
+
+def run_conv_suite(pe_counts: Sequence[int] = CONV_PE_COUNTS,
+                   batches: Sequence[int] = CONV_BATCHES
+                   ) -> Dict[Tuple[str, int, int], ConvSuiteResult]:
+    """Evaluate all six dataflows on AlexNet CONV for the full sweep."""
+    return {
+        (name, p, n): _suite_cell(name, p, n, "conv")
+        for name in DATAFLOWS
+        for p in pe_counts
+        for n in batches
+    }
+
+
+def run_fc_suite(pe_count: int = FC_PE_COUNT,
+                 batches: Sequence[int] = FC_BATCHES
+                 ) -> Dict[Tuple[str, int, int], ConvSuiteResult]:
+    """Evaluate all six dataflows on AlexNet FC layers (Fig. 14)."""
+    return {
+        (name, pe_count, n): _suite_cell(name, pe_count, n, "fc")
+        for name in DATAFLOWS
+        for n in batches
+    }
+
+
+def rs_normalization(workload: str = "conv", num_pes: int = 256,
+                     batch: int = 1) -> float:
+    """The paper's normalization base: RS energy/op at 256 PEs, batch 1
+    (CONV figures) or RS at batch 1 for the FC figures."""
+    evaluation = _evaluate("RS", num_pes, batch, workload)
+    return evaluation.energy_per_op
+
+
+def fig11_dram_accesses(pe_counts: Sequence[int] = CONV_PE_COUNTS,
+                        batches: Sequence[int] = CONV_BATCHES):
+    """Fig. 11a-c rows: DRAM reads/writes per op for each dataflow."""
+    return run_conv_suite(pe_counts, batches)
+
+
+def fig12_energy(pe_counts: Sequence[int] = CONV_PE_COUNTS,
+                 batches: Sequence[int] = CONV_BATCHES):
+    """Fig. 12a-d rows: normalized energy/op (levels and data types).
+
+    Returns (suite, normalization); divide any cell's energy by the
+    normalization to read values off the paper's y-axis.
+    """
+    suite = run_conv_suite(pe_counts, batches)
+    return suite, rs_normalization("conv", min(pe_counts), 1)
+
+
+def fig13_edp(pe_counts: Sequence[int] = CONV_PE_COUNTS,
+              batches: Sequence[int] = CONV_BATCHES):
+    """Fig. 13a-c rows: normalized EDP per dataflow.
+
+    Normalized to RS at the smallest PE count and batch 1, as in the
+    paper.
+    """
+    suite = run_conv_suite(pe_counts, batches)
+    base = suite[("RS", min(pe_counts), 1)].edp_per_op
+    return suite, base
+
+
+def fig14_fc(pe_count: int = FC_PE_COUNT,
+             batches: Sequence[int] = FC_BATCHES):
+    """Fig. 14a-d rows: the FC-layer comparison at 1024 PEs.
+
+    Returns (suite, energy_norm, edp_norm); both normalizations are RS at
+    batch 1, per the figure caption.
+    """
+    suite = run_fc_suite(pe_count, batches)
+    base = _suite_cell("RS", pe_count, 1, "fc")
+    return suite, base.energy_per_op, base.edp_per_op
+
+
+def clear_caches() -> None:
+    """Drop memoized evaluations (used by tests that vary cost tables)."""
+    _evaluate.cache_clear()

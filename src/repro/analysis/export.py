@@ -1,0 +1,109 @@
+"""CSV export of every figure's data series.
+
+The benchmarks print human-readable tables; this module writes the same
+series as machine-readable CSV so the figures can be re-plotted with any
+tool.  One file per paper artifact, with a stable header row.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, Sequence
+
+from repro.analysis.experiments import (
+    fig7_storage_allocation,
+    fig10_rs_breakdown,
+    run_conv_suite,
+    run_fc_suite,
+)
+from repro.analysis.sweep import fig15_area_allocation_sweep
+from repro.dataflows.registry import dataflow_names
+
+
+def _write(path: pathlib.Path, header: Sequence[str],
+           rows: Sequence[Sequence[object]]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_fig7(directory: pathlib.Path, num_pes: int = 256) -> pathlib.Path:
+    rows = [[r.dataflow, r.rf_bytes_per_pe, r.total_rf_kb, r.buffer_kb,
+             r.total_kb]
+            for r in fig7_storage_allocation(num_pes).values()]
+    path = directory / "fig7b_storage.csv"
+    _write(path, ["dataflow", "rf_bytes_per_pe", "total_rf_kb",
+                  "buffer_kb", "total_kb"], rows)
+    return path
+
+
+def export_fig10(directory: pathlib.Path) -> pathlib.Path:
+    rows = []
+    for name, row in fig10_rs_breakdown().items():
+        b = row.breakdown
+        rows.append([name, row.macs, b.alu, b.dram, b.buffer, b.array,
+                     b.rf, b.total])
+    path = directory / "fig10_rs_breakdown.csv"
+    _write(path, ["layer", "macs", "alu", "dram", "buffer", "array", "rf",
+                  "total"], rows)
+    return path
+
+
+def export_conv_suite(directory: pathlib.Path) -> pathlib.Path:
+    """Figs. 11-13 in one long-format CSV."""
+    suite = run_conv_suite()
+    rows = []
+    for (name, pes, batch), cell in suite.items():
+        if not cell.feasible:
+            rows.append([name, pes, batch, 0, "", "", "", ""])
+            continue
+        rows.append([name, pes, batch, 1, cell.dram_reads_per_op,
+                     cell.dram_writes_per_op, cell.energy_per_op,
+                     cell.edp_per_op])
+    path = directory / "fig11_12_13_conv_suite.csv"
+    _write(path, ["dataflow", "num_pes", "batch", "feasible",
+                  "dram_reads_per_op", "dram_writes_per_op",
+                  "energy_per_op", "edp_per_op"], rows)
+    return path
+
+
+def export_fc_suite(directory: pathlib.Path) -> pathlib.Path:
+    """Fig. 14 in long-format CSV."""
+    suite = run_fc_suite()
+    rows = []
+    for (name, pes, batch), cell in suite.items():
+        ty = cell.type_per_op
+        rows.append([name, pes, batch, cell.dram_reads_per_op,
+                     cell.energy_per_op, cell.edp_per_op,
+                     ty.ifmaps, ty.weights, ty.psums])
+    path = directory / "fig14_fc_suite.csv"
+    _write(path, ["dataflow", "num_pes", "batch", "dram_reads_per_op",
+                  "energy_per_op", "edp_per_op", "ifmap_energy_per_op",
+                  "weight_energy_per_op", "psum_energy_per_op"], rows)
+    return path
+
+
+def export_fig15(directory: pathlib.Path) -> pathlib.Path:
+    rows = [[pes, pt.active_pes, pt.rf_bytes_per_pe, pt.buffer_kb,
+             pt.storage_area_fraction, pt.energy_per_op, pt.delay_per_op]
+            for pes, pt in sorted(fig15_area_allocation_sweep().items())]
+    path = directory / "fig15_allocation.csv"
+    _write(path, ["num_pes", "active_pes", "rf_bytes_per_pe", "buffer_kb",
+                  "storage_area_fraction", "energy_per_op",
+                  "delay_per_op"], rows)
+    return path
+
+
+def export_all(directory: str | pathlib.Path) -> Dict[str, pathlib.Path]:
+    """Write every figure's CSV under ``directory``; returns the paths."""
+    directory = pathlib.Path(directory)
+    return {
+        "fig7": export_fig7(directory),
+        "fig10": export_fig10(directory),
+        "conv_suite": export_conv_suite(directory),
+        "fc_suite": export_fc_suite(directory),
+        "fig15": export_fig15(directory),
+    }

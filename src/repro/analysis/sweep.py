@@ -1,0 +1,105 @@
+"""Fig. 15: processing-area vs storage-area allocation for RS.
+
+Section VII-D fixes the *total* chip area (processing + storage) at the
+256-PE baseline and sweeps the number of PEs from 32 to 288, re-splitting
+the freed/claimed area into RF and global-buffer capacity, then asks the
+optimizer for the best RS mapping of the AlexNet CONV layers.
+
+The PE-logic area constant is calibrated from the paper's annotated
+sweep points: at 288 PEs storage is ~40% of the chip and at 32 PEs ~93%,
+which brackets the PE-logic area at ~0.22% of the chip per PE; we pin the
+256-PE baseline at the Eq. (2) storage budget and derive the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Sequence, Tuple
+
+from repro.arch.hardware import HardwareConfig
+from repro.arch.storage import allocate_storage, baseline_storage_area
+from repro.dataflows.row_stationary import RowStationary
+from repro.energy.model import evaluate_network
+from repro.nn.networks import alexnet_conv_layers
+
+#: Storage fraction of total area at the 256-PE baseline, read off the
+#: paper's Fig. 15 annotations (40% at 288 PEs => ~44% at 256).
+_BASELINE_STORAGE_FRACTION = 0.44
+
+#: RF capacities explored per sweep point (bytes per PE).
+RF_CHOICES: Tuple[int, ...] = (256, 384, 512, 768, 1024, 1536, 2048)
+
+
+def total_chip_area(baseline_pes: int = 256) -> float:
+    """Total (processing + storage) area held constant by the sweep."""
+    return baseline_storage_area(baseline_pes) / _BASELINE_STORAGE_FRACTION
+
+
+def pe_logic_area(baseline_pes: int = 256) -> float:
+    """Normalized area of one PE's logic (datapath + control)."""
+    total = total_chip_area(baseline_pes)
+    return total * (1.0 - _BASELINE_STORAGE_FRACTION) / baseline_pes
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One resource-allocation point of the Fig. 15 trade-off curve."""
+
+    num_pes: int
+    rf_bytes_per_pe: int
+    buffer_kb: float
+    storage_area_fraction: float
+    energy_per_op: float
+    delay_per_op: float
+    active_pes: float
+
+    @property
+    def edp_per_op(self) -> float:
+        return self.energy_per_op * self.delay_per_op
+
+
+@lru_cache(maxsize=None)
+def fig15_area_allocation_sweep(
+        pe_counts: Sequence[int] = (32, 64, 96, 128, 160, 192, 224, 256, 288),
+        batch: int = 16,
+        baseline_pes: int = 256,
+        rf_choices: Sequence[int] = RF_CHOICES) -> Dict[int, SweepPoint]:
+    """Sweep PE count under fixed total area; best RS setup per point.
+
+    Memoized: the sweep is the most expensive experiment and several
+    benchmarks/exports share it (arguments must be hashable tuples).
+    """
+    total_area = total_chip_area(baseline_pes)
+    pe_area = pe_logic_area(baseline_pes)
+    layers = alexnet_conv_layers(batch)
+    dataflow = RowStationary()
+
+    best: Dict[int, SweepPoint] = {}
+    for num_pes in pe_counts:
+        storage_budget = total_area - num_pes * pe_area
+        if storage_budget <= 0:
+            continue
+        for rf_bytes in rf_choices:
+            try:
+                allocation = allocate_storage(num_pes, rf_bytes,
+                                              storage_budget)
+            except ValueError:
+                continue  # RF alone exceeds the storage budget
+            hw = HardwareConfig.from_allocation(allocation)
+            evaluation = evaluate_network(dataflow, layers, hw)
+            if not evaluation.feasible:
+                continue
+            point = SweepPoint(
+                num_pes=num_pes,
+                rf_bytes_per_pe=rf_bytes,
+                buffer_kb=allocation.buffer_bytes / 1024,
+                storage_area_fraction=storage_budget / total_area,
+                energy_per_op=evaluation.energy_per_op,
+                delay_per_op=evaluation.delay_per_op,
+                active_pes=1.0 / evaluation.delay_per_op,
+            )
+            current = best.get(num_pes)
+            if current is None or point.energy_per_op < current.energy_per_op:
+                best[num_pes] = point
+    return best

@@ -1,0 +1,61 @@
+"""ASCII visualization of the RS dataflow's structures (Figs. 5 and 6).
+
+Renders a logical PE set's three sharing patterns -- horizontal filter
+rows, diagonal ifmap rows, vertical psum accumulation -- and a folding
+plan's array occupancy, as monospace diagrams.  Used by the docs and
+handy when debugging mappings interactively.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mapping.folding import FoldingPlan
+from repro.mapping.logical import LogicalSet
+
+
+def render_logical_set(logical_set: LogicalSet) -> str:
+    """Fig. 6 as ASCII: one cell per primitive, annotated f/i/p rows."""
+    lines: List[str] = [
+        f"Logical PE set ({logical_set.height}x{logical_set.width}, "
+        f"stride {logical_set.stride}) -- cell = filter-row/ifmap-row/"
+        f"psum-row",
+    ]
+    header = "      " + " ".join(f"col{j:<2}" for j in
+                                 range(logical_set.width))
+    lines.append(header)
+    for i in range(logical_set.height):
+        cells = []
+        for j in range(logical_set.width):
+            pe = logical_set.pe(i, j)
+            cells.append(f"{pe.filter_row}/{pe.ifmap_row}/{pe.psum_row}")
+        lines.append(f"row{i:<2} " + " ".join(f"{c:<5}" for c in cells))
+    lines.append("filter rows reuse horizontally; ifmap rows reuse along "
+                 "diagonals (i + U*j constant); psums accumulate down "
+                 "columns")
+    return "\n".join(lines)
+
+
+def render_array_occupancy(plan: FoldingPlan) -> str:
+    """The physical array with each spatial set's footprint marked."""
+    grid = [["." for _ in range(plan.array_w)] for _ in range(plan.array_h)]
+    labels = "0123456789abcdefghijklmnopqrstuvwxyz"
+    first_pass = next(iter(plan.passes()))
+    seen = {}
+    for s in first_pass.slices:
+        key = (s.array_row, s.array_col)
+        if key in seen:
+            continue  # folded primitives share the placement
+        label = labels[len(seen) % len(labels)]
+        seen[key] = label
+        for dr in range(plan.layer.R):
+            for dc in range(s.width):
+                grid[s.array_row + dr][s.array_col + dc] = label
+    lines = [
+        f"Physical array {plan.array_h}x{plan.array_w}: "
+        f"{plan.spatial_sets} spatial set(s) of {plan.layer.R}x{plan.e} "
+        f"PEs, {plan.active_pes}/{plan.array_h * plan.array_w} active, "
+        f"{plan.num_passes} pass(es)",
+    ]
+    lines.extend("".join(row) for row in grid)
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Spatial-architecture hardware model (Section II and VI-B of the paper)."""
+
+from repro.arch.area import area_per_byte, storage_area
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.arch.storage import StorageAllocation, allocate_storage, baseline_storage_area
+
+__all__ = [
+    "area_per_byte",
+    "storage_area",
+    "EnergyCosts",
+    "MemoryLevel",
+    "HardwareConfig",
+    "StorageAllocation",
+    "allocate_storage",
+    "baseline_storage_area",
+]

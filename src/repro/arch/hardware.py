@@ -1,0 +1,151 @@
+"""Top-level hardware configuration of the spatial accelerator (Section II).
+
+A :class:`HardwareConfig` bundles everything a dataflow's mapper needs to
+know about the machine: the PE-array geometry, per-PE register-file
+capacity, global-buffer capacity, and the energy cost table.  Factory
+helpers construct the paper's experimental setups (e.g. the 256-PE
+baseline with 512 B RF and 128 kB buffer used in Fig. 10, or the
+equal-area configurations of Section VI-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.storage import (
+    BYTES_PER_WORD,
+    StorageAllocation,
+    allocate_storage,
+)
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """A concrete spatial-architecture instance.
+
+    Attributes
+    ----------
+    num_pes:
+        Total processing engines in the array.
+    array_h, array_w:
+        Physical array geometry (rows x cols).  The paper's chip is 12x14;
+        the analysis experiments use square arrays (16x16, ...).
+    rf_words_per_pe:
+        Register-file capacity per PE, in 16-bit words.
+    buffer_words:
+        Global-buffer capacity, in 16-bit words.
+    costs:
+        Per-access energy table (defaults to Table IV).
+    """
+
+    num_pes: int
+    array_h: int
+    array_w: int
+    rf_words_per_pe: int
+    buffer_words: int
+    costs: EnergyCosts = EnergyCosts()
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be positive")
+        if self.array_h * self.array_w != self.num_pes:
+            raise ValueError(
+                f"array geometry {self.array_h}x{self.array_w} does not "
+                f"match num_pes={self.num_pes}"
+            )
+        if self.rf_words_per_pe < 0 or self.buffer_words < 0:
+            raise ValueError("storage capacities cannot be negative")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rf_bytes_per_pe(self) -> int:
+        return self.rf_words_per_pe * BYTES_PER_WORD
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self.buffer_words * BYTES_PER_WORD
+
+    @property
+    def total_rf_words(self) -> int:
+        return self.num_pes * self.rf_words_per_pe
+
+    def with_costs(self, costs: EnergyCosts) -> "HardwareConfig":
+        """Copy of this configuration with a different cost table."""
+        return replace(self, costs=costs)
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_pes} PEs ({self.array_h}x{self.array_w}), "
+            f"{self.rf_bytes_per_pe} B RF/PE, "
+            f"{self.buffer_bytes / 1024:.0f} kB buffer"
+        )
+
+    # ------------------------------------------------------------------
+    # Factory helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_allocation(cls, allocation: StorageAllocation,
+                        costs: EnergyCosts | None = None) -> "HardwareConfig":
+        """Build a config from an equal-area storage allocation."""
+        h, w = square_array_geometry(allocation.num_pes)
+        return cls(
+            num_pes=allocation.num_pes,
+            array_h=h,
+            array_w=w,
+            rf_words_per_pe=allocation.rf_words_per_pe,
+            buffer_words=allocation.buffer_words,
+            costs=costs or EnergyCosts(),
+        )
+
+    @classmethod
+    def eyeriss_paper_baseline(cls, num_pes: int = 256) -> "HardwareConfig":
+        """The Fig. 10 setup: 512 B RF per PE and a 128 kB global buffer.
+
+        For other PE counts the buffer scales with the PE count as in the
+        Eq. (2) baseline (#PE x 512 B).
+        """
+        h, w = square_array_geometry(num_pes)
+        return cls(
+            num_pes=num_pes,
+            array_h=h,
+            array_w=w,
+            rf_words_per_pe=512 // BYTES_PER_WORD,
+            buffer_words=(num_pes * 512) // BYTES_PER_WORD,
+        )
+
+    @classmethod
+    def eyeriss_chip(cls) -> "HardwareConfig":
+        """The fabricated Eyeriss chip (Fig. 4): 168 PEs (12x14),
+        0.5 kB RF per PE, 108 kB global buffer."""
+        return cls(
+            num_pes=168,
+            array_h=12,
+            array_w=14,
+            rf_words_per_pe=512 // BYTES_PER_WORD,
+            buffer_words=(108 * 1024) // BYTES_PER_WORD,
+        )
+
+    @classmethod
+    def equal_area(cls, num_pes: int, rf_bytes_per_pe: int,
+                   area_budget: float | None = None,
+                   costs: EnergyCosts | None = None) -> "HardwareConfig":
+        """Section VI-B setup: allocate storage under the Eq. (2) budget."""
+        allocation = allocate_storage(num_pes, rf_bytes_per_pe, area_budget)
+        return cls.from_allocation(allocation, costs)
+
+
+def square_array_geometry(num_pes: int) -> tuple[int, int]:
+    """The most-square (h, w) factorization of a PE count, h <= w.
+
+    Used for the analysis experiments (256 -> 16x16, 512 -> 16x32,
+    1024 -> 32x32, 168 -> 12x14).
+    """
+    best = (1, num_pes)
+    for h in range(1, int(math.isqrt(num_pes)) + 1):
+        if num_pes % h == 0:
+            best = (h, num_pes // h)
+    return best

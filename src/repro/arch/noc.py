@@ -1,0 +1,108 @@
+"""Network-on-chip models for the PE array (Sections II and V-E).
+
+The Eyeriss architecture uses three logical networks: a global multicast
+NoC for filters, a global multicast NoC for ifmaps, and a local PE-to-PE
+network for psums.  The analysis framework charges every array-level hop
+the single Table IV "array" cost, but the functional simulator uses these
+classes to route data and to count hop distances, which supports the
+Section VI-D side-note analysis (short neighbor transfers vs long
+broadcasts).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+Coordinate = Tuple[int, int]
+
+
+class TransferKind(enum.Enum):
+    """Classification of array-level transfers for the Sec. VI-D analysis."""
+
+    NEIGHBOR = "neighbor"      # PE to adjacent PE (psum accumulation)
+    MULTICAST = "multicast"    # buffer to a set of PEs (filter/ifmap rows)
+    UNICAST = "unicast"        # buffer to a single PE
+
+
+@dataclass
+class TransferRecord:
+    """One logical delivery of a row/word group over the array."""
+
+    kind: TransferKind
+    words: int
+    destinations: int
+    max_hops: int
+
+
+@dataclass
+class MulticastNoc:
+    """Global Y-then-X multicast network (filters and ifmaps).
+
+    Models delivery from the buffer port at (0, 0) to a group of PEs; the
+    hop count of a delivery is the Manhattan distance to the farthest
+    destination, which approximates wire length for the Sec. VI-D
+    refinement.
+    """
+
+    array_h: int
+    array_w: int
+    records: List[TransferRecord] = field(default_factory=list)
+
+    def multicast(self, destinations: Iterable[Coordinate], words: int) -> TransferRecord:
+        dests = list(destinations)
+        if not dests:
+            raise ValueError("multicast requires at least one destination")
+        for (r, c) in dests:
+            self._check_coord(r, c)
+        max_hops = max(r + c for (r, c) in dests)
+        kind = TransferKind.MULTICAST if len(dests) > 1 else TransferKind.UNICAST
+        record = TransferRecord(kind=kind, words=words,
+                                destinations=len(dests), max_hops=max_hops)
+        self.records.append(record)
+        return record
+
+    def _check_coord(self, r: int, c: int) -> None:
+        if not (0 <= r < self.array_h and 0 <= c < self.array_w):
+            raise ValueError(
+                f"PE ({r},{c}) outside {self.array_h}x{self.array_w} array"
+            )
+
+    @property
+    def total_words_delivered(self) -> int:
+        """Words x destinations: what the Table IV array cost is charged on."""
+        return sum(rec.words * rec.destinations for rec in self.records)
+
+
+@dataclass
+class LocalPsumNoc:
+    """Local PE-to-PE links used for vertical psum accumulation."""
+
+    array_h: int
+    array_w: int
+    records: List[TransferRecord] = field(default_factory=list)
+
+    def send(self, src: Coordinate, dst: Coordinate, words: int) -> TransferRecord:
+        hops = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        if hops != 1:
+            raise ValueError(
+                f"local psum NoC only connects adjacent PEs; {src} -> {dst} "
+                f"is {hops} hops"
+            )
+        record = TransferRecord(kind=TransferKind.NEIGHBOR, words=words,
+                                destinations=1, max_hops=1)
+        self.records.append(record)
+        return record
+
+    @property
+    def total_words_delivered(self) -> int:
+        return sum(rec.words for rec in self.records)
+
+
+def transfer_summary(records: Iterable[TransferRecord]) -> Dict[TransferKind, int]:
+    """Words delivered by transfer kind, for the Sec. VI-D breakdown."""
+    summary: Dict[TransferKind, int] = {kind: 0 for kind in TransferKind}
+    for rec in records:
+        summary[rec.kind] += rec.words * rec.destinations
+    return summary

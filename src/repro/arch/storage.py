@@ -1,0 +1,124 @@
+"""Storage allocation under a fixed area budget (Eq. (2) and Fig. 7b).
+
+Section VI-B fixes the comparison between dataflows by granting each the
+same number of PEs and the same total *storage area*, computed from the
+baseline setup of 512 B RF per PE plus a (#PE x 512 B) global buffer:
+
+    baseline_area = #PE * Area(512B RF) + Area(#PE * 512B buffer)   (Eq. 2)
+
+Each dataflow then chooses its RF size (e.g. RS keeps 512 B, WS needs only
+one weight, NLR has no RF at all) and the remaining area is converted into
+global-buffer bytes using the Fig. 7a area curve.  Because small memories
+cost more area per byte, dataflows with big RFs end up with *less total
+storage* (Fig. 7b: an up-to-80 kB spread, up to 2.6x buffer difference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.area import area_per_byte, buffer_size_for_area, storage_area
+
+#: Word width used throughout the paper's experiments (16-bit fixed point).
+BYTES_PER_WORD = 2
+
+#: Baseline RF size per PE used to define the area budget (Eq. (2)).
+BASELINE_RF_BYTES = 512
+
+
+def baseline_storage_area(num_pes: int) -> float:
+    """Eq. (2): the storage-area budget for a given PE count."""
+    if num_pes < 1:
+        raise ValueError(f"need at least one PE, got {num_pes}")
+    rf_area = num_pes * storage_area(BASELINE_RF_BYTES)
+    buffer_area = storage_area(num_pes * BASELINE_RF_BYTES)
+    return rf_area + buffer_area
+
+
+@dataclass(frozen=True)
+class StorageAllocation:
+    """Resolved on-chip storage for one dataflow under the area budget."""
+
+    num_pes: int
+    rf_bytes_per_pe: int
+    buffer_bytes: float
+    area_budget: float
+
+    @property
+    def rf_words_per_pe(self) -> int:
+        """RF capacity in 16-bit words."""
+        return self.rf_bytes_per_pe // BYTES_PER_WORD
+
+    @property
+    def buffer_words(self) -> int:
+        """Global-buffer capacity in 16-bit words."""
+        return int(self.buffer_bytes) // BYTES_PER_WORD
+
+    @property
+    def total_rf_bytes(self) -> int:
+        """Aggregate RF capacity across the PE array."""
+        return self.num_pes * self.rf_bytes_per_pe
+
+    @property
+    def total_storage_bytes(self) -> float:
+        """Total on-chip storage (RF + buffer), the Fig. 7b quantity."""
+        return self.total_rf_bytes + self.buffer_bytes
+
+    @property
+    def used_area(self) -> float:
+        """Area actually consumed (should match the budget to tolerance)."""
+        rf_area = self.num_pes * storage_area(self.rf_bytes_per_pe)
+        return rf_area + storage_area(self.buffer_bytes)
+
+
+def allocate_storage(num_pes: int, rf_bytes_per_pe: int,
+                     area_budget: float | None = None) -> StorageAllocation:
+    """Divide the Eq. (2) area budget between RF and global buffer.
+
+    Parameters
+    ----------
+    num_pes:
+        Number of processing engines.
+    rf_bytes_per_pe:
+        The RF capacity this dataflow requires per PE (0 for NLR).
+    area_budget:
+        Total storage area; defaults to :func:`baseline_storage_area`.
+
+    Raises
+    ------
+    ValueError
+        If the requested RF alone exceeds the area budget.
+    """
+    if rf_bytes_per_pe < 0:
+        raise ValueError("RF size cannot be negative")
+    budget = baseline_storage_area(num_pes) if area_budget is None else area_budget
+    rf_area = num_pes * storage_area(rf_bytes_per_pe)
+    remaining = budget - rf_area
+    if remaining < 0:
+        raise ValueError(
+            f"RF allocation ({rf_bytes_per_pe} B x {num_pes} PEs, area "
+            f"{rf_area:.0f}) exceeds the storage-area budget {budget:.0f}"
+        )
+    buffer_bytes = buffer_size_for_area(remaining)
+    return StorageAllocation(
+        num_pes=num_pes,
+        rf_bytes_per_pe=rf_bytes_per_pe,
+        buffer_bytes=buffer_bytes,
+        area_budget=budget,
+    )
+
+
+def rf_area_fraction(allocation: StorageAllocation) -> float:
+    """Fraction of the storage area spent on register files."""
+    rf_area = allocation.num_pes * storage_area(allocation.rf_bytes_per_pe)
+    return rf_area / allocation.area_budget if allocation.area_budget else 0.0
+
+
+def describe_allocation(allocation: StorageAllocation) -> str:
+    """Human-readable summary used by the Fig. 7b report."""
+    return (
+        f"{allocation.num_pes} PEs: RF {allocation.rf_bytes_per_pe} B/PE "
+        f"(total {allocation.total_rf_bytes / 1024:.1f} kB), buffer "
+        f"{allocation.buffer_bytes / 1024:.1f} kB, total storage "
+        f"{allocation.total_storage_bytes / 1024:.1f} kB"
+    )

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main entry points:
+
+* ``compare``  -- the six-dataflow comparison on AlexNet CONV or FC layers
+  (the Fig. 11-14 quantities) for a chosen array size and batch.
+* ``evaluate`` -- one dataflow on one AlexNet layer, printing the optimal
+  mapping, its reuse splits, and the energy breakdown.
+* ``simulate`` -- run the functional RS simulator on a small layer and
+  verify it against the Eq. (1) reference.
+* ``sweep``    -- the Fig. 15 fixed-area allocation sweep.
+* ``storage``  -- the Fig. 7b equal-area storage allocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.experiments import fig7_storage_allocation, hardware_for
+from repro.analysis.report import format_table
+from repro.analysis.sweep import fig15_area_allocation_sweep
+from repro.arch.energy_costs import MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS, get_dataflow
+from repro.energy.model import evaluate_layer, evaluate_network
+from repro.nn.layer import conv_layer
+from repro.nn.networks import alexnet, alexnet_conv_layers, alexnet_fc_layers
+from repro.nn.reference import conv_layer_reference, random_layer_tensors
+from repro.sim import simulate_layer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Eyeriss (ISCA 2016) reproduction: row-stationary "
+                    "dataflow and CNN dataflow energy analysis.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="six-dataflow comparison")
+    compare.add_argument("--pes", type=int, default=256,
+                         help="PE count (default 256)")
+    compare.add_argument("--batch", type=int, default=16,
+                         help="batch size N (default 16)")
+    compare.add_argument("--layers", choices=("conv", "fc"), default="conv",
+                         help="AlexNet CONV or FC layers (default conv)")
+
+    evaluate = sub.add_parser("evaluate", help="one dataflow on one layer")
+    evaluate.add_argument("dataflow", choices=list(DATAFLOWS),
+                          help="dataflow name")
+    evaluate.add_argument("layer", help="AlexNet layer name, e.g. CONV2")
+    evaluate.add_argument("--pes", type=int, default=256)
+    evaluate.add_argument("--batch", type=int, default=16)
+
+    simulate = sub.add_parser("simulate",
+                              help="functional RS simulation vs Eq. (1)")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="Fig. 15 area-allocation sweep")
+    sweep.add_argument("--batch", type=int, default=16)
+
+    sub.add_parser("storage", help="Fig. 7b storage allocation")
+
+    mapping = sub.add_parser(
+        "mapping", help="visualize the RS mapping of a layer (Fig. 6)")
+    mapping.add_argument("layer", help="AlexNet layer name, e.g. CONV3")
+    mapping.add_argument("--pes", type=int, default=256)
+    mapping.add_argument("--batch", type=int, default=1)
+    return parser
+
+
+# ----------------------------------------------------------------------
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    layers = (alexnet_conv_layers(args.batch) if args.layers == "conv"
+              else alexnet_fc_layers(args.batch))
+    rows = []
+    rs_energy: Optional[float] = None
+    for name, dataflow in DATAFLOWS.items():
+        hw = hardware_for(name, args.pes)
+        ev = evaluate_network(dataflow, layers, hw)
+        if not ev.feasible:
+            rows.append([name, "infeasible", "-", "-", "-"])
+            continue
+        if name == "RS":
+            rs_energy = ev.energy_per_op
+        rows.append([
+            name, f"{ev.energy_per_op:.3f}",
+            f"{ev.energy_per_op / rs_energy:.2f}x" if rs_energy else "-",
+            f"{ev.dram_accesses_per_op:.5f}",
+            f"{ev.edp_per_op:.5f}",
+        ])
+    print(format_table(
+        ["dataflow", "energy/op", "vs RS", "DRAM/op", "EDP/op"], rows,
+        title=f"AlexNet {args.layers.upper()} layers, {args.pes} PEs, "
+              f"batch {args.batch}"))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    try:
+        layer = next(l for l in alexnet(args.batch)
+                     if l.name == args.layer.upper())
+    except StopIteration:
+        names = ", ".join(l.name for l in alexnet())
+        print(f"unknown layer {args.layer!r}; known: {names}",
+              file=sys.stderr)
+        return 2
+    dataflow = get_dataflow(args.dataflow)
+    hw = hardware_for(dataflow.name, args.pes)
+    ev = evaluate_layer(dataflow, layer, hw)
+    if ev is None:
+        print(f"{dataflow.name} has no feasible mapping for "
+              f"{layer.describe()} on {hw.describe()}")
+        return 1
+    print(layer.describe())
+    print(hw.describe())
+    print()
+    print(ev.mapping.describe())
+    level = ev.breakdown.by_level
+    print(f"\nenergy/op: {ev.energy_per_op:.3f} normalized "
+          f"(ALU {level.alu / level.total:.0%}, "
+          f"DRAM {level.dram / level.total:.0%}, "
+          f"buffer {level.buffer / level.total:.0%}, "
+          f"array {level.array / level.total:.0%}, "
+          f"RF {level.rf / level.total:.0%})")
+    print(f"DRAM accesses/op: {ev.dram_accesses_per_op:.5f}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    layer = conv_layer("demo", H=15, R=3, E=13, C=8, M=16, U=1, N=2)
+    hw = HardwareConfig.eyeriss_chip()
+    ifmap, weights, bias = random_layer_tensors(layer, seed=args.seed,
+                                                integer=True)
+    ofmap, report = simulate_layer(layer, hw, ifmap, weights, bias)
+    reference = conv_layer_reference(ifmap, weights, bias, stride=layer.U)
+    ok = np.array_equal(ofmap, reference)
+    print(layer.describe())
+    print(f"passes: {report.passes_executed}, MACs: {report.trace.macs:,}")
+    for level in MemoryLevel.storage_levels():
+        print(f"  {level.value:>7}: {report.trace.level_total(level):,} "
+              f"word accesses")
+    print(f"output matches Eq. (1) reference: {ok}")
+    return 0 if ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    points = fig15_area_allocation_sweep(batch=args.batch)
+    e_min = min(p.energy_per_op for p in points.values())
+    rows = [[f"{pt.active_pes:.0f}/{pes}", f"{pt.rf_bytes_per_pe} B",
+             f"{pt.buffer_kb:.0f} kB", f"{pt.storage_area_fraction:.0%}",
+             f"{pt.energy_per_op / e_min:.3f}"]
+            for pes, pt in sorted(points.items())]
+    print(format_table(
+        ["active/total PEs", "RF/PE", "buffer", "storage area",
+         "norm energy/op"], rows,
+        title="Fig. 15 sweep: fixed total area, AlexNet CONV"))
+    return 0
+
+
+def cmd_storage(args: argparse.Namespace) -> int:
+    rows = [[r.dataflow, f"{r.rf_bytes_per_pe} B", f"{r.total_rf_kb:.0f} kB",
+             f"{r.buffer_kb:.0f} kB", f"{r.total_kb:.0f} kB"]
+            for r in fig7_storage_allocation(256).values()]
+    print(format_table(
+        ["dataflow", "RF/PE", "total RF", "buffer", "total"], rows,
+        title="Fig. 7b: equal-area storage allocation (256 PEs)"))
+    return 0
+
+
+def cmd_mapping(args: argparse.Namespace) -> int:
+    from repro.analysis.visualize import (
+        render_array_occupancy,
+        render_logical_set,
+    )
+    from repro.mapping.folding import plan_from_mapping_params
+    from repro.mapping.logical import LogicalSet
+
+    try:
+        layer = next(l for l in alexnet(args.batch)
+                     if l.name == args.layer.upper())
+    except StopIteration:
+        names = ", ".join(l.name for l in alexnet())
+        print(f"unknown layer {args.layer!r}; known: {names}",
+              file=sys.stderr)
+        return 2
+    dataflow = get_dataflow("RS")
+    hw = hardware_for("RS", args.pes)
+    ev = evaluate_layer(dataflow, layer, hw)
+    if ev is None:
+        print("no feasible RS mapping")
+        return 1
+    demo_set = LogicalSet(n=0, m=0, c=0, height=layer.R,
+                          width=min(layer.E, 6), stride=layer.U)
+    print(render_logical_set(demo_set))
+    print()
+    plan = plan_from_mapping_params(layer, hw, ev.mapping.params)
+    print(render_array_occupancy(plan))
+    print()
+    print(ev.mapping.describe())
+    return 0
+
+
+COMMANDS = {
+    "compare": cmd_compare,
+    "evaluate": cmd_evaluate,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "storage": cmd_storage,
+    "mapping": cmd_mapping,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

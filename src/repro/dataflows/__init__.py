@@ -1,0 +1,21 @@
+"""The six CNN dataflow models evaluated in the paper (Sections IV-V)."""
+
+from repro.dataflows.base import Dataflow, BufferBudget
+from repro.dataflows.no_local_reuse import NoLocalReuse
+from repro.dataflows.output_stationary import OutputStationaryA, OutputStationaryB, OutputStationaryC
+from repro.dataflows.registry import DATAFLOWS, get_dataflow
+from repro.dataflows.row_stationary import RowStationary
+from repro.dataflows.weight_stationary import WeightStationary
+
+__all__ = [
+    "Dataflow",
+    "BufferBudget",
+    "NoLocalReuse",
+    "OutputStationaryA",
+    "OutputStationaryB",
+    "OutputStationaryC",
+    "DATAFLOWS",
+    "get_dataflow",
+    "RowStationary",
+    "WeightStationary",
+]

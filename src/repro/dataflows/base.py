@@ -1,0 +1,100 @@
+"""Common interface of the dataflow models (Section VI-A).
+
+Every dataflow implements :meth:`Dataflow.enumerate_mappings`, yielding the
+feasible :class:`~repro.mapping.mapping.Mapping` candidates for a layer on
+a hardware configuration.  The mapping optimizer (Section VI-C-3) picks the
+candidate with the lowest Eq. (3)+(4) energy.
+
+The class attribute :attr:`Dataflow.rf_bytes_per_pe` encodes the dataflow's
+register-file requirement (Section VI-B): RS keeps the 512 B RF it was
+tuned for; WS needs only a pinned weight; NLR has no RF at all.  The
+equal-area storage allocator converts the attribute into a per-dataflow
+global-buffer capacity.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.arch.hardware import HardwareConfig
+from repro.mapping.mapping import Mapping
+from repro.nn.layer import LayerShape
+
+
+@dataclass(frozen=True)
+class BufferBudget:
+    """How a mapping divides the global buffer between the data types.
+
+    The analysis framework only needs feasibility checks ("does this
+    working set stay resident"), not a cycle-accurate allocator; a budget
+    records the words each data type claims and exposes a fit test.
+    """
+
+    capacity_words: int
+    ifmap_words: float = 0.0
+    filter_words: float = 0.0
+    psum_words: float = 0.0
+
+    @property
+    def used_words(self) -> float:
+        return self.ifmap_words + self.filter_words + self.psum_words
+
+    @property
+    def fits(self) -> bool:
+        return self.used_words <= self.capacity_words
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the buffer in use (may exceed 1 when infeasible)."""
+        if self.capacity_words == 0:
+            return float("inf") if self.used_words > 0 else 0.0
+        return self.used_words / self.capacity_words
+
+
+class Dataflow(abc.ABC):
+    """Abstract base class of the six dataflow models."""
+
+    #: Canonical short name used in figures (RS, WS, OSA, OSB, OSC, NLR).
+    name: str = "?"
+
+    #: Register-file bytes per PE this dataflow requires (Section VI-B).
+    rf_bytes_per_pe: int = 0
+
+    #: Long descriptive name from the taxonomy (Table III).
+    description: str = ""
+
+    @abc.abstractmethod
+    def enumerate_mappings(self, layer: LayerShape,
+                           hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every feasible mapping candidate of ``layer`` on ``hw``.
+
+        Implementations must only yield mappings whose working sets fit
+        the RF and global-buffer capacities of ``hw``; an empty iterator
+        means the dataflow cannot run the layer on this hardware at all
+        (e.g. WS with too many live psums, Fig. 11a).
+        """
+
+    def supports(self, layer: LayerShape, hw: HardwareConfig) -> bool:
+        """True when at least one feasible mapping exists."""
+        return next(iter(self.enumerate_mappings(layer, hw)), None) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Dataflow {self.name}>"
+
+
+def thin_candidates(values: tuple[int, ...], limit: int = 8) -> tuple[int, ...]:
+    """Subsample a divisor list to bound the mapping-search fan-out.
+
+    Keeps the endpoints and an evenly spread interior so the optimizer
+    still sees small, medium and large tile choices.  The paper's search
+    is exhaustive; thinning is a performance concession documented in
+    DESIGN.md and tested to not change the optimum on the AlexNet layers
+    (the energy landscape is smooth in the tile sizes).
+    """
+    if len(values) <= limit:
+        return values
+    step = (len(values) - 1) / (limit - 1)
+    picked = sorted({values[round(i * step)] for i in range(limit)})
+    return tuple(picked)

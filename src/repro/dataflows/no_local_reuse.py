@@ -1,0 +1,97 @@
+"""The no-local-reuse (NLR) dataflow (Sections IV-C and VI-A).
+
+NLR has no register files at all: the PE array is a grid of bare ALU
+datapaths, and the area saved is spent on a large global buffer.  The
+array is divided into ``c_g`` channel groups of ``m_g`` PEs each: PEs in
+a group share the same ifmap pixel (broadcast) but apply different filter
+weights; psums accumulate spatially *across* groups and then through the
+global buffer.  Every weight is read from the global buffer on every use,
+which is why NLR's energy is dominated by buffer accesses for weights
+(Fig. 12d) even though its DRAM traffic is low.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.base import BufferBudget, Dataflow, thin_candidates
+from repro.mapping.divisors import divisors_up_to
+from repro.mapping.mapping import Mapping
+from repro.mapping.reuse import AccumSplit, ReuseSplit
+from repro.nn.layer import LayerShape
+
+_EPS = 1e-9
+
+
+class NoLocalReuse(Dataflow):
+    """NLR: no RF storage; ifmap reuse and psum accumulation in the array."""
+
+    name = "NLR"
+    rf_bytes_per_pe = 0
+    description = ("No local reuse: bare ALU array, all data staged in a "
+                   "large global buffer (Section IV-C)")
+
+    def enumerate_mappings(self, layer: LayerShape,
+                           hw: HardwareConfig) -> Iterator[Mapping]:
+        m, c = layer.M, layer.C
+        for m_g in thin_candidates(divisors_up_to(m, hw.num_pes), limit=8):
+            room = hw.num_pes // m_g
+            for c_g in thin_candidates(divisors_up_to(c, room), limit=6):
+                mapping = self._build_mapping(layer, hw, m_g, c_g)
+                if mapping is not None:
+                    yield mapping
+
+    def _build_mapping(self, layer: LayerShape, hw: HardwareConfig,
+                       m_g: int, c_g: int) -> Mapping | None:
+        n, m, c = layer.N, layer.M, layer.C
+        r, e, h = layer.R, layer.E, layer.H
+
+        # Working sets staged in the buffer: the current filter chunk
+        # (m_g filters, all channels, resident across the pixel/batch
+        # sweep so each weight leaves DRAM exactly once), the ifmap
+        # sliding-row window, and the in-flight psums of a pixel row.
+        budget = BufferBudget(
+            capacity_words=hw.buffer_words,
+            filter_words=m_g * c * r * r,
+            ifmap_words=c * r * h,
+            psum_words=m_g * e,
+        )
+        if not budget.fits:
+            return None
+
+        # Filter: read from the buffer on every MAC (no RF, no array
+        # sharing: each PE applies its own weight).
+        filt = ReuseSplit(unique_values=layer.filter_words,
+                          a=1.0, b=float(n * e * e), c=1.0, d=1.0,
+                          total_reuse=layer.filter_reuse)
+
+        # Ifmap: one broadcast reaches the m_g PEs of the pixel's channel
+        # group; the convolutional overlap and the remaining M/m_g filter
+        # chunks are covered by the buffered row window.
+        if_c = float(m_g)
+        if_b = layer.ifmap_reuse / if_c
+        if if_b < 1.0 - _EPS:
+            if_c, if_b = layer.ifmap_reuse, 1.0
+        ifmap = ReuseSplit(unique_values=layer.ifmap_words,
+                           a=1.0, b=if_b, c=if_c, d=1.0,
+                           total_reuse=layer.ifmap_reuse)
+
+        # Psum: spatial accumulation across the c_g channel groups; the
+        # remaining C*R^2/c_g accumulations bounce through the buffer.
+        psum = AccumSplit(unique_values=layer.ofmap_words,
+                          a=1.0, b=layer.psum_accumulations / c_g,
+                          c=float(c_g), d=1.0,
+                          total_accumulations=layer.psum_accumulations)
+
+        active = m_g * c_g
+        return Mapping(
+            dataflow=self.name,
+            ifmap=ifmap,
+            filter=filt,
+            psum=psum,
+            active_pes=active,
+            macs=layer.macs,
+            params={"m_g": m_g, "c_g": c_g,
+                    "buffer_occupancy": round(budget.occupancy, 3)},
+        )

@@ -1,0 +1,235 @@
+"""The output-stationary (OS) dataflow family (Sections IV-B and VI-A).
+
+All OS variants pin the accumulation of each ofmap value in a PE's RF
+(``d_psum = C*R^2``) and differ in which region of the 4-D ofmap space the
+array covers at once (Fig. 3):
+
+* **OSA (SOC-MOP)** -- a single ofmap channel, many pixels of one plane.
+  The array adds 2-D convolutional reuse of ifmaps; active PEs are capped
+  by the plane size E^2 (the source of its poor FC/low-batch utilization).
+* **OSB (MOC-MOP)** -- multiple channels and multiple pixels.  The array
+  adds 1-D convolutional reuse plus cross-channel ifmap reuse.
+* **OSC (MOC-SOP)** -- multiple channels, a single pixel each.  Only
+  cross-channel ifmap reuse exists on chip; the convolutional window
+  overlap is spent at DRAM.
+
+Following Table III, *no* OS variant exploits filter reuse at the RF or
+array level -- except trivially across the ``i_f`` images in flight, which
+is why "the energy consumption of OSC improves significantly with batch
+sizes larger than 1" (Section VII-B).  Weights therefore stream from the
+global buffer on (almost) every use, producing the dominant weight-energy
+bars of Fig. 12d.
+
+Each variant enumerates three buffer-residency scenarios consistent with
+a concrete loop nest (the same discipline as the RS model):
+
+* ``filters-all-resident`` -- the whole filter set fits the buffer; every
+  input leaves DRAM once (pixel loop outer, filter loop inner).
+* ``filter-chunk-resident`` -- only the in-flight filters stay resident;
+  the ifmap is re-read from DRAM once per filter chunk (chunk loop outer).
+* ``filters-stream`` -- the ifmap working set stays resident and weights
+  are re-fetched from DRAM every pixel/batch round (round loop outer).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.base import BufferBudget, Dataflow, thin_candidates
+from repro.mapping.divisors import divisors_up_to
+from repro.mapping.mapping import Mapping
+from repro.mapping.reuse import AccumSplit, ReuseSplit
+from repro.nn.layer import LayerShape
+
+_EPS = 1e-9
+
+
+def _psum_in_rf(layer: LayerShape) -> AccumSplit:
+    """All accumulation happens in the RF (the defining OS property)."""
+    return AccumSplit(unique_values=layer.ofmap_words, a=1.0, b=1.0, c=1.0,
+                      d=float(layer.psum_accumulations),
+                      total_accumulations=layer.psum_accumulations)
+
+
+class _OutputStationaryBase(Dataflow):
+    """Shared scenario machinery of the three OS variants.
+
+    Subclasses define the array-level geometry by implementing
+    :meth:`_configurations`, yielding tuples of::
+
+        (params, active_pes, if_c, images_in_flight, filters_in_flight,
+         pixel_rounds, ifmap_window_words, dram_conv_overlap)
+
+    where ``if_c`` is the array-level ifmap reuse per delivery,
+    ``pixel_rounds`` the number of pixel/batch rounds a full plane sweep
+    takes, ``ifmap_window_words`` the ifmap staging set of one round, and
+    ``dram_conv_overlap`` any convolutional reuse the variant cannot
+    exploit on chip (> 1 only for OSC).
+    """
+
+    def _configurations(self, layer: LayerShape, hw: HardwareConfig):
+        raise NotImplementedError
+
+    def enumerate_mappings(self, layer: LayerShape,
+                           hw: HardwareConfig) -> Iterator[Mapping]:
+        n, m, c = layer.N, layer.M, layer.C
+        r = layer.R
+        for (params, active, if_c, i_f, m_if, rounds, window,
+             dram_overlap) in self._configurations(layer, hw):
+            psum = _psum_in_rf(layer)
+
+            # Ifmap: array reuse if_c per delivery; dram_overlap is spent
+            # at DRAM (OSC only); the rest is buffer/DRAM per scenario.
+            # Sub-unity residuals are allowed (stride gaps leave fetched
+            # values partially unused); the DRAM factors stay >= 1.
+            if_residual = layer.ifmap_reuse / (if_c * dram_overlap)
+            if if_residual < _EPS:
+                continue
+            chunk_reuse = m / m_if
+
+            # Filter: array reuse only across in-flight images; the rest
+            # of T_w = N*E^2 is buffer or DRAM re-delivery per scenario.
+            w_c = float(i_f)
+            w_residual = layer.filter_reuse / w_c
+
+            base_params = dict(params)
+
+            # Scenario 1: whole filter set resident.
+            all_resident = BufferBudget(hw.buffer_words,
+                                        filter_words=m * c * r * r,
+                                        ifmap_words=window)
+            if all_resident.fits:
+                yield self._mapping(
+                    layer, psum, active,
+                    if_a=dram_overlap, if_b=if_residual, if_c=if_c,
+                    w_a=1.0, w_b=w_residual, w_c=w_c,
+                    params={**base_params, "scenario": "filters-all-resident",
+                            "buffer_occupancy": round(all_resident.occupancy, 3)},
+                )
+
+            # Scenario 2: only the in-flight filter chunk resident; the
+            # ifmap is re-fetched from DRAM once per chunk.
+            chunk = BufferBudget(hw.buffer_words,
+                                 filter_words=m_if * c * r * r,
+                                 ifmap_words=window)
+            rest = if_residual / chunk_reuse
+            if chunk.fits and rest >= _EPS:
+                yield self._mapping(
+                    layer, psum, active,
+                    if_a=dram_overlap * chunk_reuse, if_b=rest, if_c=if_c,
+                    w_a=1.0, w_b=w_residual, w_c=w_c,
+                    params={**base_params, "scenario": "filter-chunk-resident",
+                            "buffer_occupancy": round(chunk.occupancy, 3)},
+                )
+
+            # Scenario 3: weights stream from DRAM once per round; the
+            # round's ifmap working set stays buffered.
+            stream = BufferBudget(hw.buffer_words,
+                                  filter_words=m_if * r * r,
+                                  ifmap_words=window)
+            if stream.fits and rounds >= 1.0 - _EPS:
+                yield self._mapping(
+                    layer, psum, active,
+                    if_a=dram_overlap, if_b=if_residual, if_c=if_c,
+                    w_a=float(rounds), w_b=w_residual / rounds, w_c=w_c,
+                    params={**base_params, "scenario": "filters-stream",
+                            "buffer_occupancy": round(stream.occupancy, 3)},
+                )
+
+    def _mapping(self, layer: LayerShape, psum: AccumSplit, active: int, *,
+                 if_a: float, if_b: float, if_c: float,
+                 w_a: float, w_b: float, w_c: float, params: dict) -> Mapping:
+        return Mapping(
+            dataflow=self.name,
+            ifmap=ReuseSplit(unique_values=layer.ifmap_words, a=if_a,
+                             b=if_b, c=if_c, d=1.0,
+                             total_reuse=layer.ifmap_reuse),
+            filter=ReuseSplit(unique_values=layer.filter_words, a=w_a,
+                              b=w_b, c=w_c, d=1.0,
+                              total_reuse=layer.filter_reuse),
+            psum=psum,
+            active_pes=active,
+            macs=layer.macs,
+            params=params,
+        )
+
+
+class OutputStationaryA(_OutputStationaryBase):
+    """OSA / SOC-MOP: single ofmap channel, multiple ofmap-plane pixels."""
+
+    name = "OSA"
+    # Psum accumulator plus an ifmap window spad feeding the array's 2-D
+    # convolutional reuse (Section IV-B: "additional RF storage for ifmap
+    # buffering"); Section VI-D singles out RS and OSA as the large-RF
+    # dataflows.
+    rf_bytes_per_pe = 512
+    description = ("Output stationary SOC-MOP: psum accumulation in RF, "
+                   "2D convolutional reuse in the array (Fig. 3a)")
+
+    def _configurations(self, layer: LayerShape, hw: HardwareConfig):
+        e, n, c, r, h, u = (layer.E, layer.N, layer.C, layer.R, layer.H,
+                            layer.U)
+        conv_2d = max(1.0, r * r * e * e / (h * h))
+        for t_h in thin_candidates(divisors_up_to(e, hw.array_h), limit=4):
+            for t_w in thin_candidates(divisors_up_to(e, hw.array_w), limit=4):
+                tile = t_h * t_w
+                room = hw.num_pes // tile
+                for i_f in thin_candidates(divisors_up_to(n, room), limit=4):
+                    window = (i_f * c * ((t_h - 1) * u + r)
+                              * ((t_w - 1) * u + r))
+                    rounds = (e * e / tile) * (n / i_f)
+                    params = {"t_h": t_h, "t_w": t_w, "i_f": i_f}
+                    yield (params, tile * i_f, conv_2d, i_f, 1, rounds,
+                           window, 1.0)
+
+
+class OutputStationaryB(_OutputStationaryBase):
+    """OSB / MOC-MOP: multiple ofmap channels and multiple pixels."""
+
+    name = "OSB"
+    # Psum accumulator plus a small 1-D window spad.
+    rf_bytes_per_pe = 256
+    description = ("Output stationary MOC-MOP: psum accumulation in RF, "
+                   "1D conv + ifmap reuse in the array (Fig. 3b)")
+
+    def _configurations(self, layer: LayerShape, hw: HardwareConfig):
+        e, n, m, c, r, h, u = (layer.E, layer.N, layer.M, layer.C, layer.R,
+                               layer.H, layer.U)
+        for m_a in thin_candidates(divisors_up_to(m, hw.num_pes), limit=6):
+            pix_room = hw.num_pes // m_a
+            for t_w in thin_candidates(divisors_up_to(e, pix_room), limit=4):
+                conv_1d = max(1.0, r * e / h) if t_w > 1 else 1.0
+                if_c = m_a * conv_1d
+                room = pix_room // t_w
+                for i_f in thin_candidates(divisors_up_to(n, room), limit=4):
+                    window = i_f * c * r * ((t_w - 1) * u + r)
+                    rounds = (e * e / t_w) * (n / i_f)
+                    params = {"m_a": m_a, "t_w": t_w, "i_f": i_f}
+                    yield (params, m_a * t_w * i_f, if_c, i_f, m_a, rounds,
+                           window, 1.0)
+
+
+class OutputStationaryC(_OutputStationaryBase):
+    """OSC / MOC-SOP: multiple ofmap channels, a single pixel each."""
+
+    name = "OSC"
+    # A handful of psum accumulators for the images in flight.
+    rf_bytes_per_pe = 32
+    description = ("Output stationary MOC-SOP: psum accumulation in RF, "
+                   "ifmap reuse in the array only (Fig. 3c)")
+
+    def _configurations(self, layer: LayerShape, hw: HardwareConfig):
+        e, n, m, c, r, h = (layer.E, layer.N, layer.M, layer.C, layer.R,
+                            layer.H)
+        # The convolutional window overlap cannot be exploited on chip
+        # (Table III); it is spent at DRAM.
+        conv_overlap = max(1.0, r * r * e * e / (h * h))
+        for m_a in thin_candidates(divisors_up_to(m, hw.num_pes), limit=6):
+            room = hw.num_pes // m_a
+            for n_a in thin_candidates(divisors_up_to(n, room), limit=4):
+                window = n_a * c * r * r
+                rounds = (e * e) * (n / n_a)
+                params = {"m_a": m_a, "n_a": n_a}
+                yield (params, m_a * n_a, float(m_a), n_a, m_a, rounds,
+                       window, conv_overlap)

@@ -1,0 +1,42 @@
+"""Registry of the six dataflow models, keyed by their figure names."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataflows.base import Dataflow
+from repro.dataflows.no_local_reuse import NoLocalReuse
+from repro.dataflows.output_stationary import (
+    OutputStationaryA,
+    OutputStationaryB,
+    OutputStationaryC,
+)
+from repro.dataflows.row_stationary import RowStationary
+from repro.dataflows.weight_stationary import WeightStationary
+
+#: The six dataflows in the paper's presentation order (Fig. 11-14).
+DATAFLOWS: Dict[str, Dataflow] = {
+    df.name: df
+    for df in (
+        RowStationary(),
+        WeightStationary(),
+        OutputStationaryA(),
+        OutputStationaryB(),
+        OutputStationaryC(),
+        NoLocalReuse(),
+    )
+}
+
+
+def get_dataflow(name: str) -> Dataflow:
+    """Look up a dataflow by its short name (RS, WS, OSA, OSB, OSC, NLR)."""
+    try:
+        return DATAFLOWS[name.upper()]
+    except KeyError:
+        known = ", ".join(DATAFLOWS)
+        raise KeyError(f"unknown dataflow {name!r}; known: {known}") from None
+
+
+def dataflow_names() -> List[str]:
+    """The dataflow names in presentation order."""
+    return list(DATAFLOWS)

@@ -1,0 +1,246 @@
+"""The row-stationary (RS) dataflow (Section V of the paper).
+
+RS breaks the high-dimensional convolution into 1-D row-convolution
+primitives.  A *logical PE set* of R rows x E columns computes one 2-D
+convolution: filter rows are reused horizontally, ifmap rows diagonally,
+and psum rows accumulate vertically (Fig. 6).  Mapping onto physical
+hardware happens in two steps (Section V-B):
+
+1. *First-phase folding* interleaves ``n_r x m_r x c_r`` primitives from
+   different logical sets onto each physical PE, exploiting filter reuse,
+   ifmap reuse and psum accumulation inside the RF.
+2. *Spatial mapping* replicates ``n_s x m_s x c_s`` sets across the
+   physical array, exploiting the same reuse through inter-PE
+   communication; what is left is covered by the global buffer across
+   *processing passes* (second-phase folding).
+
+The mapping space searched here is parameterized by:
+
+========  ==========================================================
+``e``      ofmap-row strip width: a set occupies R rows x e columns
+``n_s``    batch items replicated spatially (filter reuse in array)
+``m_s``    filters replicated spatially (ifmap reuse in array)
+``c_s``    channels replicated spatially (psum accumulation in array)
+``n_r``    batch items interleaved per PE (filter reuse in RF)
+``m_r``    filters interleaved per PE (ifmap reuse in RF)
+``c_r``    channels interleaved per PE (psum accumulation in RF)
+========  ==========================================================
+
+plus a *pass order* choosing which data type stays buffer-resident across
+processing passes (the second-phase folding optimization).  Reuse splits
+(a, b, c, d) per data type follow from the geometry; the formulas are
+derived in the method docstrings and satisfy ``a*b*c*d == T`` exactly for
+every candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.base import BufferBudget, Dataflow, thin_candidates
+from repro.mapping.divisors import divisors, divisors_up_to, largest_divisor_up_to
+from repro.mapping.mapping import Mapping
+from repro.mapping.reuse import AccumSplit, ReuseSplit
+from repro.nn.layer import LayerShape
+
+#: Tolerance for "reuse factor is at least one" feasibility checks.
+_EPS = 1e-9
+
+
+class RowStationary(Dataflow):
+    """The paper's contribution: the RS dataflow of the Eyeriss chip."""
+
+    name = "RS"
+    rf_bytes_per_pe = 512  # Section VI-B: fixed at 512 B (lowest energy).
+    description = ("Row stationary: 1D-row primitives; all reuse types "
+                   "optimized across RF, array and buffer (Section V)")
+
+    def enumerate_mappings(self, layer: LayerShape,
+                           hw: HardwareConfig) -> Iterator[Mapping]:
+        # A logical set occupies R contiguous PEs along one array
+        # dimension; orient the array so the taller dimension hosts them.
+        array_h, array_w = hw.array_h, hw.array_w
+        if layer.R > array_h and array_w > array_h:
+            array_h, array_w = array_w, array_h
+        # When R still exceeds the array height, fold the set vertically:
+        # r_eff physical rows each run v_fold = R / r_eff filter rows
+        # interleaved in the RF (r_eff is the largest divisor of R that
+        # fits, so the psum split stays exact).
+        r_eff = largest_divisor_up_to(layer.R, array_h)
+        v_fold = layer.R // r_eff
+
+        rf_words = hw.rf_words_per_pe
+        n, m, c = layer.N, layer.M, layer.C
+
+        for e in thin_candidates(divisors_up_to(layer.E, array_w)):
+            sets_v = array_h // r_eff
+            sets_h = array_w // e
+            max_sets = sets_v * sets_h
+            if max_sets < 1:
+                continue
+            for n_s, m_s, c_s in self._spatial_assignments(n, m, c, max_sets):
+                for n_r, m_r, c_r in self._rf_folds(
+                        layer, rf_words, v_fold,
+                        n // n_s, m // m_s, c // c_s):
+                    yield from self._build_mappings(
+                        layer, hw, e, r_eff, v_fold,
+                        n_s, m_s, c_s, n_r, m_r, c_r)
+
+    # ------------------------------------------------------------------
+    # Search-space enumeration helpers.
+    # ------------------------------------------------------------------
+
+    def _spatial_assignments(self, n: int, m: int, c: int,
+                             max_sets: int) -> Iterator[tuple[int, int, int]]:
+        """(n_s, m_s, c_s) divisor triples with product <= max_sets."""
+        for n_s in thin_candidates(divisors_up_to(n, max_sets), limit=4):
+            for m_s in thin_candidates(divisors_up_to(m, max_sets // n_s),
+                                       limit=6):
+                room = max_sets // (n_s * m_s)
+                for c_s in thin_candidates(divisors_up_to(c, room), limit=4):
+                    yield n_s, m_s, c_s
+
+    def _rf_folds(self, layer: LayerShape, rf_words: int, v_fold: int,
+                  n_left: int, m_left: int,
+                  c_left: int) -> Iterator[tuple[int, int, int]]:
+        """(n_r, m_r, c_r) interleavings whose scratchpads fit the RF.
+
+        Per-PE register-file working set (Section V-C, mirroring the chip's
+        three scratchpads): ``v_fold`` filter rows of R words per
+        interleaved (m, c) primitive, the matching ifmap sliding windows,
+        and ``m_r*n_r`` running psum accumulators.
+        """
+        r = layer.R
+        for n_r in thin_candidates(divisors(n_left), limit=4):
+            for m_r in thin_candidates(divisors(m_left), limit=6):
+                for c_r in thin_candidates(divisors(c_left), limit=4):
+                    words = v_fold * ((m_r * c_r * r) + (n_r * c_r * r))
+                    words += m_r * n_r
+                    if words <= rf_words:
+                        yield n_r, m_r, c_r
+
+    # ------------------------------------------------------------------
+    # Reuse-split construction.
+    # ------------------------------------------------------------------
+
+    def _build_mappings(self, layer: LayerShape, hw: HardwareConfig, e: int,
+                        r_eff: int, v_fold: int,
+                        n_s: int, m_s: int, c_s: int,
+                        n_r: int, m_r: int, c_r: int) -> Iterator[Mapping]:
+        """Yield the feasible pass-order scenarios for one fold choice.
+
+        Three loop orders for the second-phase folding are modelled; all
+        keep the channel-chunk loop innermost so psums never leave the
+        buffer (only final ofmaps reach DRAM, matching Fig. 11's premise):
+
+        * ``both-resident``: the full ifmap strip tile *and* the full
+          filter set stay in the buffer; every input is fetched from DRAM
+          exactly once.
+        * ``ifmap-streams``: filter chunks are the outer loop; the buffer
+          keeps only the current filter chunk, and the ifmap is re-read
+          from DRAM once per filter chunk.
+        * ``filter-streams``: strip/batch is the outer loop; the buffer
+          keeps the ifmap tile, and weights are re-read from DRAM once per
+          strip/batch pass (the right choice for FC layers whose filter
+          sets dwarf the buffer).
+        """
+        n, m, c = layer.N, layer.M, layer.C
+        r, e_full, h, u = layer.R, layer.E, layer.H, layer.U
+        n_p, m_p, c_p = n_s * n_r, m_s * m_r, c_s * c_r
+        strip_rows = (e - 1) * u + r  # ifmap rows feeding an e-column strip
+
+        # Filter: a resident filter row serves all E sliding positions of
+        # its primitive and the n_r interleaved batch primitives (RF); one
+        # multicast reaches the e set columns and n_s spatial batch
+        # replicas (array); buffer re-delivers per strip and per remaining
+        # batch chunk.
+        filt_d = e_full * n_r
+        filt_c = e * n_s
+        filt_pass_reuse = (e_full / e) * (n / n_p)
+
+        # Ifmap: a resident pixel feeds E*R/H MACs of its primitive and the
+        # m_r interleaved filters (RF); a diagonal delivery into the strip
+        # is consumed by e*R/strip_rows primitives and shared by m_s
+        # spatial filter replicas (array).
+        if_d = (e_full * r / h) * m_r
+        if_c = (e * r / strip_rows) * m_s
+        # The residual may dip below 1 when the stride exceeds the filter
+        # (fetched rows partially unused); the DRAM factors below stay
+        # >= 1 by construction, which is all Eq. (3) requires.
+        if_residual = layer.ifmap_reuse / (if_d * if_c)
+        if_chunk_reuse = m / m_p  # re-reads across filter chunks
+        if_rest = if_residual / if_chunk_reuse
+
+        # Psum: R taps accumulate inside each primitive, plus the v_fold
+        # vertically-folded filter rows and c_r interleaved channels (RF);
+        # vertical accumulation across the r_eff physical set rows plus
+        # c_s spatial channel replicas (array); remaining channel chunks
+        # accumulate through the buffer.
+        ps = AccumSplit(unique_values=layer.ofmap_words, a=1.0,
+                        b=c / c_p, c=r_eff * c_s, d=r * v_fold * c_r,
+                        total_accumulations=layer.psum_accumulations)
+
+        active = n_s * m_s * c_s * r_eff * e
+        if active > hw.num_pes:
+            return
+
+        psum_tile = n_p * m_p * e * e_full
+        ifmap_tile = n_p * c * strip_rows * h          # all channels resident
+        ifmap_pass = n_p * c_p * strip_rows * h        # one pass only
+        filter_chunk = m_p * c * r * r                 # one m-chunk, all c
+        filter_pass = m_p * c_p * r * r                # one pass only
+        filter_all = m * c * r * r
+
+        if if_rest < _EPS:
+            return
+        scenarios = (
+            # Full filter set and the ifmap strip tile both stay resident:
+            # every input leaves DRAM exactly once.
+            ("both-resident",
+             BufferBudget(hw.buffer_words, ifmap_words=ifmap_tile,
+                          filter_words=filter_all, psum_words=psum_tile),
+             1.0, if_residual, 1.0, filt_pass_reuse),
+            # m-chunk outer loop: the current filter chunk is resident
+            # across strips/batches; the ifmap is re-read from DRAM once
+            # per chunk.
+            ("ifmap-streams",
+             BufferBudget(hw.buffer_words, ifmap_words=ifmap_pass,
+                          filter_words=filter_chunk, psum_words=psum_tile),
+             if_chunk_reuse, if_rest, 1.0, filt_pass_reuse),
+            # strip/batch outer loop: the ifmap strip tile is resident
+            # across m-chunks; weights are re-read from DRAM once per
+            # strip/batch pass (FC layers with huge filter sets).
+            ("filter-streams",
+             BufferBudget(hw.buffer_words, ifmap_words=ifmap_tile,
+                          filter_words=filter_pass, psum_words=psum_tile),
+             1.0, if_residual, filt_pass_reuse, 1.0),
+            # Neither input is held across passes; both are re-read from
+            # DRAM per pass.  The optimizer balances m_p (ifmap re-reads)
+            # against n_p (weight re-reads) -- the FC sweet spot.
+            ("both-stream",
+             BufferBudget(hw.buffer_words, ifmap_words=ifmap_pass,
+                          filter_words=filter_pass, psum_words=psum_tile),
+             if_chunk_reuse, if_rest, filt_pass_reuse, 1.0),
+        )
+        for label, budget, if_a, if_b, filt_a, filt_b in scenarios:
+            if not budget.fits:
+                continue
+            yield Mapping(
+                dataflow=self.name,
+                ifmap=ReuseSplit(unique_values=layer.ifmap_words, a=if_a,
+                                 b=if_b, c=if_c, d=if_d,
+                                 total_reuse=layer.ifmap_reuse),
+                filter=ReuseSplit(unique_values=layer.filter_words, a=filt_a,
+                                  b=filt_b, c=filt_c, d=filt_d,
+                                  total_reuse=layer.filter_reuse),
+                psum=ps,
+                active_pes=active,
+                macs=layer.macs,
+                params={
+                    "e": e, "n_s": n_s, "m_s": m_s, "c_s": c_s,
+                    "n_r": n_r, "m_r": m_r, "c_r": c_r,
+                    "scenario": label,
+                    "buffer_occupancy": round(budget.occupancy, 3),
+                },
+            )

@@ -1,0 +1,20 @@
+"""Energy accounting: per-level / per-data-type breakdowns and EDP."""
+
+from repro.energy.breakdown import EnergyBreakdown, LevelBreakdown, TypeBreakdown
+from repro.energy.edp import aggregate_delay_per_op, edp_per_op
+from repro.energy.model import LayerEvaluation, NetworkEvaluation, evaluate_layer, evaluate_network
+from repro.energy.refined import RefinedCostModel, refined_energy_per_op
+
+__all__ = [
+    "RefinedCostModel",
+    "refined_energy_per_op",
+    "EnergyBreakdown",
+    "LevelBreakdown",
+    "TypeBreakdown",
+    "aggregate_delay_per_op",
+    "edp_per_op",
+    "LayerEvaluation",
+    "NetworkEvaluation",
+    "evaluate_layer",
+    "evaluate_network",
+]

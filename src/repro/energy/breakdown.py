@@ -1,0 +1,102 @@
+"""Energy breakdown records: by hierarchy level and by data type.
+
+The paper presents energy two ways: stacked by storage level (ALU, DRAM,
+buffer, array, RF -- Figs. 10, 12a-c, 14b) and stacked by data type
+(ifmaps, weights, psums -- Figs. 12d, 14c).  Both views are computed from
+the same mapping; these records carry them around together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.mapping.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class LevelBreakdown:
+    """Energy by hierarchy level (normalized to MAC energy units)."""
+
+    alu: float = 0.0
+    dram: float = 0.0
+    buffer: float = 0.0
+    array: float = 0.0
+    rf: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.alu + self.dram + self.buffer + self.array + self.rf
+
+    @property
+    def on_chip_data(self) -> float:
+        """Buffer + array + RF energy (the chip-measurable portion)."""
+        return self.buffer + self.array + self.rf
+
+    def __add__(self, other: "LevelBreakdown") -> "LevelBreakdown":
+        return LevelBreakdown(*(getattr(self, f.name) + getattr(other, f.name)
+                                for f in fields(self)))
+
+    def scaled(self, factor: float) -> "LevelBreakdown":
+        return LevelBreakdown(*(getattr(self, f.name) * factor
+                                for f in fields(self)))
+
+
+@dataclass(frozen=True)
+class TypeBreakdown:
+    """Data-movement energy by data type (ALU excluded, as in Fig. 12d)."""
+
+    ifmaps: float = 0.0
+    weights: float = 0.0
+    psums: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.ifmaps + self.weights + self.psums
+
+    def __add__(self, other: "TypeBreakdown") -> "TypeBreakdown":
+        return TypeBreakdown(*(getattr(self, f.name) + getattr(other, f.name)
+                               for f in fields(self)))
+
+    def scaled(self, factor: float) -> "TypeBreakdown":
+        return TypeBreakdown(*(getattr(self, f.name) * factor
+                               for f in fields(self)))
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Both views of one mapping's energy, plus the grand total."""
+
+    by_level: LevelBreakdown
+    by_type: TypeBreakdown
+
+    @property
+    def total(self) -> float:
+        return self.by_level.total
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(self.by_level + other.by_level,
+                               self.by_type + other.by_type)
+
+
+def breakdown_mapping(mapping: Mapping, costs: EnergyCosts) -> EnergyBreakdown:
+    """Compute both energy views of a mapping (whole-layer totals)."""
+    if_counts = mapping.ifmap.access_counts()
+    w_counts = mapping.filter.access_counts()
+    ps_counts = mapping.psum.access_counts()
+
+    by_level = LevelBreakdown(
+        alu=mapping.macs * costs.alu,
+        dram=(if_counts.dram + w_counts.dram + ps_counts.dram) * costs.dram,
+        buffer=(if_counts.buffer + w_counts.buffer + ps_counts.buffer)
+        * costs.buffer,
+        array=(if_counts.array + w_counts.array + ps_counts.array)
+        * costs.array,
+        rf=(if_counts.rf + w_counts.rf + ps_counts.rf) * costs.rf,
+    )
+    by_type = TypeBreakdown(
+        ifmaps=if_counts.energy(costs),
+        weights=w_counts.energy(costs),
+        psums=ps_counts.energy(costs),
+    )
+    return EnergyBreakdown(by_level=by_level, by_type=by_type)

@@ -1,0 +1,50 @@
+"""Energy-delay product accounting (Section VII-B).
+
+The paper's delay proxy is "the reciprocal of the number of active PEs":
+throughput is assumed proportional to utilized parallelism (Section VI-B,
+with latency-hiding techniques absorbing bandwidth effects).  When
+aggregating over several layers we weight each layer's delay by its MAC
+count, i.e. time ~ sum(macs_l / active_l), normalized per operation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.mapping.mapping import Mapping
+
+
+def delay_per_op(mapping: Mapping) -> float:
+    """Delay per operation of one layer: 1 / active PEs."""
+    return 1.0 / mapping.active_pes
+
+
+def aggregate_delay_per_op(mappings: Sequence[Mapping]) -> float:
+    """MAC-weighted average delay per operation across layers.
+
+    time = sum_l macs_l / active_l;  delay/op = time / sum_l macs_l.
+    """
+    if not mappings:
+        raise ValueError("need at least one mapping to aggregate")
+    total_time = sum(m.macs / m.active_pes for m in mappings)
+    total_macs = sum(m.macs for m in mappings)
+    return total_time / total_macs
+
+
+def edp_per_op(mappings: Sequence[Mapping], costs: EnergyCosts) -> float:
+    """Aggregate EDP per operation: (energy/op) x (delay/op)."""
+    mappings = list(mappings)
+    total_energy = sum(m.total_energy(costs) for m in mappings)
+    total_macs = sum(m.macs for m in mappings)
+    return (total_energy / total_macs) * aggregate_delay_per_op(mappings)
+
+
+def average_utilization(mappings: Iterable[Mapping], num_pes: int) -> float:
+    """MAC-weighted average fraction of the PE array kept busy."""
+    mappings = list(mappings)
+    total_macs = sum(m.macs for m in mappings)
+    if total_macs == 0:
+        raise ValueError("no work in the supplied mappings")
+    weighted = sum(m.macs * (m.active_pes / num_pes) for m in mappings)
+    return weighted / total_macs

@@ -1,0 +1,152 @@
+"""High-level evaluation API: optimize a mapping and account its energy.
+
+``evaluate_layer`` runs the mapping optimizer for one (dataflow, layer,
+hardware) triple and returns the full accounting record; the experiment
+drivers and examples are thin loops over it.  ``evaluate_network``
+aggregates a list of layers (e.g. the five CONV layers of AlexNet) the
+way the paper's figures do: totals divided by total MACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.base import Dataflow
+from repro.energy.breakdown import EnergyBreakdown, breakdown_mapping
+from repro.energy.edp import aggregate_delay_per_op
+from repro.mapping.mapping import Mapping
+from repro.mapping.optimizer import optimize_mapping
+from repro.nn.layer import LayerShape
+
+
+@dataclass(frozen=True)
+class LayerEvaluation:
+    """Energy accounting of the optimal mapping of one layer."""
+
+    layer: LayerShape
+    mapping: Mapping
+    breakdown: EnergyBreakdown
+    costs: EnergyCosts
+
+    @property
+    def energy(self) -> float:
+        """Total normalized energy of the layer (Fig. 10 bars)."""
+        return self.breakdown.total
+
+    @property
+    def energy_per_op(self) -> float:
+        return self.breakdown.total / self.layer.macs
+
+    @property
+    def dram_accesses_per_op(self) -> float:
+        return self.mapping.dram_accesses_per_op
+
+    @property
+    def edp_per_op(self) -> float:
+        return self.energy_per_op / self.mapping.active_pes
+
+
+@dataclass(frozen=True)
+class NetworkEvaluation:
+    """Aggregate accounting across a list of layers (one dataflow)."""
+
+    dataflow: str
+    layers: tuple
+    evaluations: tuple
+    costs: EnergyCosts
+
+    @property
+    def feasible(self) -> bool:
+        """True when every layer found at least one feasible mapping."""
+        return all(ev is not None for ev in self.evaluations)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    def _require_feasible(self) -> None:
+        if not self.feasible:
+            missing = [layer.name for layer, ev
+                       in zip(self.layers, self.evaluations) if ev is None]
+            raise RuntimeError(
+                f"{self.dataflow} has no feasible mapping for: "
+                f"{', '.join(missing)} (cannot aggregate)"
+            )
+
+    @property
+    def breakdown(self) -> EnergyBreakdown:
+        """Summed energy breakdown across layers."""
+        self._require_feasible()
+        total = self.evaluations[0].breakdown
+        for ev in self.evaluations[1:]:
+            total = total + ev.breakdown
+        return total
+
+    @property
+    def energy_per_op(self) -> float:
+        return self.breakdown.total / self.total_macs
+
+    @property
+    def dram_reads_per_op(self) -> float:
+        self._require_feasible()
+        reads = sum(ev.mapping.dram_reads for ev in self.evaluations)
+        return reads / self.total_macs
+
+    @property
+    def dram_writes_per_op(self) -> float:
+        self._require_feasible()
+        writes = sum(ev.mapping.dram_writes for ev in self.evaluations)
+        return writes / self.total_macs
+
+    @property
+    def dram_accesses_per_op(self) -> float:
+        return self.dram_reads_per_op + self.dram_writes_per_op
+
+    @property
+    def delay_per_op(self) -> float:
+        self._require_feasible()
+        return aggregate_delay_per_op([ev.mapping for ev in self.evaluations])
+
+    @property
+    def edp_per_op(self) -> float:
+        return self.energy_per_op * self.delay_per_op
+
+
+def evaluate_layer(dataflow: Dataflow, layer: LayerShape,
+                   hw: HardwareConfig,
+                   costs: EnergyCosts | None = None,
+                   objective: str = "energy") -> Optional[LayerEvaluation]:
+    """Optimize one layer and account its energy; None when infeasible."""
+    cost_table = costs or hw.costs
+    result = optimize_mapping(dataflow, layer, hw, cost_table, objective)
+    if result.best is None:
+        return None
+    return LayerEvaluation(
+        layer=layer,
+        mapping=result.best,
+        breakdown=breakdown_mapping(result.best, cost_table),
+        costs=cost_table,
+    )
+
+
+def evaluate_network(dataflow: Dataflow, layers: Sequence[LayerShape],
+                     hw: HardwareConfig,
+                     costs: EnergyCosts | None = None,
+                     objective: str = "energy") -> NetworkEvaluation:
+    """Optimize and account every layer of a network for one dataflow."""
+    if not layers:
+        raise ValueError("need at least one layer to evaluate")
+    cost_table = costs or hw.costs
+    evaluations: List[Optional[LayerEvaluation]] = [
+        evaluate_layer(dataflow, layer, hw, cost_table, objective)
+        for layer in layers
+    ]
+    return NetworkEvaluation(
+        dataflow=dataflow.name,
+        layers=tuple(layers),
+        evaluations=tuple(evaluations),
+        costs=cost_table,
+    )

@@ -1,0 +1,24 @@
+"""The paper's analysis framework (Section VI-C): reuse splits, mappings,
+and the per-dataflow mapping optimizer."""
+
+from repro.mapping.reuse import AccessCounts, AccumSplit, ReuseSplit
+from repro.mapping.mapping import Mapping
+from repro.mapping.optimizer import optimize_mapping, MappingSearchResult
+from repro.mapping.logical import LogicalPE, LogicalSet, build_logical_sets
+from repro.mapping.folding import FoldingPlan, ProcessingPass, SetSlice, plan_from_mapping_params
+
+__all__ = [
+    "AccessCounts",
+    "AccumSplit",
+    "ReuseSplit",
+    "Mapping",
+    "optimize_mapping",
+    "MappingSearchResult",
+    "LogicalPE",
+    "LogicalSet",
+    "build_logical_sets",
+    "FoldingPlan",
+    "ProcessingPass",
+    "SetSlice",
+    "plan_from_mapping_params",
+]

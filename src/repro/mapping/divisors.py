@@ -1,0 +1,71 @@
+"""Integer tiling helpers shared by the dataflow mapping spaces.
+
+The optimizer explores integer tile/fold factors.  Using exact divisors of
+the loop bounds keeps the reuse-split products exact (a*b*c*d == T without
+rounding slack), which the paper's framework assumes.  Where a bound has
+few divisors we also admit "ceiling" factors that cover the bound with
+partial final tiles; the helpers here quantify the resulting utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import List, Tuple
+
+
+@lru_cache(maxsize=None)
+def divisors(n: int) -> Tuple[int, ...]:
+    """All positive divisors of ``n`` in ascending order."""
+    if n < 1:
+        raise ValueError(f"divisors undefined for {n}")
+    small: List[int] = []
+    large: List[int] = []
+    for d in range(1, int(math.isqrt(n)) + 1):
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+    return tuple(small + large[::-1])
+
+
+def divisors_up_to(n: int, limit: int) -> Tuple[int, ...]:
+    """Divisors of ``n`` that do not exceed ``limit``."""
+    if limit < 1:
+        return ()
+    return tuple(d for d in divisors(n) if d <= limit)
+
+
+def largest_divisor_up_to(n: int, limit: int) -> int:
+    """The largest divisor of ``n`` that is <= ``limit`` (at least 1)."""
+    candidates = divisors_up_to(n, limit)
+    return candidates[-1] if candidates else 1
+
+
+def split_candidates(n: int, limit: int | None = None) -> Tuple[int, ...]:
+    """Candidate tile sizes for a loop of extent ``n``.
+
+    Exact divisors, optionally capped at ``limit``.  Always contains 1.
+    """
+    if limit is None:
+        return divisors(n)
+    result = divisors_up_to(n, limit)
+    return result if result else (1,)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division."""
+    if b < 1:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def tile_utilization(extent: int, tile: int) -> float:
+    """Average fraction of a tile that holds real work.
+
+    With ``ceil(extent/tile)`` tiles, the last may be partial; utilization
+    is extent / (tiles * tile).
+    """
+    if tile < 1 or extent < 1:
+        raise ValueError("extent and tile must be positive")
+    return extent / (ceil_div(extent, tile) * tile)

@@ -1,0 +1,191 @@
+"""Physical mapping: folding logical PE sets onto the physical array.
+
+Section V-B's two-step mapping: after logical sets are built, *folding*
+serializes them onto the hardware.  A :class:`FoldingPlan` captures one
+first-phase choice -- how many sets run spatially (``n_s, m_s, c_s``) and
+how many primitives interleave per physical PE (``n_r, m_r, c_r``) -- plus
+the strip width ``e`` when the set is wider than the array.  The plan
+enumerates *processing passes* (second-phase folding): each pass is the
+group of logical-set slices the physical array executes concurrently.
+
+The functional simulator walks passes to execute the layer; the tests use
+the plan to verify that every logical primitive is scheduled exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.arch.hardware import HardwareConfig
+from repro.nn.layer import LayerShape
+
+
+@dataclass(frozen=True)
+class SetSlice:
+    """A strip of one logical set scheduled in a pass.
+
+    Covers ofmap rows ``[col_start, col_start + width)`` of logical set
+    (n, m, c), placed with its top-left primitive at physical position
+    (array_row, array_col).
+    """
+
+    n: int
+    m: int
+    c: int
+    col_start: int
+    width: int
+    array_row: int
+    array_col: int
+
+
+@dataclass(frozen=True)
+class ProcessingPass:
+    """One processing pass: the set slices running concurrently."""
+
+    index: int
+    slices: Tuple[SetSlice, ...]
+
+
+@dataclass(frozen=True)
+class FoldingPlan:
+    """A complete physical mapping of one layer (both folding phases)."""
+
+    layer: LayerShape
+    array_h: int
+    array_w: int
+    e: int
+    n_s: int
+    m_s: int
+    c_s: int
+    n_r: int
+    m_r: int
+    c_r: int
+
+    def __post_init__(self) -> None:
+        layer = self.layer
+        if layer.E % self.e != 0:
+            raise ValueError(f"strip width e={self.e} must divide E={layer.E}")
+        for dim, total, spatial, folded in (
+            ("N", layer.N, self.n_s, self.n_r),
+            ("M", layer.M, self.m_s, self.m_r),
+            ("C", layer.C, self.c_s, self.c_r),
+        ):
+            if total % (spatial * folded) != 0:
+                raise ValueError(
+                    f"{dim}={total} is not divisible by spatial*folded = "
+                    f"{spatial}*{folded}"
+                )
+        if layer.R * self.sets_vertical > self.array_h:
+            raise ValueError("spatial sets exceed array height")
+        if self.e * self.sets_horizontal > self.array_w:
+            raise ValueError("spatial sets exceed array width")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def spatial_sets(self) -> int:
+        return self.n_s * self.m_s * self.c_s
+
+    @property
+    def sets_vertical(self) -> int:
+        """Spatial sets stacked vertically (R rows each)."""
+        return min(self.spatial_sets, max(1, self.array_h // self.layer.R))
+
+    @property
+    def sets_horizontal(self) -> int:
+        """Spatial sets placed side by side (e columns each)."""
+        return -(-self.spatial_sets // self.sets_vertical)
+
+    @property
+    def active_pes(self) -> int:
+        return self.spatial_sets * self.layer.R * self.e
+
+    @property
+    def strips(self) -> int:
+        """Ofmap-row strips per 2-D convolution: E / e."""
+        return self.layer.E // self.e
+
+    @property
+    def num_passes(self) -> int:
+        """Second-phase folding: sequential passes over the array."""
+        layer = self.layer
+        return (self.strips
+                * (layer.N // (self.n_s * self.n_r))
+                * (layer.M // (self.m_s * self.m_r))
+                * (layer.C // (self.c_s * self.c_r)))
+
+    # ------------------------------------------------------------------
+
+    def passes(self) -> Iterator[ProcessingPass]:
+        """Enumerate processing passes covering every logical primitive.
+
+        Pass structure: the outer loops walk (strip, batch-chunk,
+        filter-chunk, channel-chunk); within a pass the spatial positions
+        carry the (n_s, m_s, c_s) spatial replicas, and each physical PE
+        interleaves the (n_r, m_r, c_r) folded primitives.  Slices are
+        emitted per folded coordinate so the simulator can iterate them
+        directly; primitives of the same spatial slot share the physical
+        placement.
+        """
+        layer = self.layer
+        n_chunks = layer.N // (self.n_s * self.n_r)
+        m_chunks = layer.M // (self.m_s * self.m_r)
+        c_chunks = layer.C // (self.c_s * self.c_r)
+
+        index = 0
+        for strip, nc, mc, cc in itertools.product(
+                range(self.strips), range(n_chunks), range(m_chunks),
+                range(c_chunks)):
+            slices: List[SetSlice] = []
+            col_start = strip * self.e
+            for spatial_idx, (sn, sm, sc) in enumerate(itertools.product(
+                    range(self.n_s), range(self.m_s), range(self.c_s))):
+                row_slot = spatial_idx % self.sets_vertical
+                col_slot = spatial_idx // self.sets_vertical
+                array_row = row_slot * layer.R
+                array_col = col_slot * self.e
+                for fn, fm, fc in itertools.product(
+                        range(self.n_r), range(self.m_r), range(self.c_r)):
+                    n = (nc * self.n_s + sn) * self.n_r + fn
+                    m = (mc * self.m_s + sm) * self.m_r + fm
+                    c = (cc * self.c_s + sc) * self.c_r + fc
+                    slices.append(SetSlice(
+                        n=n, m=m, c=c, col_start=col_start, width=self.e,
+                        array_row=array_row, array_col=array_col,
+                    ))
+            yield ProcessingPass(index=index, slices=tuple(slices))
+            index += 1
+
+    def validate_coverage(self) -> None:
+        """Check that every (n, m, c, ofmap-row) is scheduled exactly once.
+
+        Raises ``ValueError`` on duplicates or gaps; used by tests and by
+        the simulator's self-check mode.
+        """
+        layer = self.layer
+        seen = set()
+        for processing_pass in self.passes():
+            for s in processing_pass.slices:
+                for col in range(s.col_start, s.col_start + s.width):
+                    key = (s.n, s.m, s.c, col)
+                    if key in seen:
+                        raise ValueError(f"duplicate schedule entry {key}")
+                    seen.add(key)
+        expected = layer.N * layer.M * layer.C * layer.E
+        if len(seen) != expected:
+            raise ValueError(
+                f"schedule covers {len(seen)} primitives, expected {expected}"
+            )
+
+
+def plan_from_mapping_params(layer: LayerShape, hw: HardwareConfig,
+                             params: dict) -> FoldingPlan:
+    """Build a FoldingPlan from the optimizer's RS mapping parameters."""
+    return FoldingPlan(
+        layer=layer, array_h=hw.array_h, array_w=hw.array_w,
+        e=params["e"], n_s=params["n_s"], m_s=params["m_s"],
+        c_s=params["c_s"], n_r=params["n_r"], m_r=params["m_r"],
+        c_r=params["c_r"],
+    )

@@ -1,0 +1,105 @@
+"""Logical PE sets for the RS dataflow (Section V-B, Fig. 6).
+
+A *logical PE set* is an R-row by E-column grid of logical PEs computing
+one 2-D convolution: the logical PE at (i, j) runs the 1-D primitive that
+convolves filter row ``i`` with ifmap row ``i + U*j`` and contributes to
+psum row ``j``.  Three movement patterns follow (Fig. 6):
+
+* filter row ``i`` is shared *horizontally* across row ``i`` of the set;
+* ifmap row ``k`` is shared *diagonally* across the PEs with
+  ``i + U*j == k``;
+* psum row ``j`` is accumulated *vertically* down column ``j``.
+
+A CONV layer needs ``N*M*C`` logical sets.  This module builds the set
+geometry; :mod:`repro.mapping.folding` maps logical sets onto the physical
+array, and the functional simulator executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.nn.layer import LayerShape
+
+
+@dataclass(frozen=True)
+class LogicalPE:
+    """One 1-D convolution primitive within a logical PE set.
+
+    ``filter_row`` is the filter row it applies; ``ifmap_row`` the ifmap
+    row it consumes; ``psum_row`` the ofmap row it contributes to.
+    """
+
+    row: int          # set row index (= filter row)
+    col: int          # set column index (= ofmap row)
+    filter_row: int
+    ifmap_row: int
+    psum_row: int
+
+
+@dataclass(frozen=True)
+class LogicalSet:
+    """The R x E grid of primitives computing one 2-D convolution.
+
+    Identified by the (batch n, filter m, channel c) triple of the 2-D
+    convolution it computes.
+    """
+
+    n: int
+    m: int
+    c: int
+    height: int   # R
+    width: int    # E
+    stride: int
+
+    def pe(self, row: int, col: int) -> LogicalPE:
+        """The logical PE at (row, col) of this set."""
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise IndexError(
+                f"logical PE ({row},{col}) outside {self.height}x{self.width} set"
+            )
+        return LogicalPE(row=row, col=col, filter_row=row,
+                         ifmap_row=row + self.stride * col, psum_row=col)
+
+    def pes(self) -> List[LogicalPE]:
+        """All R*E logical PEs of the set, row-major."""
+        return [self.pe(i, j) for i in range(self.height)
+                for j in range(self.width)]
+
+    # ------------------------------------------------------------------
+    # The three Fig. 6 sharing patterns, as index groups.
+    # ------------------------------------------------------------------
+
+    def filter_row_groups(self) -> Dict[int, List[Tuple[int, int]]]:
+        """filter row -> the (row, col) PEs sharing it (horizontal)."""
+        return {i: [(i, j) for j in range(self.width)]
+                for i in range(self.height)}
+
+    def ifmap_row_groups(self) -> Dict[int, List[Tuple[int, int]]]:
+        """ifmap row -> the (row, col) PEs sharing it (diagonal)."""
+        groups: Dict[int, List[Tuple[int, int]]] = {}
+        for pe in self.pes():
+            groups.setdefault(pe.ifmap_row, []).append((pe.row, pe.col))
+        return groups
+
+    def psum_row_groups(self) -> Dict[int, List[Tuple[int, int]]]:
+        """psum row -> the (row, col) PEs accumulating it (vertical)."""
+        return {j: [(i, j) for i in range(self.height)]
+                for j in range(self.width)}
+
+
+def build_logical_sets(layer: LayerShape) -> List[LogicalSet]:
+    """All N*M*C logical PE sets of a CONV/FC layer (Section V-B)."""
+    return [
+        LogicalSet(n=n, m=m, c=c, height=layer.R, width=layer.E,
+                   stride=layer.U)
+        for n in range(layer.N)
+        for m in range(layer.M)
+        for c in range(layer.C)
+    ]
+
+
+def logical_array_size(layer: LayerShape) -> int:
+    """Total logical PEs a layer requires: N*M*C*R*E."""
+    return layer.N * layer.M * layer.C * layer.R * layer.E

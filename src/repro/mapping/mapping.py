@@ -1,0 +1,107 @@
+"""Mapping records: one candidate assignment of a layer onto the hardware.
+
+A :class:`Mapping` bundles the three reuse splits (ifmap, filter, psum),
+the number of active PEs it achieves, and the dataflow-specific tiling
+parameters that produced it (kept for inspection and reporting).  The
+energy model consumes mappings; the optimizer ranks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.mapping.reuse import AccessCounts, AccumSplit, ReuseSplit
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One feasible mapping of a layer onto a hardware configuration."""
+
+    dataflow: str
+    ifmap: ReuseSplit
+    filter: ReuseSplit
+    psum: AccumSplit
+    active_pes: int
+    macs: int
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.active_pes < 1:
+            raise ValueError("a mapping must activate at least one PE")
+        if self.macs < 1:
+            raise ValueError("a mapping must perform at least one MAC")
+
+    # ------------------------------------------------------------------
+    # Aggregated access counts and energies.
+    # ------------------------------------------------------------------
+
+    def access_counts(self) -> AccessCounts:
+        """Total per-level access counts of the whole layer."""
+        return (self.ifmap.access_counts() + self.filter.access_counts()
+                + self.psum.access_counts())
+
+    def data_energy(self, costs: EnergyCosts) -> float:
+        """Data-movement energy (no ALU) of the whole layer."""
+        return (self.ifmap.energy(costs) + self.filter.energy(costs)
+                + self.psum.energy(costs))
+
+    def total_energy(self, costs: EnergyCosts) -> float:
+        """Data-movement plus compute energy of the whole layer."""
+        return self.data_energy(costs) + self.macs * costs.alu
+
+    def energy_per_mac(self, costs: EnergyCosts) -> float:
+        """Normalized energy per operation (the paper's Energy/Op)."""
+        return self.total_energy(costs) / self.macs
+
+    # ------------------------------------------------------------------
+    # DRAM traffic (Fig. 11 / Fig. 14a quantities).
+    # ------------------------------------------------------------------
+
+    @property
+    def dram_reads(self) -> float:
+        """DRAM read words: input fetches plus any psum re-reads."""
+        return (self.ifmap.unique_values * self.ifmap.a
+                + self.filter.unique_values * self.filter.a
+                + self.psum.dram_reads)
+
+    @property
+    def dram_writes(self) -> float:
+        """DRAM write words (ofmap write-back)."""
+        return self.psum.dram_writes
+
+    @property
+    def dram_accesses_per_op(self) -> float:
+        """Total DRAM accesses divided by MACs (Fig. 11 y-axis)."""
+        return (self.dram_reads + self.dram_writes) / self.macs
+
+    # ------------------------------------------------------------------
+    # Throughput proxy (Section VI-B: proportional to active PEs).
+    # ------------------------------------------------------------------
+
+    @property
+    def delay(self) -> float:
+        """Processing delay proxy: reciprocal of active PEs (Sec. VII-B)."""
+        return 1.0 / self.active_pes
+
+    def edp(self, costs: EnergyCosts) -> float:
+        """Energy-delay product per operation (Fig. 13 quantity)."""
+        return self.energy_per_mac(costs) * self.delay
+
+    def describe(self) -> str:
+        """Compact multi-line summary for reports and debugging."""
+        lines = [
+            f"{self.dataflow} mapping: {self.active_pes} active PEs, "
+            f"{self.macs:,} MACs",
+            f"  ifmap  split a={self.ifmap.a:.3g} b={self.ifmap.b:.3g} "
+            f"c={self.ifmap.c:.3g} d={self.ifmap.d:.3g}",
+            f"  filter split a={self.filter.a:.3g} b={self.filter.b:.3g} "
+            f"c={self.filter.c:.3g} d={self.filter.d:.3g}",
+            f"  psum   split a={self.psum.a:.3g} b={self.psum.b:.3g} "
+            f"c={self.psum.c:.3g} d={self.psum.d:.3g}",
+        ]
+        if self.params:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            lines.append(f"  params: {pairs}")
+        return "\n".join(lines)

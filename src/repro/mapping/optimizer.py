@@ -1,0 +1,94 @@
+"""Mapping search (Section VI-C-3).
+
+For each dataflow there is a set of parameters describing the optimal
+mapping for a given layer shape under the hardware constraints; the paper
+obtains it "through an optimization process with objective functions
+defined in Eq. (3) and (4)".  This module is that optimizer: it scores
+every candidate the dataflow enumerates and keeps the best one under the
+chosen objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.hardware import HardwareConfig
+from repro.mapping.mapping import Mapping
+from repro.nn.layer import LayerShape
+
+if TYPE_CHECKING:  # avoid a circular import; Dataflow is only a type here
+    from repro.dataflows.base import Dataflow
+
+#: Objective functions selectable by name.
+OBJECTIVES: dict[str, Callable[[Mapping, EnergyCosts], float]] = {
+    "energy": lambda mapping, costs: mapping.energy_per_mac(costs),
+    "edp": lambda mapping, costs: mapping.edp(costs),
+    "dram": lambda mapping, costs: mapping.dram_accesses_per_op,
+}
+
+
+@dataclass(frozen=True)
+class MappingSearchResult:
+    """Outcome of a mapping search for one (dataflow, layer, hardware)."""
+
+    dataflow: str
+    layer: str
+    best: Optional[Mapping]
+    candidates: int
+    objective: str
+
+    @property
+    def feasible(self) -> bool:
+        """False when the dataflow cannot run the layer at all (e.g. WS
+        with too many live psums, Fig. 11a)."""
+        return self.best is not None
+
+
+def optimize_mapping(dataflow: "Dataflow", layer: LayerShape,
+                     hw: HardwareConfig,
+                     costs: EnergyCosts | None = None,
+                     objective: str = "energy",
+                     tie_tolerance: float = 0.01) -> MappingSearchResult:
+    """Exhaustively search the dataflow's mapping space for one layer.
+
+    Parameters
+    ----------
+    dataflow:
+        The dataflow model whose space is searched.
+    layer:
+        Layer shape to map.
+    hw:
+        Hardware configuration (PE array and storage capacities).
+    costs:
+        Energy-cost table; defaults to the hardware's (Table IV).
+    objective:
+        ``"energy"`` (default, the paper's objective), ``"edp"`` or
+        ``"dram"``.
+    """
+    if objective not in OBJECTIVES:
+        known = ", ".join(OBJECTIVES)
+        raise ValueError(f"unknown objective {objective!r}; known: {known}")
+    score = OBJECTIVES[objective]
+    cost_table = costs or hw.costs
+
+    # Pass 1: the best objective value.  Pass 2: among candidates within
+    # a whisker of it, keep the one with the most active PEs -- mapping
+    # choices that cost (almost) nothing in energy should not sacrifice
+    # throughput (Section VII-B: RS "efficiently utilizes available PEs").
+    scored: list[tuple[float, Mapping]] = [
+        (score(candidate, cost_table), candidate)
+        for candidate in dataflow.enumerate_mappings(layer, hw)
+    ]
+    count = len(scored)
+    best: Optional[Mapping] = None
+    if scored:
+        best_score = min(value for value, _ in scored)
+        threshold = best_score * (1.0 + tie_tolerance)
+        best = max((candidate for value, candidate in scored
+                    if value <= threshold),
+                   key=lambda mapping: mapping.active_pes)
+    return MappingSearchResult(dataflow=dataflow.name, layer=layer.name,
+                               best=best, candidates=count,
+                               objective=objective)

@@ -1,0 +1,21 @@
+"""CNN workload definitions: layer shapes, networks, and reference operators."""
+
+from repro.nn.layer import LayerShape, LayerType
+from repro.nn.network import FC, Conv, Network, Pool, ReLU, alexnet_network, mini_cnn
+from repro.nn.networks import alexnet, alexnet_conv_layers, alexnet_fc_layers, vgg16
+
+__all__ = [
+    "LayerShape",
+    "LayerType",
+    "FC",
+    "Conv",
+    "Network",
+    "Pool",
+    "ReLU",
+    "alexnet_network",
+    "mini_cnn",
+    "alexnet",
+    "alexnet_conv_layers",
+    "alexnet_fc_layers",
+    "vgg16",
+]

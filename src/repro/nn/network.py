@@ -1,0 +1,308 @@
+"""Whole-network abstraction: op graphs with shape inference.
+
+The paper evaluates per-layer shape configurations (Table II), but a real
+deployment runs the full stack CONV -> ACT -> POOL -> ... -> FC
+(Section III-A).  This module models that: a :class:`Network` is a
+sequence of op descriptors; shape inference derives every layer's
+:class:`~repro.nn.layer.LayerShape` (including the padded ifmap sizes
+Table II lists), and a reference forward pass executes the whole network
+with the numpy golden ops so the end-to-end simulator can be verified
+against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.nn.layer import LayerShape, conv_layer, fc_layer
+from repro.nn.reference import (
+    conv_layer_reference,
+    fc_layer_reference,
+    pool_layer_reference,
+    relu_reference,
+)
+
+
+@dataclass(frozen=True)
+class Conv:
+    """A convolutional layer descriptor (filters M, kernel R, stride, pad).
+
+    ``groups > 1`` models grouped convolution (AlexNet's CONV2/4/5 split
+    their channels over two GPUs in the original network, which is why
+    Table II lists C=48 and C=192 for them): each filter sees only
+    ``in_channels / groups`` channels.
+    """
+
+    name: str
+    filters: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+
+@dataclass(frozen=True)
+class Pool:
+    """A MAX-pooling descriptor."""
+
+    name: str
+    window: int
+    stride: int
+
+
+@dataclass(frozen=True)
+class ReLU:
+    """A rectified-linear activation descriptor."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FC:
+    """A fully-connected layer descriptor (output neurons M)."""
+
+    name: str
+    neurons: int
+
+
+Op = Union[Conv, Pool, ReLU, FC]
+
+
+@dataclass(frozen=True)
+class ResolvedOp:
+    """An op with its inferred input geometry (channels, spatial size)."""
+
+    op: Op
+    in_channels: int
+    in_size: int
+    out_channels: int
+    out_size: int
+    layer: LayerShape | None  # CONV/FC ops carry a LayerShape
+
+
+@dataclass
+class Network:
+    """A feed-forward CNN: ops plus inferred per-op geometry."""
+
+    name: str
+    input_channels: int
+    input_size: int
+    ops: Sequence[Op]
+    batch: int = 1
+    resolved: List[ResolvedOp] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.resolved = list(self._infer_shapes())
+
+    # ------------------------------------------------------------------
+    # Shape inference.
+    # ------------------------------------------------------------------
+
+    def _infer_shapes(self) -> List[ResolvedOp]:
+        channels, size = self.input_channels, self.input_size
+        resolved: List[ResolvedOp] = []
+        for op in self.ops:
+            if isinstance(op, Conv):
+                padded = size + 2 * op.padding
+                if (padded - op.kernel) % op.stride != 0:
+                    raise ValueError(
+                        f"{op.name}: kernel {op.kernel} / stride {op.stride} "
+                        f"do not tile the padded input ({padded})"
+                    )
+                if channels % op.groups or op.filters % op.groups:
+                    raise ValueError(
+                        f"{op.name}: groups={op.groups} must divide both "
+                        f"channels ({channels}) and filters ({op.filters})"
+                    )
+                out = (padded - op.kernel) // op.stride + 1
+                # Table II lists the per-group channel count (e.g. CONV2's
+                # C=48); the LayerShape describes one group's filters with
+                # M still the full filter count (all groups run the same
+                # shape, so MAC/word totals are exact).
+                layer = conv_layer(op.name, H=padded, R=op.kernel, E=out,
+                                   C=channels // op.groups, M=op.filters,
+                                   U=op.stride, N=self.batch)
+                resolved.append(ResolvedOp(op, channels, size, op.filters,
+                                           out, layer))
+                channels, size = op.filters, out
+            elif isinstance(op, Pool):
+                if (size - op.window) % op.stride != 0:
+                    raise ValueError(
+                        f"{op.name}: pool window {op.window} / stride "
+                        f"{op.stride} do not tile the input ({size})"
+                    )
+                out = (size - op.window) // op.stride + 1
+                resolved.append(ResolvedOp(op, channels, size, channels,
+                                           out, None))
+                size = out
+            elif isinstance(op, ReLU):
+                resolved.append(ResolvedOp(op, channels, size, channels,
+                                           size, None))
+            elif isinstance(op, FC):
+                layer = fc_layer(op.name, C=channels, M=op.neurons, R=size,
+                                 N=self.batch)
+                resolved.append(ResolvedOp(op, channels, size, op.neurons,
+                                           1, layer))
+                channels, size = op.neurons, 1
+            else:  # pragma: no cover - exhaustive over Op
+                raise TypeError(f"unknown op {op!r}")
+        return resolved
+
+    # ------------------------------------------------------------------
+
+    def layer_shapes(self) -> List[LayerShape]:
+        """The CONV/FC LayerShapes, in network order (Table II style)."""
+        return [r.layer for r in self.resolved if r.layer is not None]
+
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layer_shapes())
+
+    def describe(self) -> str:
+        lines = [f"{self.name} (batch {self.batch}):"]
+        for r in self.resolved:
+            lines.append(
+                f"  {r.op.name:<8} {type(r.op).__name__:<5} "
+                f"{r.in_channels}x{r.in_size}x{r.in_size} -> "
+                f"{r.out_channels}x{r.out_size}x{r.out_size}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Parameters and the reference forward pass.
+    # ------------------------------------------------------------------
+
+    def random_parameters(self, seed: int = 0, integer: bool = False):
+        """(weights, bias) per CONV/FC op, keyed by op name.
+
+        Grouped CONV weights have shape (M, C/groups, R, R), matching the
+        per-group LayerShape.
+        """
+        rng = np.random.default_rng(seed)
+        params = {}
+        for r in self.resolved:
+            if r.layer is None:
+                continue
+            shape = (r.layer.M, r.layer.C, r.layer.R, r.layer.R)
+            if integer:
+                w = rng.integers(-3, 4, size=shape).astype(np.int64)
+                b = rng.integers(-3, 4, size=(r.layer.M,)).astype(np.int64)
+            else:
+                w = rng.standard_normal(shape)
+                b = rng.standard_normal(r.layer.M)
+            params[r.op.name] = (w, b)
+        return params
+
+    def random_input(self, seed: int = 0, integer: bool = False) -> np.ndarray:
+        rng = np.random.default_rng(seed + 1)
+        shape = (self.batch, self.input_channels, self.input_size,
+                 self.input_size)
+        if integer:
+            return rng.integers(-3, 4, size=shape).astype(np.int64)
+        return rng.standard_normal(shape)
+
+    def reference_forward(self, x: np.ndarray, params) -> np.ndarray:
+        """Run the whole network with the numpy golden operators."""
+        for r in self.resolved:
+            op = r.op
+            if isinstance(op, Conv):
+                x = pad_planes(x, op.padding)
+                w, b = params[op.name]
+                x = grouped_conv_reference(x, w, b, stride=op.stride,
+                                           groups=op.groups)
+            elif isinstance(op, Pool):
+                x = pool_layer_reference(x, op.window, op.stride)
+            elif isinstance(op, ReLU):
+                x = relu_reference(x)
+            elif isinstance(op, FC):
+                w, b = params[op.name]
+                x = fc_layer_reference(x, w, b)
+        return x
+
+
+def pad_planes(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an (N, C, H, H) tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                      (padding, padding)))
+
+
+def grouped_conv_reference(x: np.ndarray, weights: np.ndarray,
+                           bias: np.ndarray, stride: int,
+                           groups: int = 1) -> np.ndarray:
+    """Grouped convolution: each filter group sees its channel slice."""
+    if groups == 1:
+        return conv_layer_reference(x, weights, bias, stride=stride)
+    m = weights.shape[0]
+    c_in = x.shape[1]
+    m_per, c_per = m // groups, c_in // groups
+    outs = []
+    for g in range(groups):
+        outs.append(conv_layer_reference(
+            x[:, g * c_per:(g + 1) * c_per],
+            weights[g * m_per:(g + 1) * m_per],
+            bias[g * m_per:(g + 1) * m_per],
+            stride=stride,
+        ))
+    return np.concatenate(outs, axis=1)
+
+
+# ----------------------------------------------------------------------
+# Reference network definitions.
+# ----------------------------------------------------------------------
+
+def alexnet_network(batch: int = 1) -> Network:
+    """Full AlexNet: the Table II layers with their ACT/POOL glue.
+
+    Shape inference reproduces Table II exactly, including the padded
+    ifmap sizes (CONV1 sees the 227 input; CONV2's 27+2*2 = 31; CONV3-5's
+    13+2*1 = 15; FC1 consumes the pooled 6x6x256 CONV5 output).
+    """
+    return Network(
+        name="AlexNet",
+        input_channels=3,
+        input_size=227,
+        batch=batch,
+        ops=[
+            Conv("CONV1", filters=96, kernel=11, stride=4),
+            ReLU("ACT1"),
+            Pool("POOL1", window=3, stride=2),
+            Conv("CONV2", filters=256, kernel=5, padding=2, groups=2),
+            ReLU("ACT2"),
+            Pool("POOL2", window=3, stride=2),
+            Conv("CONV3", filters=384, kernel=3, padding=1),
+            ReLU("ACT3"),
+            Conv("CONV4", filters=384, kernel=3, padding=1, groups=2),
+            ReLU("ACT4"),
+            Conv("CONV5", filters=256, kernel=3, padding=1, groups=2),
+            ReLU("ACT5"),
+            Pool("POOL5", window=3, stride=2),
+            FC("FC1", neurons=4096),
+            ReLU("ACT6"),
+            FC("FC2", neurons=4096),
+            ReLU("ACT7"),
+            FC("FC3", neurons=1000),
+        ],
+    )
+
+
+def mini_cnn(batch: int = 1) -> Network:
+    """A small CONV/POOL/FC network sized for functional simulation."""
+    return Network(
+        name="MiniCNN",
+        input_channels=3,
+        input_size=16,
+        batch=batch,
+        ops=[
+            Conv("conv1", filters=8, kernel=3, padding=1),
+            ReLU("act1"),
+            Pool("pool1", window=2, stride=2),
+            Conv("conv2", filters=16, kernel=3),
+            ReLU("act2"),
+            Pool("pool2", window=2, stride=2),
+            FC("fc", neurons=10),
+        ],
+    )

@@ -1,0 +1,117 @@
+"""Reference CNN workloads: AlexNet (Table II of the paper) and VGG16.
+
+AlexNet is the benchmark network used throughout the paper's evaluation
+(Section VII).  Table II gives the padded shape configurations; we reproduce
+them exactly, including the padded ifmap sizes (e.g. H=227 for CONV1, H=31
+for CONV2).  VGG16 is included as an additional workload mentioned in
+Section III-B; it is used by tests and extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layer import LayerShape, conv_layer, fc_layer
+
+
+def alexnet(batch_size: int = 1) -> List[LayerShape]:
+    """The 5 CONV + 3 FC layers of AlexNet, exactly as in Table II.
+
+    Parameters
+    ----------
+    batch_size:
+        Value of N applied to every layer (the paper sweeps N in
+        {1, 16, 64} for CONV and {16, 64, 256} for FC experiments).
+    """
+    layers = [
+        conv_layer("CONV1", H=227, R=11, E=55, C=3, M=96, U=4),
+        conv_layer("CONV2", H=31, R=5, E=27, C=48, M=256, U=1),
+        conv_layer("CONV3", H=15, R=3, E=13, C=256, M=384, U=1),
+        conv_layer("CONV4", H=15, R=3, E=13, C=192, M=384, U=1),
+        conv_layer("CONV5", H=15, R=3, E=13, C=192, M=256, U=1),
+        fc_layer("FC1", C=256, M=4096, R=6),
+        fc_layer("FC2", C=4096, M=4096, R=1),
+        fc_layer("FC3", C=4096, M=1000, R=1),
+    ]
+    return [layer.with_batch(batch_size) for layer in layers]
+
+
+def alexnet_conv_layers(batch_size: int = 1) -> List[LayerShape]:
+    """Only the 5 CONV layers of AlexNet (Fig. 11-13 workload)."""
+    return [l for l in alexnet(batch_size) if not l.is_fc]
+
+
+def alexnet_fc_layers(batch_size: int = 16) -> List[LayerShape]:
+    """Only the 3 FC layers of AlexNet (Fig. 14 workload)."""
+    return [l for l in alexnet(batch_size) if l.is_fc]
+
+
+def vgg16(batch_size: int = 1) -> List[LayerShape]:
+    """The 13 CONV + 3 FC layers of VGG16 (Simonyan & Zisserman, 2014).
+
+    All CONV layers use 3x3 filters with stride 1 and same-padding; the
+    padded ifmap size is therefore E + 2.  Used for adaptability tests
+    beyond the paper's AlexNet evaluation.
+    """
+    layers = [
+        conv_layer("CONV1_1", H=226, R=3, E=224, C=3, M=64),
+        conv_layer("CONV1_2", H=226, R=3, E=224, C=64, M=64),
+        conv_layer("CONV2_1", H=114, R=3, E=112, C=64, M=128),
+        conv_layer("CONV2_2", H=114, R=3, E=112, C=128, M=128),
+        conv_layer("CONV3_1", H=58, R=3, E=56, C=128, M=256),
+        conv_layer("CONV3_2", H=58, R=3, E=56, C=256, M=256),
+        conv_layer("CONV3_3", H=58, R=3, E=56, C=256, M=256),
+        conv_layer("CONV4_1", H=30, R=3, E=28, C=256, M=512),
+        conv_layer("CONV4_2", H=30, R=3, E=28, C=512, M=512),
+        conv_layer("CONV4_3", H=30, R=3, E=28, C=512, M=512),
+        conv_layer("CONV5_1", H=16, R=3, E=14, C=512, M=512),
+        conv_layer("CONV5_2", H=16, R=3, E=14, C=512, M=512),
+        conv_layer("CONV5_3", H=16, R=3, E=14, C=512, M=512),
+        fc_layer("FC1", C=512, M=4096, R=7),
+        fc_layer("FC2", C=4096, M=4096, R=1),
+        fc_layer("FC3", C=4096, M=1000, R=1),
+    ]
+    return [layer.with_batch(batch_size) for layer in layers]
+
+
+def resnet18(batch_size: int = 1) -> List[LayerShape]:
+    """The 17 CONV + 1 FC layers of ResNet-18 (He et al., 2016 [5]).
+
+    The paper cites ResNet as the modern deep-CNN trend ("from five to
+    even several hundred CONV layers") and predicts CONV's share of total
+    energy "is expected to go even higher" than AlexNet's ~80%; this
+    workload lets the benchmarks test that claim.  Padded ifmap sizes are
+    chosen so every stride tiles exactly (ResNet's asymmetric same-padding
+    is folded into H; 1x1 projection shortcuts are included).
+    """
+    def stage(prefix: str, e: int, c: int, m: int, downsample: bool):
+        layers = []
+        if downsample:
+            # First 3x3 conv of the stage strides by 2; a 1x1 projection
+            # shortcut matches the residual dimensions.
+            layers.append(conv_layer(f"{prefix}_1", H=2 * e + 1, R=3, E=e,
+                                     C=c, M=m, U=2))
+            layers.append(conv_layer(f"{prefix}_proj", H=2 * e - 1, R=1,
+                                     E=e, C=c, M=m, U=2))
+        else:
+            layers.append(conv_layer(f"{prefix}_1", H=e + 2, R=3, E=e,
+                                     C=c, M=m))
+        for i in (2, 3, 4):
+            layers.append(conv_layer(f"{prefix}_{i}", H=e + 2, R=3, E=e,
+                                     C=m, M=m))
+        return layers
+
+    layers = [
+        conv_layer("CONV1", H=229, R=7, E=112, C=3, M=64, U=2),
+        *stage("CONV2", e=56, c=64, m=64, downsample=False),
+        *stage("CONV3", e=28, c=64, m=128, downsample=True),
+        *stage("CONV4", e=14, c=128, m=256, downsample=True),
+        *stage("CONV5", e=7, c=256, m=512, downsample=True),
+        fc_layer("FC", C=512, M=1000, R=1),
+    ]
+    return [layer.with_batch(batch_size) for layer in layers]
+
+
+def total_macs(layers: List[LayerShape]) -> int:
+    """Total MAC count across a list of layers."""
+    return sum(layer.macs for layer in layers)

@@ -1,0 +1,123 @@
+"""Numpy reference implementations of the CNN operators (Eq. (1)).
+
+These are the golden models the functional simulator is verified against.
+They implement the layer computation exactly as written in Eq. (1) of the
+paper, including stride and bias, with no clever algorithmic shortcuts,
+so they are easy to audit against the equation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layer import LayerShape
+
+
+def conv_layer_reference(ifmap: np.ndarray, weights: np.ndarray,
+                         bias: np.ndarray | None = None,
+                         stride: int = 1) -> np.ndarray:
+    """Direct high-dimensional convolution per Eq. (1).
+
+    Parameters
+    ----------
+    ifmap:
+        Input feature maps of shape (N, C, H, H) -- already padded.
+    weights:
+        Filters of shape (M, C, R, R).
+    bias:
+        Optional per-filter bias of shape (M,).
+    stride:
+        Convolution stride U.
+
+    Returns
+    -------
+    Output feature maps of shape (N, M, E, E) with E = (H - R + U) / U.
+    """
+    n, c, h, h2 = ifmap.shape
+    m, c_w, r, r2 = weights.shape
+    if h != h2 or r != r2:
+        raise ValueError("ifmap and filter planes must be square")
+    if c != c_w:
+        raise ValueError(f"channel mismatch: ifmap C={c}, weights C={c_w}")
+    if (h - r) % stride != 0:
+        raise ValueError(
+            f"ifmap size H={h}, R={r}, U={stride} do not tile evenly"
+        )
+    e = (h - r + stride) // stride
+    out = np.zeros((n, m, e, e), dtype=np.result_type(ifmap, weights))
+    for x in range(e):
+        for y in range(e):
+            # Window of shape (N, C, R, R) starting at (U*x, U*y).
+            window = ifmap[:, :, stride * x: stride * x + r,
+                           stride * y: stride * y + r]
+            # Contract over (C, R, R) against every filter.
+            out[:, :, x, y] = np.tensordot(window, weights,
+                                           axes=([1, 2, 3], [1, 2, 3]))
+    if bias is not None:
+        out += bias.reshape(1, m, 1, 1)
+    return out
+
+
+def fc_layer_reference(ifmap: np.ndarray, weights: np.ndarray,
+                       bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully-connected layer: the H = R, E = 1 special case of Eq. (1)."""
+    n = ifmap.shape[0]
+    m = weights.shape[0]
+    flat_in = ifmap.reshape(n, -1)
+    flat_w = weights.reshape(m, -1)
+    if flat_in.shape[1] != flat_w.shape[1]:
+        raise ValueError(
+            f"FC size mismatch: ifmap {flat_in.shape[1]} vs "
+            f"weights {flat_w.shape[1]}"
+        )
+    out = flat_in @ flat_w.T
+    if bias is not None:
+        out += bias.reshape(1, m)
+    return out.reshape(n, m, 1, 1)
+
+
+def pool_layer_reference(ifmap: np.ndarray, window: int,
+                         stride: int) -> np.ndarray:
+    """MAX pooling: the MAC -> MAX degenerate form of Eq. (1) (Sec. V-D)."""
+    n, c, h, _ = ifmap.shape
+    if (h - window) % stride != 0:
+        raise ValueError(
+            f"pool window {window} / stride {stride} do not tile H={h}"
+        )
+    e = (h - window + stride) // stride
+    # Compute in floating point: -inf is not representable in integer
+    # dtypes (the max itself is exact for integer inputs).
+    out = np.full((n, c, e, e), -np.inf,
+                  dtype=np.result_type(ifmap.dtype, np.float64))
+    for x in range(e):
+        for y in range(e):
+            patch = ifmap[:, :, stride * x: stride * x + window,
+                          stride * y: stride * y + window]
+            out[:, :, x, y] = patch.max(axis=(2, 3))
+    return out
+
+
+def relu_reference(fmap: np.ndarray) -> np.ndarray:
+    """Rectified linear activation (ACT layer, Section III-A)."""
+    return np.maximum(fmap, 0)
+
+
+def random_layer_tensors(layer: LayerShape, seed: int = 0,
+                         integer: bool = False):
+    """Generate (ifmap, weights, bias) tensors matching a layer shape.
+
+    ``integer=True`` produces small-integer tensors so exact equality checks
+    between the simulator and the reference are meaningful (the chip uses
+    16-bit fixed point; integer arithmetic mirrors its exactness).
+    """
+    rng = np.random.default_rng(seed)
+    if integer:
+        ifmap = rng.integers(-4, 5, size=(layer.N, layer.C, layer.H, layer.H))
+        weights = rng.integers(-4, 5, size=(layer.M, layer.C, layer.R, layer.R))
+        bias = rng.integers(-4, 5, size=(layer.M,))
+        return (ifmap.astype(np.int64), weights.astype(np.int64),
+                bias.astype(np.int64))
+    ifmap = rng.standard_normal((layer.N, layer.C, layer.H, layer.H))
+    weights = rng.standard_normal((layer.M, layer.C, layer.R, layer.R))
+    bias = rng.standard_normal(layer.M)
+    return ifmap, weights, bias

@@ -1,0 +1,43 @@
+"""Functional simulation of the RS dataflow on real tensors (Section V).
+
+The simulator plays the role the fabricated chip plays in the paper: it
+executes the row-stationary dataflow exactly as specified -- 1-D row
+primitives, horizontal filter reuse, diagonal ifmap reuse, vertical psum
+accumulation, two-phase folding -- on concrete numpy tensors, verifies the
+result against the direct-convolution reference, and counts every data
+access so the analytical model can be sanity-checked against an executable
+artifact.
+"""
+
+from repro.sim.simulator import RowStationarySimulator, SimulationReport, simulate_layer
+from repro.sim.trace import AccessTrace, DataKind
+from repro.sim.pool import simulate_pool_layer
+from repro.sim.sparsity import SparsityStats, run_length_decode, run_length_encode, zero_gating_savings
+from repro.sim.network_sim import NetworkSimulationResult, simulate_network, verify_network
+from repro.sim.timing import TimingEstimate, TimingModel
+from repro.sim.ws_simulator import WeightStationarySimulator, WsSchedule, simulate_ws_layer
+from repro.sim.os_simulator import OscSchedule, OutputStationarySimulator, simulate_osc_layer
+
+__all__ = [
+    "RowStationarySimulator",
+    "SimulationReport",
+    "simulate_layer",
+    "AccessTrace",
+    "DataKind",
+    "simulate_pool_layer",
+    "SparsityStats",
+    "run_length_decode",
+    "run_length_encode",
+    "zero_gating_savings",
+    "NetworkSimulationResult",
+    "simulate_network",
+    "verify_network",
+    "TimingEstimate",
+    "TimingModel",
+    "WeightStationarySimulator",
+    "WsSchedule",
+    "simulate_ws_layer",
+    "OscSchedule",
+    "OutputStationarySimulator",
+    "simulate_osc_layer",
+]

@@ -1,0 +1,119 @@
+"""End-to-end network simulation on the RS accelerator.
+
+Runs a whole :class:`~repro.nn.network.Network` -- CONV (including
+grouped), ReLU, POOL and FC ops -- through the functional RS simulator,
+accumulating a per-op access trace, and verifies the final output against
+the network's numpy reference forward pass.  This is the full inference
+pipeline a deployment of the accelerator would execute (Section III-A's
+layer stack), exercising POOL support (Section V-D) alongside CONV/FC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.nn.layer import LayerShape
+from repro.nn.network import FC, Conv, Network, Pool, ReLU, pad_planes
+from repro.nn.reference import relu_reference
+from repro.sim.pool import simulate_pool_layer
+from repro.sim.simulator import simulate_layer
+from repro.sim.trace import AccessTrace
+
+
+@dataclass
+class NetworkSimulationResult:
+    """Output tensor plus per-op access traces for a full network run."""
+
+    network_name: str
+    output: np.ndarray
+    traces: Dict[str, AccessTrace]
+
+    def total_trace(self) -> AccessTrace:
+        total = AccessTrace()
+        for trace in self.traces.values():
+            total = total.merged(trace)
+        return total
+
+    def total_energy(self, costs: EnergyCosts) -> float:
+        return self.total_trace().energy(costs)
+
+    def energy_by_op(self, costs: EnergyCosts) -> Dict[str, float]:
+        return {name: trace.energy(costs)
+                for name, trace in self.traces.items()}
+
+
+def _simulate_grouped_conv(layer: LayerShape, groups: int,
+                           hw: HardwareConfig, x: np.ndarray,
+                           weights: np.ndarray, bias: np.ndarray
+                           ) -> Tuple[np.ndarray, AccessTrace]:
+    """Run a (possibly grouped) CONV through the RS simulator."""
+    trace = AccessTrace()
+    if groups == 1:
+        out, report = simulate_layer(layer, hw, x, weights, bias)
+        return out, report.trace
+    m_per = layer.M // groups
+    c_per = layer.C  # LayerShape already holds the per-group channels
+    group_layer = replace(layer, M=m_per)
+    outs = []
+    for g in range(groups):
+        out, report = simulate_layer(
+            group_layer, hw,
+            x[:, g * c_per:(g + 1) * c_per],
+            weights[g * m_per:(g + 1) * m_per],
+            bias[g * m_per:(g + 1) * m_per],
+        )
+        outs.append(out)
+        trace = trace.merged(report.trace)
+    return np.concatenate(outs, axis=1), trace
+
+
+def simulate_network(network: Network, hw: HardwareConfig,
+                     x: np.ndarray, params) -> NetworkSimulationResult:
+    """Execute every op of the network on the simulated accelerator."""
+    traces: Dict[str, AccessTrace] = {}
+    for resolved in network.resolved:
+        op = resolved.op
+        if isinstance(op, Conv):
+            x = pad_planes(x, op.padding)
+            weights, bias = params[op.name]
+            x, trace = _simulate_grouped_conv(resolved.layer, op.groups,
+                                              hw, x, weights, bias)
+            traces[op.name] = trace
+        elif isinstance(op, Pool):
+            x, trace = simulate_pool_layer(x, op.window, op.stride)
+            traces[op.name] = trace
+        elif isinstance(op, ReLU):
+            # ACT layers are computationally trivial (Section III-B);
+            # they run in the PE datapath with no extra data movement.
+            x = relu_reference(x)
+        elif isinstance(op, FC):
+            weights, bias = params[op.name]
+            flat = x.reshape(x.shape[0], resolved.layer.C,
+                             resolved.layer.R, resolved.layer.R)
+            out, report = simulate_layer(resolved.layer, hw, flat,
+                                         weights, bias)
+            traces[op.name] = report.trace
+            x = out
+    return NetworkSimulationResult(network_name=network.name, output=x,
+                                   traces=traces)
+
+
+def verify_network(network: Network, hw: HardwareConfig, seed: int = 0
+                   ) -> NetworkSimulationResult:
+    """Simulate the network on random integer tensors and check it
+    against the reference forward pass; raises on any mismatch."""
+    params = network.random_parameters(seed=seed, integer=True)
+    x = network.random_input(seed=seed, integer=True)
+    result = simulate_network(network, hw, x, params)
+    expected = network.reference_forward(x, params)
+    if not np.array_equal(result.output, expected):
+        raise AssertionError(
+            f"{network.name}: simulated output diverges from the "
+            f"reference forward pass"
+        )
+    return result

@@ -1,0 +1,67 @@
+"""POOL-layer support (Section V-D).
+
+The RS dataflow processes POOL layers "by swapping the MAC computation
+with a MAX comparison function in the ALU of each PE ... and running each
+fmap plane separately".  This module mirrors the 1-D primitive / vertical
+reduction structure of the CONV simulator with max() in place of
+multiply-accumulate, so the same machinery demonstrably covers pooling.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.arch.energy_costs import MemoryLevel
+from repro.sim.trace import AccessTrace, DataKind
+
+
+def _pool_primitive(ifmap_row: np.ndarray, window: int, stride: int,
+                    out_cols: int, trace: AccessTrace | None) -> np.ndarray:
+    """1-D max primitive: the MAX analogue of the Fig. 5 sliding window."""
+    out = np.full(out_cols, -np.inf, dtype=float)
+    for x in range(out_cols):
+        start = x * stride
+        out[x] = ifmap_row[start:start + window].max()
+    if trace is not None:
+        ops = out_cols * window
+        trace.mac(ops)  # MAX comparisons occupy the ALU like MACs
+        trace.read(MemoryLevel.RF, DataKind.IFMAP, ops)
+    return out
+
+
+def simulate_pool_layer(ifmap: np.ndarray, window: int, stride: int,
+                        trace: AccessTrace | None = None
+                        ) -> Tuple[np.ndarray, AccessTrace]:
+    """Max-pool every plane of (N, C, H, H) through the RS structure.
+
+    Each plane runs as its own set (N = M = C = 1, Section V-D): rows are
+    processed by 1-D max primitives and the per-row results reduce
+    vertically with MAX, mirroring the psum accumulation path.
+    """
+    if trace is None:
+        trace = AccessTrace()
+    n, c, h, h2 = ifmap.shape
+    if h != h2:
+        raise ValueError("pooling expects square planes")
+    if (h - window) % stride != 0:
+        raise ValueError(
+            f"pool window {window} / stride {stride} do not tile H={h}"
+        )
+    e = (h - window + stride) // stride
+    out = np.empty((n, c, e, e), dtype=float)
+    for img in range(n):
+        for ch in range(c):
+            plane = ifmap[img, ch]
+            for j in range(e):  # output row (set column)
+                acc = np.full(e, -np.inf)
+                for i in range(window):  # primitive rows
+                    row = plane[i + stride * j, :]
+                    partial = _pool_primitive(row, window, stride, e, trace)
+                    acc = np.maximum(acc, partial)
+                    if i > 0:
+                        trace.read(MemoryLevel.ARRAY, DataKind.PSUM, e)
+                out[img, ch, j, :] = acc
+    trace.write(MemoryLevel.DRAM, DataKind.PSUM, out.size)
+    return out, trace

@@ -1,0 +1,71 @@
+"""The 1-D convolution primitive executed inside a PE (Section V-A, Fig. 5).
+
+A primitive convolves one row of filter weights with one row of ifmap
+pixels and produces one row of psums: the filter row stays stationary in
+the RF while the ifmap row slides through a window, which is exactly the
+sliding-window processing of Fig. 5.  The primitive is the unit the
+logical PE sets and the folding plan schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.energy_costs import MemoryLevel
+from repro.sim.trace import AccessTrace, DataKind
+
+
+def run_primitive(filter_row: np.ndarray, ifmap_row: np.ndarray,
+                  out_cols: int, stride: int = 1, col_offset: int = 0,
+                  trace: AccessTrace | None = None) -> np.ndarray:
+    """Execute one 1-D convolution primitive.
+
+    Parameters
+    ----------
+    filter_row:
+        The R stationary weights.
+    ifmap_row:
+        The full ifmap row (H pixels); the window slides over it.
+    out_cols:
+        Number of output positions to produce (the psum-row length the
+        strip covers horizontally).
+    stride:
+        Convolution stride U.
+    col_offset:
+        First output position (used when a strip starts mid-row; the RS
+        strips of this reproduction always cover full rows horizontally,
+        but the primitive supports offsets for generality and tests).
+    trace:
+        Optional access trace; when given, every RF access and MAC is
+        recorded (filter read + ifmap read + psum accumulate per MAC).
+
+    Returns
+    -------
+    The psum row of length ``out_cols``.
+    """
+    r = filter_row.shape[0]
+    needed = (col_offset + out_cols - 1) * stride + r
+    if ifmap_row.shape[0] < needed:
+        raise ValueError(
+            f"ifmap row of {ifmap_row.shape[0]} pixels too short for "
+            f"{out_cols} outputs at stride {stride} (needs {needed})"
+        )
+    # Sliding-window dot products (Fig. 5), vectorized: correlate yields
+    # the dot product at every window start; stride selects the outputs.
+    full = np.correlate(ifmap_row[:needed], filter_row, mode="valid")
+    psums = full[col_offset * stride::stride][:out_cols].copy()
+    if trace is not None:
+        macs = out_cols * r
+        trace.mac(macs)
+        trace.read(MemoryLevel.RF, DataKind.FILTER, macs)
+        trace.read(MemoryLevel.RF, DataKind.IFMAP, macs)
+        # Accumulation inside the primitive: each psum is written once and
+        # read-modify-written for the remaining R-1 taps.
+        trace.write(MemoryLevel.RF, DataKind.PSUM, macs)
+        trace.read(MemoryLevel.RF, DataKind.PSUM, out_cols * (r - 1))
+    return psums
+
+
+def primitive_mac_count(out_cols: int, r: int) -> int:
+    """MACs one primitive performs: out_cols * R."""
+    return out_cols * r

@@ -1,0 +1,230 @@
+"""Functional simulator of the row-stationary dataflow (Section V).
+
+Executes a CONV/FC layer through the full RS machinery -- logical sets,
+folding plan, processing passes, 1-D primitives -- on concrete tensors,
+while tracing every data access through the four-level hierarchy:
+
+* DRAM is touched once per unique input word (cold fetch) and once per
+  ofmap word (final write-back);
+* the global buffer stages every row entering the array each pass and
+  holds cross-pass psum partials;
+* array transfers follow the Fig. 6 patterns: filter rows multicast
+  horizontally, ifmap rows multicast diagonally, psum rows hop vertically;
+* RF accesses are recorded per MAC inside the primitives.
+
+The produced ofmap is bit-identical (for integer tensors) to the direct
+convolution of Eq. (1), which is the simulator's correctness contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.mapping.folding import FoldingPlan, plan_from_mapping_params
+from repro.mapping.optimizer import optimize_mapping
+from repro.nn.layer import LayerShape
+from repro.sim.primitive import run_primitive
+from repro.sim.trace import AccessTrace, DataKind
+
+
+@dataclass
+class SimulationReport:
+    """Everything the simulator observed while executing one layer."""
+
+    layer: LayerShape
+    plan: FoldingPlan
+    trace: AccessTrace
+    passes_executed: int
+
+    def energy(self, costs: EnergyCosts) -> float:
+        return self.trace.energy(costs)
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.trace.level_total(MemoryLevel.DRAM)
+
+    @property
+    def rf_accesses(self) -> int:
+        return self.trace.level_total(MemoryLevel.RF)
+
+
+class RowStationarySimulator:
+    """Executes one layer under a folding plan, tracing data movement."""
+
+    def __init__(self, layer: LayerShape, plan: FoldingPlan) -> None:
+        if plan.layer != layer:
+            raise ValueError("folding plan was built for a different layer")
+        self.layer = layer
+        self.plan = plan
+
+    # ------------------------------------------------------------------
+
+    def run(self, ifmap: np.ndarray, weights: np.ndarray,
+            bias: np.ndarray | None = None
+            ) -> Tuple[np.ndarray, SimulationReport]:
+        """Execute the layer; returns (ofmap, report)."""
+        layer = self.layer
+        self._check_shapes(ifmap, weights, bias)
+
+        trace = AccessTrace()
+        ofmap = np.zeros((layer.N, layer.M, layer.E, layer.E),
+                         dtype=np.result_type(ifmap, weights))
+        # Which (n, m, ofmap-row) rows already hold a partial in the
+        # buffer (accumulated across channel chunks).
+        partial_rows: Set[Tuple[int, int, int]] = set()
+        # Cold-fetch tracking for DRAM reads.
+        fetched_filters: Set[Tuple[int, int]] = set()
+        fetched_ifmap_rows: Set[Tuple[int, int, int]] = set()
+
+        passes = 0
+        for processing_pass in self.plan.passes():
+            passes += 1
+            delivered_filters: Set[Tuple[int, int]] = set()
+            delivered_rows: Set[Tuple[int, int, int]] = set()
+            for s in processing_pass.slices:
+                self._deliver_filter(s, trace, fetched_filters,
+                                     delivered_filters)
+                self._deliver_ifmap_rows(s, trace, fetched_ifmap_rows,
+                                         delivered_rows)
+                self._compute_slice(s, ifmap, weights, ofmap, partial_rows,
+                                    trace)
+
+        # Final write-back of ofmaps to DRAM (the only DRAM writes).
+        if bias is not None:
+            ofmap += bias.reshape(1, layer.M, 1, 1)
+        trace.write(MemoryLevel.DRAM, DataKind.PSUM, ofmap.size)
+
+        report = SimulationReport(layer=layer, plan=self.plan, trace=trace,
+                                  passes_executed=passes)
+        return ofmap, report
+
+    # ------------------------------------------------------------------
+    # Data delivery (Fig. 6 movement patterns).
+    # ------------------------------------------------------------------
+
+    def _deliver_filter(self, s, trace: AccessTrace,
+                        fetched: Set[Tuple[int, int]],
+                        delivered: Set[Tuple[int, int]]) -> None:
+        """Fetch and multicast the R filter rows of slice (m, c)."""
+        layer = self.layer
+        key = (s.m, s.c)
+        words = layer.R * layer.R
+        if key not in fetched:
+            fetched.add(key)
+            trace.read(MemoryLevel.DRAM, DataKind.FILTER, words)
+            trace.write(MemoryLevel.BUFFER, DataKind.FILTER, words)
+        if key not in delivered:
+            delivered.add(key)
+            trace.read(MemoryLevel.BUFFER, DataKind.FILTER, words)
+            # Horizontal multicast: each filter row reaches the slice's
+            # `width` column PEs.
+            trace.read(MemoryLevel.ARRAY, DataKind.FILTER,
+                       words * s.width)
+            trace.write(MemoryLevel.RF, DataKind.FILTER, words)
+
+    def _deliver_ifmap_rows(self, s, trace: AccessTrace,
+                            fetched: Set[Tuple[int, int, int]],
+                            delivered: Set[Tuple[int, int, int]]) -> None:
+        """Fetch and diagonally multicast the ifmap rows a slice needs."""
+        layer = self.layer
+        first_row = s.col_start * layer.U
+        last_row = (s.col_start + s.width - 1) * layer.U + layer.R - 1
+        for row in range(first_row, last_row + 1):
+            key = (s.n, s.c, row)
+            if key not in fetched:
+                fetched.add(key)
+                trace.read(MemoryLevel.DRAM, DataKind.IFMAP, layer.H)
+                trace.write(MemoryLevel.BUFFER, DataKind.IFMAP, layer.H)
+            if key not in delivered:
+                delivered.add(key)
+                trace.read(MemoryLevel.BUFFER, DataKind.IFMAP, layer.H)
+                # Diagonal multicast: the row reaches every PE (i, j) of
+                # the slice with i + U*j == row.
+                destinations = self._diagonal_destinations(s, row)
+                trace.read(MemoryLevel.ARRAY, DataKind.IFMAP,
+                           layer.H * destinations)
+                trace.write(MemoryLevel.RF, DataKind.IFMAP,
+                            layer.H * destinations)
+
+    def _diagonal_destinations(self, s, row: int) -> int:
+        layer = self.layer
+        count = 0
+        for j in range(s.col_start, s.col_start + s.width):
+            i = row - layer.U * j
+            if 0 <= i < layer.R:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Computation and psum movement.
+    # ------------------------------------------------------------------
+
+    def _compute_slice(self, s, ifmap: np.ndarray, weights: np.ndarray,
+                       ofmap: np.ndarray,
+                       partial_rows: Set[Tuple[int, int, int]],
+                       trace: AccessTrace) -> None:
+        layer = self.layer
+        for j in range(s.col_start, s.col_start + s.width):
+            # Column j of the set computes ofmap row j: R primitives whose
+            # psum rows accumulate vertically down the column.
+            psum_row = np.zeros(layer.E,
+                                dtype=np.result_type(ifmap, weights))
+            for i in range(layer.R):
+                ifmap_row = ifmap[s.n, s.c, i + layer.U * j, :]
+                filter_row = weights[s.m, s.c, i, :]
+                contribution = run_primitive(
+                    filter_row, ifmap_row, out_cols=layer.E,
+                    stride=layer.U, trace=trace)
+                psum_row += contribution
+                if i > 0:
+                    # Vertical hop: the partial row moves one PE down.
+                    trace.read(MemoryLevel.ARRAY, DataKind.PSUM, layer.E)
+
+            key = (s.n, s.m, j)
+            if key in partial_rows:
+                # Accumulate with the buffered partial from earlier
+                # channel chunks (read-modify-write in the buffer).
+                trace.read(MemoryLevel.BUFFER, DataKind.PSUM, layer.E)
+                trace.write(MemoryLevel.BUFFER, DataKind.PSUM, layer.E)
+            else:
+                partial_rows.add(key)
+                trace.write(MemoryLevel.BUFFER, DataKind.PSUM, layer.E)
+            ofmap[s.n, s.m, j, :] += psum_row
+
+    # ------------------------------------------------------------------
+
+    def _check_shapes(self, ifmap: np.ndarray, weights: np.ndarray,
+                      bias: np.ndarray | None) -> None:
+        layer = self.layer
+        expected_if = (layer.N, layer.C, layer.H, layer.H)
+        expected_w = (layer.M, layer.C, layer.R, layer.R)
+        if ifmap.shape != expected_if:
+            raise ValueError(f"ifmap shape {ifmap.shape} != {expected_if}")
+        if weights.shape != expected_w:
+            raise ValueError(f"weights shape {weights.shape} != {expected_w}")
+        if bias is not None and bias.shape != (layer.M,):
+            raise ValueError(f"bias shape {bias.shape} != ({layer.M},)")
+
+
+def simulate_layer(layer: LayerShape, hw: HardwareConfig,
+                   ifmap: np.ndarray, weights: np.ndarray,
+                   bias: np.ndarray | None = None,
+                   plan: Optional[FoldingPlan] = None
+                   ) -> Tuple[np.ndarray, SimulationReport]:
+    """Convenience wrapper: optimize an RS mapping, fold, and simulate."""
+    if plan is None:
+        from repro.dataflows.row_stationary import RowStationary
+
+        result = optimize_mapping(RowStationary(), layer, hw)
+        if result.best is None:
+            raise RuntimeError(
+                f"no feasible RS mapping for {layer.name} on {hw.describe()}"
+            )
+        plan = plan_from_mapping_params(layer, hw, result.best.params)
+    simulator = RowStationarySimulator(layer, plan)
+    return simulator.run(ifmap, weights, bias)

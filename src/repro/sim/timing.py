@@ -1,0 +1,100 @@
+"""Throughput model (Section VI-B).
+
+The paper assumes "accelerator throughput is proportional to the number
+of active PEs" and argues that prefetching/double-buffering hide data
+movement latency, so bandwidth rarely limits CNN acceleration.  This
+module makes that argument checkable: given a mapping, it estimates
+
+* compute cycles -- each active PE retires one MAC per cycle;
+* DRAM transfer cycles -- total DRAM words over the link bandwidth;
+* buffer transfer cycles -- buffer words over the on-chip port width;
+
+and combines them under double buffering (transfers overlap compute; the
+machine stalls only when a transfer stream is longer than the compute it
+hides behind).  The benchmarks use it to show RS CONV layers stay
+compute-bound at modest bandwidths, and where the FC layers become
+DRAM-bound (their Fig. 10 DRAM-dominated energy has a latency twin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.mapping import Mapping
+
+
+@dataclass(frozen=True)
+class TimingEstimate:
+    """Cycle-level estimate of one layer under one mapping."""
+
+    compute_cycles: float
+    dram_cycles: float
+    buffer_cycles: float
+    macs: int
+    active_pes: int
+
+    @property
+    def total_cycles(self) -> float:
+        """Double buffering: compute and transfers overlap; the longest
+        stream determines the elapsed time."""
+        return max(self.compute_cycles, self.dram_cycles,
+                   self.buffer_cycles)
+
+    @property
+    def stall_cycles(self) -> float:
+        return self.total_cycles - self.compute_cycles
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_cycles >= max(self.dram_cycles,
+                                          self.buffer_cycles)
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.total_cycles
+
+    @property
+    def utilization(self) -> float:
+        """Achieved throughput over the active-PE peak."""
+        return self.macs_per_cycle / self.active_pes
+
+    def throughput_ops(self, clock_hz: float) -> float:
+        """Absolute throughput in MAC/s at a given clock."""
+        return self.macs_per_cycle * clock_hz
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Bandwidth parameters of the accelerator's data paths.
+
+    ``dram_words_per_cycle`` -- off-chip link width (the chip pairs a
+    200 MHz core with a 16-bit-word DRAM interface; 1.0 is a good
+    default).  ``buffer_words_per_cycle`` -- global-buffer port width
+    toward the array (the chip's buffer feeds multiple NoCs; default 4).
+    """
+
+    dram_words_per_cycle: float = 1.0
+    buffer_words_per_cycle: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.dram_words_per_cycle <= 0 or self.buffer_words_per_cycle <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    def estimate(self, mapping: Mapping) -> TimingEstimate:
+        """Estimate timing of one layer executed under ``mapping``."""
+        compute = mapping.macs / mapping.active_pes
+        dram_words = mapping.dram_reads + mapping.dram_writes
+        counts = mapping.access_counts()
+        return TimingEstimate(
+            compute_cycles=compute,
+            dram_cycles=dram_words / self.dram_words_per_cycle,
+            buffer_cycles=counts.buffer / self.buffer_words_per_cycle,
+            macs=mapping.macs,
+            active_pes=mapping.active_pes,
+        )
+
+    def minimum_dram_bandwidth(self, mapping: Mapping) -> float:
+        """Words/cycle needed for the layer to stay DRAM-compute-bound."""
+        compute = mapping.macs / mapping.active_pes
+        dram_words = mapping.dram_reads + mapping.dram_writes
+        return dram_words / compute

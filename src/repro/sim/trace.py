@@ -1,0 +1,98 @@
+"""Access tracing for the functional simulator.
+
+Counts word-level accesses per (hierarchy level, data kind).  The counts
+are *events observed while executing the dataflow*, so the tests can check
+qualitative invariants the paper relies on (e.g. in CONV layers the RF
+sees orders of magnitude more traffic than DRAM, Fig. 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+
+
+class DataKind(enum.Enum):
+    """The three data types whose movement the paper accounts."""
+
+    IFMAP = "ifmap"
+    FILTER = "filter"
+    PSUM = "psum"
+
+
+@dataclass
+class AccessTrace:
+    """Word-access counters keyed by (level, data kind)."""
+
+    reads: Dict[Tuple[MemoryLevel, DataKind], int] = field(
+        default_factory=lambda: defaultdict(int))
+    writes: Dict[Tuple[MemoryLevel, DataKind], int] = field(
+        default_factory=lambda: defaultdict(int))
+    macs: int = 0
+
+    # ------------------------------------------------------------------
+
+    def read(self, level: MemoryLevel, kind: DataKind, words: int = 1) -> None:
+        if words < 0:
+            raise ValueError("cannot record a negative access count")
+        self.reads[(level, kind)] += words
+
+    def write(self, level: MemoryLevel, kind: DataKind, words: int = 1) -> None:
+        if words < 0:
+            raise ValueError("cannot record a negative access count")
+        self.writes[(level, kind)] += words
+
+    def mac(self, count: int = 1) -> None:
+        self.macs += count
+
+    # ------------------------------------------------------------------
+
+    def level_total(self, level: MemoryLevel) -> int:
+        """All reads+writes at one level across data kinds."""
+        total = 0
+        for (lvl, _), v in self.reads.items():
+            if lvl is level:
+                total += v
+        for (lvl, _), v in self.writes.items():
+            if lvl is level:
+                total += v
+        return total
+
+    def kind_total(self, kind: DataKind) -> int:
+        """All reads+writes of one data kind across levels."""
+        total = 0
+        for (_, k), v in self.reads.items():
+            if k is kind:
+                total += v
+        for (_, k), v in self.writes.items():
+            if k is kind:
+                total += v
+        return total
+
+    def energy(self, costs: EnergyCosts) -> float:
+        """Observed data-movement + compute energy (Table IV weights)."""
+        total = float(self.macs) * costs.alu
+        for level in MemoryLevel.storage_levels():
+            total += self.level_total(level) * costs.cost(level)
+        return total
+
+    def merged(self, other: "AccessTrace") -> "AccessTrace":
+        """A new trace combining two traces' counts."""
+        result = AccessTrace()
+        for src in (self, other):
+            for key, v in src.reads.items():
+                result.reads[key] += v
+            for key, v in src.writes.items():
+                result.writes[key] += v
+            result.macs += src.macs
+        return result
+
+    def summary(self) -> str:
+        lines = [f"MACs: {self.macs:,}"]
+        for level in MemoryLevel.storage_levels():
+            lines.append(f"{level.value:>7}: {self.level_total(level):,} accesses")
+        return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Functional simulator for the weight-stationary baseline (Section VI-A).
+
+Executes the WS schedule exactly as the paper's implementation describes:
+R x R weights of one (filter, channel) plane are pinned on an R x R block
+of PEs; every ifmap pixel of that channel is broadcast to the block;
+psums accumulate spatially across the block and across the ``c_f``
+channel blocks in flight, and the running (N, m_f, E, E) psum set lives
+in the global buffer until all C/c_f channel passes complete -- the
+commitment that makes WS infeasible when the buffer cannot hold the live
+psums (Fig. 11a).
+
+Like the RS simulator, it is verified bit-exactly against the Eq. (1)
+reference, and its trace provides an executable cross-check of the WS
+analytical model (weights read once from DRAM, one RF read per MAC,
+heavy ifmap re-fetch across filter groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.arch.energy_costs import MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.nn.layer import LayerShape
+from repro.sim.trace import AccessTrace, DataKind
+
+
+@dataclass(frozen=True)
+class WsSchedule:
+    """One WS run configuration: filters/channels concurrently in flight."""
+
+    m_f: int
+    c_f: int
+
+    def __post_init__(self) -> None:
+        if self.m_f < 1 or self.c_f < 1:
+            raise ValueError("m_f and c_f must be positive")
+
+
+class WeightStationarySimulator:
+    """Executes one CONV/FC layer under the WS dataflow."""
+
+    def __init__(self, layer: LayerShape, hw: HardwareConfig,
+                 schedule: WsSchedule) -> None:
+        r2 = layer.R ** 2
+        blocks = schedule.m_f * schedule.c_f
+        if blocks * r2 > hw.num_pes:
+            raise ValueError(
+                f"{blocks} blocks of {r2} PEs exceed the {hw.num_pes}-PE "
+                f"array"
+            )
+        if layer.M % schedule.m_f or layer.C % schedule.c_f:
+            raise ValueError("m_f / c_f must divide M / C")
+        # The WS commitment: all live psums must fit the buffer.
+        live_psums = layer.N * schedule.m_f * layer.E ** 2
+        if live_psums > hw.buffer_words:
+            raise ValueError(
+                f"live psums ({live_psums} words) exceed the buffer "
+                f"({hw.buffer_words} words): WS cannot operate "
+                f"(the Fig. 11a failure)"
+            )
+        self.layer = layer
+        self.hw = hw
+        self.schedule = schedule
+
+    def run(self, ifmap: np.ndarray, weights: np.ndarray,
+            bias: np.ndarray | None = None
+            ) -> Tuple[np.ndarray, AccessTrace]:
+        layer, sched = self.layer, self.schedule
+        n, m, c = layer.N, layer.M, layer.C
+        e, r, u = layer.E, layer.R, layer.U
+        trace = AccessTrace()
+
+        out = np.zeros((n, m, e, e), dtype=np.result_type(ifmap, weights))
+        for m0 in range(0, m, sched.m_f):
+            filters = range(m0, m0 + sched.m_f)
+            # Psums for the in-flight filters live in the buffer across
+            # all channel passes (written once on first touch).
+            trace.write(MemoryLevel.BUFFER, DataKind.PSUM,
+                        n * sched.m_f * e * e)
+            for c0 in range(0, c, sched.c_f):
+                if c0 > 0:
+                    # Buffer read-modify-write per channel pass.
+                    trace.read(MemoryLevel.BUFFER, DataKind.PSUM,
+                               n * sched.m_f * e * e)
+                    trace.write(MemoryLevel.BUFFER, DataKind.PSUM,
+                                n * sched.m_f * e * e)
+                for ci in range(c0, c0 + sched.c_f):
+                    # Pin the channel's weights of every in-flight filter:
+                    # DRAM -> RF once each, held for all N*E^2 uses.
+                    trace.read(MemoryLevel.DRAM, DataKind.FILTER,
+                               sched.m_f * r * r)
+                    trace.write(MemoryLevel.RF, DataKind.FILTER,
+                                sched.m_f * r * r)
+                    for img in range(n):
+                        self._broadcast_channel(ifmap, weights, out, img,
+                                                ci, filters, trace)
+        if bias is not None:
+            out += bias.reshape(1, m, 1, 1)
+        trace.write(MemoryLevel.DRAM, DataKind.PSUM, out.size)
+        return out, trace
+
+    def _broadcast_channel(self, ifmap: np.ndarray, weights: np.ndarray,
+                           out: np.ndarray, img: int, ci: int,
+                           filters, trace: AccessTrace) -> None:
+        """Stream one image's channel plane to all in-flight blocks.
+
+        A single broadcast of each ifmap pixel reaches the R x R block of
+        every in-flight filter (one DRAM read, m_f array deliveries); WS
+        does not buffer ifmaps across filter groups -- the buffer is full
+        of psums -- so the stream is fed straight from DRAM.
+        """
+        layer = self.layer
+        e, r, u = layer.E, layer.R, layer.U
+        src = ifmap[img, ci]
+        trace.read(MemoryLevel.DRAM, DataKind.IFMAP, src.size)
+        for mi in filters:
+            trace.read(MemoryLevel.ARRAY, DataKind.IFMAP, src.size)
+            # The systolic block computes the full 2-D correlation; each
+            # of the E^2*R^2 MACs reads its pinned weight from the RF and
+            # forwards its psum to a neighbor (spatial accumulation).
+            result = _correlate2d(src, weights[mi, ci], u)
+            macs = e * e * r * r
+            trace.mac(macs)
+            trace.read(MemoryLevel.RF, DataKind.FILTER, macs)
+            trace.read(MemoryLevel.ARRAY, DataKind.PSUM,
+                       e * e * (r * r - 1))
+            out[img, mi] += result
+
+
+def _correlate2d(plane: np.ndarray, kernel: np.ndarray,
+                 stride: int) -> np.ndarray:
+    """Valid-mode strided 2-D correlation (one channel, one filter)."""
+    h = plane.shape[0]
+    r = kernel.shape[0]
+    e = (h - r + stride) // stride
+    out = np.zeros((e, e), dtype=np.result_type(plane, kernel))
+    for x in range(e):
+        for y in range(e):
+            window = plane[stride * x:stride * x + r,
+                           stride * y:stride * y + r]
+            out[x, y] = np.sum(window * kernel)
+    return out
+
+
+def simulate_ws_layer(layer: LayerShape, hw: HardwareConfig,
+                      ifmap: np.ndarray, weights: np.ndarray,
+                      bias: np.ndarray | None = None,
+                      schedule: WsSchedule | None = None
+                      ) -> Tuple[np.ndarray, AccessTrace]:
+    """Convenience wrapper: pick a schedule from the WS mapping optimizer
+    (or the largest feasible block split) and simulate."""
+    if schedule is None:
+        from repro.dataflows.weight_stationary import WeightStationary
+        from repro.mapping.optimizer import optimize_mapping
+
+        result = optimize_mapping(WeightStationary(), layer, hw)
+        if result.best is None:
+            raise RuntimeError(
+                f"WS cannot operate on {layer.name} with {hw.describe()}"
+            )
+        schedule = WsSchedule(m_f=result.best.params["m_f"],
+                              c_f=result.best.params["c_f"])
+    simulator = WeightStationarySimulator(layer, hw, schedule)
+    return simulator.run(ifmap, weights, bias)

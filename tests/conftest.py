@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.hardware import HardwareConfig
+from repro.nn.layer import conv_layer, fc_layer
+
+
+@pytest.fixture(scope="session")
+def baseline_hw() -> HardwareConfig:
+    """The paper's Fig. 10 setup: 256 PEs, 512 B RF, 128 kB buffer."""
+    return HardwareConfig.eyeriss_paper_baseline(256)
+
+
+@pytest.fixture(scope="session")
+def chip_hw() -> HardwareConfig:
+    """The fabricated chip's geometry (Fig. 4)."""
+    return HardwareConfig.eyeriss_chip()
+
+
+@pytest.fixture
+def small_conv():
+    """A small CONV layer fast enough for functional simulation."""
+    return conv_layer("small", H=14, R=3, E=12, C=4, M=8, U=1, N=2)
+
+
+@pytest.fixture
+def strided_conv():
+    """A strided CONV layer (CONV1-like, scaled down)."""
+    return conv_layer("strided", H=19, R=3, E=5, C=2, M=4, U=4, N=1)
+
+
+@pytest.fixture
+def small_fc():
+    """A small FC layer."""
+    return fc_layer("small-fc", C=8, M=16, R=3, N=4)

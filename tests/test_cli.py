@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_storage_command(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        for name in ("RS", "WS", "NLR"):
+            assert name in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--pes", "256", "--batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "vs RS" in out and "OSC" in out
+
+    def test_compare_fc(self, capsys):
+        assert main(["compare", "--layers", "fc", "--pes", "256",
+                     "--batch", "16"]) == 0
+        assert "FC layers" in capsys.readouterr().out
+
+    def test_evaluate_command(self, capsys):
+        assert main(["evaluate", "RS", "CONV3", "--batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "RS mapping" in out and "energy/op" in out
+
+    def test_evaluate_unknown_layer(self, capsys):
+        assert main(["evaluate", "RS", "CONV9"]) == 2
+        assert "unknown layer" in capsys.readouterr().err
+
+    def test_evaluate_infeasible(self, capsys):
+        assert main(["evaluate", "WS", "CONV1", "--batch", "64",
+                     "--pes", "256"]) == 1
+        assert "no feasible mapping" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "matches Eq. (1) reference: True" in out
+
+    def test_mapping_command(self, capsys):
+        assert main(["mapping", "CONV3", "--batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Logical PE set" in out and "Physical array" in out
+
+    def test_mapping_unknown_layer(self, capsys):
+        assert main(["mapping", "NOPE"]) == 2
+        assert "unknown layer" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataflow_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "XYZ", "CONV1"])

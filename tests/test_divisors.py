@@ -1,0 +1,70 @@
+"""Tests for the integer tiling helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapping.divisors import (
+    ceil_div,
+    divisors,
+    divisors_up_to,
+    largest_divisor_up_to,
+    split_candidates,
+    tile_utilization,
+)
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+        assert divisors(1) == (1,)
+        assert divisors(13) == (1, 13)
+
+    def test_perfect_square(self):
+        assert divisors(16) == (1, 2, 4, 8, 16)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(1, 3000))
+    def test_every_divisor_divides(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+    @given(st.integers(1, 3000))
+    def test_sorted_and_bounded(self, n):
+        ds = divisors(n)
+        assert list(ds) == sorted(ds)
+        assert ds[0] == 1 and ds[-1] == n
+
+    def test_up_to(self):
+        assert divisors_up_to(12, 4) == (1, 2, 3, 4)
+        assert divisors_up_to(12, 0) == ()
+
+    def test_largest_up_to(self):
+        assert largest_divisor_up_to(12, 5) == 4
+        assert largest_divisor_up_to(11, 4) == 1
+        assert largest_divisor_up_to(55, 16) == 11
+
+    def test_split_candidates_always_contains_one(self):
+        assert 1 in split_candidates(7, limit=1)
+        assert split_candidates(12) == divisors(12)
+
+
+class TestHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_tile_utilization_exact(self):
+        assert tile_utilization(12, 4) == 1.0
+
+    def test_tile_utilization_partial(self):
+        assert tile_utilization(10, 4) == pytest.approx(10 / 12)
+
+    @given(st.integers(1, 500), st.integers(1, 64))
+    def test_utilization_in_unit_interval(self, extent, tile):
+        u = tile_utilization(extent, tile)
+        assert 0 < u <= 1

@@ -1,0 +1,147 @@
+"""Tests for the energy model: breakdowns, EDP, network aggregation."""
+
+import pytest
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.energy.breakdown import (
+    EnergyBreakdown,
+    LevelBreakdown,
+    TypeBreakdown,
+    breakdown_mapping,
+)
+from repro.energy.edp import (
+    aggregate_delay_per_op,
+    average_utilization,
+    delay_per_op,
+    edp_per_op,
+)
+from repro.energy.model import evaluate_layer, evaluate_network
+from repro.mapping.optimizer import optimize_mapping
+from repro.nn.layer import conv_layer
+from repro.nn.networks import alexnet_conv_layers
+
+COSTS = EnergyCosts.table_iv()
+LAYER = conv_layer("t", H=15, R=3, E=13, C=16, M=32, U=1, N=4)
+
+
+def rs_mapping(layer=LAYER):
+    hw = HardwareConfig.eyeriss_paper_baseline(256)
+    return optimize_mapping(DATAFLOWS["RS"], layer, hw).best
+
+
+class TestBreakdowns:
+    def test_level_and_type_views_agree(self):
+        """by_level total == by_type total + ALU (both views of one sum)."""
+        mapping = rs_mapping()
+        breakdown = breakdown_mapping(mapping, COSTS)
+        assert breakdown.by_level.total == pytest.approx(
+            breakdown.by_type.total + mapping.macs * COSTS.alu)
+
+    def test_total_matches_mapping_energy(self):
+        mapping = rs_mapping()
+        breakdown = breakdown_mapping(mapping, COSTS)
+        assert breakdown.total == pytest.approx(mapping.total_energy(COSTS))
+
+    def test_level_breakdown_addition_and_scaling(self):
+        a = LevelBreakdown(alu=1, dram=2, buffer=3, array=4, rf=5)
+        b = LevelBreakdown(alu=10, dram=20, buffer=30, array=40, rf=50)
+        total = a + b
+        assert total.rf == 55 and total.total == 165
+        assert a.scaled(2.0).dram == 4
+
+    def test_type_breakdown_addition_and_scaling(self):
+        a = TypeBreakdown(ifmaps=1, weights=2, psums=3)
+        assert (a + a).total == 12
+        assert a.scaled(0.5).weights == 1
+
+    def test_on_chip_data_excludes_dram_and_alu(self):
+        level = LevelBreakdown(alu=1, dram=100, buffer=5, array=3, rf=10)
+        assert level.on_chip_data == 18
+
+    def test_breakdown_sum(self):
+        mapping = rs_mapping()
+        one = breakdown_mapping(mapping, COSTS)
+        two = one + one
+        assert two.total == pytest.approx(2 * one.total)
+
+
+class TestEdpHelpers:
+    def test_delay_per_op(self):
+        mapping = rs_mapping()
+        assert delay_per_op(mapping) == pytest.approx(1 / mapping.active_pes)
+
+    def test_aggregate_delay_weights_by_macs(self):
+        m = rs_mapping()
+        assert aggregate_delay_per_op([m, m]) == pytest.approx(
+            1 / m.active_pes)
+
+    def test_edp_per_op(self):
+        m = rs_mapping()
+        assert edp_per_op([m], COSTS) == pytest.approx(
+            m.energy_per_mac(COSTS) / m.active_pes)
+
+    def test_average_utilization(self):
+        m = rs_mapping()
+        util = average_utilization([m], 256)
+        assert util == pytest.approx(m.active_pes / 256)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_delay_per_op([])
+
+
+class TestEvaluate:
+    def test_evaluate_layer_returns_accounting(self):
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        ev = evaluate_layer(DATAFLOWS["RS"], LAYER, hw)
+        assert ev is not None
+        assert ev.energy_per_op == pytest.approx(
+            ev.breakdown.total / LAYER.macs)
+        assert ev.dram_accesses_per_op > 0
+
+    def test_evaluate_layer_infeasible_returns_none(self):
+        hw = HardwareConfig.equal_area(256, DATAFLOWS["WS"].rf_bytes_per_pe)
+        conv1_n64 = conv_layer("CONV1", H=227, R=11, E=55, C=3, M=96,
+                               U=4, N=64)
+        assert evaluate_layer(DATAFLOWS["WS"], conv1_n64, hw) is None
+
+    def test_network_aggregation_consistency(self):
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        layers = alexnet_conv_layers(1)
+        ev = evaluate_network(DATAFLOWS["RS"], layers, hw)
+        assert ev.feasible
+        per_layer = sum(e.breakdown.total for e in ev.evaluations)
+        assert ev.breakdown.total == pytest.approx(per_layer)
+        assert ev.energy_per_op == pytest.approx(
+            per_layer / ev.total_macs)
+
+    def test_network_dram_split(self):
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        ev = evaluate_network(DATAFLOWS["RS"], alexnet_conv_layers(1), hw)
+        assert ev.dram_accesses_per_op == pytest.approx(
+            ev.dram_reads_per_op + ev.dram_writes_per_op)
+        # Writes are exactly the ofmaps (a=1 for psums everywhere).
+        ofmaps = sum(l.ofmap_words for l in ev.layers)
+        assert ev.dram_writes_per_op == pytest.approx(
+            ofmaps / ev.total_macs)
+
+    def test_infeasible_network_raises_on_aggregates(self):
+        hw = HardwareConfig.equal_area(256, DATAFLOWS["WS"].rf_bytes_per_pe)
+        ev = evaluate_network(DATAFLOWS["WS"], alexnet_conv_layers(64), hw)
+        assert not ev.feasible
+        with pytest.raises(RuntimeError, match="no feasible mapping"):
+            _ = ev.energy_per_op
+
+    def test_empty_network_rejected(self):
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        with pytest.raises(ValueError):
+            evaluate_network(DATAFLOWS["RS"], [], hw)
+
+    def test_custom_costs_flow_through(self):
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        free_dram = EnergyCosts(dram=6, buffer=6, array=2, rf=1)
+        base = evaluate_layer(DATAFLOWS["RS"], LAYER, hw)
+        cheap = evaluate_layer(DATAFLOWS["RS"], LAYER, hw, costs=free_dram)
+        assert cheap.energy_per_op < base.energy_per_op

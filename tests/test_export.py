@@ -1,0 +1,58 @@
+"""Tests for the CSV figure exporter."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_all,
+    export_fig7,
+    export_fig10,
+    export_fig15,
+)
+from repro.dataflows.registry import DATAFLOWS
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExport:
+    def test_fig7_csv(self, tmp_path):
+        path = export_fig7(tmp_path)
+        rows = read_csv(path)
+        assert rows[0][0] == "dataflow"
+        assert {r[0] for r in rows[1:]} == set(DATAFLOWS)
+
+    def test_fig10_csv(self, tmp_path):
+        path = export_fig10(tmp_path)
+        rows = read_csv(path)
+        assert len(rows) == 1 + 8  # header + 8 AlexNet layers
+        # Total column equals the sum of the component columns.
+        for row in rows[1:]:
+            parts = sum(float(v) for v in row[2:7])
+            assert parts == pytest.approx(float(row[7]), rel=1e-6)
+
+    def test_fig15_csv(self, tmp_path):
+        path = export_fig15(tmp_path)
+        rows = read_csv(path)
+        assert rows[0][0] == "num_pes"
+        assert len(rows) > 5
+
+    def test_export_all_writes_every_figure(self, tmp_path):
+        paths = export_all(tmp_path)
+        assert set(paths) == {"fig7", "fig10", "conv_suite", "fc_suite",
+                              "fig15"}
+        for path in paths.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_conv_suite_marks_infeasible(self, tmp_path):
+        from repro.analysis.export import export_conv_suite
+
+        rows = read_csv(export_conv_suite(tmp_path))
+        header = rows[0]
+        feas_idx = header.index("feasible")
+        ws_n64 = [r for r in rows[1:]
+                  if r[0] == "WS" and r[1] == "256" and r[2] == "64"]
+        assert ws_n64 and ws_n64[0][feas_idx] == "0"

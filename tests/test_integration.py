@@ -1,0 +1,125 @@
+"""Cross-model integration tests.
+
+The analytical framework (Eq. (3)/(4) accounting over optimized mappings)
+and the functional simulators (event traces from executing the dataflow)
+are built independently; these tests pin them against each other, which
+is how the paper uses the chip to validate the model (Section VII-A).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.energy.model import evaluate_layer
+from repro.mapping.folding import plan_from_mapping_params
+from repro.nn.layer import conv_layer
+from repro.nn.reference import random_layer_tensors
+from repro.sim import simulate_layer, simulate_ws_layer
+from repro.sim.simulator import RowStationarySimulator
+
+LAYER = conv_layer("xcheck", H=14, R=3, E=12, C=4, M=8, U=1, N=2)
+COSTS = EnergyCosts.table_iv()
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return HardwareConfig.eyeriss_paper_baseline(256)
+
+
+@pytest.fixture(scope="module")
+def rs_pair(hw):
+    """(analytical evaluation, simulator report) for the same RS mapping."""
+    ev = evaluate_layer(DATAFLOWS["RS"], LAYER, hw)
+    plan = plan_from_mapping_params(LAYER, hw, ev.mapping.params)
+    ifmap, w, b = random_layer_tensors(LAYER, integer=True)
+    _, report = RowStationarySimulator(LAYER, plan).run(ifmap, w, b)
+    return ev, report
+
+
+class TestRsModelVsSimulator:
+    def test_same_mac_count(self, rs_pair):
+        ev, report = rs_pair
+        assert report.trace.macs == ev.mapping.macs == LAYER.macs
+
+    def test_same_pass_structure(self, hw, rs_pair):
+        ev, report = rs_pair
+        plan = plan_from_mapping_params(LAYER, hw, ev.mapping.params)
+        assert report.passes_executed == plan.num_passes
+        assert plan.active_pes == ev.mapping.active_pes
+
+    def test_dram_traffic_same_regime(self, rs_pair):
+        """Simulated DRAM words within 3x of the analytical accounting
+        (the simulator assumes ideal residency; the model may charge
+        streaming scenarios)."""
+        ev, report = rs_pair
+        sim = report.trace.level_total(MemoryLevel.DRAM)
+        counts = ev.mapping.access_counts()
+        model = counts.dram + ev.mapping.dram_writes - 0  # reads incl. a>1
+        model_total = ev.mapping.dram_reads + ev.mapping.dram_writes
+        assert sim <= 3 * model_total
+        assert model_total <= 3 * sim
+
+    def test_rf_dominates_in_both(self, rs_pair):
+        ev, report = rs_pair
+        sim_rf = report.trace.level_total(MemoryLevel.RF)
+        sim_dram = report.trace.level_total(MemoryLevel.DRAM)
+        model_counts = ev.mapping.access_counts()
+        assert sim_rf > 10 * sim_dram
+        assert model_counts.rf > 10 * model_counts.dram
+
+    def test_energy_same_regime(self, rs_pair):
+        ev, report = rs_pair
+        sim_energy = report.trace.energy(COSTS)
+        model_energy = ev.mapping.total_energy(COSTS)
+        assert 0.3 < sim_energy / model_energy < 3.0
+
+
+class TestDataflowSimulatorsAgree:
+    def test_rs_and_ws_compute_identical_outputs(self, hw):
+        """Two different dataflows, one arithmetic result (Eq. (1))."""
+        ifmap, w, b = random_layer_tensors(LAYER, seed=9, integer=True)
+        rs_out, _ = simulate_layer(LAYER, hw, ifmap, w, b)
+        ws_out, _ = simulate_ws_layer(LAYER, hw, ifmap, w, b)
+        assert np.array_equal(rs_out, ws_out)
+
+    def test_ws_pays_more_dram_than_rs(self, hw):
+        """The Fig. 11 ordering, observed from execution traces.
+
+        Needs more filters than WS can hold in flight (M >> m_f), which
+        is what forces its ifmap re-fetches on the real AlexNet layers.
+        """
+        from repro.sim.ws_simulator import WsSchedule
+
+        many_filters = conv_layer("mf", H=14, R=3, E=12, C=4, M=64, U=1,
+                                  N=1)
+        ifmap, w, b = random_layer_tensors(many_filters, integer=True)
+        _, rs_report = simulate_layer(many_filters, hw, ifmap, w, b)
+        _, ws_trace = simulate_ws_layer(many_filters, hw, ifmap, w, b,
+                                        schedule=WsSchedule(m_f=4, c_f=4))
+        # Compare reads (writes are the identical ofmap write-back).
+        def dram_reads(trace):
+            return sum(v for (lvl, _), v in trace.reads.items()
+                       if lvl is MemoryLevel.DRAM)
+
+        assert dram_reads(ws_trace) > 2 * dram_reads(rs_report.trace)
+
+    def test_rs_keeps_more_traffic_in_rf_than_ws(self, hw):
+        ifmap, w, b = random_layer_tensors(LAYER, integer=True)
+        _, rs_report = simulate_layer(LAYER, hw, ifmap, w, b)
+        _, ws_trace = simulate_ws_layer(LAYER, hw, ifmap, w, b)
+        assert (rs_report.trace.level_total(MemoryLevel.RF)
+                > ws_trace.level_total(MemoryLevel.RF))
+
+    def test_trace_energy_ordering_matches_model(self, hw):
+        """Executable traces reproduce the analytical RS < WS verdict."""
+        from repro.sim.ws_simulator import WsSchedule
+
+        many_filters = conv_layer("mf", H=14, R=3, E=12, C=4, M=64, U=1,
+                                  N=1)
+        ifmap, w, b = random_layer_tensors(many_filters, integer=True)
+        _, rs_report = simulate_layer(many_filters, hw, ifmap, w, b)
+        _, ws_trace = simulate_ws_layer(many_filters, hw, ifmap, w, b,
+                                        schedule=WsSchedule(m_f=4, c_f=4))
+        assert rs_report.trace.energy(COSTS) < ws_trace.energy(COSTS)

@@ -1,0 +1,98 @@
+"""Unit tests for the layer-shape substrate (Table I semantics)."""
+
+import pytest
+
+from repro.nn.layer import LayerShape, LayerType, conv_layer, fc_layer, pool_layer
+
+
+class TestConstruction:
+    def test_conv_constructor(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8)
+        assert layer.layer_type is LayerType.CONV
+        assert layer.U == 1 and layer.N == 1
+
+    def test_fc_constructor_sets_degenerate_shape(self):
+        layer = fc_layer("f", C=16, M=32, R=6)
+        assert layer.H == layer.R == 6
+        assert layer.E == 1 and layer.U == 1
+        assert layer.is_fc
+
+    def test_pool_constructor(self):
+        layer = pool_layer("p", H=55, R=3, E=27, C=96, U=2)
+        assert layer.layer_type is LayerType.POOL
+
+    def test_inconsistent_e_rejected(self):
+        with pytest.raises(ValueError, match="expected E"):
+            LayerShape(name="bad", H=15, R=3, E=12, C=4, M=8)
+
+    def test_filter_larger_than_ifmap_rejected(self):
+        with pytest.raises(ValueError, match="exceeds ifmap"):
+            LayerShape(name="bad", H=3, R=5, E=1, C=1, M=1)
+
+    @pytest.mark.parametrize("field", ["H", "R", "E", "C", "M", "U", "N"])
+    def test_nonpositive_parameter_rejected(self, field):
+        kwargs = dict(name="bad", H=15, R=3, E=13, C=4, M=8, U=1, N=1)
+        kwargs[field] = 0
+        with pytest.raises(ValueError, match="positive integer"):
+            LayerShape(**kwargs)
+
+    def test_non_integer_parameter_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            LayerShape(name="bad", H=15.0, R=3, E=13, C=4, M=8)
+
+    def test_fc_shape_constraints_enforced(self):
+        with pytest.raises(ValueError, match="FC layers require"):
+            LayerShape(name="bad", H=15, R=3, E=13, C=4, M=8,
+                       layer_type=LayerType.FC)
+
+    def test_stride_consistency(self):
+        layer = conv_layer("s", H=227, R=11, E=55, C=3, M=96, U=4)
+        assert (layer.H - layer.R + layer.U) // layer.U == layer.E
+
+
+class TestDerivedCounts:
+    def test_macs(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8, N=2)
+        assert layer.macs == 2 * 8 * 4 * 13 * 13 * 3 * 3
+
+    def test_data_volumes(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8, N=2)
+        assert layer.ifmap_words == 2 * 4 * 15 * 15
+        assert layer.filter_words == 8 * 4 * 3 * 3
+        assert layer.ofmap_words == 2 * 8 * 13 * 13
+
+    def test_filter_reuse_is_n_e_squared(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8, N=2)
+        assert layer.filter_reuse == 2 * 13 * 13
+
+    def test_psum_accumulations_is_c_r_squared(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8)
+        assert layer.psum_accumulations == 4 * 9
+
+    def test_ifmap_reuse_consistency(self):
+        """ifmap_reuse * ifmap_words == total MACs (exact identity)."""
+        layer = conv_layer("c", H=31, R=5, E=27, C=48, M=256, N=16)
+        assert layer.ifmap_reuse * layer.ifmap_words == pytest.approx(layer.macs)
+
+    def test_fc_reuse_degenerates(self):
+        layer = fc_layer("f", C=16, M=32, R=6, N=4)
+        assert layer.filter_reuse == 4            # N * E^2 with E = 1
+        assert layer.ifmap_reuse == pytest.approx(32)  # M filters
+        assert layer.psum_accumulations == 16 * 36
+
+    def test_with_batch_returns_new_shape(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8)
+        batched = layer.with_batch(64)
+        assert batched.N == 64 and layer.N == 1
+        assert batched.macs == 64 * layer.macs
+
+    def test_describe_mentions_name_and_macs(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8)
+        text = layer.describe()
+        assert "c" in text and "CONV" in text
+
+    def test_shapes_are_hashable_and_frozen(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8)
+        assert hash(layer)
+        with pytest.raises(AttributeError):
+            layer.N = 3

@@ -1,0 +1,114 @@
+"""Tests for the logical PE sets (Fig. 6) and the two-phase folding."""
+
+import pytest
+
+from repro.arch.hardware import HardwareConfig
+from repro.mapping.folding import FoldingPlan, plan_from_mapping_params
+from repro.mapping.logical import (
+    LogicalSet,
+    build_logical_sets,
+    logical_array_size,
+)
+from repro.nn.layer import conv_layer
+
+LAYER = conv_layer("t", H=7, R=3, E=5, C=2, M=3, U=1, N=2)
+
+
+class TestLogicalSet:
+    def setup_method(self):
+        self.set_ = LogicalSet(n=0, m=0, c=0, height=3, width=5, stride=1)
+
+    def test_pe_indexing(self):
+        pe = self.set_.pe(1, 2)
+        assert pe.filter_row == 1
+        assert pe.ifmap_row == 3   # i + U*j = 1 + 2
+        assert pe.psum_row == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.set_.pe(3, 0)
+
+    def test_total_pes(self):
+        assert len(self.set_.pes()) == 15
+
+    def test_horizontal_filter_sharing(self):
+        """Fig. 6a: filter row i spans the whole set row."""
+        groups = self.set_.filter_row_groups()
+        assert groups[1] == [(1, j) for j in range(5)]
+
+    def test_diagonal_ifmap_sharing(self):
+        """Fig. 6b: ifmap row k is used along the anti-diagonal i+j=k."""
+        groups = self.set_.ifmap_row_groups()
+        assert set(groups[2]) == {(0, 2), (1, 1), (2, 0)}
+        # Edge rows touch fewer PEs.
+        assert set(groups[0]) == {(0, 0)}
+        # H = R + E - 1 = 7 distinct ifmap rows.
+        assert len(groups) == 7
+
+    def test_vertical_psum_accumulation(self):
+        """Fig. 6c: psum row j accumulates down column j."""
+        groups = self.set_.psum_row_groups()
+        assert groups[4] == [(i, 4) for i in range(3)]
+
+    def test_strided_diagonal(self):
+        strided = LogicalSet(n=0, m=0, c=0, height=3, width=3, stride=2)
+        groups = strided.ifmap_row_groups()
+        assert set(groups[2]) == {(2, 0), (0, 1)}  # i + 2j = 2
+
+
+class TestBuildSets:
+    def test_one_set_per_nmc(self):
+        sets = build_logical_sets(LAYER)
+        assert len(sets) == LAYER.N * LAYER.M * LAYER.C
+        assert len({(s.n, s.m, s.c) for s in sets}) == len(sets)
+
+    def test_logical_array_size(self):
+        assert logical_array_size(LAYER) == (
+            LAYER.N * LAYER.M * LAYER.C * LAYER.R * LAYER.E)
+
+
+class TestFoldingPlan:
+    def make_plan(self, **overrides):
+        kwargs = dict(layer=LAYER, array_h=6, array_w=10, e=5,
+                      n_s=2, m_s=1, c_s=1, n_r=1, m_r=3, c_r=2)
+        kwargs.update(overrides)
+        return FoldingPlan(**kwargs)
+
+    def test_full_coverage(self):
+        self.make_plan().validate_coverage()
+
+    def test_strip_coverage(self):
+        plan = self.make_plan(e=1, n_s=1)  # five strips per conv
+        plan.validate_coverage()
+        assert plan.strips == 5
+
+    def test_pass_count(self):
+        plan = self.make_plan()
+        assert plan.num_passes == len(list(plan.passes()))
+        # strips(1) * N/(2*1) * M/(1*3) * C/(1*2) = 1.
+        assert plan.num_passes == 1
+
+    def test_active_pes(self):
+        assert self.make_plan().active_pes == 2 * 3 * 5  # sets * R * e
+
+    def test_invalid_strip_rejected(self):
+        with pytest.raises(ValueError, match="must divide"):
+            self.make_plan(e=2)
+
+    def test_nondivisible_fold_rejected(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            self.make_plan(m_r=2)
+
+    def test_too_many_spatial_sets_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            self.make_plan(n_s=2, m_s=3, c_s=2, m_r=1, c_r=1)
+
+    def test_plan_from_optimizer_params(self, baseline_hw):
+        from repro.dataflows.row_stationary import RowStationary
+        from repro.mapping.optimizer import optimize_mapping
+
+        result = optimize_mapping(RowStationary(), LAYER, baseline_hw)
+        plan = plan_from_mapping_params(LAYER, baseline_hw,
+                                        result.best.params)
+        plan.validate_coverage()
+        assert plan.active_pes == result.best.active_pes

@@ -1,0 +1,77 @@
+"""Tests for the Mapping record and its aggregated accounting."""
+
+import pytest
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.mapping.mapping import Mapping
+from repro.mapping.reuse import AccumSplit, ReuseSplit
+
+COSTS = EnergyCosts.table_iv()
+
+
+def make_mapping(active=4, macs=1000) -> Mapping:
+    return Mapping(
+        dataflow="TEST",
+        ifmap=ReuseSplit(unique_values=10, a=1, b=2, c=1, d=5,
+                         total_reuse=10),
+        filter=ReuseSplit(unique_values=20, a=2, b=1, c=1, d=3,
+                          total_reuse=6),
+        psum=AccumSplit(unique_values=5, a=1, b=2, c=3, d=4,
+                        total_accumulations=24),
+        active_pes=active,
+        macs=macs,
+        params={"x": 1},
+    )
+
+
+class TestMappingAccounting:
+    def test_data_energy_is_sum_of_types(self):
+        m = make_mapping()
+        expected = (m.ifmap.energy(COSTS) + m.filter.energy(COSTS)
+                    + m.psum.energy(COSTS))
+        assert m.data_energy(COSTS) == pytest.approx(expected)
+
+    def test_total_energy_adds_alu(self):
+        m = make_mapping(macs=1000)
+        assert m.total_energy(COSTS) == pytest.approx(
+            m.data_energy(COSTS) + 1000)
+
+    def test_energy_per_mac(self):
+        m = make_mapping(macs=1000)
+        assert m.energy_per_mac(COSTS) == pytest.approx(
+            m.total_energy(COSTS) / 1000)
+
+    def test_dram_reads(self):
+        m = make_mapping()
+        # ifmap 10 values x a=1, filter 20 values x a=2, psum a=1 (no
+        # psum re-reads).
+        assert m.dram_reads == pytest.approx(10 + 40)
+
+    def test_dram_writes_are_ofmap_writeback(self):
+        assert make_mapping().dram_writes == pytest.approx(5)
+
+    def test_dram_accesses_per_op(self):
+        m = make_mapping(macs=1000)
+        assert m.dram_accesses_per_op == pytest.approx((50 + 5) / 1000)
+
+    def test_delay_and_edp(self):
+        m = make_mapping(active=4)
+        assert m.delay == pytest.approx(0.25)
+        assert m.edp(COSTS) == pytest.approx(m.energy_per_mac(COSTS) / 4)
+
+    def test_access_counts_sum_types(self):
+        m = make_mapping()
+        counts = m.access_counts()
+        assert counts.dram == pytest.approx(
+            m.ifmap.access_counts().dram + m.filter.access_counts().dram
+            + m.psum.access_counts().dram)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one PE"):
+            make_mapping(active=0)
+        with pytest.raises(ValueError, match="at least one MAC"):
+            make_mapping(macs=0)
+
+    def test_describe_contains_params_and_splits(self):
+        text = make_mapping().describe()
+        assert "TEST" in text and "x=1" in text and "ifmap" in text

@@ -1,0 +1,125 @@
+"""Tests for the whole-network abstraction and its shape inference."""
+
+import numpy as np
+import pytest
+
+from repro.nn.network import (
+    FC,
+    Conv,
+    Network,
+    Pool,
+    ReLU,
+    alexnet_network,
+    grouped_conv_reference,
+    mini_cnn,
+    pad_planes,
+)
+from repro.nn.networks import alexnet
+from repro.nn.reference import conv_layer_reference
+
+
+class TestShapeInference:
+    def test_alexnet_reproduces_table_ii(self):
+        """Shape inference from the 227x227x3 input must derive every
+        Table II row, including padded sizes and grouped channel counts."""
+        inferred = {l.name: l for l in alexnet_network().layer_shapes()}
+        for expected in alexnet():
+            got = inferred[expected.name]
+            assert (got.H, got.R, got.E, got.C, got.M, got.U) == (
+                expected.H, expected.R, expected.E, expected.C,
+                expected.M, expected.U), expected.name
+
+    def test_conv_output_size(self):
+        net = Network("n", input_channels=3, input_size=8,
+                      ops=[Conv("c", filters=4, kernel=3, padding=1)])
+        assert net.resolved[0].out_size == 8
+
+    def test_pool_halves(self):
+        net = Network("n", input_channels=2, input_size=8,
+                      ops=[Pool("p", window=2, stride=2)])
+        assert net.resolved[0].out_size == 4
+
+    def test_relu_preserves_shape(self):
+        net = Network("n", input_channels=2, input_size=8,
+                      ops=[ReLU("a")])
+        r = net.resolved[0]
+        assert (r.out_channels, r.out_size) == (2, 8)
+
+    def test_fc_flattens(self):
+        net = Network("n", input_channels=4, input_size=3,
+                      ops=[FC("f", neurons=10)])
+        layer = net.resolved[0].layer
+        assert layer.is_fc and layer.C == 4 and layer.R == 3
+
+    def test_bad_conv_geometry_rejected(self):
+        with pytest.raises(ValueError, match="do not tile"):
+            Network("n", input_channels=1, input_size=8,
+                    ops=[Conv("c", filters=1, kernel=3, stride=2)])
+
+    def test_bad_pool_geometry_rejected(self):
+        with pytest.raises(ValueError, match="do not tile"):
+            Network("n", input_channels=1, input_size=7,
+                    ops=[Pool("p", window=2, stride=2)])
+
+    def test_bad_groups_rejected(self):
+        with pytest.raises(ValueError, match="groups"):
+            Network("n", input_channels=3, input_size=8,
+                    ops=[Conv("c", filters=4, kernel=3, groups=2)])
+
+    def test_batch_propagates(self):
+        net = mini_cnn(batch=8)
+        assert all(l.N == 8 for l in net.layer_shapes())
+
+    def test_total_macs_positive(self):
+        # AlexNet is ~0.7 GMAC per image (CONV ~0.66 G + FC ~0.06 G).
+        assert alexnet_network().total_macs() > 500_000_000
+
+    def test_describe_lists_every_op(self):
+        text = mini_cnn().describe()
+        for op in mini_cnn().ops:
+            assert op.name in text
+
+
+class TestReferenceForward:
+    def test_mini_cnn_forward_shape(self):
+        net = mini_cnn(batch=2)
+        params = net.random_parameters(integer=True)
+        x = net.random_input(integer=True)
+        out = net.reference_forward(x, params)
+        assert out.shape == (2, 10, 1, 1)
+
+    def test_grouped_conv_matches_per_group_conv(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-3, 4, (1, 4, 6, 6))
+        w = rng.integers(-3, 4, (6, 2, 3, 3))
+        b = rng.integers(-3, 4, (6,))
+        out = grouped_conv_reference(x, w, b, stride=1, groups=2)
+        top = conv_layer_reference(x[:, :2], w[:3], b[:3])
+        bottom = conv_layer_reference(x[:, 2:], w[3:], b[3:])
+        assert np.array_equal(out, np.concatenate([top, bottom], axis=1))
+
+    def test_groups_1_is_plain_conv(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-3, 4, (1, 2, 5, 5))
+        w = rng.integers(-3, 4, (3, 2, 3, 3))
+        b = rng.integers(-3, 4, (3,))
+        assert np.array_equal(grouped_conv_reference(x, w, b, 1, groups=1),
+                              conv_layer_reference(x, w, b))
+
+    def test_pad_planes(self):
+        x = np.ones((1, 1, 2, 2))
+        padded = pad_planes(x, 1)
+        assert padded.shape == (1, 1, 4, 4)
+        assert padded[0, 0, 0, 0] == 0 and padded[0, 0, 1, 1] == 1
+
+    def test_pad_zero_is_identity(self):
+        x = np.ones((1, 1, 2, 2))
+        assert pad_planes(x, 0) is x
+
+    def test_parameters_match_layer_shapes(self):
+        net = alexnet_network()
+        params = net.random_parameters()
+        for layer in net.layer_shapes():
+            w, b = params[layer.name]
+            assert w.shape == (layer.M, layer.C, layer.R, layer.R)
+            assert b.shape == (layer.M,)

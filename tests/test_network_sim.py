@@ -1,0 +1,77 @@
+"""End-to-end network simulation tests: the full CONV/ACT/POOL/FC stack
+executed on the simulated RS accelerator must match the reference."""
+
+import numpy as np
+import pytest
+
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+from repro.nn.network import FC, Conv, Network, Pool, ReLU
+from repro.sim.network_sim import simulate_network, verify_network
+
+
+def grouped_net(batch=1):
+    return Network("grouped", input_channels=4, input_size=10, batch=batch,
+                   ops=[
+                       Conv("c1", filters=8, kernel=3, padding=1, groups=2),
+                       ReLU("a1"),
+                       Pool("p1", window=2, stride=2),
+                       FC("fc", neurons=6),
+                   ])
+
+
+class TestNetworkSim:
+    def test_mini_cnn_end_to_end(self, baseline_hw):
+        from repro.nn.network import mini_cnn
+
+        result = verify_network(mini_cnn(batch=2), baseline_hw)
+        assert result.output.shape == (2, 10, 1, 1)
+        assert set(result.traces) == {"conv1", "pool1", "conv2", "pool2",
+                                      "fc"}
+
+    def test_grouped_conv_network(self, baseline_hw):
+        result = verify_network(grouped_net(batch=2), baseline_hw)
+        assert result.output.shape == (2, 6, 1, 1)
+
+    def test_verify_raises_on_divergence(self, baseline_hw):
+        net = grouped_net()
+        params = net.random_parameters(integer=True)
+        x = net.random_input(integer=True)
+        result = simulate_network(net, baseline_hw, x, params)
+        expected = net.reference_forward(x, params)
+        assert np.array_equal(result.output, expected)
+
+    def test_total_trace_merges_ops(self, baseline_hw):
+        from repro.nn.network import mini_cnn
+
+        result = verify_network(mini_cnn(), baseline_hw)
+        total = result.total_trace()
+        assert total.macs == sum(t.macs for t in result.traces.values())
+
+    def test_energy_by_op(self, baseline_hw):
+        from repro.nn.network import mini_cnn
+
+        result = verify_network(mini_cnn(), baseline_hw)
+        costs = EnergyCosts.table_iv()
+        per_op = result.energy_by_op(costs)
+        assert per_op.keys() == result.traces.keys()
+        assert result.total_energy(costs) == pytest.approx(
+            sum(per_op.values()))
+
+    def test_conv_dominates_network_energy(self, baseline_hw):
+        """The Section III-B premise: CONV work dwarfs POOL work."""
+        from repro.nn.network import mini_cnn
+
+        result = verify_network(mini_cnn(), baseline_hw)
+        costs = EnergyCosts.table_iv()
+        per_op = result.energy_by_op(costs)
+        conv = per_op["conv1"] + per_op["conv2"]
+        pool = per_op["pool1"] + per_op["pool2"]
+        assert conv > pool
+
+    def test_rf_traffic_dominates(self, baseline_hw):
+        from repro.nn.network import mini_cnn
+
+        result = verify_network(mini_cnn(), baseline_hw)
+        total = result.total_trace()
+        assert (total.level_total(MemoryLevel.RF)
+                > total.level_total(MemoryLevel.DRAM))

@@ -1,0 +1,88 @@
+"""Tests for the reference workloads: Table II must be exact."""
+
+import pytest
+
+from repro.nn.layer import LayerType
+from repro.nn.networks import (
+    alexnet,
+    alexnet_conv_layers,
+    alexnet_fc_layers,
+    total_macs,
+    vgg16,
+)
+
+# Table II of the paper, verbatim: (name, H, R, E, C, M, U).
+TABLE_II = [
+    ("CONV1", 227, 11, 55, 3, 96, 4),
+    ("CONV2", 31, 5, 27, 48, 256, 1),
+    ("CONV3", 15, 3, 13, 256, 384, 1),
+    ("CONV4", 15, 3, 13, 192, 384, 1),
+    ("CONV5", 15, 3, 13, 192, 256, 1),
+    ("FC1", 6, 6, 1, 256, 4096, 1),
+    ("FC2", 1, 1, 1, 4096, 4096, 1),
+    ("FC3", 1, 1, 1, 4096, 1000, 1),
+]
+
+
+class TestAlexNet:
+    @pytest.mark.parametrize("row", TABLE_II, ids=[r[0] for r in TABLE_II])
+    def test_table_ii_shapes_exact(self, row):
+        name, h, r, e, c, m, u = row
+        layer = next(l for l in alexnet() if l.name == name)
+        assert (layer.H, layer.R, layer.E, layer.C, layer.M, layer.U) == (
+            h, r, e, c, m, u)
+
+    def test_eight_layers(self):
+        assert len(alexnet()) == 8
+
+    def test_batch_size_applied_everywhere(self):
+        for layer in alexnet(batch_size=16):
+            assert layer.N == 16
+
+    def test_conv_fc_split(self):
+        assert len(alexnet_conv_layers()) == 5
+        assert len(alexnet_fc_layers()) == 3
+        assert all(not l.is_fc for l in alexnet_conv_layers())
+        assert all(l.is_fc for l in alexnet_fc_layers())
+
+    def test_conv1_macs(self):
+        """CONV1: 96 * 3 * 55^2 * 11^2 = ~105M MACs per image."""
+        conv1 = alexnet()[0]
+        assert conv1.macs == 96 * 3 * 55 * 55 * 11 * 11
+
+    def test_conv_layers_dominate_operations(self):
+        """Section III-B: CONV layers are >90% of AlexNet operations."""
+        conv = total_macs(alexnet_conv_layers())
+        everything = total_macs(alexnet())
+        assert conv / everything > 0.90
+
+    def test_fc_layers_dominate_weights(self):
+        """Section III-B: FC layers hold most of the filter weights."""
+        conv_w = sum(l.filter_words for l in alexnet_conv_layers())
+        fc_w = sum(l.filter_words for l in alexnet_fc_layers())
+        assert fc_w > 10 * conv_w
+
+    def test_fc1_consumes_conv5_output(self):
+        """FC1's ifmap (6x6x256) matches CONV5's pooled output channels."""
+        fc1 = next(l for l in alexnet() if l.name == "FC1")
+        conv5 = next(l for l in alexnet() if l.name == "CONV5")
+        assert fc1.C == conv5.M
+
+
+class TestVGG16:
+    def test_sixteen_layers(self):
+        assert len(vgg16()) == 16
+
+    def test_all_conv_filters_3x3(self):
+        for layer in vgg16():
+            if layer.layer_type is LayerType.CONV:
+                assert layer.R == 3 and layer.U == 1
+
+    def test_padded_ifmap_sizes(self):
+        for layer in vgg16():
+            if layer.layer_type is LayerType.CONV:
+                assert layer.H == layer.E + 2
+
+    def test_vgg_has_more_conv_work_than_alexnet(self):
+        assert (total_macs([l for l in vgg16() if not l.is_fc])
+                > 10 * total_macs(alexnet_conv_layers()))

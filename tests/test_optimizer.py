@@ -1,0 +1,83 @@
+"""Tests for the mapping optimizer (Section VI-C-3)."""
+
+import pytest
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.mapping.optimizer import OBJECTIVES, optimize_mapping
+from repro.nn.layer import conv_layer
+
+LAYER = conv_layer("t", H=31, R=5, E=27, C=48, M=256, U=1, N=16)
+COSTS = EnergyCosts.table_iv()
+
+
+def hw_for(name: str, pes: int = 256) -> HardwareConfig:
+    return HardwareConfig.equal_area(pes, DATAFLOWS[name].rf_bytes_per_pe)
+
+
+class TestOptimizer:
+    def test_best_is_minimum_over_candidates(self):
+        df = DATAFLOWS["RS"]
+        hw = hw_for("RS")
+        result = optimize_mapping(df, LAYER, hw, tie_tolerance=0.0)
+        assert result.feasible
+        energies = [m.energy_per_mac(COSTS)
+                    for m in df.enumerate_mappings(LAYER, hw)]
+        assert result.best.energy_per_mac(COSTS) == pytest.approx(
+            min(energies))
+        assert result.candidates == len(energies)
+
+    def test_tie_break_prefers_utilization(self):
+        df = DATAFLOWS["RS"]
+        hw = hw_for("RS")
+        strict = optimize_mapping(df, LAYER, hw, tie_tolerance=0.0)
+        relaxed = optimize_mapping(df, LAYER, hw, tie_tolerance=0.05)
+        assert relaxed.best.active_pes >= strict.best.active_pes
+        # The relaxed pick stays within the tolerance band on energy.
+        assert relaxed.best.energy_per_mac(COSTS) <= (
+            strict.best.energy_per_mac(COSTS) * 1.05 + 1e-9)
+
+    def test_dram_objective(self):
+        df = DATAFLOWS["RS"]
+        hw = hw_for("RS")
+        by_dram = optimize_mapping(df, LAYER, hw, objective="dram")
+        by_energy = optimize_mapping(df, LAYER, hw, objective="energy")
+        assert (by_dram.best.dram_accesses_per_op
+                <= by_energy.best.dram_accesses_per_op + 1e-12)
+
+    def test_edp_objective(self):
+        df = DATAFLOWS["RS"]
+        hw = hw_for("RS")
+        result = optimize_mapping(df, LAYER, hw, objective="edp")
+        assert result.feasible
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            optimize_mapping(DATAFLOWS["RS"], LAYER, hw_for("RS"),
+                             objective="latency")
+
+    def test_infeasible_search_result(self):
+        layer = conv_layer("CONV1", H=227, R=11, E=55, C=3, M=96, U=4, N=64)
+        result = optimize_mapping(DATAFLOWS["WS"], layer, hw_for("WS", 256))
+        assert not result.feasible
+        assert result.best is None
+        assert result.candidates == 0
+
+    def test_all_objectives_registered(self):
+        assert set(OBJECTIVES) == {"energy", "edp", "dram"}
+
+    def test_result_records_names(self):
+        result = optimize_mapping(DATAFLOWS["NLR"], LAYER, hw_for("NLR"))
+        assert result.dataflow == "NLR"
+        assert result.layer == "t"
+        assert result.objective == "energy"
+
+    def test_custom_costs_change_the_winner_scores(self):
+        df = DATAFLOWS["RS"]
+        hw = hw_for("RS")
+        cheap_dram = EnergyCosts(dram=6.0, buffer=6.0, array=2.0, rf=1.0)
+        base = optimize_mapping(df, LAYER, hw)
+        alt = optimize_mapping(df, LAYER, hw, costs=cheap_dram)
+        assert (alt.best.energy_per_mac(cheap_dram)
+                < base.best.energy_per_mac(COSTS))

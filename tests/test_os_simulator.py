@@ -1,0 +1,85 @@
+"""Tests for the output-stationary (OSC) functional simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch.energy_costs import MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.nn.layer import conv_layer, fc_layer
+from repro.nn.reference import conv_layer_reference, random_layer_tensors
+from repro.sim import simulate_layer
+from repro.sim.os_simulator import (
+    OscSchedule,
+    OutputStationarySimulator,
+    simulate_osc_layer,
+)
+from repro.sim.trace import DataKind
+
+
+class TestOscSimulator:
+    @pytest.mark.parametrize("layer", [
+        conv_layer("basic", H=10, R=3, E=8, C=4, M=8, U=1, N=2),
+        conv_layer("strided", H=11, R=3, E=5, C=2, M=4, U=2, N=1),
+        fc_layer("fc", C=8, M=16, R=3, N=4),
+    ], ids=lambda l: l.name)
+    def test_bit_exact_vs_reference(self, layer, baseline_hw):
+        ifmap, w, b = random_layer_tensors(layer, seed=5, integer=True)
+        out, trace = simulate_osc_layer(layer, baseline_hw, ifmap, w, b)
+        ref = conv_layer_reference(ifmap, w, b, stride=layer.U)
+        assert np.array_equal(out, ref)
+        assert trace.macs == layer.macs
+
+    def test_psums_never_touch_the_buffer(self, baseline_hw):
+        """The defining OS property, observed from execution."""
+        layer = conv_layer("t", H=10, R=3, E=8, C=4, M=8, U=1, N=2)
+        ifmap, w, b = random_layer_tensors(layer, integer=True)
+        _, trace = simulate_osc_layer(layer, baseline_hw, ifmap, w, b)
+        assert trace.reads[(MemoryLevel.BUFFER, DataKind.PSUM)] == 0
+        assert trace.writes[(MemoryLevel.BUFFER, DataKind.PSUM)] == 0
+        # RF accumulations: one write per MAC (read-modify-write).
+        assert trace.writes[(MemoryLevel.RF, DataKind.PSUM)] == layer.macs
+
+    def test_conv_overlap_refetched_from_dram(self, baseline_hw):
+        """Table III: OSC re-fetches the window overlap from DRAM, so its
+        ifmap DRAM traffic exceeds the RS simulator's by a wide margin."""
+        layer = conv_layer("t", H=10, R=3, E=8, C=4, M=8, U=1, N=2)
+        ifmap, w, b = random_layer_tensors(layer, integer=True)
+        _, osc_trace = simulate_osc_layer(layer, baseline_hw, ifmap, w, b)
+        _, rs_report = simulate_layer(layer, baseline_hw, ifmap, w, b)
+        osc_if = osc_trace.reads[(MemoryLevel.DRAM, DataKind.IFMAP)]
+        rs_if = rs_report.trace.reads[(MemoryLevel.DRAM, DataKind.IFMAP)]
+        assert osc_if > 3 * rs_if
+
+    def test_weight_deliveries_shared_across_batch(self, baseline_hw):
+        layer = conv_layer("t", H=10, R=3, E=8, C=2, M=4, U=1, N=4)
+        ifmap, w, b = random_layer_tensors(layer, integer=True)
+        _, t4 = simulate_osc_layer(layer, baseline_hw, ifmap, w, b,
+                                   schedule=OscSchedule(m_a=4, n_a=4))
+        _, t1 = simulate_osc_layer(layer, baseline_hw, ifmap, w, b,
+                                   schedule=OscSchedule(m_a=4, n_a=1))
+        # n_a=4 shares one buffer delivery across 4 images.
+        assert (t4.reads[(MemoryLevel.BUFFER, DataKind.FILTER)]
+                == t1.reads[(MemoryLevel.BUFFER, DataKind.FILTER)] // 4)
+
+    def test_schedule_validation(self, baseline_hw):
+        layer = conv_layer("t", H=10, R=3, E=8, C=4, M=8, U=1, N=2)
+        with pytest.raises(ValueError, match="exceed"):
+            OutputStationarySimulator(layer, baseline_hw,
+                                      OscSchedule(m_a=256, n_a=2))
+        with pytest.raises(ValueError, match="divide"):
+            OutputStationarySimulator(layer, baseline_hw,
+                                      OscSchedule(m_a=3, n_a=1))
+        with pytest.raises(ValueError):
+            OscSchedule(m_a=0, n_a=1)
+
+    def test_three_dataflow_simulators_agree(self, baseline_hw):
+        """RS, WS and OSC all execute Eq. (1): identical outputs."""
+        from repro.sim import simulate_ws_layer
+
+        layer = conv_layer("t", H=10, R=3, E=8, C=4, M=8, U=1, N=2)
+        ifmap, w, b = random_layer_tensors(layer, seed=13, integer=True)
+        rs_out, _ = simulate_layer(layer, baseline_hw, ifmap, w, b)
+        ws_out, _ = simulate_ws_layer(layer, baseline_hw, ifmap, w, b)
+        osc_out, _ = simulate_osc_layer(layer, baseline_hw, ifmap, w, b)
+        assert np.array_equal(rs_out, ws_out)
+        assert np.array_equal(rs_out, osc_out)

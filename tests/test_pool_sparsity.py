@@ -1,0 +1,157 @@
+"""Tests for the POOL-layer path (Section V-D) and the sparsity
+extension (Section V-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.reference import pool_layer_reference, relu_reference
+from repro.sim.pool import simulate_pool_layer
+from repro.sim.sparsity import (
+    MAX_RUN,
+    SparsityStats,
+    compressed_words,
+    compression_ratio,
+    run_length_decode,
+    run_length_encode,
+    zero_gating_savings,
+)
+from repro.sim.trace import AccessTrace
+
+
+class TestPool:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        ifmap = rng.integers(-9, 10, (2, 3, 8, 8)).astype(float)
+        out, _ = simulate_pool_layer(ifmap, window=2, stride=2)
+        assert np.array_equal(out, pool_layer_reference(ifmap, 2, 2))
+
+    def test_overlapping_windows(self):
+        rng = np.random.default_rng(1)
+        ifmap = rng.standard_normal((1, 2, 7, 7))
+        out, _ = simulate_pool_layer(ifmap, window=3, stride=2)
+        assert np.allclose(out, pool_layer_reference(ifmap, 3, 2))
+
+    def test_alexnet_pool_geometry(self):
+        """AlexNet pools 3x3 / stride 2 over the 55x55 CONV1 output."""
+        rng = np.random.default_rng(2)
+        ifmap = rng.standard_normal((1, 4, 55, 55))
+        out, _ = simulate_pool_layer(ifmap, window=3, stride=2)
+        assert out.shape == (1, 4, 27, 27)
+        assert np.allclose(out, pool_layer_reference(ifmap, 3, 2))
+
+    def test_trace_counts_comparisons(self):
+        ifmap = np.zeros((1, 1, 4, 4))
+        _, trace = simulate_pool_layer(ifmap, window=2, stride=2)
+        # 4 outputs x 2x2 windows = 16 comparisons.
+        assert trace.macs == 16
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="do not tile"):
+            simulate_pool_layer(np.zeros((1, 1, 6, 6)), window=3, stride=2)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            simulate_pool_layer(np.zeros((1, 1, 6, 5)), window=2, stride=2)
+
+    def test_external_trace_reused(self):
+        trace = AccessTrace()
+        simulate_pool_layer(np.zeros((1, 1, 4, 4)), 2, 2, trace=trace)
+        assert trace.macs > 0
+
+
+class TestRunLengthCoding:
+    def test_simple_roundtrip(self):
+        values = np.array([0, 0, 3, 0, 5, 0, 0, 0])
+        encoded = run_length_encode(values)
+        assert np.array_equal(run_length_decode(encoded, 8), values)
+
+    def test_dense_data_roundtrip(self):
+        values = np.arange(1, 20)
+        assert np.array_equal(
+            run_length_decode(run_length_encode(values), 19), values)
+
+    def test_long_zero_run_split(self):
+        values = np.zeros(100, dtype=np.int64)
+        values[-1] = 7
+        encoded = run_length_encode(values)
+        assert all(run <= MAX_RUN for run, _ in encoded)
+        assert np.array_equal(run_length_decode(encoded, 100), values)
+
+    def test_all_zeros(self):
+        values = np.zeros(10, dtype=np.int64)
+        assert np.array_equal(
+            run_length_decode(run_length_encode(values), 10), values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-8, 8), min_size=0, max_size=200))
+    def test_roundtrip_property(self, data):
+        values = np.array(data, dtype=np.int64)
+        encoded = run_length_encode(values)
+        assert np.array_equal(run_length_decode(encoded, len(values)),
+                              values)
+
+    def test_sparse_data_compresses(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 5, 1000)
+        values[rng.random(1000) < 0.8] = 0
+        assert compression_ratio(values) > 1.5
+        assert compressed_words(values) < 1000
+
+    def test_dense_data_does_not_explode(self):
+        values = np.arange(1, 101)
+        assert compressed_words(values) == 100
+
+    def test_invalid_run_rejected_on_decode(self):
+        with pytest.raises(ValueError, match="invalid run"):
+            run_length_decode([(MAX_RUN + 1, 3)], 40)
+
+
+class TestZeroGating:
+    def test_exact_count_vs_brute_force(self):
+        rng = np.random.default_rng(3)
+        ifmap = rng.integers(0, 3, (1, 2, 6, 6))  # many zeros
+        weights = rng.integers(-2, 3, (4, 2, 3, 3))
+        stats = zero_gating_savings(ifmap, weights)
+        # Brute force: count zero operands over every MAC.
+        skipped = 0
+        e = 4
+        for m in range(4):
+            for x in range(e):
+                for y in range(e):
+                    window = ifmap[0, :, x:x + 3, y:y + 3]
+                    skipped += int((window == 0).sum())
+        assert stats.skipped_macs == skipped
+        assert stats.total_macs == 4 * 2 * e * e * 9
+
+    def test_dense_input_saves_nothing(self):
+        ifmap = np.ones((1, 1, 5, 5))
+        weights = np.ones((1, 1, 3, 3))
+        stats = zero_gating_savings(ifmap, weights)
+        assert stats.mac_savings == 0.0
+        assert stats.ifmap_density == 1.0
+
+    def test_all_zero_input_saves_everything(self):
+        stats = zero_gating_savings(np.zeros((1, 1, 5, 5)),
+                                    np.ones((2, 1, 3, 3)))
+        assert stats.mac_savings == 1.0
+        assert stats.ifmap_density == 0.0
+
+    def test_relu_increases_savings(self):
+        rng = np.random.default_rng(4)
+        pre = rng.integers(-5, 6, (1, 3, 8, 8))
+        weights = rng.integers(-2, 3, (4, 3, 3, 3))
+        dense = zero_gating_savings(pre, weights)
+        sparse = zero_gating_savings(relu_reference(pre), weights)
+        assert sparse.mac_savings > dense.mac_savings
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            zero_gating_savings(np.zeros((1, 2, 5, 5)),
+                                np.zeros((1, 3, 3, 3)))
+
+    def test_stats_edge_cases(self):
+        empty = SparsityStats(total_macs=0, skipped_macs=0,
+                              total_ifmap_words=0, zero_ifmap_words=0)
+        assert empty.mac_savings == 0.0
+        assert empty.ifmap_density == 0.0

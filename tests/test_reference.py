@@ -1,0 +1,136 @@
+"""Tests for the numpy reference operators (Eq. (1) golden models)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layer import conv_layer
+from repro.nn.reference import (
+    conv_layer_reference,
+    fc_layer_reference,
+    pool_layer_reference,
+    random_layer_tensors,
+    relu_reference,
+)
+
+
+def brute_force_conv(ifmap, weights, bias, stride):
+    """Literal transcription of Eq. (1), loops and all."""
+    n, c, h, _ = ifmap.shape
+    m, _, r, _ = weights.shape
+    e = (h - r + stride) // stride
+    out = np.zeros((n, m, e, e), dtype=np.int64)
+    for z in range(n):
+        for u in range(m):
+            for x in range(e):
+                for y in range(e):
+                    acc = bias[u] if bias is not None else 0
+                    for k in range(c):
+                        for i in range(r):
+                            for j in range(r):
+                                acc += (ifmap[z, k, stride * x + i,
+                                              stride * y + j]
+                                        * weights[u, k, i, j])
+                    out[z, u, x, y] = acc
+    return out
+
+
+class TestConvReference:
+    def test_matches_eq1_brute_force(self):
+        layer = conv_layer("t", H=8, R=3, E=6, C=2, M=3, U=1, N=2)
+        ifmap, w, b = random_layer_tensors(layer, seed=1, integer=True)
+        assert np.array_equal(conv_layer_reference(ifmap, w, b),
+                              brute_force_conv(ifmap, w, b, 1))
+
+    def test_matches_eq1_with_stride(self):
+        layer = conv_layer("t", H=11, R=3, E=5, C=2, M=3, U=2, N=1)
+        ifmap, w, b = random_layer_tensors(layer, seed=2, integer=True)
+        assert np.array_equal(conv_layer_reference(ifmap, w, b, stride=2),
+                              brute_force_conv(ifmap, w, b, 2))
+
+    def test_no_bias(self):
+        layer = conv_layer("t", H=6, R=3, E=4, C=1, M=2, U=1)
+        ifmap, w, _ = random_layer_tensors(layer, integer=True)
+        out = conv_layer_reference(ifmap, w)
+        assert np.array_equal(out, brute_force_conv(ifmap, w, None, 1))
+
+    def test_output_shape(self):
+        layer = conv_layer("t", H=15, R=3, E=13, C=4, M=8, N=2)
+        ifmap, w, b = random_layer_tensors(layer)
+        assert conv_layer_reference(ifmap, w, b).shape == (2, 8, 13, 13)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv_layer_reference(np.zeros((1, 3, 8, 8)), np.zeros((2, 4, 3, 3)))
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError, match="do not tile"):
+            conv_layer_reference(np.zeros((1, 1, 8, 8)),
+                                 np.zeros((1, 1, 3, 3)), stride=2)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            conv_layer_reference(np.zeros((1, 1, 8, 7)),
+                                 np.zeros((1, 1, 3, 3)))
+
+
+class TestFcReference:
+    def test_fc_equals_flat_matmul(self):
+        rng = np.random.default_rng(0)
+        ifmap = rng.integers(-3, 4, (4, 8, 3, 3))
+        weights = rng.integers(-3, 4, (16, 8, 3, 3))
+        bias = rng.integers(-3, 4, (16,))
+        out = fc_layer_reference(ifmap, weights, bias)
+        expected = ifmap.reshape(4, -1) @ weights.reshape(16, -1).T + bias
+        assert np.array_equal(out.reshape(4, 16), expected)
+
+    def test_fc_equals_conv_special_case(self):
+        """FC == CONV with H = R (the Eq. (1) degenerate case)."""
+        rng = np.random.default_rng(1)
+        ifmap = rng.integers(-3, 4, (2, 4, 5, 5))
+        weights = rng.integers(-3, 4, (8, 4, 5, 5))
+        assert np.array_equal(fc_layer_reference(ifmap, weights),
+                              conv_layer_reference(ifmap, weights))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            fc_layer_reference(np.zeros((1, 4, 3, 3)), np.zeros((2, 4, 2, 2)))
+
+
+class TestPoolAndAct:
+    def test_pool_matches_manual(self):
+        rng = np.random.default_rng(2)
+        ifmap = rng.integers(-9, 10, (1, 2, 6, 6)).astype(float)
+        out = pool_layer_reference(ifmap, window=2, stride=2)
+        assert out.shape == (1, 2, 3, 3)
+        assert out[0, 0, 0, 0] == ifmap[0, 0, :2, :2].max()
+        assert out[0, 1, 2, 2] == ifmap[0, 1, 4:6, 4:6].max()
+
+    def test_pool_overlapping_windows(self):
+        ifmap = np.arange(25, dtype=float).reshape(1, 1, 5, 5)
+        out = pool_layer_reference(ifmap, window=3, stride=2)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 1, 1] == 24
+
+    def test_pool_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="do not tile"):
+            pool_layer_reference(np.zeros((1, 1, 6, 6)), window=3, stride=2)
+
+    def test_relu(self):
+        x = np.array([-2.0, 0.0, 3.5])
+        assert np.array_equal(relu_reference(x), [0.0, 0.0, 3.5])
+
+
+class TestRandomTensors:
+    def test_shapes_match_layer(self):
+        layer = conv_layer("t", H=10, R=3, E=8, C=2, M=4, N=3)
+        ifmap, w, b = random_layer_tensors(layer)
+        assert ifmap.shape == (3, 2, 10, 10)
+        assert w.shape == (4, 2, 3, 3)
+        assert b.shape == (4,)
+
+    def test_integer_mode_is_integral_and_reproducible(self):
+        layer = conv_layer("t", H=6, R=3, E=4, C=1, M=2)
+        a1, w1, _ = random_layer_tensors(layer, seed=5, integer=True)
+        a2, w2, _ = random_layer_tensors(layer, seed=5, integer=True)
+        assert a1.dtype == np.int64
+        assert np.array_equal(a1, a2) and np.array_equal(w1, w2)

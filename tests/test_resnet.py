@@ -1,0 +1,61 @@
+"""Tests for the ResNet-18 workload (the paper's modern-CNN reference [5])."""
+
+import pytest
+
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.energy.model import evaluate_network
+from repro.nn.networks import resnet18, total_macs
+
+
+class TestResNet18:
+    def test_layer_count(self):
+        layers = resnet18()
+        # 17 weight-bearing CONVs + 3 projection shortcuts + 1 FC.
+        assert len(layers) == 21
+        assert sum(1 for l in layers if l.is_fc) == 1
+
+    def test_stage_plane_sizes(self):
+        sizes = {l.name: l.E for l in resnet18()}
+        assert sizes["CONV1"] == 112
+        assert sizes["CONV2_1"] == 56
+        assert sizes["CONV3_1"] == 28
+        assert sizes["CONV4_1"] == 14
+        assert sizes["CONV5_1"] == 7
+
+    def test_channel_progression(self):
+        by_name = {l.name: l for l in resnet18()}
+        assert by_name["CONV2_2"].M == 64
+        assert by_name["CONV3_2"].M == 128
+        assert by_name["CONV4_2"].M == 256
+        assert by_name["CONV5_2"].M == 512
+        assert by_name["FC"].M == 1000
+
+    def test_projection_shortcuts_are_1x1_stride2(self):
+        for layer in resnet18():
+            if layer.name.endswith("_proj"):
+                assert layer.R == 1 and layer.U == 2
+
+    def test_total_macs_about_1_8g(self):
+        """ResNet-18 is ~1.8 GMAC per image."""
+        macs = total_macs(resnet18())
+        assert 1.5e9 < macs < 2.2e9
+
+    def test_fc_weights_tiny_compared_to_alexnet(self):
+        """ResNet's single FC layer removes AlexNet's weight bottleneck."""
+        fc = next(l for l in resnet18() if l.is_fc)
+        assert fc.filter_words == 512 * 1000
+
+    def test_rs_runs_every_layer(self):
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        ev = evaluate_network(DATAFLOWS["RS"], resnet18(1), hw)
+        assert ev.feasible
+
+    def test_rs_beats_ws_on_resnet(self):
+        layers = resnet18(1)
+        rs_hw = HardwareConfig.equal_area(256, DATAFLOWS["RS"].rf_bytes_per_pe)
+        ws_hw = HardwareConfig.equal_area(256, DATAFLOWS["WS"].rf_bytes_per_pe)
+        rs = evaluate_network(DATAFLOWS["RS"], layers, rs_hw)
+        ws = evaluate_network(DATAFLOWS["WS"], layers, ws_hw)
+        assert rs.feasible and ws.feasible
+        assert ws.energy_per_op > rs.energy_per_op

@@ -1,0 +1,159 @@
+"""Tests for the analysis framework's core maths: Eq. (3) and Eq. (4).
+
+Includes the paper's own worked examples: Fig. 8 (input reuse split
+a=1, b=2, c=3, d=4 out of 24 total reuses) and Fig. 9 (psum accumulation
+split a=2, b=3, c=3, d=2 out of 36 accumulations).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.mapping.reuse import AccessCounts, AccumSplit, ReuseSplit
+
+COSTS = EnergyCosts.table_iv()
+
+
+class TestEq3InputEnergy:
+    def test_fig8_example(self):
+        """Fig. 8: 24 reuses split 1 x 2 x 3 x 4 across the hierarchy."""
+        split = ReuseSplit(unique_values=1, a=1, b=2, c=3, d=4,
+                           total_reuse=24)
+        energy = split.energy(COSTS)
+        # Eq. (3): a*200 + ab*6 + abc*2 + abcd*1
+        assert energy == pytest.approx(1 * 200 + 2 * 6 + 6 * 2 + 24 * 1)
+
+    def test_energy_scales_with_unique_values(self):
+        one = ReuseSplit(unique_values=1, a=1, b=2, c=3, d=4, total_reuse=24)
+        many = ReuseSplit(unique_values=10, a=1, b=2, c=3, d=4,
+                          total_reuse=24)
+        assert many.energy(COSTS) == pytest.approx(10 * one.energy(COSTS))
+
+    def test_footnote1_rf_bypass(self):
+        """d = 1: the value goes straight to the ALU; RF term dropped."""
+        split = ReuseSplit(unique_values=1, a=1, b=2, c=3, d=1,
+                           total_reuse=6)
+        assert split.energy(COSTS) == pytest.approx(200 + 2 * 6 + 6 * 2)
+
+    def test_footnote1_array_bypass(self):
+        split = ReuseSplit(unique_values=1, a=1, b=2, c=1, d=1,
+                           total_reuse=2)
+        assert split.energy(COSTS) == pytest.approx(200 + 2 * 6)
+
+    def test_no_reuse_streams_from_dram(self):
+        split = ReuseSplit.no_reuse(unique_values=5)
+        assert split.energy(COSTS) == pytest.approx(5 * 200)
+        counts = split.access_counts()
+        assert counts.buffer == counts.array == counts.rf == 0
+
+    def test_rf_used_even_when_outer_levels_bypassed(self):
+        """b = c = 1 but d > 1: data lands in the RF and is reused there."""
+        split = ReuseSplit(unique_values=1, a=2, b=1, c=1, d=5,
+                           total_reuse=10)
+        assert split.energy(COSTS) == pytest.approx(2 * 200 + 10 * 1)
+
+    def test_split_product_must_match_total(self):
+        with pytest.raises(ValueError, match="does not equal"):
+            ReuseSplit(unique_values=1, a=2, b=2, c=2, d=2, total_reuse=15)
+
+    def test_factors_below_one_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ReuseSplit(unique_values=1, a=0.5, b=2, c=2, d=2, total_reuse=4)
+
+    def test_nonpositive_unique_values_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            ReuseSplit(unique_values=0, a=1, b=1, c=1, d=1, total_reuse=1)
+
+    def test_fractional_splits_allowed(self):
+        """Average reuse factors are real-valued (e.g. E*R/H)."""
+        split = ReuseSplit(unique_values=100, a=1.0, b=2.5, c=1.6, d=3.0,
+                           total_reuse=12.0)
+        assert split.energy(COSTS) > 0
+
+    @given(a=st.floats(1, 8), b=st.floats(1, 8), c=st.floats(1, 8),
+           d=st.floats(1, 8))
+    def test_dram_reads_equal_a_per_value(self, a, b, c, d):
+        split = ReuseSplit(unique_values=7, a=a, b=b, c=c, d=d,
+                           total_reuse=a * b * c * d)
+        assert split.access_counts().dram == pytest.approx(7 * a)
+
+    @given(a=st.floats(1, 8), b=st.floats(1, 8), c=st.floats(1, 8),
+           d=st.floats(1.01, 8))
+    def test_rf_reads_equal_total_uses(self, a, b, c, d):
+        """With an RF in play, the RF sees every use: abcd per value."""
+        split = ReuseSplit(unique_values=3, a=a, b=b, c=c, d=d,
+                           total_reuse=a * b * c * d)
+        assert split.access_counts().rf == pytest.approx(3 * a * b * c * d)
+
+    @given(shift=st.floats(1.1, 4))
+    def test_moving_reuse_inward_saves_energy(self, shift):
+        """Shifting reuse from DRAM toward the RF must never cost more."""
+        total = 64.0
+        outer = ReuseSplit(unique_values=1, a=shift, b=1, c=1,
+                           d=total / shift, total_reuse=total)
+        inner = ReuseSplit(unique_values=1, a=1, b=1, c=1, d=total,
+                           total_reuse=total)
+        assert inner.energy(COSTS) <= outer.energy(COSTS)
+
+
+class TestEq4PsumEnergy:
+    def test_fig9_example(self):
+        """Fig. 9: 36 accumulations split 2 x 3 x 3 x 2."""
+        split = AccumSplit(unique_values=1, a=2, b=3, c=3, d=2,
+                           total_accumulations=36)
+        # Eq. (4): (2a-1)*200 + 2a(b-1)*6 + ab(c-1)*2 + 2abc(d-1)*1
+        expected = (3 * 200) + (2 * 2 * 2 * 6) + (2 * 3 * 2 * 2) + (
+            2 * 2 * 3 * 3 * 1 * 1)
+        assert split.energy(COSTS) == pytest.approx(expected)
+
+    def test_paper_default_a1_writes_ofmap_once(self):
+        split = AccumSplit(unique_values=10, a=1, b=4, c=3, d=3,
+                           total_accumulations=36)
+        assert split.dram_writes == 10
+        assert split.dram_reads == 0
+        assert split.access_counts().dram == 10
+
+    def test_all_rf_accumulation(self):
+        """OS-style: everything accumulates locally; only the final
+        write-back touches DRAM."""
+        split = AccumSplit(unique_values=1, a=1, b=1, c=1, d=36,
+                           total_accumulations=36)
+        assert split.energy(COSTS) == pytest.approx(200 + 2 * 35)
+
+    def test_buffer_accumulation_costs_read_plus_write(self):
+        split = AccumSplit(unique_values=1, a=1, b=4, c=1, d=1,
+                           total_accumulations=4)
+        # 2a(b-1) = 6 buffer accesses at 6x
+        assert split.access_counts().buffer == pytest.approx(6)
+
+    def test_array_hop_charged_once(self):
+        split = AccumSplit(unique_values=1, a=1, b=1, c=9, d=1,
+                           total_accumulations=9)
+        assert split.access_counts().array == pytest.approx(8)
+
+    def test_product_validation(self):
+        with pytest.raises(ValueError, match="does not equal"):
+            AccumSplit(unique_values=1, a=1, b=2, c=2, d=2,
+                       total_accumulations=9)
+
+    @given(b=st.floats(1, 16), c=st.floats(1, 16), d=st.floats(1, 16))
+    def test_rf_accumulation_cheapest(self, b, c, d):
+        """For a fixed total, pure-RF accumulation minimizes Eq. (4)."""
+        total = b * c * d
+        split = AccumSplit(unique_values=1, a=1, b=b, c=c, d=d,
+                           total_accumulations=total)
+        pure_rf = AccumSplit(unique_values=1, a=1, b=1, c=1, d=total,
+                             total_accumulations=total)
+        assert pure_rf.energy(COSTS) <= split.energy(COSTS) + 1e-9
+
+
+class TestAccessCounts:
+    def test_addition(self):
+        total = (AccessCounts(dram=1, buffer=2, array=3, rf=4)
+                 + AccessCounts(dram=10, buffer=20, array=30, rf=40))
+        assert (total.dram, total.buffer, total.array, total.rf) == (
+            11, 22, 33, 44)
+
+    def test_energy_weighting(self):
+        counts = AccessCounts(dram=1, buffer=1, array=1, rf=1)
+        assert counts.energy(COSTS) == pytest.approx(200 + 6 + 2 + 1)

@@ -1,0 +1,184 @@
+"""Functional-simulator tests: the RS dataflow must compute Eq. (1)
+exactly and its access trace must exhibit the paper's qualitative
+hierarchy (RF traffic >> buffer >> DRAM for CONV layers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.energy_costs import EnergyCosts, MemoryLevel
+from repro.arch.hardware import HardwareConfig
+from repro.mapping.folding import FoldingPlan
+from repro.nn.layer import conv_layer, fc_layer
+from repro.nn.reference import conv_layer_reference, random_layer_tensors
+from repro.sim import simulate_layer
+from repro.sim.primitive import primitive_mac_count, run_primitive
+from repro.sim.simulator import RowStationarySimulator
+from repro.sim.trace import AccessTrace, DataKind
+
+
+class TestPrimitive:
+    def test_matches_numpy_dot(self):
+        f = np.array([1, 2, 3])
+        x = np.array([1, 0, 2, 4, 1])
+        out = run_primitive(f, x, out_cols=3)
+        # Windows: [1,0,2].[1,2,3]=7, [0,2,4].[1,2,3]=16, [2,4,1].[1,2,3]=13
+        assert np.array_equal(out, [7, 16, 13])
+
+    def test_stride(self):
+        f = np.array([1, 1])
+        x = np.arange(7)
+        out = run_primitive(f, x, out_cols=3, stride=2)
+        assert np.array_equal(out, [1, 5, 9])
+
+    def test_col_offset(self):
+        f = np.array([1, 1, 1])
+        x = np.arange(6)
+        full = run_primitive(f, x, out_cols=4)
+        tail = run_primitive(f, x, out_cols=2, col_offset=2)
+        assert np.array_equal(tail, full[2:])
+
+    def test_too_short_row_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            run_primitive(np.ones(3), np.ones(4), out_cols=3)
+
+    def test_trace_counts(self):
+        trace = AccessTrace()
+        run_primitive(np.ones(3), np.ones(7), out_cols=5, trace=trace)
+        assert trace.macs == 15
+        assert trace.reads[(MemoryLevel.RF, DataKind.FILTER)] == 15
+        assert trace.reads[(MemoryLevel.RF, DataKind.IFMAP)] == 15
+        assert trace.writes[(MemoryLevel.RF, DataKind.PSUM)] == 15
+        assert trace.reads[(MemoryLevel.RF, DataKind.PSUM)] == 10
+
+    def test_mac_count_helper(self):
+        assert primitive_mac_count(out_cols=5, r=3) == 15
+
+
+class TestSimulatorCorrectness:
+    @pytest.mark.parametrize("layer", [
+        conv_layer("basic", H=14, R=3, E=12, C=4, M=8, U=1, N=2),
+        conv_layer("strided", H=19, R=3, E=5, C=2, M=4, U=4, N=1),
+        conv_layer("wide-filter", H=13, R=5, E=9, C=3, M=6, U=1, N=1),
+        conv_layer("conv1-mini", H=23, R=11, E=5, C=3, M=4, U=3, N=2),
+        fc_layer("fc", C=8, M=16, R=3, N=4),
+        fc_layer("fc-1x1", C=32, M=10, R=1, N=2),
+    ], ids=lambda l: l.name)
+    def test_bit_exact_vs_reference(self, layer, baseline_hw):
+        ifmap, w, b = random_layer_tensors(layer, seed=11, integer=True)
+        out, report = simulate_layer(layer, baseline_hw, ifmap, w, b)
+        ref = conv_layer_reference(ifmap, w, b, stride=layer.U)
+        assert np.array_equal(out, ref)
+        assert report.trace.macs == layer.macs
+
+    def test_bias_optional(self, small_conv, baseline_hw):
+        ifmap, w, _ = random_layer_tensors(small_conv, integer=True)
+        out, _ = simulate_layer(small_conv, baseline_hw, ifmap, w)
+        assert np.array_equal(out, conv_layer_reference(ifmap, w,
+                                                        stride=1))
+
+    def test_chip_geometry(self, small_conv, chip_hw):
+        ifmap, w, b = random_layer_tensors(small_conv, integer=True)
+        out, _ = simulate_layer(small_conv, chip_hw, ifmap, w, b)
+        assert np.array_equal(out, conv_layer_reference(ifmap, w, b))
+
+    @settings(max_examples=12, deadline=None)
+    @given(r=st.integers(1, 4), e=st.integers(1, 6), c=st.integers(1, 3),
+           m=st.integers(1, 4), n=st.integers(1, 2), u=st.integers(1, 2))
+    def test_random_geometries(self, baseline_hw, r, e, c, m, n, u):
+        h = (e - 1) * u + r
+        layer = conv_layer("h", H=h, R=r, E=e, C=c, M=m, U=u, N=n)
+        ifmap, w, b = random_layer_tensors(layer, seed=r * e + m,
+                                           integer=True)
+        out, report = simulate_layer(layer, baseline_hw, ifmap, w, b)
+        assert np.array_equal(out,
+                              conv_layer_reference(ifmap, w, b, stride=u))
+        assert report.trace.macs == layer.macs
+
+
+class TestSimulatorTrace:
+    def test_hierarchy_pyramid(self, small_conv, baseline_hw):
+        """CONV traffic must decay up the hierarchy (Fig. 10's premise)."""
+        ifmap, w, b = random_layer_tensors(small_conv, integer=True)
+        _, report = simulate_layer(small_conv, baseline_hw, ifmap, w, b)
+        trace = report.trace
+        rf = trace.level_total(MemoryLevel.RF)
+        buf = trace.level_total(MemoryLevel.BUFFER)
+        dram = trace.level_total(MemoryLevel.DRAM)
+        assert rf > buf > 0
+        assert rf > 10 * dram
+
+    def test_dram_reads_are_compulsory_or_more(self, small_conv,
+                                               baseline_hw):
+        """DRAM reads >= unique input words; writes == ofmap words."""
+        layer = small_conv
+        ifmap, w, b = random_layer_tensors(layer, integer=True)
+        _, report = simulate_layer(layer, baseline_hw, ifmap, w, b)
+        trace = report.trace
+        reads = sum(v for (lvl, _), v in trace.reads.items()
+                    if lvl is MemoryLevel.DRAM)
+        writes = sum(v for (lvl, _), v in trace.writes.items()
+                     if lvl is MemoryLevel.DRAM)
+        assert reads >= layer.filter_words  # weights fetched at least once
+        assert writes == layer.ofmap_words
+
+    def test_energy_accounting(self, small_conv, baseline_hw):
+        ifmap, w, b = random_layer_tensors(small_conv, integer=True)
+        _, report = simulate_layer(small_conv, baseline_hw, ifmap, w, b)
+        costs = EnergyCosts.table_iv()
+        energy = report.energy(costs)
+        # Energy must exceed the compute floor (1 per MAC) and be finite.
+        assert energy > small_conv.macs
+        assert energy < small_conv.macs * 50
+
+    def test_trace_merge(self):
+        a, b = AccessTrace(), AccessTrace()
+        a.read(MemoryLevel.RF, DataKind.IFMAP, 5)
+        a.mac(3)
+        b.read(MemoryLevel.RF, DataKind.IFMAP, 7)
+        b.write(MemoryLevel.DRAM, DataKind.PSUM, 2)
+        merged = a.merged(b)
+        assert merged.reads[(MemoryLevel.RF, DataKind.IFMAP)] == 12
+        assert merged.writes[(MemoryLevel.DRAM, DataKind.PSUM)] == 2
+        assert merged.macs == 3
+
+    def test_trace_negative_rejected(self):
+        trace = AccessTrace()
+        with pytest.raises(ValueError):
+            trace.read(MemoryLevel.RF, DataKind.IFMAP, -1)
+
+    def test_summary_renders(self, small_conv, baseline_hw):
+        ifmap, w, b = random_layer_tensors(small_conv, integer=True)
+        _, report = simulate_layer(small_conv, baseline_hw, ifmap, w, b)
+        assert "MACs" in report.trace.summary()
+
+
+class TestSimulatorValidation:
+    def test_wrong_ifmap_shape_rejected(self, small_conv, baseline_hw):
+        _, w, _ = random_layer_tensors(small_conv, integer=True)
+        with pytest.raises(ValueError, match="ifmap shape"):
+            simulate_layer(small_conv, baseline_hw,
+                           np.zeros((1, 1, 4, 4)), w)
+
+    def test_wrong_weight_shape_rejected(self, small_conv, baseline_hw):
+        ifmap, _, _ = random_layer_tensors(small_conv, integer=True)
+        with pytest.raises(ValueError, match="weights shape"):
+            simulate_layer(small_conv, baseline_hw, ifmap,
+                           np.zeros((1, 1, 2, 2)))
+
+    def test_plan_layer_mismatch_rejected(self, small_conv):
+        other = conv_layer("other", H=8, R=3, E=6, C=1, M=1)
+        plan = FoldingPlan(layer=other, array_h=16, array_w=16, e=6,
+                           n_s=1, m_s=1, c_s=1, n_r=1, m_r=1, c_r=1)
+        with pytest.raises(ValueError, match="different layer"):
+            RowStationarySimulator(small_conv, plan)
+
+    def test_explicit_plan_accepted(self, baseline_hw):
+        layer = conv_layer("p", H=8, R=3, E=6, C=2, M=2, U=1, N=1)
+        plan = FoldingPlan(layer=layer, array_h=16, array_w=16, e=6,
+                           n_s=1, m_s=2, c_s=1, n_r=1, m_r=1, c_r=2)
+        ifmap, w, b = random_layer_tensors(layer, integer=True)
+        sim = RowStationarySimulator(layer, plan)
+        out, report = sim.run(ifmap, w, b)
+        assert np.array_equal(out, conv_layer_reference(ifmap, w, b))
+        assert report.passes_executed == plan.num_passes

@@ -1,0 +1,109 @@
+"""Tests for the timing model (Section VI-B) and the refined cost model
+(Section VI-D)."""
+
+import pytest
+
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import DATAFLOWS
+from repro.energy.model import evaluate_layer
+from repro.energy.refined import (
+    BROADCAST_DATAFLOWS,
+    RefinedCostModel,
+    buffer_cost_factor,
+    refined_energy_per_op,
+    rf_cost_factor,
+)
+from repro.nn.layer import conv_layer, fc_layer
+from repro.sim.timing import TimingModel
+
+CONV = conv_layer("c", H=31, R=5, E=27, C=48, M=256, U=1, N=16)
+FC = fc_layer("f", C=4096, M=4096, R=1, N=16)
+
+
+def rs_eval(layer, pes=256):
+    hw = HardwareConfig.eyeriss_paper_baseline(pes)
+    return evaluate_layer(DATAFLOWS["RS"], layer, hw), hw
+
+
+class TestTimingModel:
+    def test_compute_cycles_are_macs_over_active(self):
+        ev, _ = rs_eval(CONV)
+        est = TimingModel().estimate(ev.mapping)
+        assert est.compute_cycles == pytest.approx(
+            CONV.macs / ev.mapping.active_pes)
+
+    def test_double_buffering_takes_max_stream(self):
+        ev, _ = rs_eval(CONV)
+        est = TimingModel(dram_words_per_cycle=1e-6).estimate(ev.mapping)
+        assert est.total_cycles == pytest.approx(est.dram_cycles)
+        assert not est.compute_bound
+
+    def test_infinite_bandwidth_is_compute_bound(self):
+        ev, _ = rs_eval(CONV)
+        est = TimingModel(dram_words_per_cycle=1e9,
+                          buffer_words_per_cycle=1e9).estimate(ev.mapping)
+        assert est.compute_bound
+        assert est.utilization == pytest.approx(1.0)
+        assert est.stall_cycles == 0
+
+    def test_fc_needs_more_dram_bandwidth_than_conv(self):
+        """The latency twin of Fig. 10: FC is DRAM-bound."""
+        conv_ev, _ = rs_eval(CONV)
+        fc_ev, _ = rs_eval(FC)
+        model = TimingModel()
+        assert (model.minimum_dram_bandwidth(fc_ev.mapping)
+                > 3 * model.minimum_dram_bandwidth(conv_ev.mapping))
+
+    def test_throughput_scales_with_clock(self):
+        ev, _ = rs_eval(CONV)
+        est = TimingModel().estimate(ev.mapping)
+        assert est.throughput_ops(200e6) == pytest.approx(
+            est.macs_per_cycle * 200e6)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(dram_words_per_cycle=0)
+
+
+class TestRefinedCosts:
+    def test_factor_monotone_in_size(self):
+        assert buffer_cost_factor(512 * 1024) > buffer_cost_factor(128 * 1024)
+        assert rf_cost_factor(1024) > rf_cost_factor(512) > rf_cost_factor(4)
+
+    def test_reference_sizes_are_unity(self):
+        assert buffer_cost_factor(128 * 1024) == pytest.approx(1.0)
+        assert rf_cost_factor(512) == pytest.approx(1.0)
+
+    def test_rf_factor_floored(self):
+        assert rf_cost_factor(0) == pytest.approx(0.3)
+
+    def test_broadcast_dataflows_flagged(self):
+        assert "WS" in BROADCAST_DATAFLOWS and "NLR" in BROADCAST_DATAFLOWS
+        assert "RS" not in BROADCAST_DATAFLOWS
+
+    def test_rs_refined_close_to_flat(self):
+        """RS runs at the reference sizes with local transfers: refined
+        energy stays within a few percent of the flat model."""
+        ev, hw = rs_eval(CONV)
+        flat = ev.energy_per_op
+        refined = refined_energy_per_op("RS", ev.mapping, hw)
+        assert abs(refined - flat) / flat < 0.10
+
+    def test_nlr_pays_more_under_refinement(self):
+        """NLR's oversized buffer and broadcasts cost extra (Sec. VI-D)."""
+        hw = HardwareConfig.equal_area(256, 0)
+        ev = evaluate_layer(DATAFLOWS["NLR"], CONV, hw)
+        refined = refined_energy_per_op("NLR", ev.mapping, hw)
+        assert refined > ev.energy_per_op
+
+    def test_breakdown_views_consistent(self):
+        ev, hw = rs_eval(CONV)
+        model = RefinedCostModel.for_hardware("RS", hw)
+        breakdown = model.breakdown(ev.mapping)
+        assert breakdown.by_level.total == pytest.approx(
+            breakdown.by_type.total + ev.mapping.macs, rel=1e-9)
+
+    def test_psum_array_cheaper_than_inputs(self):
+        ev, hw = rs_eval(CONV)
+        model = RefinedCostModel.for_hardware("WS", hw)
+        assert model.psum_array_factor < model.input_array_factor

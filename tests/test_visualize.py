@@ -1,0 +1,45 @@
+"""Tests for the ASCII visualizations of Figs. 5/6 structures."""
+
+from repro.analysis.visualize import render_array_occupancy, render_logical_set
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.row_stationary import RowStationary
+from repro.mapping.folding import plan_from_mapping_params
+from repro.mapping.logical import LogicalSet
+from repro.mapping.optimizer import optimize_mapping
+from repro.nn.layer import conv_layer
+
+
+class TestRenderLogicalSet:
+    def test_contains_every_primitive(self):
+        s = LogicalSet(n=0, m=0, c=0, height=3, width=5, stride=1)
+        text = render_logical_set(s)
+        # Spot-check the Fig. 6 pattern: PE (1,2) = filter 1 / ifmap 3 /
+        # psum 2.
+        assert "1/3/2" in text
+        assert "2/6/4" in text  # bottom-right corner
+        assert text.count("row") >= 3
+
+    def test_stride_changes_diagonals(self):
+        s = LogicalSet(n=0, m=0, c=0, height=2, width=3, stride=2)
+        text = render_logical_set(s)
+        assert "0/4/2" in text  # i + 2j = 4 at (0, 2)
+
+
+class TestRenderOccupancy:
+    def test_marks_active_footprint(self):
+        layer = conv_layer("t", H=7, R=3, E=5, C=2, M=4, U=1, N=1)
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        result = optimize_mapping(RowStationary(), layer, hw)
+        plan = plan_from_mapping_params(layer, hw, result.best.params)
+        text = render_array_occupancy(plan)
+        lines = text.splitlines()
+        assert len(lines) == 1 + hw.array_h
+        painted = sum(1 for line in lines[1:] for ch in line if ch != ".")
+        assert painted == plan.active_pes
+
+    def test_header_reports_passes(self):
+        layer = conv_layer("t", H=7, R=3, E=5, C=2, M=4, U=1, N=1)
+        hw = HardwareConfig.eyeriss_paper_baseline(256)
+        result = optimize_mapping(RowStationary(), layer, hw)
+        plan = plan_from_mapping_params(layer, hw, result.best.params)
+        assert f"{plan.num_passes} pass" in render_array_occupancy(plan)
