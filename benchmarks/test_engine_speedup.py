@@ -1,0 +1,71 @@
+"""Engine wall-time benchmark: serial vs parallel vs cached sweep.
+
+Runs the Fig. 15 sweep three ways on isolated engines -- the serial
+seed-equivalent path, a process pool, and a warm cache -- records the
+wall times, and checks the parity invariant (identical points).  The
+parallel-beats-serial assertion only applies on machines with at least
+as many CPUs as workers; on smaller boxes (CI shards, laptops on
+battery) the timing is still recorded but pool overhead makes the
+comparison meaningless.
+"""
+
+import os
+import time
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import fig15_area_allocation_sweep
+from repro.engine import EngineConfig, EvaluationCache, EvaluationEngine
+
+PE_COUNTS = (32, 160, 288)
+RF_CHOICES = (256, 512, 1024)
+BATCH = 8
+WORKERS = 4
+
+
+def _run_sweep(engine, parallel):
+    start = time.perf_counter()
+    points = fig15_area_allocation_sweep(
+        PE_COUNTS, batch=BATCH, rf_choices=RF_CHOICES,
+        engine=engine, parallel=parallel)
+    return points, time.perf_counter() - start
+
+
+def test_engine_sweep_speedup(emit):
+    serial_engine = EvaluationEngine(EngineConfig(parallel=False),
+                                     EvaluationCache())
+    serial_points, serial_s = _run_sweep(serial_engine, parallel=False)
+
+    with EvaluationEngine(
+            EngineConfig(parallel=True, executor="process",
+                         max_workers=WORKERS),
+            EvaluationCache()) as parallel_engine:
+        parallel_points, parallel_s = _run_sweep(parallel_engine,
+                                                 parallel=True)
+
+    cached_points, cached_s = _run_sweep(serial_engine, parallel=False)
+
+    # Parity before performance: all three paths agree bit-for-bit.
+    assert parallel_points == serial_points
+    assert cached_points == serial_points
+
+    cpus = os.cpu_count() or 1
+    rows = [
+        ["serial", f"{serial_s:.2f}", "1.00x"],
+        [f"process pool ({WORKERS} workers, {cpus} cpus)",
+         f"{parallel_s:.2f}", f"{serial_s / parallel_s:.2f}x"],
+        ["cached re-run", f"{cached_s:.3f}",
+         f"{serial_s / cached_s:.0f}x"],
+    ]
+    emit("engine_speedup", format_table(
+        ["path", "wall s", "speedup"], rows,
+        title=f"Fig. 15 sweep ({len(PE_COUNTS)}x{len(RF_CHOICES)} grid, "
+              f"batch {BATCH}): engine execution paths"))
+
+    # The warm cache must make repeats essentially free everywhere.
+    assert cached_s < serial_s / 10
+
+    # True CPU fan-out needs the CPUs to exist; assert only when they do.
+    if cpus >= WORKERS:
+        assert parallel_s < serial_s, (
+            f"parallel sweep ({parallel_s:.2f}s on {WORKERS} workers) "
+            f"did not beat the serial path ({serial_s:.2f}s)")

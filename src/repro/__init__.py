@@ -17,12 +17,19 @@ Top-level re-exports cover the public API used by the examples and benchmarks:
   on real tensors and verifies it against a numpy reference.
 * :mod:`repro.analysis` -- drivers that regenerate every figure and table of
   the paper's evaluation.
+* :mod:`repro.engine` -- the shared evaluation engine: explicit caching
+  plus optional thread/process parallel fan-out under all of the above.
 """
 
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.registry import DATAFLOWS, get_dataflow
 from repro.energy.model import evaluate_layer, evaluate_network
+from repro.engine.core import (
+    EngineConfig,
+    EvaluationEngine,
+    default_engine,
+)
 from repro.mapping.optimizer import optimize_mapping
 from repro.nn.layer import LayerShape
 from repro.nn.networks import alexnet
@@ -34,6 +41,9 @@ __all__ = [
     "get_dataflow",
     "evaluate_layer",
     "evaluate_network",
+    "EngineConfig",
+    "EvaluationEngine",
+    "default_engine",
     "optimize_mapping",
     "LayerShape",
     "alexnet",

@@ -2,15 +2,16 @@
 
 One function per figure.  All of them share the same machinery: build the
 equal-area hardware for each dataflow (Section VI-B), run the mapping
-optimizer on the AlexNet layers, and aggregate.  Results are cached per
-(PE count, batch, dataflow) because Figs. 11-13 reuse the same
-evaluations.
+optimizer on the AlexNet layers, and aggregate.  Every evaluation goes
+through the shared engine (:mod:`repro.engine`), whose explicit cache
+memoizes each (dataflow, layer, hardware, objective) sub-problem, so
+Figs. 11-13 -- which reuse the same evaluations -- and the Fig. 15
+sweep all share one store instead of per-driver ``lru_cache`` wrappers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.arch.energy_costs import EnergyCosts
@@ -34,9 +35,9 @@ def hardware_for(dataflow_name: str, num_pes: int) -> HardwareConfig:
     return HardwareConfig.equal_area(num_pes, dataflow.rf_bytes_per_pe)
 
 
-@lru_cache(maxsize=None)
 def _evaluate(dataflow_name: str, num_pes: int, batch: int,
               workload: str) -> NetworkEvaluation:
+    """Evaluate one suite cell; per-layer results hit the engine cache."""
     layers = {
         "conv": alexnet_conv_layers,
         "fc": alexnet_fc_layers,
@@ -249,4 +250,6 @@ def fig14_fc(pe_count: int = FC_PE_COUNT,
 
 def clear_caches() -> None:
     """Drop memoized evaluations (used by tests that vary cost tables)."""
-    _evaluate.cache_clear()
+    from repro.engine.core import default_engine
+
+    default_engine().cache.clear()

@@ -9,18 +9,27 @@ The PE-logic area constant is calibrated from the paper's annotated
 sweep points: at 288 PEs storage is ~40% of the chip and at 32 PEs ~93%,
 which brackets the PE-logic area at ~0.22% of the chip per PE; we pin the
 256-PE baseline at the Eq. (2) storage budget and derive the rest.
+
+The sweep runs on the shared evaluation engine: every (grid point,
+layer) pair is one independent task, so a sweep over G grid points of L
+layers fans out as G x L parallel jobs (``parallel=True`` or
+``REPRO_PARALLEL``), and the engine cache memoizes each layer evaluation
+so overlapping or repeated sweeps -- the benchmarks and exports all
+share this function -- never re-run the mapping search.  Arguments are
+normalized to tuples, so lists are accepted (the old ``lru_cache``
+wrapper raised ``TypeError: unhashable type`` on them).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.hardware import HardwareConfig
 from repro.arch.storage import allocate_storage, baseline_storage_area
 from repro.dataflows.row_stationary import RowStationary
-from repro.energy.model import evaluate_network
+from repro.energy.model import NetworkEvaluation
+from repro.engine.core import EvaluationEngine, LayerJob, default_engine
 from repro.nn.networks import alexnet_conv_layers
 
 #: Storage fraction of total area at the 256-PE baseline, read off the
@@ -29,6 +38,9 @@ _BASELINE_STORAGE_FRACTION = 0.44
 
 #: RF capacities explored per sweep point (bytes per PE).
 RF_CHOICES: Tuple[int, ...] = (256, 384, 512, 768, 1024, 1536, 2048)
+
+#: Default PE counts of the Fig. 15 x-axis.
+PE_COUNTS: Tuple[int, ...] = (32, 64, 96, 128, 160, 192, 224, 256, 288)
 
 
 def total_chip_area(baseline_pes: int = 256) -> float:
@@ -59,23 +71,23 @@ class SweepPoint:
         return self.energy_per_op * self.delay_per_op
 
 
-@lru_cache(maxsize=None)
-def fig15_area_allocation_sweep(
-        pe_counts: Sequence[int] = (32, 64, 96, 128, 160, 192, 224, 256, 288),
-        batch: int = 16,
-        baseline_pes: int = 256,
-        rf_choices: Sequence[int] = RF_CHOICES) -> Dict[int, SweepPoint]:
-    """Sweep PE count under fixed total area; best RS setup per point.
+@dataclass(frozen=True)
+class _GridCell:
+    """One candidate (PE count, RF size) hardware point of the sweep."""
 
-    Memoized: the sweep is the most expensive experiment and several
-    benchmarks/exports share it (arguments must be hashable tuples).
-    """
+    num_pes: int
+    rf_bytes: int
+    storage_budget: float
+    buffer_kb: float
+    hardware: HardwareConfig
+
+
+def _sweep_grid(pe_counts: Tuple[int, ...], baseline_pes: int,
+                rf_choices: Tuple[int, ...]) -> List[_GridCell]:
+    """Enumerate the feasible hardware points under the fixed total area."""
     total_area = total_chip_area(baseline_pes)
     pe_area = pe_logic_area(baseline_pes)
-    layers = alexnet_conv_layers(batch)
-    dataflow = RowStationary()
-
-    best: Dict[int, SweepPoint] = {}
+    grid: List[_GridCell] = []
     for num_pes in pe_counts:
         storage_budget = total_area - num_pes * pe_area
         if storage_budget <= 0:
@@ -86,20 +98,66 @@ def fig15_area_allocation_sweep(
                                               storage_budget)
             except ValueError:
                 continue  # RF alone exceeds the storage budget
-            hw = HardwareConfig.from_allocation(allocation)
-            evaluation = evaluate_network(dataflow, layers, hw)
-            if not evaluation.feasible:
-                continue
-            point = SweepPoint(
+            grid.append(_GridCell(
                 num_pes=num_pes,
-                rf_bytes_per_pe=rf_bytes,
+                rf_bytes=rf_bytes,
+                storage_budget=storage_budget,
                 buffer_kb=allocation.buffer_bytes / 1024,
-                storage_area_fraction=storage_budget / total_area,
-                energy_per_op=evaluation.energy_per_op,
-                delay_per_op=evaluation.delay_per_op,
-                active_pes=1.0 / evaluation.delay_per_op,
-            )
-            current = best.get(num_pes)
-            if current is None or point.energy_per_op < current.energy_per_op:
-                best[num_pes] = point
+                hardware=HardwareConfig.from_allocation(allocation),
+            ))
+    return grid
+
+
+def fig15_area_allocation_sweep(
+        pe_counts: Sequence[int] = PE_COUNTS,
+        batch: int = 16,
+        baseline_pes: int = 256,
+        rf_choices: Sequence[int] = RF_CHOICES,
+        *,
+        engine: Optional[EvaluationEngine] = None,
+        parallel: Optional[bool] = None) -> Dict[int, SweepPoint]:
+    """Sweep PE count under fixed total area; best RS setup per point.
+
+    ``pe_counts`` and ``rf_choices`` accept any integer sequence (lists
+    included).  All (grid point, layer) evaluations are dispatched to
+    the engine in one batch, so they fan out across workers when
+    parallelism is on and always land in the engine cache, which is what
+    keeps the repeated sweeps of the benchmarks and exports cheap.
+    """
+    pe_counts = tuple(pe_counts)
+    rf_choices = tuple(rf_choices)
+    eng = engine if engine is not None else default_engine()
+
+    total_area = total_chip_area(baseline_pes)
+    layers = alexnet_conv_layers(batch)
+    dataflow = RowStationary()
+    grid = _sweep_grid(pe_counts, baseline_pes, rf_choices)
+
+    jobs = [LayerJob(dataflow, layer, cell.hardware)
+            for cell in grid for layer in layers]
+    evaluations = eng.evaluate_many(jobs, parallel=parallel)
+
+    best: Dict[int, SweepPoint] = {}
+    for index, cell in enumerate(grid):
+        chunk = evaluations[index * len(layers):(index + 1) * len(layers)]
+        evaluation = NetworkEvaluation(
+            dataflow=dataflow.name,
+            layers=tuple(layers),
+            evaluations=tuple(chunk),
+            costs=cell.hardware.costs,
+        )
+        if not evaluation.feasible:
+            continue
+        point = SweepPoint(
+            num_pes=cell.num_pes,
+            rf_bytes_per_pe=cell.rf_bytes,
+            buffer_kb=cell.buffer_kb,
+            storage_area_fraction=cell.storage_budget / total_area,
+            energy_per_op=evaluation.energy_per_op,
+            delay_per_op=evaluation.delay_per_op,
+            active_pes=1.0 / evaluation.delay_per_op,
+        )
+        current = best.get(cell.num_pes)
+        if current is None or point.energy_per_op < current.energy_per_op:
+            best[cell.num_pes] = point
     return best

@@ -10,27 +10,50 @@ Subcommands mirror the library's main entry points:
   verify it against the Eq. (1) reference.
 * ``sweep``    -- the Fig. 15 fixed-area allocation sweep.
 * ``storage``  -- the Fig. 7b equal-area storage allocation.
+
+All evaluations run on the shared engine (:mod:`repro.engine`): results
+are memoized across subcommand internals, and ``sweep`` can fan its grid
+out over a worker pool (``--workers`` or the ``REPRO_PARALLEL``
+environment variable; ``--serial`` forces the sequential path).
+
+Errors (unknown layer names, impossible sweep grids) exit with a clean
+one-line message and a nonzero status instead of a traceback: 2 for bad
+arguments, 1 for infeasible/empty results.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.experiments import fig7_storage_allocation, hardware_for
 from repro.analysis.report import format_table
-from repro.analysis.sweep import fig15_area_allocation_sweep
+from repro.analysis.sweep import PE_COUNTS, fig15_area_allocation_sweep
 from repro.arch.energy_costs import MemoryLevel
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.registry import DATAFLOWS, get_dataflow
-from repro.energy.model import evaluate_layer, evaluate_network
-from repro.nn.layer import conv_layer
+from repro.energy.model import evaluate_network
+from repro.engine.core import EngineConfig, EvaluationEngine, default_engine
+from repro.nn.layer import LayerShape, conv_layer
 from repro.nn.networks import alexnet, alexnet_conv_layers, alexnet_fc_layers
 from repro.nn.reference import conv_layer_reference, random_layer_tensors
 from repro.sim import simulate_layer
+
+
+def _int_list(text: str) -> Tuple[int, ...]:
+    """Parse a comma-separated list of positive ints (argparse type)."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}") from None
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"expected positive integers, got {text!r}")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,8 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="AlexNet CONV or FC layers (default conv)")
 
     evaluate = sub.add_parser("evaluate", help="one dataflow on one layer")
-    evaluate.add_argument("dataflow", choices=list(DATAFLOWS),
-                          help="dataflow name")
+    evaluate.add_argument("dataflow", type=str.upper, choices=list(DATAFLOWS),
+                          help="dataflow name (case-insensitive)")
     evaluate.add_argument("layer", help="AlexNet layer name, e.g. CONV2")
     evaluate.add_argument("--pes", type=int, default=256)
     evaluate.add_argument("--batch", type=int, default=16)
@@ -62,6 +85,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="Fig. 15 area-allocation sweep")
     sweep.add_argument("--batch", type=int, default=16)
+    sweep.add_argument("--pes", type=_int_list, default=PE_COUNTS,
+                       metavar="N[,N...]",
+                       help="comma-separated PE counts "
+                            f"(default {','.join(map(str, PE_COUNTS))})")
+    sweep.add_argument("--rf", type=_int_list, default=None,
+                       metavar="B[,B...]",
+                       help="comma-separated RF bytes/PE choices")
+    parallelism = sweep.add_mutually_exclusive_group()
+    parallelism.add_argument("--workers", type=int, default=None,
+                             help="fan the sweep out over N worker "
+                                  "processes")
+    parallelism.add_argument("--serial", action="store_true",
+                             help="force the serial evaluation path")
 
     sub.add_parser("storage", help="Fig. 7b storage allocation")
 
@@ -102,18 +138,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _find_layer(name: str, batch: int) -> Optional[LayerShape]:
+    """Look up an AlexNet layer by name; print a clean error when unknown."""
+    for layer in alexnet(batch):
+        if layer.name == name.upper():
+            return layer
+    names = ", ".join(l.name for l in alexnet())
+    print(f"unknown layer {name!r}; known: {names}", file=sys.stderr)
+    return None
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    try:
-        layer = next(l for l in alexnet(args.batch)
-                     if l.name == args.layer.upper())
-    except StopIteration:
-        names = ", ".join(l.name for l in alexnet())
-        print(f"unknown layer {args.layer!r}; known: {names}",
-              file=sys.stderr)
+    layer = _find_layer(args.layer, args.batch)
+    if layer is None:
         return 2
     dataflow = get_dataflow(args.dataflow)
     hw = hardware_for(dataflow.name, args.pes)
-    ev = evaluate_layer(dataflow, layer, hw)
+    ev = default_engine().evaluate_layer(dataflow, layer, hw)
     if ev is None:
         print(f"{dataflow.name} has no feasible mapping for "
               f"{layer.describe()} on {hw.describe()}")
@@ -151,7 +192,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    points = fig15_area_allocation_sweep(batch=args.batch)
+    kwargs = {}
+    if args.rf is not None:
+        kwargs["rf_choices"] = args.rf
+    if args.serial:
+        kwargs["parallel"] = False
+    elif args.workers is not None:
+        kwargs["engine"] = EvaluationEngine(
+            EngineConfig(parallel=True, max_workers=args.workers),
+            cache=default_engine().cache)
+        kwargs["parallel"] = True
+    points = fig15_area_allocation_sweep(args.pes, batch=args.batch,
+                                         **kwargs)
+    if not points:
+        print("no feasible sweep point for the requested grid "
+              f"(PEs: {', '.join(map(str, args.pes))})", file=sys.stderr)
+        return 1
     e_min = min(p.energy_per_op for p in points.values())
     rows = [[f"{pt.active_pes:.0f}/{pes}", f"{pt.rf_bytes_per_pe} B",
              f"{pt.buffer_kb:.0f} kB", f"{pt.storage_area_fraction:.0%}",
@@ -182,17 +238,12 @@ def cmd_mapping(args: argparse.Namespace) -> int:
     from repro.mapping.folding import plan_from_mapping_params
     from repro.mapping.logical import LogicalSet
 
-    try:
-        layer = next(l for l in alexnet(args.batch)
-                     if l.name == args.layer.upper())
-    except StopIteration:
-        names = ", ".join(l.name for l in alexnet())
-        print(f"unknown layer {args.layer!r}; known: {names}",
-              file=sys.stderr)
+    layer = _find_layer(args.layer, args.batch)
+    if layer is None:
         return 2
     dataflow = get_dataflow("RS")
     hw = hardware_for("RS", args.pes)
-    ev = evaluate_layer(dataflow, layer, hw)
+    ev = default_engine().evaluate_layer(dataflow, layer, hw)
     if ev is None:
         print("no feasible RS mapping")
         return 1
@@ -219,7 +270,14 @@ COMMANDS = {
 
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except (ValueError, RuntimeError) as exc:
+        # Library-level validation errors (impossible hardware, bad
+        # REPRO_PARALLEL, infeasible aggregation) become clean CLI
+        # failures; anything else is a bug and keeps its traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,6 +5,15 @@ throughput is assumed proportional to utilized parallelism (Section VI-B,
 with latency-hiding techniques absorbing bandwidth effects).  When
 aggregating over several layers we weight each layer's delay by its MAC
 count, i.e. time ~ sum(macs_l / active_l), normalized per operation.
+
+This module is the *single* definition of the delay model:
+:func:`delay_per_op` at layer granularity and
+:func:`aggregate_delay_per_op` at network granularity, with the
+invariant ``aggregate_delay_per_op([m]) == delay_per_op(m)`` so a
+one-layer network and its layer report the same delay (and therefore
+the same EDP).  Both :class:`~repro.energy.model.LayerEvaluation` and
+:class:`~repro.energy.model.NetworkEvaluation` derive their EDP from
+these helpers; nothing else should reimplement the delay proxy.
 """
 
 from __future__ import annotations
@@ -27,7 +36,11 @@ def aggregate_delay_per_op(mappings: Sequence[Mapping]) -> float:
     """
     if not mappings:
         raise ValueError("need at least one mapping to aggregate")
-    total_time = sum(m.macs / m.active_pes for m in mappings)
+    if len(mappings) == 1:
+        # Keep the one-layer aggregate bit-identical to the layer-level
+        # delay model, so layer and network EDP can never disagree.
+        return delay_per_op(mappings[0])
+    total_time = sum(m.macs * delay_per_op(m) for m in mappings)
     total_macs = sum(m.macs for m in mappings)
     return total_time / total_macs
 

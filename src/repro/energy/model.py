@@ -1,25 +1,37 @@
 """High-level evaluation API: optimize a mapping and account its energy.
 
 ``evaluate_layer`` runs the mapping optimizer for one (dataflow, layer,
-hardware) triple and returns the full accounting record; the experiment
-drivers and examples are thin loops over it.  ``evaluate_network``
-aggregates a list of layers (e.g. the five CONV layers of AlexNet) the
-way the paper's figures do: totals divided by total MACs.
+hardware) triple and returns the full accounting record; it is the pure,
+uncached primitive the evaluation engine dispatches to its workers.
+``evaluate_network`` aggregates a list of layers (e.g. the five CONV
+layers of AlexNet) the way the paper's figures do -- totals divided by
+total MACs -- and routes through the shared
+:class:`~repro.engine.core.EvaluationEngine`, so repeated evaluations
+hit the cache and layers can fan out across a worker pool
+(``parallel=True`` or ``REPRO_PARALLEL``).
+
+Both granularities derive delay and EDP from the single delay model in
+:mod:`repro.energy.edp`: a layer's EDP is ``energy/op x delay/op`` with
+``delay/op = 1 / active PEs``, and a network's EDP uses the MAC-weighted
+aggregate of exactly those per-layer delays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.base import Dataflow
 from repro.energy.breakdown import EnergyBreakdown, breakdown_mapping
-from repro.energy.edp import aggregate_delay_per_op
+from repro.energy import edp as edp_model
 from repro.mapping.mapping import Mapping
 from repro.mapping.optimizer import optimize_mapping
 from repro.nn.layer import LayerShape
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.engine.core import EvaluationEngine
 
 
 @dataclass(frozen=True)
@@ -45,8 +57,13 @@ class LayerEvaluation:
         return self.mapping.dram_accesses_per_op
 
     @property
+    def delay_per_op(self) -> float:
+        """Layer delay under the shared model of :mod:`repro.energy.edp`."""
+        return edp_model.delay_per_op(self.mapping)
+
+    @property
     def edp_per_op(self) -> float:
-        return self.energy_per_op / self.mapping.active_pes
+        return self.energy_per_op * self.delay_per_op
 
 
 @dataclass(frozen=True)
@@ -108,7 +125,8 @@ class NetworkEvaluation:
     @property
     def delay_per_op(self) -> float:
         self._require_feasible()
-        return aggregate_delay_per_op([ev.mapping for ev in self.evaluations])
+        return edp_model.aggregate_delay_per_op(
+            [ev.mapping for ev in self.evaluations])
 
     @property
     def edp_per_op(self) -> float:
@@ -135,18 +153,20 @@ def evaluate_layer(dataflow: Dataflow, layer: LayerShape,
 def evaluate_network(dataflow: Dataflow, layers: Sequence[LayerShape],
                      hw: HardwareConfig,
                      costs: EnergyCosts | None = None,
-                     objective: str = "energy") -> NetworkEvaluation:
-    """Optimize and account every layer of a network for one dataflow."""
-    if not layers:
-        raise ValueError("need at least one layer to evaluate")
-    cost_table = costs or hw.costs
-    evaluations: List[Optional[LayerEvaluation]] = [
-        evaluate_layer(dataflow, layer, hw, cost_table, objective)
-        for layer in layers
-    ]
-    return NetworkEvaluation(
-        dataflow=dataflow.name,
-        layers=tuple(layers),
-        evaluations=tuple(evaluations),
-        costs=cost_table,
-    )
+                     objective: str = "energy",
+                     parallel: bool | None = None,
+                     engine: "EvaluationEngine | None" = None
+                     ) -> NetworkEvaluation:
+    """Optimize and account every layer of a network for one dataflow.
+
+    Runs on the shared evaluation engine: per-layer results are memoized
+    across calls, and ``parallel=True`` (or ``REPRO_PARALLEL``) fans the
+    layers out over a worker pool.  ``parallel=False`` forces the serial
+    path; results are identical either way.  A private ``engine`` can be
+    supplied to isolate the cache (tests, sweeps with their own budget).
+    """
+    from repro.engine.core import default_engine  # lazy: engine imports us
+
+    eng = engine if engine is not None else default_engine()
+    return eng.evaluate_network(dataflow, layers, hw, costs=costs,
+                                objective=objective, parallel=parallel)

@@ -1,0 +1,130 @@
+"""Explicit, shareable memoization cache for layer evaluations.
+
+The cache replaces the ad-hoc ``functools.lru_cache`` decorations that
+used to sit on the experiment drivers.  Entries are keyed by the full
+identity of an evaluation problem -- ``(dataflow, layer, hardware,
+objective)`` -- where :class:`~repro.nn.layer.LayerShape` and
+:class:`~repro.arch.hardware.HardwareConfig` (which embeds its
+:class:`~repro.arch.energy_costs.EnergyCosts` table) are frozen
+dataclasses, so two structurally equal problems always share one entry
+no matter which driver asked first.
+
+Unlike ``lru_cache`` the cache is explicit: it can be inspected
+(hit/miss statistics), cleared, shared between engines, and persisted to
+disk with :meth:`EvaluationCache.save` / :meth:`EvaluationCache.load` so
+repeated sweep runs across processes can skip the mapping search
+entirely.  Infeasible evaluations (``None``) are cached too -- they are
+just as expensive to discover as feasible ones.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.arch.hardware import HardwareConfig
+from repro.nn.layer import LayerShape
+
+if TYPE_CHECKING:  # avoid a circular import; only used as a type here
+    from repro.energy.model import LayerEvaluation
+
+#: Sentinel distinguishing "not cached" from a cached infeasible (None).
+MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one layer-evaluation problem."""
+
+    dataflow: str
+    layer: LayerShape
+    hardware: HardwareConfig
+    objective: str
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class EvaluationCache:
+    """Thread-safe mapping from :class:`CacheKey` to layer evaluations."""
+
+    def __init__(self) -> None:
+        self._data: Dict[CacheKey, Optional["LayerEvaluation"]] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: CacheKey):
+        """Cached value for ``key``, or :data:`MISSING` (counts a miss)."""
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                return self._data[key]
+            self._misses += 1
+            return MISSING
+
+    def put(self, key: CacheKey,
+            value: Optional["LayerEvaluation"]) -> None:
+        with self._lock:
+            self._data[key] = value
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              size=len(self._data))
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Pickle the entries (not the counters) to ``path``."""
+        with self._lock:
+            payload = dict(self._data)
+        Path(path).write_bytes(pickle.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EvaluationCache":
+        """Rebuild a cache from a :meth:`save` snapshot."""
+        cache = cls()
+        cache._data = pickle.loads(Path(path).read_bytes())
+        return cache
+
+    def update(self, other: "EvaluationCache") -> None:
+        """Merge another cache's entries into this one."""
+        with other._lock:
+            entries = dict(other._data)
+        with self._lock:
+            self._data.update(entries)

@@ -1,0 +1,319 @@
+"""The shared evaluation engine: cached, optionally parallel evaluation.
+
+:class:`EvaluationEngine` is the one place where (dataflow, layer,
+hardware, objective) problems are turned into
+:class:`~repro.energy.model.LayerEvaluation` records.  Every driver --
+``evaluate_network``, the experiment suite, the Fig. 15 sweep, the CLI
+-- funnels through it and therefore shares:
+
+* an explicit :class:`~repro.engine.cache.EvaluationCache` so identical
+  sub-problems (the same layer under the same hardware) are optimized
+  exactly once across drivers, and
+* a ``concurrent.futures`` pool that fans independent layer evaluations
+  out across workers, with a ``parallel=False`` escape hatch on every
+  entry point.
+
+The unit of parallel work is one *layer* evaluation, not one network or
+sweep point: a sweep over G grid points of L layers becomes G x L
+independent tasks, which load-balances far better than G lumpy tasks.
+
+Parallelism is off by default and is enabled per call
+(``parallel=True``), per engine (:class:`EngineConfig`), or globally via
+the ``REPRO_PARALLEL`` environment variable:
+
+====================  ================================================
+``REPRO_PARALLEL``    meaning
+====================  ================================================
+``0|false|no|off``    force serial evaluation
+``1|true|yes|on``     process pool, default worker count
+``<N>``               process pool with N workers
+``thread[:N]``        thread pool (no pickling; GIL-bound)
+``process[:N]``       process pool (true CPU parallelism)
+====================  ================================================
+
+Results are bit-identical between the serial, cached, thread and
+process paths: each layer evaluation is a deterministic pure function
+of its key, so only wall-clock time changes (see
+``tests/test_engine.py`` for the parity suite and
+``benchmarks/test_engine_speedup.py`` for the timings).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.base import Dataflow
+from repro.energy.model import (
+    LayerEvaluation,
+    NetworkEvaluation,
+    evaluate_layer,
+)
+from repro.engine.cache import MISSING, CacheKey, EvaluationCache
+from repro.nn.layer import LayerShape
+
+_FALSY = {"0", "false", "no", "off"}
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def _parse_repro_parallel(raw: Optional[str]):
+    """Decode REPRO_PARALLEL into (parallel, executor, max_workers)."""
+    if raw is None:
+        return None, None, None
+    value = raw.strip().lower()
+    if value in _FALSY or value == "":
+        return False, None, None
+    if value in _TRUTHY:
+        return True, None, None
+    error = ValueError(
+        f"cannot parse REPRO_PARALLEL={raw!r}; expected 0/1, a worker "
+        f"count, or thread[:N] / process[:N]")
+    kind, _, workers = value.partition(":")
+    if kind in ("thread", "process"):
+        try:
+            return True, kind, int(workers) if workers else None
+        except ValueError:
+            raise error from None
+    try:
+        count = int(value)
+    except ValueError:
+        raise error from None
+    return count > 1, None, count
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution policy of an :class:`EvaluationEngine`.
+
+    Attributes
+    ----------
+    parallel:
+        Default for entry points called with ``parallel=None``.  When
+        constructed via :meth:`from_env` the ``REPRO_PARALLEL`` variable
+        overrides it.  Serial by default: results never depend on this
+        knob, only wall time does.
+    executor:
+        ``"process"`` (true CPU parallelism, tasks and results are
+        pickled) or ``"thread"`` (zero-copy, GIL-bound).
+    max_workers:
+        Pool size; None lets ``concurrent.futures`` pick.
+    min_parallel_jobs:
+        Pools are only engaged when at least this many uncached tasks
+        are pending; smaller batches run inline to avoid pool overhead.
+    """
+
+    parallel: bool = False
+    executor: str = "process"
+    max_workers: Optional[int] = None
+    min_parallel_jobs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("process", "thread"):
+            raise ValueError(
+                f"executor must be 'process' or 'thread', "
+                f"not {self.executor!r}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "EngineConfig":
+        """Default config with ``REPRO_PARALLEL`` applied on top."""
+        parallel, executor, workers = _parse_repro_parallel(
+            os.environ.get("REPRO_PARALLEL"))
+        return cls(
+            parallel=False if parallel is None else parallel,
+            executor=executor or "process",
+            max_workers=workers,
+        )
+
+
+@dataclass(frozen=True)
+class LayerJob:
+    """One independent unit of engine work."""
+
+    dataflow: Dataflow
+    layer: LayerShape
+    hardware: HardwareConfig
+    objective: str = "energy"
+
+    @property
+    def key(self) -> CacheKey:
+        return CacheKey(dataflow=self.dataflow.name, layer=self.layer,
+                        hardware=self.hardware, objective=self.objective)
+
+
+def _evaluate_layer_task(dataflow: Dataflow, layer: LayerShape,
+                         hw: HardwareConfig,
+                         objective: str) -> Optional[LayerEvaluation]:
+    """Top-level worker body (must be picklable for process pools)."""
+    return evaluate_layer(dataflow, layer, hw, None, objective)
+
+
+def _with_costs(hw: HardwareConfig,
+                costs: Optional[EnergyCosts]) -> HardwareConfig:
+    """Fold an explicit cost table into the hardware identity.
+
+    The cache key is the hardware config, so an evaluation under a
+    non-default cost table must be keyed (and computed) against a config
+    carrying that table.
+    """
+    if costs is None or costs == hw.costs:
+        return hw
+    return hw.with_costs(costs)
+
+
+class EvaluationEngine:
+    """Cached, optionally parallel evaluator shared by all drivers."""
+
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 cache: Optional[EvaluationCache] = None) -> None:
+        self.config = config or EngineConfig.from_env()
+        self.cache = cache if cache is not None else EvaluationCache()
+        self._pool: Optional[Executor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Pool management.
+    # ------------------------------------------------------------------
+
+    def _executor(self) -> Executor:
+        """The engine's persistent pool, created on first parallel use."""
+        with self._pool_lock:
+            if self._pool is None:
+                if self.config.executor == "thread":
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.config.max_workers,
+                        thread_name_prefix="repro-engine")
+                else:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.config.max_workers)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (the cache stays usable)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Evaluation entry points.
+    # ------------------------------------------------------------------
+
+    def evaluate_layer(self, dataflow: Dataflow, layer: LayerShape,
+                       hw: HardwareConfig,
+                       costs: Optional[EnergyCosts] = None,
+                       objective: str = "energy"
+                       ) -> Optional[LayerEvaluation]:
+        """Cached single-layer evaluation (None when infeasible)."""
+        hw = _with_costs(hw, costs)
+        return self.evaluate_many(
+            [LayerJob(dataflow, layer, hw, objective)], parallel=False)[0]
+
+    def evaluate_network(self, dataflow: Dataflow,
+                         layers: Sequence[LayerShape],
+                         hw: HardwareConfig,
+                         costs: Optional[EnergyCosts] = None,
+                         objective: str = "energy",
+                         parallel: Optional[bool] = None
+                         ) -> NetworkEvaluation:
+        """Evaluate every layer of a network; layers fan out in parallel."""
+        if not layers:
+            raise ValueError("need at least one layer to evaluate")
+        hw = _with_costs(hw, costs)
+        evaluations = self.evaluate_many(
+            [LayerJob(dataflow, layer, hw, objective) for layer in layers],
+            parallel=parallel)
+        return NetworkEvaluation(
+            dataflow=dataflow.name,
+            layers=tuple(layers),
+            evaluations=tuple(evaluations),
+            costs=hw.costs,
+        )
+
+    def evaluate_many(self, jobs: Sequence[LayerJob],
+                      parallel: Optional[bool] = None
+                      ) -> List[Optional[LayerEvaluation]]:
+        """Evaluate a batch of jobs, deduplicated against the cache.
+
+        Returns one result per job, in job order.  Only jobs whose key
+        is neither cached nor duplicated earlier in the batch are
+        dispatched; when the parallel path is enabled they run on the
+        engine's pool, otherwise inline.
+        """
+        jobs = list(jobs)
+        results: Dict[CacheKey, Optional[LayerEvaluation]] = {}
+        pending: Dict[CacheKey, LayerJob] = {}
+        for job in jobs:
+            key = job.key
+            if key in results or key in pending:
+                continue
+            value = self.cache.get(key)
+            if value is MISSING:
+                pending[key] = job
+            else:
+                results[key] = value
+        if pending:
+            for key, value in self._run(list(pending.items()), parallel):
+                self.cache.put(key, value)
+                results[key] = value
+        return [results[job.key] for job in jobs]
+
+    # ------------------------------------------------------------------
+
+    def _use_parallel(self, parallel: Optional[bool], tasks: int) -> bool:
+        enabled = self.config.parallel if parallel is None else parallel
+        return enabled and tasks >= self.config.min_parallel_jobs
+
+    def _run(self, items: List[Tuple[CacheKey, LayerJob]],
+             parallel: Optional[bool]
+             ) -> List[Tuple[CacheKey, Optional[LayerEvaluation]]]:
+        if not self._use_parallel(parallel, len(items)):
+            return [(key,
+                     _evaluate_layer_task(job.dataflow, job.layer,
+                                          job.hardware, job.objective))
+                    for key, job in items]
+        pool = self._executor()
+        futures = [(key, pool.submit(_evaluate_layer_task, job.dataflow,
+                                     job.layer, job.hardware, job.objective))
+                   for key, job in items]
+        return [(key, future.result()) for key, future in futures]
+
+
+# ----------------------------------------------------------------------
+# The process-wide default engine.
+# ----------------------------------------------------------------------
+
+_default_engine: Optional[EvaluationEngine] = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> EvaluationEngine:
+    """The lazily created engine shared by the high-level drivers."""
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = EvaluationEngine()
+        return _default_engine
+
+
+def set_default_engine(engine: Optional[EvaluationEngine]
+                       ) -> Optional[EvaluationEngine]:
+    """Swap the process-wide engine (None resets to lazy re-creation).
+
+    Returns the previous engine so callers can restore it.
+    """
+    global _default_engine
+    with _default_lock:
+        previous, _default_engine = _default_engine, engine
+        return previous

@@ -1,0 +1,88 @@
+"""Single-pass best-candidate reduction for the mapping search.
+
+The seed optimizer materialized every ``(score, mapping)`` pair before
+running its two-pass min/tie-break selection, which for the larger
+mapping spaces (RS on batched CONV layers) held tens of thousands of
+Mapping records alive at once.  :class:`StreamingBest` folds the same
+selection into a single pass: it tracks the running minimum and retains
+only the candidates inside the tie-tolerance whisker of it, pruning the
+retained set whenever the minimum improves.
+
+The reduction is *exactly* equivalent to the two-pass rule: the
+threshold ``best * (1 + tol)`` only shrinks as candidates stream in, so
+every candidate at or below the final threshold is admitted on arrival
+and survives every prune, in arrival order -- and the final
+``max(..., key=tie_key)`` therefore sees the same sequence the two-pass
+filter would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class StreamingBest(Generic[T]):
+    """Fold scored candidates into the min/tie-break winner in one pass.
+
+    Parameters
+    ----------
+    tie_tolerance:
+        Relative whisker around the best score; candidates scoring within
+        ``best * (1 + tie_tolerance)`` stay eligible for the tie-break.
+    tie_key:
+        Among eligible candidates, the one maximizing ``tie_key`` wins
+        (first seen on equal keys, matching ``max`` semantics).
+    """
+
+    def __init__(self, tie_tolerance: float = 0.0,
+                 tie_key: Callable[[T], float] = lambda _: 0.0) -> None:
+        if tie_tolerance < 0:
+            raise ValueError("tie_tolerance cannot be negative")
+        self.tie_tolerance = tie_tolerance
+        self.tie_key = tie_key
+        self.count = 0
+        self._best_score: Optional[float] = None
+        self._contenders: List[Tuple[float, T]] = []
+
+    # ------------------------------------------------------------------
+
+    def _threshold(self) -> float:
+        assert self._best_score is not None
+        return self._best_score * (1.0 + self.tie_tolerance)
+
+    def update(self, score: float, candidate: T) -> None:
+        """Fold one scored candidate into the reduction."""
+        self.count += 1
+        if self._best_score is None or score < self._best_score:
+            self._best_score = score
+            threshold = self._threshold()
+            self._contenders = [(s, c) for s, c in self._contenders
+                                if s <= threshold]
+            self._contenders.append((score, candidate))
+        elif score <= self._threshold():
+            self._contenders.append((score, candidate))
+
+    def extend(self, scored) -> None:
+        """Fold an iterable of ``(score, candidate)`` pairs."""
+        for score, candidate in scored:
+            self.update(score, candidate)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def best_score(self) -> Optional[float]:
+        """The minimum score seen so far (None before any update)."""
+        return self._best_score
+
+    @property
+    def retained(self) -> int:
+        """Candidates currently held for the tie-break (memory bound)."""
+        return len(self._contenders)
+
+    def result(self) -> Optional[T]:
+        """The winning candidate, or None when nothing was folded."""
+        if not self._contenders:
+            return None
+        return max((c for _, c in self._contenders), key=self.tie_key)

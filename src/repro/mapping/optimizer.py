@@ -6,6 +6,12 @@ obtains it "through an optimization process with objective functions
 defined in Eq. (3) and (4)".  This module is that optimizer: it scores
 every candidate the dataflow enumerates and keeps the best one under the
 chosen objective.
+
+Candidates are folded through the engine's single-pass
+:class:`~repro.engine.reducer.StreamingBest` reducer as they stream out
+of the dataflow's enumerator, so the search never materializes the full
+candidate list (the RS space on batched CONV layers runs to tens of
+thousands of mappings).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
+from repro.engine.reducer import StreamingBest
 from repro.mapping.mapping import Mapping
 from repro.nn.layer import LayerShape
 
@@ -73,22 +80,17 @@ def optimize_mapping(dataflow: "Dataflow", layer: LayerShape,
     score = OBJECTIVES[objective]
     cost_table = costs or hw.costs
 
-    # Pass 1: the best objective value.  Pass 2: among candidates within
-    # a whisker of it, keep the one with the most active PEs -- mapping
-    # choices that cost (almost) nothing in energy should not sacrifice
-    # throughput (Section VII-B: RS "efficiently utilizes available PEs").
-    scored: list[tuple[float, Mapping]] = [
-        (score(candidate, cost_table), candidate)
-        for candidate in dataflow.enumerate_mappings(layer, hw)
-    ]
-    count = len(scored)
-    best: Optional[Mapping] = None
-    if scored:
-        best_score = min(value for value, _ in scored)
-        threshold = best_score * (1.0 + tie_tolerance)
-        best = max((candidate for value, candidate in scored
-                    if value <= threshold),
-                   key=lambda mapping: mapping.active_pes)
+    # Stream candidates through a single-pass reduction: track the best
+    # objective value, and among candidates within a whisker of it keep
+    # the one with the most active PEs -- mapping choices that cost
+    # (almost) nothing in energy should not sacrifice throughput
+    # (Section VII-B: RS "efficiently utilizes available PEs").
+    reducer: StreamingBest[Mapping] = StreamingBest(
+        tie_tolerance=tie_tolerance,
+        tie_key=lambda mapping: mapping.active_pes)
+    for candidate in dataflow.enumerate_mappings(layer, hw):
+        reducer.update(score(candidate, cost_table), candidate)
     return MappingSearchResult(dataflow=dataflow.name, layer=layer.name,
-                               best=best, candidates=count,
+                               best=reducer.result(),
+                               candidates=reducer.count,
                                objective=objective)

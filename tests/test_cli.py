@@ -57,3 +57,47 @@ class TestCli:
     def test_unknown_dataflow_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "XYZ", "CONV1"])
+
+
+class TestCliExitCodes:
+    """Each subcommand exits cleanly: 0 ok, 1 infeasible/empty, 2 bad args."""
+
+    def test_compare_ok(self, capsys):
+        assert main(["compare", "--pes", "256", "--batch", "1"]) == 0
+        assert "EDP/op" in capsys.readouterr().out
+
+    def test_evaluate_accepts_lowercase_dataflow(self, capsys):
+        assert main(["evaluate", "rs", "conv3", "--batch", "1"]) == 0
+        assert "RS mapping" in capsys.readouterr().out
+
+    def test_evaluate_unknown_layer_is_clean_error(self, capsys):
+        assert main(["evaluate", "rs", "CONV9"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown layer" in err and "Traceback" not in err
+
+    def test_sweep_small_grid_ok(self, capsys):
+        assert main(["sweep", "--pes", "32", "--rf", "512",
+                     "--batch", "2"]) == 0
+        assert "Fig. 15 sweep" in capsys.readouterr().out
+
+    def test_sweep_serial_flag_matches_default(self, capsys):
+        assert main(["sweep", "--pes", "32", "--rf", "512", "--batch", "2",
+                     "--serial"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["sweep", "--pes", "32", "--rf", "512",
+                     "--batch", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_sweep_empty_grid_exits_1(self, capsys):
+        assert main(["sweep", "--pes", "600", "--batch", "2"]) == 1
+        assert "no feasible sweep point" in capsys.readouterr().err
+
+    def test_sweep_malformed_pes_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--pes", "abc"])
+        assert excinfo.value.code == 2
+
+    def test_sweep_rejects_nonpositive_pes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--pes", "0,32"])
+        assert excinfo.value.code == 2

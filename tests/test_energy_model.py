@@ -145,3 +145,44 @@ class TestEvaluate:
         base = evaluate_layer(DATAFLOWS["RS"], LAYER, hw)
         cheap = evaluate_layer(DATAFLOWS["RS"], LAYER, hw, costs=free_dram)
         assert cheap.energy_per_op < base.energy_per_op
+
+
+class TestEdpConsistency:
+    """Layer- and network-level EDP share one delay model (energy/edp.py).
+
+    Regression guard: the seed divided layer EDP by ``active_pes`` while
+    the network multiplied by the MAC-weighted aggregate delay; both
+    granularities must agree on what delay means.
+    """
+
+    HW = HardwareConfig.eyeriss_paper_baseline(256)
+
+    def test_layer_edp_is_energy_times_shared_delay(self):
+        for name, dataflow in DATAFLOWS.items():
+            ev = evaluate_layer(dataflow, LAYER, self.HW)
+            if ev is None:
+                continue
+            assert ev.delay_per_op == delay_per_op(ev.mapping), name
+            assert ev.edp_per_op == ev.energy_per_op * ev.delay_per_op, name
+
+    def test_single_layer_network_matches_layer_exactly(self):
+        layer_ev = evaluate_layer(DATAFLOWS["RS"], LAYER, self.HW)
+        net_ev = evaluate_network(DATAFLOWS["RS"], [LAYER], self.HW)
+        assert net_ev.delay_per_op == layer_ev.delay_per_op
+        assert net_ev.energy_per_op == layer_ev.energy_per_op
+        assert net_ev.edp_per_op == layer_ev.edp_per_op
+
+    def test_network_delay_is_mac_weighted_layer_delay(self):
+        net = evaluate_network(DATAFLOWS["RS"], alexnet_conv_layers(1),
+                               self.HW)
+        weighted = sum(ev.layer.macs * ev.delay_per_op
+                       for ev in net.evaluations)
+        assert net.delay_per_op == pytest.approx(
+            weighted / net.total_macs, rel=1e-12)
+
+    def test_network_edp_uses_aggregate_delay(self):
+        net = evaluate_network(DATAFLOWS["RS"], alexnet_conv_layers(1),
+                               self.HW)
+        assert net.edp_per_op == net.energy_per_op * net.delay_per_op
+        assert net.delay_per_op == aggregate_delay_per_op(
+            [ev.mapping for ev in net.evaluations])

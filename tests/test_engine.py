@@ -1,0 +1,360 @@
+"""Parity and unit tests for the evaluation engine (:mod:`repro.engine`).
+
+The parity suite pins the engine's contract: the cached, thread-parallel
+and process-parallel paths return *bit-identical*
+``NetworkEvaluation``/``SweepPoint`` results to the serial seed path,
+for all six dataflows on the AlexNet CONV and FC layers.  The seed path
+is reproduced inline (a plain per-layer loop over ``evaluate_layer``)
+so a regression in the engine cannot hide behind a matching regression
+in the library entry points.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepPoint,
+    fig15_area_allocation_sweep,
+    pe_logic_area,
+    total_chip_area,
+)
+from repro.arch.hardware import HardwareConfig
+from repro.arch.storage import allocate_storage
+from repro.dataflows.registry import DATAFLOWS
+from repro.dataflows.row_stationary import RowStationary
+from repro.energy.model import (
+    NetworkEvaluation,
+    evaluate_layer,
+    evaluate_network,
+)
+from repro.engine import (
+    MISSING,
+    CacheKey,
+    EngineConfig,
+    EvaluationCache,
+    EvaluationEngine,
+    LayerJob,
+    StreamingBest,
+    default_engine,
+)
+from repro.engine.core import _parse_repro_parallel
+from repro.nn.networks import alexnet_conv_layers, alexnet_fc_layers
+
+BATCH = 2
+PES = 256
+LAYERS = alexnet_conv_layers(BATCH) + alexnet_fc_layers(BATCH)
+
+
+def hw_for(name: str) -> HardwareConfig:
+    return HardwareConfig.equal_area(PES, DATAFLOWS[name].rf_bytes_per_pe)
+
+
+def seed_evaluate_network(dataflow, layers, hw) -> NetworkEvaluation:
+    """The seed's serial evaluation path: a plain loop, no engine."""
+    return NetworkEvaluation(
+        dataflow=dataflow.name,
+        layers=tuple(layers),
+        evaluations=tuple(evaluate_layer(dataflow, layer, hw)
+                          for layer in layers),
+        costs=hw.costs,
+    )
+
+
+def serial_engine() -> EvaluationEngine:
+    return EvaluationEngine(EngineConfig(parallel=False), EvaluationCache())
+
+
+@pytest.fixture(scope="module")
+def seed_results():
+    return {name: seed_evaluate_network(DATAFLOWS[name], LAYERS, hw_for(name))
+            for name in DATAFLOWS}
+
+
+@pytest.fixture(scope="module")
+def thread_engine():
+    engine = EvaluationEngine(
+        EngineConfig(parallel=True, executor="thread", max_workers=4),
+        EvaluationCache())
+    yield engine
+    engine.close()
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("name", list(DATAFLOWS))
+    def test_serial_engine_matches_seed(self, name, seed_results):
+        result = serial_engine().evaluate_network(
+            DATAFLOWS[name], LAYERS, hw_for(name))
+        assert result == seed_results[name]
+
+    @pytest.mark.parametrize("name", list(DATAFLOWS))
+    def test_thread_parallel_matches_seed(self, name, seed_results,
+                                          thread_engine):
+        result = thread_engine.evaluate_network(
+            DATAFLOWS[name], LAYERS, hw_for(name), parallel=True)
+        assert result == seed_results[name]
+        if result.feasible:
+            assert result.energy_per_op == seed_results[name].energy_per_op
+            assert result.edp_per_op == seed_results[name].edp_per_op
+
+    def test_process_parallel_matches_seed(self, seed_results):
+        with EvaluationEngine(
+                EngineConfig(parallel=True, executor="process",
+                             max_workers=2),
+                EvaluationCache()) as engine:
+            result = engine.evaluate_network(
+                DATAFLOWS["RS"], LAYERS, hw_for("RS"), parallel=True)
+        assert result == seed_results["RS"]
+
+    def test_cached_path_identical(self, seed_results):
+        engine = serial_engine()
+        first = engine.evaluate_network(DATAFLOWS["RS"], LAYERS, hw_for("RS"))
+        before = engine.cache.stats
+        second = engine.evaluate_network(DATAFLOWS["RS"], LAYERS,
+                                         hw_for("RS"))
+        after = engine.cache.stats
+        assert second == first == seed_results["RS"]
+        assert after.hits == before.hits + len(LAYERS)
+        # The cached path returns the very same evaluation records.
+        assert all(a is b for a, b in zip(first.evaluations,
+                                          second.evaluations))
+
+    def test_public_api_routes_through_default_engine(self):
+        hw = hw_for("RS")
+        evaluate_network(DATAFLOWS["RS"], LAYERS[:1], hw)
+        before = default_engine().cache.stats
+        result = evaluate_network(DATAFLOWS["RS"], LAYERS[:1], hw)
+        assert default_engine().cache.stats.hits == before.hits + 1
+        assert result == seed_evaluate_network(DATAFLOWS["RS"], LAYERS[:1],
+                                               hw)
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 sweep parity.
+# ----------------------------------------------------------------------
+
+SWEEP_PES = (32, 96)
+SWEEP_RF = (256, 512, 1024)
+SWEEP_BATCH = 2
+
+
+def seed_sweep():
+    """The seed's Fig. 15 loop, reproduced without the engine."""
+    total_area = total_chip_area(256)
+    pe_area = pe_logic_area(256)
+    layers = alexnet_conv_layers(SWEEP_BATCH)
+    dataflow = RowStationary()
+    best = {}
+    for num_pes in SWEEP_PES:
+        storage_budget = total_area - num_pes * pe_area
+        if storage_budget <= 0:
+            continue
+        for rf_bytes in SWEEP_RF:
+            try:
+                allocation = allocate_storage(num_pes, rf_bytes,
+                                              storage_budget)
+            except ValueError:
+                continue
+            hw = HardwareConfig.from_allocation(allocation)
+            evaluation = seed_evaluate_network(dataflow, layers, hw)
+            if not evaluation.feasible:
+                continue
+            point = SweepPoint(
+                num_pes=num_pes,
+                rf_bytes_per_pe=rf_bytes,
+                buffer_kb=allocation.buffer_bytes / 1024,
+                storage_area_fraction=storage_budget / total_area,
+                energy_per_op=evaluation.energy_per_op,
+                delay_per_op=evaluation.delay_per_op,
+                active_pes=1.0 / evaluation.delay_per_op,
+            )
+            current = best.get(num_pes)
+            if current is None or point.energy_per_op < current.energy_per_op:
+                best[num_pes] = point
+    return best
+
+
+class TestSweepParity:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return seed_sweep()
+
+    def test_serial_engine_sweep_matches_seed(self, reference):
+        points = fig15_area_allocation_sweep(
+            SWEEP_PES, batch=SWEEP_BATCH, rf_choices=SWEEP_RF,
+            engine=serial_engine())
+        assert points == reference
+
+    def test_parallel_sweep_matches_seed(self, reference, thread_engine):
+        points = fig15_area_allocation_sweep(
+            SWEEP_PES, batch=SWEEP_BATCH, rf_choices=SWEEP_RF,
+            engine=thread_engine, parallel=True)
+        assert points == reference
+
+    def test_cached_sweep_matches_seed(self, reference):
+        engine = serial_engine()
+        kwargs = dict(batch=SWEEP_BATCH, rf_choices=SWEEP_RF, engine=engine)
+        first = fig15_area_allocation_sweep(SWEEP_PES, **kwargs)
+        again = fig15_area_allocation_sweep(SWEEP_PES, **kwargs)
+        assert first == again == reference
+        assert engine.cache.stats.hit_rate > 0.4
+
+    def test_sweep_accepts_list_arguments(self):
+        """Regression: the lru_cache seed crashed on unhashable lists."""
+        engine = serial_engine()
+        from_lists = fig15_area_allocation_sweep(
+            list(SWEEP_PES), batch=SWEEP_BATCH,
+            rf_choices=list(SWEEP_RF), engine=engine)
+        from_tuples = fig15_area_allocation_sweep(
+            SWEEP_PES, batch=SWEEP_BATCH, rf_choices=SWEEP_RF, engine=engine)
+        assert from_lists == from_tuples
+
+
+# ----------------------------------------------------------------------
+# StreamingBest reducer.
+# ----------------------------------------------------------------------
+
+def two_pass_reference(scored, tie_tolerance, tie_key):
+    """The seed optimizer's materialize-then-select rule."""
+    if not scored:
+        return None
+    best_score = min(value for value, _ in scored)
+    threshold = best_score * (1.0 + tie_tolerance)
+    return max((candidate for value, candidate in scored
+                if value <= threshold), key=tie_key)
+
+
+class TestStreamingBest:
+    def test_empty(self):
+        reducer = StreamingBest()
+        assert reducer.result() is None
+        assert reducer.count == 0
+        assert reducer.best_score is None
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingBest(tie_tolerance=-0.1)
+
+    @pytest.mark.parametrize("tolerance", [0.0, 0.01, 0.25])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_two_pass_selection(self, tolerance, seed):
+        rng = random.Random(seed)
+        # Candidates are (score drawn from few buckets to force ties,
+        # utilization) pairs; the candidate itself is the pair.
+        scored = [(rng.choice([1.0, 1.005, 1.02, 2.0, 5.0]),
+                   (i, rng.randrange(8)))
+                  for i in range(200)]
+        tie_key = lambda candidate: candidate[1]  # noqa: E731
+        reducer = StreamingBest(tie_tolerance=tolerance, tie_key=tie_key)
+        reducer.extend(scored)
+        assert reducer.count == len(scored)
+        assert reducer.best_score == min(v for v, _ in scored)
+        assert reducer.result() == two_pass_reference(scored, tolerance,
+                                                      tie_key)
+
+    def test_retains_only_whisker_candidates(self):
+        reducer = StreamingBest(tie_tolerance=0.01,
+                                tie_key=lambda c: c)
+        for score in [100.0, 50.0, 10.0, 1.0, 1.005, 5.0, 0.999]:
+            reducer.update(score, score)
+        # threshold = 0.999 * 1.01 ~ 1.009: only 1.0, 1.005, 0.999 stay.
+        assert reducer.retained == 3
+        assert reducer.result() == 1.005  # tie-break: largest key wins
+
+
+# ----------------------------------------------------------------------
+# Cache and config plumbing.
+# ----------------------------------------------------------------------
+
+class TestEvaluationCache:
+    def key(self, objective="energy"):
+        return CacheKey("RS", LAYERS[0], hw_for("RS"), objective)
+
+    def test_miss_then_hit(self):
+        cache = EvaluationCache()
+        assert cache.get(self.key()) is MISSING
+        cache.put(self.key(), None)  # infeasible results are cached too
+        assert cache.get(self.key()) is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_clear_resets_counters(self):
+        cache = EvaluationCache()
+        cache.put(self.key(), None)
+        cache.get(self.key())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == type(cache.stats)(hits=0, misses=0, size=0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        engine = serial_engine()
+        engine.evaluate_layer(DATAFLOWS["RS"], LAYERS[0], hw_for("RS"))
+        path = tmp_path / "cache.pkl"
+        engine.cache.save(path)
+        restored = EvaluationCache.load(path)
+        assert len(restored) == len(engine.cache)
+        key = LayerJob(DATAFLOWS["RS"], LAYERS[0], hw_for("RS")).key
+        assert restored.get(key) == engine.cache.get(key)
+
+    def test_update_merges_entries(self):
+        a, b = EvaluationCache(), EvaluationCache()
+        b.put(self.key(), None)
+        a.update(b)
+        assert self.key() in a
+
+
+class TestEngineConfig:
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            EngineConfig(executor="fiber")
+
+    @pytest.mark.parametrize("raw,expected", [
+        (None, (None, None, None)),
+        ("0", (False, None, None)),
+        ("off", (False, None, None)),
+        ("1", (True, None, None)),
+        ("true", (True, None, None)),
+        ("6", (True, None, 6)),
+        ("thread", (True, "thread", None)),
+        ("thread:2", (True, "thread", 2)),
+        ("process:3", (True, "process", 3)),
+    ])
+    def test_env_parsing(self, raw, expected):
+        assert _parse_repro_parallel(raw) == expected
+
+    def test_env_parsing_rejects_garbage(self):
+        with pytest.raises(ValueError, match="REPRO_PARALLEL"):
+            _parse_repro_parallel("fast please")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "thread:3")
+        config = EngineConfig.from_env()
+        assert config.parallel and config.executor == "thread"
+        assert config.max_workers == 3
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert EngineConfig.from_env().parallel is False
+
+
+class TestEvaluateMany:
+    def test_duplicate_jobs_computed_once(self):
+        engine = serial_engine()
+        job = LayerJob(DATAFLOWS["RS"], LAYERS[0], hw_for("RS"))
+        results = engine.evaluate_many([job, job, job])
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+        assert engine.cache.stats.misses == 1
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            serial_engine().evaluate_network(DATAFLOWS["RS"], [],
+                                             hw_for("RS"))
+
+    def test_objective_is_part_of_the_key(self):
+        engine = serial_engine()
+        energy = engine.evaluate_layer(DATAFLOWS["RS"], LAYERS[0],
+                                       hw_for("RS"), objective="energy")
+        dram = engine.evaluate_layer(DATAFLOWS["RS"], LAYERS[0],
+                                     hw_for("RS"), objective="dram")
+        assert engine.cache.stats.size == 2
+        assert (dram.mapping.dram_accesses_per_op
+                <= energy.mapping.dram_accesses_per_op + 1e-12)
