@@ -14,12 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.arch.storage import allocate_storage
-from repro.dataflows.registry import DATAFLOWS
+from repro.dataflows.registry import DATAFLOWS, equal_area_hardware
 from repro.energy.breakdown import LevelBreakdown, TypeBreakdown
-from repro.energy.model import NetworkEvaluation, evaluate_network
+from repro.energy.model import NetworkEvaluation
+from repro.engine.core import NetworkJob, default_engine
 from repro.nn.networks import alexnet, alexnet_conv_layers, alexnet_fc_layers
 
 #: The sweeps of Section VII-B (CONV) and VII-C (FC).
@@ -31,20 +31,26 @@ FC_BATCHES: Tuple[int, ...] = (16, 64, 256)
 
 def hardware_for(dataflow_name: str, num_pes: int) -> HardwareConfig:
     """The equal-area hardware configuration of one dataflow."""
-    dataflow = DATAFLOWS[dataflow_name]
-    return HardwareConfig.equal_area(num_pes, dataflow.rf_bytes_per_pe)
+    return equal_area_hardware(dataflow_name, num_pes)
 
 
-def _evaluate(dataflow_name: str, num_pes: int, batch: int,
-              workload: str) -> NetworkEvaluation:
-    """Evaluate one suite cell; per-layer results hit the engine cache."""
+def _cell_job(dataflow_name: str, num_pes: int, batch: int,
+              workload: str) -> NetworkJob:
+    """Describe one suite cell as an engine-level grid job."""
     layers = {
         "conv": alexnet_conv_layers,
         "fc": alexnet_fc_layers,
         "all": alexnet,
     }[workload](batch)
-    hw = hardware_for(dataflow_name, num_pes)
-    return evaluate_network(DATAFLOWS[dataflow_name], layers, hw)
+    return NetworkJob(DATAFLOWS[dataflow_name], tuple(layers),
+                      hardware_for(dataflow_name, num_pes))
+
+
+def _evaluate(dataflow_name: str, num_pes: int, batch: int,
+              workload: str) -> NetworkEvaluation:
+    """Evaluate one suite cell; per-layer results hit the engine cache."""
+    return default_engine().evaluate_networks(
+        [_cell_job(dataflow_name, num_pes, batch, workload)])[0]
 
 
 # ----------------------------------------------------------------------
@@ -154,9 +160,8 @@ class ConvSuiteResult:
         return self.energy_per_op * self.delay_per_op
 
 
-def _suite_cell(name: str, num_pes: int, batch: int,
-                workload: str) -> ConvSuiteResult:
-    evaluation = _evaluate(name, num_pes, batch, workload)
+def _suite_result(name: str, num_pes: int, batch: int,
+                  evaluation: NetworkEvaluation) -> ConvSuiteResult:
     if not evaluation.feasible:
         return ConvSuiteResult(dataflow=name, num_pes=num_pes, batch=batch,
                                feasible=False)
@@ -176,27 +181,45 @@ def _suite_cell(name: str, num_pes: int, batch: int,
     )
 
 
+def _suite_cell(name: str, num_pes: int, batch: int,
+                workload: str) -> ConvSuiteResult:
+    return _suite_result(name, num_pes, batch,
+                         _evaluate(name, num_pes, batch, workload))
+
+
+def _run_suite(cells: Sequence[Tuple[str, int, int]], workload: str
+               ) -> Dict[Tuple[str, int, int], ConvSuiteResult]:
+    """Evaluate all suite cells as one deduplicated engine batch.
+
+    The whole suite is a single :meth:`evaluate_networks` dispatch, so
+    it fans out at layer granularity under ``REPRO_PARALLEL`` and every
+    repeated (dataflow, layer, hardware) sub-problem is solved once.
+    """
+    jobs = [_cell_job(name, p, n, workload) for name, p, n in cells]
+    evaluations = default_engine().evaluate_networks(jobs)
+    return {
+        (name, p, n): _suite_result(name, p, n, evaluation)
+        for (name, p, n), evaluation in zip(cells, evaluations)
+    }
+
+
 def run_conv_suite(pe_counts: Sequence[int] = CONV_PE_COUNTS,
                    batches: Sequence[int] = CONV_BATCHES
                    ) -> Dict[Tuple[str, int, int], ConvSuiteResult]:
     """Evaluate all six dataflows on AlexNet CONV for the full sweep."""
-    return {
-        (name, p, n): _suite_cell(name, p, n, "conv")
-        for name in DATAFLOWS
-        for p in pe_counts
-        for n in batches
-    }
+    return _run_suite([(name, p, n)
+                       for name in DATAFLOWS
+                       for p in pe_counts
+                       for n in batches], "conv")
 
 
 def run_fc_suite(pe_count: int = FC_PE_COUNT,
                  batches: Sequence[int] = FC_BATCHES
                  ) -> Dict[Tuple[str, int, int], ConvSuiteResult]:
     """Evaluate all six dataflows on AlexNet FC layers (Fig. 14)."""
-    return {
-        (name, pe_count, n): _suite_cell(name, pe_count, n, "fc")
-        for name in DATAFLOWS
-        for n in batches
-    }
+    return _run_suite([(name, pe_count, n)
+                       for name in DATAFLOWS
+                       for n in batches], "fc")
 
 
 def rs_normalization(workload: str = "conv", num_pes: int = 256,

@@ -28,8 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.arch.hardware import HardwareConfig
 from repro.arch.storage import allocate_storage, baseline_storage_area
 from repro.dataflows.row_stationary import RowStationary
-from repro.energy.model import NetworkEvaluation
-from repro.engine.core import EvaluationEngine, LayerJob, default_engine
+from repro.engine.core import EvaluationEngine, NetworkJob, default_engine
 from repro.nn.networks import alexnet_conv_layers
 
 #: Storage fraction of total area at the 256-PE baseline, read off the
@@ -133,19 +132,12 @@ def fig15_area_allocation_sweep(
     dataflow = RowStationary()
     grid = _sweep_grid(pe_counts, baseline_pes, rf_choices)
 
-    jobs = [LayerJob(dataflow, layer, cell.hardware)
-            for cell in grid for layer in layers]
-    evaluations = eng.evaluate_many(jobs, parallel=parallel)
+    jobs = [NetworkJob(dataflow, tuple(layers), cell.hardware)
+            for cell in grid]
+    evaluations = eng.evaluate_networks(jobs, parallel=parallel)
 
     best: Dict[int, SweepPoint] = {}
-    for index, cell in enumerate(grid):
-        chunk = evaluations[index * len(layers):(index + 1) * len(layers)]
-        evaluation = NetworkEvaluation(
-            dataflow=dataflow.name,
-            layers=tuple(layers),
-            evaluations=tuple(chunk),
-            costs=cell.hardware.costs,
-        )
+    for cell, evaluation in zip(grid, evaluations):
         if not evaluation.feasible:
             continue
         point = SweepPoint(

@@ -10,11 +10,18 @@ Subcommands mirror the library's main entry points:
   verify it against the Eq. (1) reference.
 * ``sweep``    -- the Fig. 15 fixed-area allocation sweep.
 * ``storage``  -- the Fig. 7b equal-area storage allocation.
+* ``batch``    -- run a JSON batch spec (grids of network x dataflow x
+  hardware) through the evaluation service.
+* ``serve``    -- long-lived JSON-lines service loop on stdin/stdout.
 
 All evaluations run on the shared engine (:mod:`repro.engine`): results
-are memoized across subcommand internals, and ``sweep`` can fan its grid
-out over a worker pool (``--workers`` or the ``REPRO_PARALLEL``
-environment variable; ``--serial`` forces the sequential path).
+are memoized across subcommand internals, and ``sweep``/``batch`` can
+fan their grids out over a worker pool (``--workers`` or the
+``REPRO_PARALLEL`` environment variable; ``--serial`` forces the
+sequential path).  ``batch`` and ``serve`` persist the cache across
+processes via ``--cache-file`` or the ``REPRO_CACHE`` environment
+variable, so a repeated grid is answered from disk instead of re-running
+the mapping search.
 
 Errors (unknown layer names, impossible sweep grids) exit with a clean
 one-line message and a nonzero status instead of a traceback: 2 for bad
@@ -24,7 +31,9 @@ arguments, 1 for infeasible/empty results.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -40,6 +49,13 @@ from repro.engine.core import EngineConfig, EvaluationEngine, default_engine
 from repro.nn.layer import LayerShape, conv_layer
 from repro.nn.networks import alexnet, alexnet_conv_layers, alexnet_fc_layers
 from repro.nn.reference import conv_layer_reference, random_layer_tensors
+from repro.service import (
+    BatchDispatcher,
+    BatchResult,
+    parse_requests,
+    persistent_cache,
+    serve,
+)
 from repro.sim import simulate_layer
 
 
@@ -54,6 +70,37 @@ def _int_list(text: str) -> Tuple[int, ...]:
         raise argparse.ArgumentTypeError(
             f"expected positive integers, got {text!r}")
     return values
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser,
+                           workers: bool = False) -> None:
+    """Cache/parallelism flags shared by ``batch`` and ``serve``."""
+    parser.add_argument("--cache-file", default=None, metavar="PATH",
+                        help="persist the evaluation cache to PATH "
+                             "(default: the REPRO_CACHE environment "
+                             "variable; unset = in-memory only)")
+    parser.add_argument("--max-cache-entries", type=int, default=None,
+                        metavar="N",
+                        help="LRU bound of the cache (default: "
+                             "REPRO_CACHE_MAX_ENTRIES or 65536)")
+    if workers:
+        parallelism = parser.add_mutually_exclusive_group()
+        parallelism.add_argument("--workers", type=int, default=None,
+                                 help="fan evaluations out over N worker "
+                                      "processes")
+        parallelism.add_argument("--serial", action="store_true",
+                                 help="force the serial evaluation path")
+
+
+def _service_engine(args: argparse.Namespace, cache) -> EvaluationEngine:
+    """Build the engine behind a service subcommand from its flags."""
+    if args.workers is not None:
+        config = EngineConfig(parallel=True, max_workers=args.workers)
+    elif args.serial:
+        config = EngineConfig(parallel=False)
+    else:
+        config = EngineConfig.from_env()
+    return EvaluationEngine(config, cache)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="force the serial evaluation path")
 
     sub.add_parser("storage", help="Fig. 7b storage allocation")
+
+    batch = sub.add_parser(
+        "batch", help="run a JSON batch spec through the service")
+    batch.add_argument("spec",
+                       help="path to a BatchRequest JSON file, or '-' to "
+                            "read the spec from stdin")
+    batch.add_argument("--json", action="store_true",
+                       help="emit the full BatchResult(s) as JSON")
+    _add_service_arguments(batch, workers=True)
+
+    server = sub.add_parser(
+        "serve", help="JSON-lines service loop: one request per stdin "
+                      "line, one result per stdout line")
+    _add_service_arguments(server, workers=True)
 
     mapping = sub.add_parser(
         "mapping", help="visualize the RS mapping of a layer (Fig. 6)")
@@ -230,6 +291,66 @@ def cmd_storage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_result_table(result: BatchResult) -> str:
+    rows = []
+    for cell in result.cells:
+        if cell.feasible:
+            rows.append([cell.dataflow, str(cell.num_pes),
+                         f"{cell.rf_bytes_per_pe} B", str(cell.batch),
+                         f"{cell.energy_per_op:.3f}",
+                         f"{cell.edp_per_op:.5f}",
+                         f"{cell.dram_accesses_per_op:.5f}"])
+        else:
+            rows.append([cell.dataflow, str(cell.num_pes),
+                         f"{cell.rf_bytes_per_pe} B", str(cell.batch),
+                         "infeasible", "-", "-"])
+    cache = result.cache
+    return format_table(
+        ["dataflow", "PEs", "RF/PE", "batch", "energy/op", "EDP/op",
+         "DRAM/op"], rows,
+        title=f"batch {result.request_id}: {len(result.cells)} cells, "
+              f"{result.layer_jobs} layer jobs, cache hit rate "
+              f"{cache.hit_rate:.0%} ({cache.hits}/"
+              f"{cache.hits + cache.misses}), {result.elapsed_s:.2f}s")
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        spec_text = (sys.stdin.read() if args.spec == "-"
+                     else Path(args.spec).read_text())
+    except OSError as exc:
+        print(f"error: cannot read spec {args.spec!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    requests = parse_requests(json.loads(spec_text))
+    with persistent_cache(args.cache_file,
+                          max_entries=args.max_cache_entries) as cache:
+        with _service_engine(args, cache) as engine:
+            results = BatchDispatcher(engine).run_many(requests)
+    if args.json:
+        payload = [result.to_dict() for result in results]
+        json.dump(payload[0] if len(payload) == 1 else payload,
+                  sys.stdout, indent=2)
+        print()
+    else:
+        for result in results:
+            print(_batch_result_table(result))
+    if not any(result.feasible_cells for result in results):
+        print("no feasible cell in any request", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    with persistent_cache(args.cache_file,
+                          max_entries=args.max_cache_entries) as cache:
+        with _service_engine(args, cache) as engine:
+            served = serve(sys.stdin, sys.stdout,
+                           BatchDispatcher(engine))
+    print(f"served {served} request(s)", file=sys.stderr)
+    return 0
+
+
 def cmd_mapping(args: argparse.Namespace) -> int:
     from repro.analysis.visualize import (
         render_array_occupancy,
@@ -264,6 +385,8 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "storage": cmd_storage,
+    "batch": cmd_batch,
+    "serve": cmd_serve,
     "mapping": cmd_mapping,
 }
 

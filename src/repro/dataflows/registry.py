@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.arch.hardware import HardwareConfig
 from repro.dataflows.base import Dataflow
 from repro.dataflows.no_local_reuse import NoLocalReuse
 from repro.dataflows.output_stationary import (
@@ -40,3 +41,18 @@ def get_dataflow(name: str) -> Dataflow:
 def dataflow_names() -> List[str]:
     """The dataflow names in presentation order."""
     return list(DATAFLOWS)
+
+
+def equal_area_hardware(dataflow_name: str, num_pes: int,
+                        rf_bytes_per_pe: int | None = None
+                        ) -> HardwareConfig:
+    """The Section VI-B equal-area hardware for one dataflow grid point.
+
+    ``rf_bytes_per_pe=None`` picks the dataflow's own RF size, matching
+    the paper's per-dataflow storage split.  Shared by the experiment
+    suites and the batch service so every driver builds identical
+    hardware identities (and therefore identical cache keys).
+    """
+    if rf_bytes_per_pe is None:
+        rf_bytes_per_pe = get_dataflow(dataflow_name).rf_bytes_per_pe
+    return HardwareConfig.equal_area(num_pes, rf_bytes_per_pe)

@@ -25,12 +25,15 @@ from typing import TYPE_CHECKING
 
 _EXPORTS = {
     "MISSING": "repro.engine.cache",
+    "CacheFormatError": "repro.engine.cache",
     "CacheKey": "repro.engine.cache",
     "CacheStats": "repro.engine.cache",
+    "DEFAULT_MAX_ENTRIES": "repro.engine.cache",
     "EvaluationCache": "repro.engine.cache",
     "EngineConfig": "repro.engine.core",
     "EvaluationEngine": "repro.engine.core",
     "LayerJob": "repro.engine.core",
+    "NetworkJob": "repro.engine.core",
     "default_engine": "repro.engine.core",
     "set_default_engine": "repro.engine.core",
     "StreamingBest": "repro.engine.reducer",
@@ -40,7 +43,9 @@ __all__ = list(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.engine.cache import (  # noqa: F401
+        DEFAULT_MAX_ENTRIES,
         MISSING,
+        CacheFormatError,
         CacheKey,
         CacheStats,
         EvaluationCache,
@@ -49,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         EngineConfig,
         EvaluationEngine,
         LayerJob,
+        NetworkJob,
         default_engine,
         set_default_engine,
     )

@@ -146,6 +146,35 @@ class LayerJob:
                         hardware=self.hardware, objective=self.objective)
 
 
+@dataclass(frozen=True)
+class NetworkJob:
+    """One (dataflow, layer list, hardware) cell of an evaluation grid.
+
+    The batch-level unit of engine work: every driver that evaluates a
+    grid -- the Fig. 15 sweep, the experiment suites, the batch service
+    -- describes its cells as ``NetworkJob``s and hands them to
+    :meth:`EvaluationEngine.evaluate_networks`, which flattens them into
+    deduplicated :class:`LayerJob`s so one layer shared by many cells is
+    optimized exactly once.
+    """
+
+    dataflow: Dataflow
+    layers: Tuple[LayerShape, ...]
+    hardware: HardwareConfig
+    objective: str = "energy"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.layers, tuple):
+            object.__setattr__(self, "layers", tuple(self.layers))
+        if not self.layers:
+            raise ValueError("need at least one layer to evaluate")
+
+    @property
+    def layer_jobs(self) -> Tuple[LayerJob, ...]:
+        return tuple(LayerJob(self.dataflow, layer, self.hardware,
+                              self.objective) for layer in self.layers)
+
+
 def _evaluate_layer_task(dataflow: Dataflow, layer: LayerShape,
                          hw: HardwareConfig,
                          objective: str) -> Optional[LayerEvaluation]:
@@ -228,18 +257,38 @@ class EvaluationEngine:
                          parallel: Optional[bool] = None
                          ) -> NetworkEvaluation:
         """Evaluate every layer of a network; layers fan out in parallel."""
-        if not layers:
-            raise ValueError("need at least one layer to evaluate")
         hw = _with_costs(hw, costs)
-        evaluations = self.evaluate_many(
-            [LayerJob(dataflow, layer, hw, objective) for layer in layers],
-            parallel=parallel)
-        return NetworkEvaluation(
-            dataflow=dataflow.name,
-            layers=tuple(layers),
-            evaluations=tuple(evaluations),
-            costs=hw.costs,
-        )
+        return self.evaluate_networks(
+            [NetworkJob(dataflow, tuple(layers), hw, objective)],
+            parallel=parallel)[0]
+
+    def evaluate_networks(self, jobs: Sequence[NetworkJob],
+                          parallel: Optional[bool] = None
+                          ) -> List[NetworkEvaluation]:
+        """Evaluate a grid of network cells in one deduplicated batch.
+
+        All cells' layers are flattened into a single
+        :meth:`evaluate_many` call, so the whole grid fans out across
+        the pool at layer granularity and any sub-problem shared
+        between cells (or already cached) is computed at most once.
+        Returns one :class:`~repro.energy.model.NetworkEvaluation` per
+        job, in job order.
+        """
+        jobs = list(jobs)
+        layer_jobs = [job for cell in jobs for job in cell.layer_jobs]
+        evaluations = self.evaluate_many(layer_jobs, parallel=parallel)
+        results: List[NetworkEvaluation] = []
+        offset = 0
+        for cell in jobs:
+            chunk = evaluations[offset:offset + len(cell.layers)]
+            offset += len(cell.layers)
+            results.append(NetworkEvaluation(
+                dataflow=cell.dataflow.name,
+                layers=cell.layers,
+                evaluations=tuple(chunk),
+                costs=cell.hardware.costs,
+            ))
+        return results
 
     def evaluate_many(self, jobs: Sequence[LayerJob],
                       parallel: Optional[bool] = None

@@ -1,0 +1,56 @@
+"""Batch evaluation service: the scale tier over the engine.
+
+``repro.service`` answers *grids* of evaluation problems instead of
+single calls.  A :class:`~repro.service.schema.BatchRequest` names a
+workload (a reference network or explicit layers), a set of dataflows,
+a hardware grid and an objective; the
+:class:`~repro.service.dispatcher.BatchDispatcher` expands it into
+deduplicated engine jobs, fans them out through the shared
+:class:`~repro.engine.core.EvaluationEngine`, and aggregates a
+:class:`~repro.service.schema.BatchResult` with per-cell metrics and
+the request's cache traffic.
+
+Persistence lives in :mod:`repro.service.persistence`
+(:func:`persistent_cache` + the ``REPRO_CACHE`` variable): the warm
+cache survives process restarts, which is what makes repeated
+design-space retrospectives cheap.  :mod:`repro.service.server` is the
+stdin/stdout JSON-lines loop behind ``repro serve``.
+"""
+
+from repro.service.dispatcher import (
+    BatchDispatcher,
+    equal_area_hardware,
+    expand_request,
+)
+from repro.service.persistence import (
+    CACHE_ENV,
+    default_cache_path,
+    persistent_cache,
+)
+from repro.service.schema import (
+    NETWORKS,
+    BatchRequest,
+    BatchResult,
+    CellResult,
+    layer_from_dict,
+    layer_to_dict,
+    parse_requests,
+)
+from repro.service.server import serve
+
+__all__ = [
+    "BatchDispatcher",
+    "BatchRequest",
+    "BatchResult",
+    "CACHE_ENV",
+    "CellResult",
+    "NETWORKS",
+    "default_cache_path",
+    "equal_area_hardware",
+    "expand_request",
+    "layer_from_dict",
+    "layer_to_dict",
+    "parse_requests",
+    "persistent_cache",
+    "serve",
+]

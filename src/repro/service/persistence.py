@@ -1,0 +1,99 @@
+"""The disk tier of the evaluation cache.
+
+``repro batch``/``repro serve`` keep their warm cache across process
+restarts: :func:`persistent_cache` loads a snapshot on startup (merging
+it into the live cache with :meth:`EvaluationCache.update`), yields the
+cache to the caller, and flushes it back on exit.  The flush re-merges
+whatever is on disk first, so two processes sharing one cache file
+union their entries instead of clobbering each other (entries are pure
+functions of their key, so a merge can never change a value).
+
+The cache file defaults to the ``REPRO_CACHE`` environment variable;
+when neither a path nor the variable is set the cache is purely
+in-memory and nothing touches the disk.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.engine.cache import (
+    CacheFormatError,
+    EvaluationCache,
+    read_snapshot,
+    write_snapshot,
+)
+
+#: Environment variable naming the default cache file.
+CACHE_ENV = "REPRO_CACHE"
+
+
+def default_cache_path() -> Optional[Path]:
+    """The cache file named by ``REPRO_CACHE`` (None when unset/empty)."""
+    raw = os.environ.get(CACHE_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+def load_into(cache: EvaluationCache, path: Path) -> int:
+    """Merge a snapshot file into a live cache; returns entries added.
+
+    The merge goes straight from the validated snapshot into ``cache``,
+    so only the live cache's own ``max_entries`` bound applies (no
+    intermediate cache with a different bound dropping entries on the
+    way).  A missing file is fine (first run); a corrupt one raises
+    :class:`~repro.engine.cache.CacheFormatError`.
+    """
+    if not path.exists():
+        return 0
+    return cache.update_entries(read_snapshot(path))
+
+
+def flush(cache: EvaluationCache, path: Path) -> None:
+    """Union the live entries with the on-disk snapshot and write back.
+
+    The live cache's entries always win recency: disk-only entries
+    (written by another process since startup) are kept but rank as
+    least-recently-used, so when the union exceeds the live bound it is
+    the *stale* disk entries that are dropped, never this run's fresh
+    results.  The live cache itself is not mutated.  A corrupt on-disk
+    file cannot be merged and is overwritten (the snapshot is a cache;
+    losing it only costs time).
+    """
+    live = cache.snapshot()  # LRU-first order
+    try:
+        disk = read_snapshot(path) if path.exists() else {}
+    except CacheFormatError:
+        disk = {}
+    merged = OrderedDict(
+        (key, value) for key, value in disk.items() if key not in live)
+    merged.update(live)
+    if cache.max_entries is not None:
+        while len(merged) > cache.max_entries:
+            merged.popitem(last=False)  # stale disk-only entries first
+    write_snapshot(path, merged)
+
+
+@contextmanager
+def persistent_cache(path: Optional[str | Path] = None,
+                     max_entries: Optional[int] = None,
+                     ) -> Iterator[EvaluationCache]:
+    """An :class:`EvaluationCache` backed by a snapshot file.
+
+    ``path=None`` falls back to ``REPRO_CACHE``; with neither set this
+    is just a plain in-memory cache.  The snapshot is loaded (and
+    validated) before the body runs and flushed when it exits, even on
+    error -- partial warm-ups are still worth keeping.
+    """
+    cache = EvaluationCache(max_entries=max_entries)
+    file_path = Path(path) if path is not None else default_cache_path()
+    if file_path is not None:
+        load_into(cache, file_path)
+    try:
+        yield cache
+    finally:
+        if file_path is not None:
+            flush(cache, file_path)

@@ -1,0 +1,280 @@
+"""Request/response schema of the batch evaluation service.
+
+A :class:`BatchRequest` describes a grid of evaluation problems --
+(network | explicit layer list) x dataflows x hardware points x
+objective -- in plain JSON-friendly data.  The dispatcher
+(:mod:`repro.service.dispatcher`) expands it into engine-level jobs and
+answers with a :class:`BatchResult`: one :class:`CellResult` per grid
+cell plus the cache traffic the request generated.
+
+Everything validates eagerly with clear ``ValueError`` messages, so a
+malformed spec fails at the service boundary (CLI exit code 2, or an
+``error`` line in serve mode) instead of deep inside the optimizer.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflows.registry import DATAFLOWS, get_dataflow
+from repro.engine.cache import CacheStats
+from repro.mapping.optimizer import OBJECTIVES
+from repro.nn.layer import LayerShape, LayerType
+from repro.nn.networks import (
+    alexnet,
+    alexnet_conv_layers,
+    alexnet_fc_layers,
+    resnet18,
+    vgg16,
+)
+
+#: Named workloads a request can ask for instead of explicit layers.
+NETWORKS = {
+    "alexnet": alexnet,
+    "alexnet-conv": alexnet_conv_layers,
+    "alexnet-fc": alexnet_fc_layers,
+    "vgg16": vgg16,
+    "resnet18": resnet18,
+}
+
+_LAYER_FIELDS = ("name", "H", "R", "E", "C", "M", "U", "N", "type")
+_REQUEST_FIELDS = ("id", "network", "layers", "batch", "dataflows",
+                   "pe_counts", "rf_choices", "objective")
+
+
+def _positive_ints(values, what: str) -> Tuple[int, ...]:
+    if isinstance(values, int) and not isinstance(values, bool):
+        values = [values]  # a bare scalar is an obvious one-point grid
+    if not isinstance(values, (list, tuple)):
+        # Notably rejects strings: iterating "256" would silently turn
+        # it into the grid (2, 5, 6).
+        raise ValueError(
+            f"{what} must be a list of integers, got {values!r}")
+    try:
+        result = tuple(operator.index(v) for v in values)
+    except TypeError:
+        raise ValueError(
+            f"{what} must be a list of integers, got {values!r}") from None
+    if not result or any(v < 1 for v in result):
+        raise ValueError(
+            f"{what} must be a non-empty list of positive integers, "
+            f"got {values!r}")
+    return result
+
+
+def layer_from_dict(data: Dict) -> LayerShape:
+    """Build a :class:`LayerShape` from a JSON object.
+
+    ``E`` may be omitted; it is derived from Eq. (1) as
+    ``(H - R + U) // U`` (the shape validation in ``LayerShape`` still
+    applies, so inconsistent explicit values are rejected).
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"each layer must be an object, got {data!r}")
+    unknown = set(data) - set(_LAYER_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown layer field(s) {sorted(unknown)}; "
+            f"known: {list(_LAYER_FIELDS)}")
+    try:
+        kind = LayerType(str(data.get("type", "CONV")).upper())
+    except ValueError:
+        raise ValueError(
+            f"unknown layer type {data.get('type')!r}; known: "
+            f"{[t.value for t in LayerType]}") from None
+    missing = {"name", "H", "R", "C", "M"} - set(data)
+    if missing:
+        raise ValueError(f"layer is missing field(s) {sorted(missing)}")
+    h, r = int(data["H"]), int(data["R"])
+    u = int(data.get("U", 1))
+    e = int(data["E"]) if "E" in data else (h - r + u) // u
+    return LayerShape(name=str(data["name"]), H=h, R=r, E=e,
+                      C=int(data["C"]), M=int(data["M"]), U=u,
+                      N=int(data.get("N", 1)), layer_type=kind)
+
+
+def layer_to_dict(layer: LayerShape) -> Dict:
+    return {"name": layer.name, "type": layer.layer_type.value,
+            "H": layer.H, "R": layer.R, "E": layer.E, "C": layer.C,
+            "M": layer.M, "U": layer.U, "N": layer.N}
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One grid of evaluation problems, as submitted by a client."""
+
+    request_id: str
+    dataflows: Tuple[str, ...]
+    pe_counts: Tuple[int, ...] = (256,)
+    #: Batch size N applied to a named ``network``; explicit ``layers``
+    #: carry their own N and ignore this field.
+    batch: int = 16
+    network: Optional[str] = None
+    layers: Optional[Tuple[LayerShape, ...]] = None
+    #: RF bytes/PE per hardware point; None picks each dataflow's
+    #: equal-area default (Section VI-B), as the paper's figures do.
+    rf_choices: Optional[Tuple[int, ...]] = None
+    objective: str = "energy"
+
+    def __post_init__(self) -> None:
+        if (self.network is None) == (self.layers is None):
+            raise ValueError(
+                f"request {self.request_id!r} must set exactly one of "
+                f"'network' or 'layers'")
+        if self.network is not None and self.network not in NETWORKS:
+            raise ValueError(
+                f"unknown network {self.network!r}; known: "
+                f"{sorted(NETWORKS)}")
+        if not self.dataflows:
+            raise ValueError(
+                f"request {self.request_id!r} names no dataflows")
+        for name in self.dataflows:
+            if name not in DATAFLOWS:
+                raise ValueError(
+                    f"unknown dataflow {name!r}; known: {list(DATAFLOWS)}")
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; known: "
+                f"{list(OBJECTIVES)}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def resolved_layers(self) -> Tuple[LayerShape, ...]:
+        """The layer list the request evaluates (network or explicit)."""
+        if self.layers is not None:
+            return self.layers
+        return tuple(NETWORKS[self.network](self.batch))
+
+    @classmethod
+    def from_dict(cls, data: Dict, default_id: str = "req") -> "BatchRequest":
+        if not isinstance(data, dict):
+            raise ValueError(f"a request must be an object, got {data!r}")
+        unknown = set(data) - set(_REQUEST_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s) {sorted(unknown)}; "
+                f"known: {list(_REQUEST_FIELDS)}")
+        dataflows = data.get("dataflows") or list(DATAFLOWS)
+        if isinstance(dataflows, str):
+            dataflows = [dataflows]
+        try:
+            dataflows = tuple(get_dataflow(str(n)).name for n in dataflows)
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
+        layers = data.get("layers")
+        if layers is not None:
+            if not isinstance(layers, list) or not layers:
+                raise ValueError("'layers' must be a non-empty list")
+            layers = tuple(layer_from_dict(entry) for entry in layers)
+        rf_choices = data.get("rf_choices")
+        if rf_choices is not None:
+            rf_choices = _positive_ints(rf_choices, "'rf_choices'")
+        return cls(
+            request_id=str(data.get("id", default_id)),
+            dataflows=dataflows,
+            pe_counts=_positive_ints(data.get("pe_counts", (256,)),
+                                     "'pe_counts'"),
+            batch=int(data.get("batch", 16)),
+            network=data.get("network"),
+            layers=layers,
+            rf_choices=rf_choices,
+            objective=str(data.get("objective", "energy")),
+        )
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "id": self.request_id,
+            "dataflows": list(self.dataflows),
+            "pe_counts": list(self.pe_counts),
+            "batch": self.batch,
+            "objective": self.objective,
+        }
+        if self.network is not None:
+            data["network"] = self.network
+        if self.layers is not None:
+            data["layers"] = [layer_to_dict(l) for l in self.layers]
+        if self.rf_choices is not None:
+            data["rf_choices"] = list(self.rf_choices)
+        return data
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregate metrics of one (dataflow, hardware) grid cell."""
+
+    dataflow: str
+    num_pes: int
+    rf_bytes_per_pe: int
+    batch: int
+    objective: str
+    feasible: bool
+    energy_per_op: float = float("nan")
+    delay_per_op: float = float("nan")
+    edp_per_op: float = float("nan")
+    dram_accesses_per_op: float = float("nan")
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "dataflow": self.dataflow,
+            "pes": self.num_pes,
+            "rf_bytes_per_pe": self.rf_bytes_per_pe,
+            "batch": self.batch,
+            "objective": self.objective,
+            "feasible": self.feasible,
+        }
+        if self.feasible:
+            data.update(
+                energy_per_op=self.energy_per_op,
+                delay_per_op=self.delay_per_op,
+                edp_per_op=self.edp_per_op,
+                dram_accesses_per_op=self.dram_accesses_per_op,
+            )
+        return data
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The service's answer to one :class:`BatchRequest`."""
+
+    request_id: str
+    cells: Tuple[CellResult, ...]
+    layer_jobs: int
+    elapsed_s: float
+    cache: CacheStats = field(default_factory=lambda: CacheStats(0, 0, 0))
+
+    @property
+    def feasible_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.feasible)
+
+    def to_dict(self) -> Dict:
+        return {
+            "id": self.request_id,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "layer_jobs": self.layer_jobs,
+            "feasible_cells": self.feasible_cells,
+            "elapsed_s": self.elapsed_s,
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+                "size": self.cache.size,
+                "evictions": self.cache.evictions,
+            },
+        }
+
+
+def parse_requests(payload) -> List[BatchRequest]:
+    """Decode a spec payload: one request object or a list of them."""
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list) or not payload:
+        raise ValueError(
+            "a batch spec must be a request object or a non-empty list "
+            "of request objects")
+    return [BatchRequest.from_dict(entry, default_id=f"req-{index}")
+            for index, entry in enumerate(payload)]

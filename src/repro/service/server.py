@@ -1,0 +1,49 @@
+"""JSON-lines serve loop: one BatchRequest per line in, one line out.
+
+``repro serve`` turns the dispatcher into a long-lived worker a parent
+process can feed over a pipe:
+
+.. code-block:: text
+
+    $ printf '%s\n' '{"network": "alexnet-conv", "dataflows": ["RS"],
+      "pe_counts": [256], "batch": 1}' | repro serve --cache-file c.pkl
+    {"id": "req-1", "cells": [...], "cache": {...}, ...}
+
+Each input line is parsed, validated and dispatched independently; a
+bad line answers with an ``{"id": ..., "error": ...}`` object instead
+of killing the loop, so one malformed request cannot take down a
+service that other clients share.  Blank lines are ignored and EOF ends
+the loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional
+
+from repro.service.dispatcher import BatchDispatcher
+from repro.service.schema import BatchRequest
+
+
+def serve(input_stream: IO[str], output_stream: IO[str],
+          dispatcher: Optional[BatchDispatcher] = None,
+          parallel: Optional[bool] = None) -> int:
+    """Run the JSON-lines loop until EOF; returns requests served."""
+    dispatcher = dispatcher or BatchDispatcher()
+    served = 0
+    for number, line in enumerate(input_stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        request_id = f"req-{number}"
+        try:
+            payload = json.loads(line)
+            request = BatchRequest.from_dict(payload, default_id=request_id)
+            response = dispatcher.run(request, parallel=parallel).to_dict()
+            served += 1
+        except (ValueError, RuntimeError) as exc:
+            response = {"id": request_id, "error": str(exc)}
+        json.dump(response, output_stream)
+        output_stream.write("\n")
+        output_stream.flush()
+    return served

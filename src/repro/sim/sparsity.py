@@ -55,12 +55,25 @@ def zero_gating_savings(ifmap: np.ndarray, weights: np.ndarray,
     A MAC is skipped when its ifmap operand is exactly zero; the count is
     computed exactly by convolving the ifmap's zero mask with an all-ones
     filter (each window-zero suppresses one MAC per filter).
+
+    The geometry must satisfy Eq. (1) exactly -- ``(H - R)`` divisible
+    by the stride -- the same consistency :class:`~repro.nn.layer.
+    LayerShape` enforces; a non-tiling stride would silently truncate
+    edge windows and undercount both total and skipped MACs.
     """
     n, c, h, _ = ifmap.shape
     m, c_w, r, _ = weights.shape
     if c != c_w:
         raise ValueError("channel mismatch between ifmap and weights")
-    e = (h - r + stride) // stride
+    if stride < 1:
+        raise ValueError(f"stride must be a positive integer, got {stride}")
+    if r > h:
+        raise ValueError(f"filter size R={r} exceeds ifmap size H={h}")
+    if (h - r) % stride:
+        raise ValueError(
+            f"stride U={stride} does not tile the ifmap: Eq. (1) needs "
+            f"H-R={h}-{r}={h - r} divisible by U")
+    e = (h - r) // stride + 1
     zero_mask = (ifmap == 0)
     zeros_per_window = 0
     for x in range(e):
@@ -82,44 +95,86 @@ def run_length_encode(values: np.ndarray) -> List[Tuple[int, int]]:
     """Encode a 1-D integer array as (zero_run, value) pairs.
 
     Mirrors the Eyeriss RLE: runs of zeros up to :data:`MAX_RUN` are
-    folded into the count preceding each non-zero value; a trailing run of
-    zeros is encoded with a sentinel value of 0.
+    folded into the count preceding each non-zero value; a trailing run
+    of zeros is encoded with a sentinel value of 0.  A run that
+    saturates the 5-bit field while more zeros follow is emitted as a
+    ``(MAX_RUN, 0)`` pair, which spends its literal slot on the
+    32nd zero -- so a gap of ``g`` zeros costs ``g // (MAX_RUN+1)``
+    saturated pairs plus the remainder folded into the next value's
+    pair.
+
+    Fully vectorized over the non-zero positions; the emitted pairs are
+    bit-identical to the original element-by-element encoder.
     """
     flat = np.asarray(values).ravel()
-    encoded: List[Tuple[int, int]] = []
-    run = 0
-    for v in flat.tolist():
-        if v == 0 and run < MAX_RUN:
-            run += 1
-            continue
-        encoded.append((run, int(v)))
-        run = 0
-    if run:
-        encoded.append((run, 0))
+    period = MAX_RUN + 1
+    nonzero = np.flatnonzero(flat)
+    # Zero-gap in front of each non-zero value (the first gap starts at
+    # index 0), split into saturated (MAX_RUN, 0) chunks + a remainder.
+    gaps = np.diff(nonzero, prepend=-1) - 1
+    chunks = gaps // period
+    counts = chunks + 1  # saturated pairs + the value's own pair
+    ends = np.cumsum(counts) - 1
+    runs = np.full(int(counts.sum()), MAX_RUN, dtype=np.int64)
+    vals = np.zeros(runs.size, dtype=np.int64)
+    runs[ends] = gaps % period
+    vals[ends] = flat[nonzero].astype(np.int64)
+    encoded = list(zip(runs.tolist(), vals.tolist()))
+    # Trailing zeros: saturated chunks, then a (run, 0) sentinel pair.
+    tail = int(flat.size - (nonzero[-1] + 1)) if nonzero.size else flat.size
+    tail_chunks, tail_run = divmod(tail, period)
+    encoded.extend([(MAX_RUN, 0)] * tail_chunks)
+    if tail_run:
+        encoded.append((tail_run, 0))
     return encoded
 
 
 def run_length_decode(encoded: List[Tuple[int, int]],
                       length: int) -> np.ndarray:
-    """Invert :func:`run_length_encode` back to a 1-D array."""
-    out: List[int] = []
-    for run, value in encoded:
+    """Invert :func:`run_length_encode` back to a 1-D array.
+
+    The bulk of the stream -- every pair that lands strictly inside the
+    declared length -- is reconstructed with one vectorized scatter;
+    only the boundary pairs at the very end (whose literal value slot
+    may fall exactly on ``length`` and be elided) take the scalar path,
+    preserving the original decoder's semantics and error messages
+    exactly.
+    """
+    pairs = np.asarray(encoded, dtype=np.int64).reshape(-1, 2)
+    runs, vals = pairs[:, 0], pairs[:, 1]
+    # Each pair occupies run zeros + one literal value slot; pairs whose
+    # slots all fit within the declared length decode by pure scatter.
+    ends = np.cumsum(runs + 1)
+    bulk = int(np.searchsorted(ends, length, side="right"))
+    invalid = (runs[:bulk] < 0) | (runs[:bulk] > MAX_RUN)
+    if invalid.any():
+        raise ValueError(
+            f"invalid run length {runs[:bulk][invalid][0]}")
+    head_len = int(ends[bulk - 1]) if bulk else 0
+    head = np.zeros(head_len, dtype=np.int64)
+    head[ends[:bulk] - 1] = vals[:bulk]
+    # Boundary pairs (at most one in a well-formed stream): scalar walk.
+    tail: List[int] = []
+    for run, value in encoded[bulk:]:
         if run < 0 or run > MAX_RUN:
             raise ValueError(f"invalid run length {run}")
-        out.extend([0] * run)
-        if len(out) < length:
-            out.append(value)
+        tail.extend([0] * run)
+        if head_len + len(tail) < length:
+            tail.append(value)
         elif value != 0:
             raise ValueError("non-zero value beyond declared length")
     # A final (run, 0) pair may pad exactly to length; trailing zeros
     # missing from the stream are implicit.
-    if len(out) < length:
-        out.extend([0] * (length - len(out)))
-    if len(out) != length:
+    decoded = head_len + len(tail)
+    if decoded > length:
         raise ValueError(
-            f"decoded {len(out)} values, expected {length}"
+            f"decoded {decoded} values, expected {length}"
         )
-    return np.array(out, dtype=np.int64)
+    return np.concatenate([
+        head,
+        np.asarray(tail, dtype=np.int64),
+        np.zeros(length - decoded, dtype=np.int64),
+    ])
 
 
 def compressed_words(values: np.ndarray) -> int:

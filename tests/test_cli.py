@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -101,3 +104,89 @@ class TestCliExitCodes:
         with pytest.raises(SystemExit) as excinfo:
             main(["sweep", "--pes", "0,32"])
         assert excinfo.value.code == 2
+
+
+SMOKE_SPEC = {"id": "cli-smoke", "network": "alexnet-fc", "batch": 1,
+              "dataflows": ["RS"], "pe_counts": [256]}
+
+
+class TestCliBatch:
+    def spec_file(self, tmp_path, spec=None):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec or SMOKE_SPEC))
+        return str(path)
+
+    def test_batch_table_output(self, tmp_path, capsys):
+        assert main(["batch", self.spec_file(tmp_path), "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-smoke" in out and "hit rate" in out
+
+    def test_batch_json_output(self, tmp_path, capsys):
+        assert main(["batch", self.spec_file(tmp_path), "--serial",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["id"] == "cli-smoke"
+        assert data["feasible_cells"] == 1
+
+    def test_batch_warm_cache_across_processes(self, tmp_path, capsys):
+        """The tentpole workflow: a second run against the persisted
+        cache file answers entirely from disk."""
+        spec = self.spec_file(tmp_path)
+        cache = str(tmp_path / "cache.pkl")
+        assert main(["batch", spec, "--serial", "--cache-file", cache,
+                     "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["batch", spec, "--serial", "--cache-file", cache,
+                     "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["cache"]["hit_rate"] == 0.0
+        assert warm["cache"]["hit_rate"] == 1.0
+        assert warm["cells"] == cold["cells"]
+
+    def test_batch_spec_from_stdin(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(SMOKE_SPEC)))
+        assert main(["batch", "-", "--serial"]) == 0
+        assert "cli-smoke" in capsys.readouterr().out
+
+    def test_batch_missing_spec_exits_2(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "none.json")]) == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_batch_malformed_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert main(["batch", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_batch_invalid_request_exits_2(self, tmp_path, capsys):
+        spec = self.spec_file(tmp_path, {"network": "lenet"})
+        assert main(["batch", spec]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+    def test_batch_corrupt_cache_file_exits_2(self, tmp_path, capsys):
+        cache = tmp_path / "corrupt.pkl"
+        cache.write_bytes(b"garbage")
+        assert main(["batch", self.spec_file(tmp_path), "--serial",
+                     "--cache-file", str(cache)]) == 2
+        assert "not a valid snapshot" in capsys.readouterr().err
+
+    def test_batch_max_cache_entries_bound(self, tmp_path, capsys):
+        assert main(["batch", self.spec_file(tmp_path), "--serial",
+                     "--max-cache-entries", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["cache"]["size"] <= 2
+        assert data["cache"]["evictions"] >= 1
+
+
+class TestCliServe:
+    def test_serve_round_trip(self, capsys, monkeypatch):
+        lines = json.dumps(SMOKE_SPEC) + "\n" + "{broken\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", "--serial"]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line)
+                     for line in captured.out.splitlines()]
+        assert responses[0]["feasible_cells"] == 1
+        assert "error" in responses[1]
+        assert "served 1 request(s)" in captured.err

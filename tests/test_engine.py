@@ -35,6 +35,7 @@ from repro.engine import (
     EvaluationCache,
     EvaluationEngine,
     LayerJob,
+    NetworkJob,
     StreamingBest,
     default_engine,
 )
@@ -348,6 +349,31 @@ class TestEvaluateMany:
         with pytest.raises(ValueError, match="at least one layer"):
             serial_engine().evaluate_network(DATAFLOWS["RS"], [],
                                              hw_for("RS"))
+
+    def test_evaluate_networks_matches_per_cell_calls(self, seed_results):
+        """The grid path returns the same NetworkEvaluations as one
+        evaluate_network call per cell, in cell order."""
+        engine = serial_engine()
+        jobs = [NetworkJob(DATAFLOWS[name], tuple(LAYERS), hw_for(name))
+                for name in ("RS", "WS")]
+        grid = engine.evaluate_networks(jobs)
+        assert grid[0] == seed_results["RS"]
+        assert grid[1] == seed_results["WS"]
+
+    def test_evaluate_networks_deduplicates_shared_cells(self):
+        engine = serial_engine()
+        job = NetworkJob(DATAFLOWS["RS"], tuple(LAYERS[:2]), hw_for("RS"))
+        first, second = engine.evaluate_networks([job, job])
+        assert first == second
+        assert engine.cache.stats.misses == 2  # one per distinct layer
+
+    def test_network_job_rejects_empty_layers(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            NetworkJob(DATAFLOWS["RS"], (), hw_for("RS"))
+
+    def test_network_job_normalizes_layer_sequences(self):
+        job = NetworkJob(DATAFLOWS["RS"], list(LAYERS[:2]), hw_for("RS"))
+        assert job.layers == tuple(LAYERS[:2])
 
     def test_objective_is_part_of_the_key(self):
         engine = serial_engine()

@@ -106,6 +106,94 @@ class TestRunLengthCoding:
         with pytest.raises(ValueError, match="invalid run"):
             run_length_decode([(MAX_RUN + 1, 3)], 40)
 
+    def test_negative_run_rejected_on_decode(self):
+        with pytest.raises(ValueError, match="invalid run"):
+            run_length_decode([(-1, 3)], 40)
+
+    def test_value_beyond_declared_length_rejected(self):
+        with pytest.raises(ValueError, match="beyond declared length"):
+            run_length_decode([(0, 5), (0, 6)], 1)
+
+    def test_zeros_beyond_declared_length_rejected(self):
+        with pytest.raises(ValueError, match="decoded 3 values"):
+            run_length_decode([(3, 0)], 2)
+
+
+def scalar_reference_encode(values):
+    """The original element-by-element encoder, kept as the oracle."""
+    flat = np.asarray(values).ravel()
+    encoded = []
+    run = 0
+    for v in flat.tolist():
+        if v == 0 and run < MAX_RUN:
+            run += 1
+            continue
+        encoded.append((run, int(v)))
+        run = 0
+    if run:
+        encoded.append((run, 0))
+    return encoded
+
+
+class TestMaxRunBoundary:
+    """The 5-bit saturation cases: runs of exactly MAX_RUN (31) zeros
+    followed by more zeros, where a saturated (31, 0) pair spends its
+    literal slot on the 32nd zero."""
+
+    @pytest.mark.parametrize("zeros", [30, 31, 32, 33, 62, 63, 64, 95])
+    @pytest.mark.parametrize("layout", ["trailing", "before_value",
+                                        "between_values"])
+    def test_roundtrip_at_saturation(self, zeros, layout):
+        if layout == "trailing":
+            values = [5] + [0] * zeros
+        elif layout == "before_value":
+            values = [0] * zeros + [5]
+        else:
+            values = [7] + [0] * zeros + [5]
+        values = np.array(values, dtype=np.int64)
+        encoded = run_length_encode(values)
+        assert all(0 <= run <= MAX_RUN for run, _ in encoded)
+        assert encoded == scalar_reference_encode(values)
+        assert np.array_equal(run_length_decode(encoded, len(values)),
+                              values)
+
+    def test_exactly_max_run_then_more_zeros(self):
+        """A run of exactly 31 zeros followed by more zeros: the
+        saturated pair (31, 0) must absorb the 32nd zero, not double
+        count or drop it."""
+        values = np.zeros(40, dtype=np.int64)
+        values[-1] = 9
+        encoded = run_length_encode(values)
+        # 39 zeros before the 9: one saturated pair (covers 32 zeros)
+        # plus the remaining 7 folded into the value's pair.
+        assert encoded == [(31, 0), (7, 9)]
+        assert np.array_equal(run_length_decode(encoded, 40), values)
+
+    def test_saturated_trailing_pair(self):
+        values = np.zeros(32, dtype=np.int64)
+        encoded = run_length_encode(values)
+        assert encoded == [(31, 0)]  # 31-run + its zero literal = 32
+        assert np.array_equal(run_length_decode(encoded, 32), values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(
+        # values mixed with zero-run lengths around the 31/32 boundary
+        st.one_of(st.integers(-8, 8), st.integers(28, 35)),
+        min_size=0, max_size=12))
+    def test_zero_run_heavy_property(self, spec):
+        # Interpret ints > 8 as "insert a zero-run of that length".
+        data = []
+        for item in spec:
+            if item > 8:
+                data.extend([0] * item)
+            else:
+                data.append(item)
+        values = np.array(data, dtype=np.int64)
+        encoded = run_length_encode(values)
+        assert encoded == scalar_reference_encode(values)
+        assert np.array_equal(run_length_decode(encoded, len(values)),
+                              values)
+
 
 class TestZeroGating:
     def test_exact_count_vs_brute_force(self):
@@ -149,6 +237,38 @@ class TestZeroGating:
         with pytest.raises(ValueError, match="mismatch"):
             zero_gating_savings(np.zeros((1, 2, 5, 5)),
                                 np.zeros((1, 3, 3, 3)))
+
+    def test_non_tiling_stride_rejected(self):
+        """Regression: (H-R)=3 with stride 2 used to floor-divide
+        silently, truncating edge windows and miscounting MACs."""
+        with pytest.raises(ValueError, match="does not tile"):
+            zero_gating_savings(np.zeros((1, 1, 6, 6)),
+                                np.ones((1, 1, 3, 3)), stride=2)
+
+    def test_nonpositive_stride_rejected(self):
+        with pytest.raises(ValueError, match="stride"):
+            zero_gating_savings(np.zeros((1, 1, 5, 5)),
+                                np.ones((1, 1, 3, 3)), stride=0)
+
+    def test_oversized_filter_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            zero_gating_savings(np.zeros((1, 1, 3, 3)),
+                                np.ones((1, 1, 5, 5)))
+
+    def test_tiling_stride_counts_exactly(self):
+        """With a valid strided geometry the count matches brute force."""
+        rng = np.random.default_rng(5)
+        ifmap = rng.integers(0, 2, (1, 2, 7, 7))
+        weights = rng.integers(-2, 3, (3, 2, 3, 3))
+        stats = zero_gating_savings(ifmap, weights, stride=2)
+        e = 3  # (7 - 3) / 2 + 1
+        skipped = 0
+        for x in range(e):
+            for y in range(e):
+                window = ifmap[0, :, 2 * x:2 * x + 3, 2 * y:2 * y + 3]
+                skipped += int((window == 0).sum()) * 3
+        assert stats.skipped_macs == skipped
+        assert stats.total_macs == 1 * 3 * 2 * e * e * 9
 
     def test_stats_edge_cases(self):
         empty = SparsityStats(total_macs=0, skipped_macs=0,

@@ -1,0 +1,326 @@
+"""Tests for the batch evaluation service (:mod:`repro.service`).
+
+Pins the service contract: schema round-trips and validation, grid
+expansion into deduplicated engine jobs, parity between the dispatcher
+path and direct engine evaluation, per-request cache accounting, the
+persistent disk tier (load/merge/flush across "restarts"), and the
+JSON-lines serve loop including its error answers.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.dataflows.registry import DATAFLOWS
+from repro.engine import EngineConfig, EvaluationCache, EvaluationEngine
+from repro.nn.networks import alexnet_conv_layers
+from repro.service import (
+    BatchDispatcher,
+    BatchRequest,
+    equal_area_hardware,
+    expand_request,
+    parse_requests,
+    persistent_cache,
+    serve,
+)
+from repro.service.schema import layer_from_dict, layer_to_dict
+
+
+def serial_engine() -> EvaluationEngine:
+    return EvaluationEngine(EngineConfig(parallel=False), EvaluationCache())
+
+
+def synthetic_key(i: int):
+    from repro.engine import CacheKey
+    from repro.service import equal_area_hardware
+
+    return CacheKey("RS", alexnet_conv_layers(1)[0],
+                    equal_area_hardware("RS", 256), f"energy-{i}")
+
+
+def synthetic_cache(n: int, max_entries=None) -> EvaluationCache:
+    cache = EvaluationCache(max_entries=max_entries)
+    for i in range(n):
+        cache.put(synthetic_key(i), None)
+    return cache
+
+
+def tiny_request(**overrides) -> BatchRequest:
+    spec = {"id": "t", "network": "alexnet-conv", "batch": 1,
+            "dataflows": ["RS"], "pe_counts": [256]}
+    spec.update(overrides)
+    return BatchRequest.from_dict(spec)
+
+
+class TestSchema:
+    def test_round_trip(self):
+        request = tiny_request(dataflows=["rs", "ws"], pe_counts=[64, 256])
+        again = BatchRequest.from_dict(request.to_dict())
+        assert again == request
+        assert again.dataflows == ("RS", "WS")  # normalized upper-case
+
+    def test_defaults_to_all_dataflows(self):
+        request = BatchRequest.from_dict({"network": "alexnet-conv"})
+        assert request.dataflows == tuple(DATAFLOWS)
+        assert request.pe_counts == (256,)
+
+    def test_explicit_layers_round_trip(self):
+        layers = [layer_to_dict(l) for l in alexnet_conv_layers(2)]
+        request = BatchRequest.from_dict(
+            {"layers": layers, "dataflows": ["RS"]})
+        assert request.resolved_layers == tuple(alexnet_conv_layers(2))
+        assert BatchRequest.from_dict(request.to_dict()) == request
+
+    def test_layer_e_derived_from_eq1(self):
+        layer = layer_from_dict(
+            {"name": "L", "H": 15, "R": 3, "C": 4, "M": 8})
+        assert layer.E == 13
+
+    @pytest.mark.parametrize("spec,match", [
+        ({}, "exactly one of"),
+        ({"network": "alexnet",
+          "layers": [{"name": "x", "H": 5, "R": 3, "C": 1, "M": 1}]},
+         "exactly one"),
+        ({"network": "lenet"}, "unknown network"),
+        ({"network": "alexnet", "dataflows": ["XX"]}, "unknown dataflow"),
+        ({"network": "alexnet", "objective": "speed"}, "unknown objective"),
+        ({"network": "alexnet", "pe_counts": []}, "positive integers"),
+        ({"network": "alexnet", "pe_counts": [0]}, "positive integers"),
+        # a string grid must not be iterated character-by-character
+        ({"network": "alexnet", "pe_counts": "256"}, "list of integers"),
+        ({"network": "alexnet", "pe_counts": [1.5]}, "list of integers"),
+        ({"network": "alexnet", "rf_choices": "512"}, "list of integers"),
+        ({"network": "alexnet", "batch": 0}, "batch"),
+        ({"network": "alexnet", "typo": 1}, "unknown request field"),
+        ({"layers": []}, "non-empty list"),
+        ({"layers": [{"name": "x", "H": 5}]}, "missing field"),
+        ({"layers": [{"name": "x", "H": 5, "R": 3, "C": 1, "M": 1,
+                      "weird": 9}]}, "unknown layer field"),
+    ])
+    def test_validation_errors(self, spec, match):
+        with pytest.raises(ValueError, match=match):
+            BatchRequest.from_dict(spec)
+
+    def test_scalar_grid_fields_accepted(self):
+        request = BatchRequest.from_dict(
+            {"network": "alexnet-conv", "pe_counts": 256,
+             "rf_choices": 512, "dataflows": ["RS"]})
+        assert request.pe_counts == (256,)
+        assert request.rf_choices == (512,)
+
+    def test_parse_requests_single_and_list(self):
+        single = parse_requests({"network": "alexnet-conv"})
+        many = parse_requests([{"network": "alexnet-conv"},
+                               {"network": "alexnet-fc"}])
+        assert len(single) == 1 and len(many) == 2
+        assert many[1].request_id == "req-1"
+
+    def test_parse_requests_rejects_scalars(self):
+        with pytest.raises(ValueError, match="batch spec"):
+            parse_requests("run everything")
+
+
+class TestExpansion:
+    def test_default_rf_is_equal_area_per_dataflow(self):
+        request = tiny_request(dataflows=["RS", "WS"])
+        cells = expand_request(request)
+        assert [c.rf_bytes_per_pe for c in cells] == [
+            DATAFLOWS["RS"].rf_bytes_per_pe, DATAFLOWS["WS"].rf_bytes_per_pe]
+
+    def test_explicit_rf_grid(self):
+        request = tiny_request(rf_choices=[256, 512], pe_counts=[64, 256])
+        cells = expand_request(request)
+        assert len(cells) == 4
+        assert {(c.num_pes, c.rf_bytes_per_pe) for c in cells} == {
+            (64, 256), (64, 512), (256, 256), (256, 512)}
+
+    def test_oversized_rf_points_pruned(self):
+        # 16 kB of RF per PE at 1024 PEs blows the Eq. (2) budget.
+        request = tiny_request(rf_choices=[512, 16384], pe_counts=[1024])
+        assert [c.rf_bytes_per_pe for c in expand_request(request)] == [512]
+
+    def test_empty_expansion_is_an_error(self):
+        with pytest.raises(ValueError, match="no valid hardware point"):
+            expand_request(tiny_request(rf_choices=[16384],
+                                        pe_counts=[1024]))
+
+    def test_equal_area_hardware_default_rf(self):
+        hw = equal_area_hardware("RS", 256)
+        assert hw.rf_bytes_per_pe == DATAFLOWS["RS"].rf_bytes_per_pe
+
+
+class TestDispatcher:
+    def test_matches_direct_engine_evaluation(self):
+        engine = serial_engine()
+        result = BatchDispatcher(engine).run(tiny_request())
+        direct = serial_engine().evaluate_network(
+            DATAFLOWS["RS"], alexnet_conv_layers(1),
+            equal_area_hardware("RS", 256))
+        cell = result.cells[0]
+        assert cell.feasible == direct.feasible
+        assert cell.energy_per_op == direct.energy_per_op
+        assert cell.edp_per_op == direct.edp_per_op
+        assert cell.dram_accesses_per_op == direct.dram_accesses_per_op
+
+    def test_cache_delta_reporting(self):
+        dispatcher = BatchDispatcher(serial_engine())
+        first = dispatcher.run(tiny_request())
+        second = dispatcher.run(tiny_request())
+        layers = len(alexnet_conv_layers(1))
+        assert first.cache.misses == layers and first.cache.hits == 0
+        assert second.cache.hits == layers and second.cache.misses == 0
+        assert second.cache.hit_rate == 1.0
+        assert second.elapsed_s <= first.elapsed_s
+
+    def test_duplicate_cells_deduplicated(self):
+        engine = serial_engine()
+        request = tiny_request(dataflows=["RS", "RS"])
+        result = BatchDispatcher(engine).run(request)
+        assert len(result.cells) == 2
+        # Both cells answered, but each layer was optimized exactly once.
+        assert engine.cache.stats.misses == len(alexnet_conv_layers(1))
+
+    def test_run_many_shares_the_cache(self):
+        dispatcher = BatchDispatcher(serial_engine())
+        results = dispatcher.run_many(parse_requests(
+            [tiny_request().to_dict(), tiny_request().to_dict()]))
+        assert results[1].cache.hit_rate == 1.0
+
+    def test_result_to_dict_shape(self):
+        result = BatchDispatcher(serial_engine()).run(tiny_request())
+        data = result.to_dict()
+        assert data["id"] == "t"
+        assert data["feasible_cells"] == 1
+        assert set(data["cache"]) == {"hits", "misses", "hit_rate",
+                                      "size", "evictions"}
+        json.dumps(data)  # must be JSON-serializable as-is
+
+
+class TestPersistentCache:
+    def test_cold_then_warm_across_restarts(self, tmp_path):
+        path = tmp_path / "service.pkl"
+        request = tiny_request()
+        with persistent_cache(path) as cache:
+            engine = EvaluationEngine(EngineConfig(parallel=False), cache)
+            cold = BatchDispatcher(engine).run(request)
+        assert path.exists()
+        # "Restart": a fresh cache object re-loads the snapshot.
+        with persistent_cache(path) as cache:
+            engine = EvaluationEngine(EngineConfig(parallel=False), cache)
+            warm = BatchDispatcher(engine).run(request)
+        assert cold.cache.hit_rate == 0.0
+        assert warm.cache.hit_rate == 1.0
+        assert [c.to_dict() for c in warm.cells] == [
+            c.to_dict() for c in cold.cells]
+
+    def test_flush_merges_with_concurrent_writer(self, tmp_path):
+        path = tmp_path / "shared.pkl"
+        with persistent_cache(path) as cache:
+            engine = EvaluationEngine(EngineConfig(parallel=False), cache)
+            BatchDispatcher(engine).run(tiny_request())
+            # Another process flushes different entries mid-session.
+            other = EvaluationCache()
+            eng2 = EvaluationEngine(EngineConfig(parallel=False), other)
+            BatchDispatcher(eng2).run(tiny_request(network="alexnet-fc"))
+            other.save(path)
+        merged = EvaluationCache.load(path)
+        conv = len(alexnet_conv_layers(1))
+        assert len(merged) == conv + 3  # CONV entries + 3 FC entries
+
+    def test_no_path_means_in_memory_only(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        with persistent_cache(None) as cache:
+            assert len(cache) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_repro_cache_env_names_the_default(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.pkl"
+        monkeypatch.setenv("REPRO_CACHE", str(path))
+        with persistent_cache() as cache:
+            assert len(cache) == 0
+        assert path.exists()
+
+    def test_load_honors_the_callers_bound(self, tmp_path, monkeypatch):
+        """Regression: the snapshot used to pass through an intermediate
+        cache with the *default* bound, silently evicting entries even
+        when the caller configured a larger one."""
+        from repro.service.persistence import load_into
+
+        path = tmp_path / "big.pkl"
+        synthetic_cache(10, max_entries=16).save(path)
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "5")  # small default
+        target = EvaluationCache(max_entries=16)
+        assert load_into(target, path) == 10
+        assert len(target) == 10  # not clipped to the env default of 5
+
+    def test_flush_keeps_fresh_entries_over_stale_disk(self, tmp_path):
+        """Regression: flush used to merge disk entries as most-recent,
+        evicting the current run's results when the union overflowed."""
+        from repro.service.persistence import flush
+
+        path = tmp_path / "tight.pkl"
+        synthetic_cache(2, max_entries=4).save(path)  # stale: keys 0, 1
+        live = EvaluationCache(max_entries=2)
+        live.put(synthetic_key(2), None)              # fresh: keys 2, 3
+        live.put(synthetic_key(3), None)
+        flush(live, path)
+        merged = EvaluationCache.load(path)
+        assert synthetic_key(2) in merged and synthetic_key(3) in merged
+        assert synthetic_key(0) not in merged
+        assert synthetic_key(1) not in merged
+        assert len(live) == 2  # the live cache itself was not mutated
+
+    def test_flush_unions_when_the_bound_allows(self, tmp_path):
+        from repro.service.persistence import flush
+
+        path = tmp_path / "roomy.pkl"
+        synthetic_cache(2, max_entries=8).save(path)  # keys 0, 1
+        live = EvaluationCache(max_entries=8)
+        live.put(synthetic_key(2), None)
+        flush(live, path)
+        assert sorted(k.objective for k in EvaluationCache.load(path).keys()
+                      ) == [synthetic_key(i).objective for i in range(3)]
+
+
+class TestServeLoop:
+    def run_serve(self, lines, engine=None):
+        output = io.StringIO()
+        served = serve(io.StringIO("\n".join(lines) + "\n"), output,
+                       BatchDispatcher(engine or serial_engine()))
+        responses = [json.loads(line)
+                     for line in output.getvalue().splitlines()]
+        return served, responses
+
+    def test_one_request_per_line(self):
+        served, responses = self.run_serve([
+            json.dumps(tiny_request().to_dict()),
+            json.dumps(tiny_request(network="alexnet-fc").to_dict()),
+        ])
+        assert served == 2
+        assert [r["feasible_cells"] for r in responses] == [1, 1]
+
+    def test_blank_lines_ignored(self):
+        served, responses = self.run_serve(
+            ["", json.dumps(tiny_request().to_dict()), "   "])
+        assert served == 1 and len(responses) == 1
+
+    def test_bad_json_answers_error_and_continues(self):
+        served, responses = self.run_serve(
+            ["{not json", json.dumps(tiny_request().to_dict())])
+        assert served == 1
+        assert "error" in responses[0] and responses[0]["id"] == "req-1"
+        assert responses[1]["feasible_cells"] == 1
+
+    def test_bad_request_answers_error(self):
+        served, responses = self.run_serve(
+            [json.dumps({"network": "lenet"})])
+        assert served == 0
+        assert "unknown network" in responses[0]["error"]
+
+    def test_later_requests_hit_the_cache(self):
+        line = json.dumps(tiny_request().to_dict())
+        _, responses = self.run_serve([line, line])
+        assert responses[0]["cache"]["hit_rate"] == 0.0
+        assert responses[1]["cache"]["hit_rate"] == 1.0
