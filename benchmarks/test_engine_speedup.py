@@ -14,6 +14,7 @@ import time
 
 from repro.analysis.report import format_table
 from repro.analysis.sweep import fig15_area_allocation_sweep
+from repro.api import Session
 from repro.engine import EngineConfig, EvaluationCache, EvaluationEngine
 
 PE_COUNTS = (32, 160, 288)
@@ -26,7 +27,7 @@ def _run_sweep(engine, parallel):
     start = time.perf_counter()
     points = fig15_area_allocation_sweep(
         PE_COUNTS, batch=BATCH, rf_choices=RF_CHOICES,
-        engine=engine, parallel=parallel)
+        session=Session(engine=engine), parallel=parallel)
     return points, time.perf_counter() - start
 
 

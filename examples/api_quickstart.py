@@ -1,0 +1,77 @@
+"""Quickstart for the unified Python API (`repro.api`).
+
+One Session owns the engine, caches and worker pools; a Scenario
+describes any workload x dataflows x hardware grid x objective; the
+answer is a uniform, queryable ResultSet -- and `session.stream()`
+delivers rows as they complete instead of waiting on the whole grid.
+
+Run with:  PYTHONPATH=src python examples/api_quickstart.py
+"""
+
+from repro.api import Scenario, Session
+from repro.nn.layer import conv_layer
+from repro.registry import register_network
+
+
+# ----------------------------------------------------------------------
+# 1. Registering a custom workload: one decorator and the name is valid
+#    everywhere -- Scenario, `repro batch` specs, and the CLI.
+# ----------------------------------------------------------------------
+
+@register_network("tinynet")
+def tinynet(batch_size: int = 1):
+    """A two-layer toy CNN (shapes follow Eq. (1): E = (H - R + U)/U)."""
+    return [
+        conv_layer("C1", H=18, R=3, E=16, C=8, M=16, N=batch_size),
+        conv_layer("C2", H=18, R=3, E=16, C=16, M=32, N=batch_size),
+    ]
+
+
+def main() -> None:
+    with Session() as session:
+        # --------------------------------------------------------------
+        # 2. Evaluate a grid in one call: AlexNet FC layers, three
+        #    dataflows, two array sizes, under the paper's energy model.
+        # --------------------------------------------------------------
+        scenario = Scenario(
+            workload="alexnet-fc",
+            dataflows=("RS", "WS", "NLR"),
+            batches=(16,),
+            pe_counts=(256, 1024),
+        )
+        results = session.evaluate(scenario)
+        print(results.to_table(title="AlexNet FC x {RS, WS, NLR}"))
+
+        # --------------------------------------------------------------
+        # 3. Query the ResultSet: filter / best / group_by.
+        # --------------------------------------------------------------
+        winner = results.best("energy_per_op")
+        print(f"\nlowest energy/op: {winner.dataflow} at "
+              f"{winner.num_pes} PEs ({winner.energy_per_op:.3f})")
+        for pes, group in results.group_by("num_pes").items():
+            best = group.best("edp_per_op")
+            print(f"best EDP at {pes} PEs: {best.dataflow} "
+                  f"({best.edp_per_op:.5f})")
+
+        # Rows round-trip through JSON for machine consumers.
+        assert type(results).from_json(results.to_json()) == results
+
+        # --------------------------------------------------------------
+        # 4. Stream the custom workload: rows arrive as cells complete,
+        #    so a caller can render progress or stop early.
+        # --------------------------------------------------------------
+        print("\nstreaming tinynet across all six dataflows:")
+        stream = Scenario(workload="tinynet", batches=(4,),
+                          pe_counts=(64,))
+        for row in session.stream(stream):
+            label = (f"{row.energy_per_op:.3f} energy/op"
+                     if row.feasible else "infeasible")
+            print(f"  {row.dataflow:>4}: {label}")
+
+        hits = session.cache_stats
+        print(f"\ncache: {hits.hits} hits / {hits.misses} misses "
+              f"({hits.size} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,8 +19,21 @@ Top-level re-exports cover the public API used by the examples and benchmarks:
   the paper's evaluation.
 * :mod:`repro.engine` -- the shared evaluation engine: explicit caching
   plus optional thread/process parallel fan-out under all of the above.
+* :mod:`repro.api` -- the unified session facade: ``Session`` owns the
+  engine/cache/pools, ``Scenario`` describes a typed evaluation grid,
+  ``session.evaluate``/``session.stream`` answer it as a ``ResultSet``.
+* :mod:`repro.registry` -- pluggable ``@register_network`` /
+  ``@register_dataflow`` / ``@register_objective`` registries every
+  front door (CLI, service, facade, figure suites) resolves through.
 """
 
+from repro.api import (
+    Result,
+    ResultSet,
+    Scenario,
+    Session,
+    default_session,
+)
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.registry import DATAFLOWS, get_dataflow
@@ -33,6 +46,11 @@ from repro.engine.core import (
 from repro.mapping.optimizer import optimize_mapping
 from repro.nn.layer import LayerShape
 from repro.nn.networks import alexnet
+from repro.registry import (
+    register_dataflow,
+    register_network,
+    register_objective,
+)
 
 __all__ = [
     "EnergyCosts",
@@ -47,6 +65,14 @@ __all__ = [
     "optimize_mapping",
     "LayerShape",
     "alexnet",
+    "Result",
+    "ResultSet",
+    "Scenario",
+    "Session",
+    "default_session",
+    "register_dataflow",
+    "register_network",
+    "register_objective",
 ]
 
 __version__ = "1.0.0"

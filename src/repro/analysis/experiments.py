@@ -1,12 +1,12 @@
 """Drivers for the paper's evaluation experiments (Section VII).
 
-One function per figure.  All of them share the same machinery: build the
-equal-area hardware for each dataflow (Section VI-B), run the mapping
-optimizer on the AlexNet layers, and aggregate.  Every evaluation goes
-through the shared engine (:mod:`repro.engine`), whose explicit cache
-memoizes each (dataflow, layer, hardware, objective) sub-problem, so
-Figs. 11-13 -- which reuse the same evaluations -- and the Fig. 15
-sweep all share one store instead of per-driver ``lru_cache`` wrappers.
+One function per figure.  All of them share the same machinery: describe
+the figure's grid as a :class:`repro.api.Scenario` (workload x dataflows
+x batches x equal-area hardware, Section VI-B) and answer it through the
+process-wide :func:`repro.api.default_session`, so every suite is one
+deduplicated engine dispatch and Figs. 11-13 -- which reuse the same
+evaluations -- and the Fig. 15 sweep all share one memo store instead
+of per-driver ``lru_cache`` wrappers.
 """
 
 from __future__ import annotations
@@ -14,13 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.api import Scenario, default_session
 from repro.arch.hardware import HardwareConfig
 from repro.arch.storage import allocate_storage
 from repro.dataflows.registry import DATAFLOWS, equal_area_hardware
 from repro.energy.breakdown import LevelBreakdown, TypeBreakdown
 from repro.energy.model import NetworkEvaluation
-from repro.engine.core import NetworkJob, default_engine
-from repro.nn.networks import alexnet, alexnet_conv_layers, alexnet_fc_layers
+
+#: The paper's six dataflows, pinned so the figure suites keep
+#: reproducing the paper even after extra dataflows are registered
+#: (the registry-backed DATAFLOWS view is live).
+PAPER_DATAFLOWS: Tuple[str, ...] = ("RS", "WS", "OSA", "OSB", "OSC", "NLR")
 
 #: The sweeps of Section VII-B (CONV) and VII-C (FC).
 CONV_PE_COUNTS: Tuple[int, ...] = (256, 512, 1024)
@@ -28,29 +32,22 @@ CONV_BATCHES: Tuple[int, ...] = (1, 16, 64)
 FC_PE_COUNT: int = 1024
 FC_BATCHES: Tuple[int, ...] = (16, 64, 256)
 
+#: Registered workload names behind the suites' short labels.
+_WORKLOADS = {"conv": "alexnet-conv", "fc": "alexnet-fc", "all": "alexnet"}
+
 
 def hardware_for(dataflow_name: str, num_pes: int) -> HardwareConfig:
     """The equal-area hardware configuration of one dataflow."""
     return equal_area_hardware(dataflow_name, num_pes)
 
 
-def _cell_job(dataflow_name: str, num_pes: int, batch: int,
-              workload: str) -> NetworkJob:
-    """Describe one suite cell as an engine-level grid job."""
-    layers = {
-        "conv": alexnet_conv_layers,
-        "fc": alexnet_fc_layers,
-        "all": alexnet,
-    }[workload](batch)
-    return NetworkJob(DATAFLOWS[dataflow_name], tuple(layers),
-                      hardware_for(dataflow_name, num_pes))
-
-
 def _evaluate(dataflow_name: str, num_pes: int, batch: int,
               workload: str) -> NetworkEvaluation:
-    """Evaluate one suite cell; per-layer results hit the engine cache."""
-    return default_engine().evaluate_networks(
-        [_cell_job(dataflow_name, num_pes, batch, workload)])[0]
+    """Evaluate one suite cell; per-layer results hit the session cache."""
+    scenario = Scenario(workload=_WORKLOADS[workload],
+                        dataflows=(dataflow_name,), batches=(batch,),
+                        pe_counts=(num_pes,))
+    return default_session().evaluate(scenario).rows[0].evaluation
 
 
 # ----------------------------------------------------------------------
@@ -69,7 +66,8 @@ class StorageRow:
 def fig7_storage_allocation(num_pes: int = 256) -> Dict[str, StorageRow]:
     """Per-dataflow storage split for a given PE count (Fig. 7b)."""
     rows = {}
-    for name, dataflow in DATAFLOWS.items():
+    for name in PAPER_DATAFLOWS:
+        dataflow = DATAFLOWS[name]
         allocation = allocate_storage(num_pes, dataflow.rf_bytes_per_pe)
         rows[name] = StorageRow(
             dataflow=name,
@@ -187,19 +185,32 @@ def _suite_cell(name: str, num_pes: int, batch: int,
                          _evaluate(name, num_pes, batch, workload))
 
 
-def _run_suite(cells: Sequence[Tuple[str, int, int]], workload: str
+def _run_suite(workload: str, pe_counts: Sequence[int],
+               batches: Sequence[int]
                ) -> Dict[Tuple[str, int, int], ConvSuiteResult]:
-    """Evaluate all suite cells as one deduplicated engine batch.
+    """Evaluate a whole suite grid as one deduplicated facade dispatch.
 
-    The whole suite is a single :meth:`evaluate_networks` dispatch, so
-    it fans out at layer granularity under ``REPRO_PARALLEL`` and every
-    repeated (dataflow, layer, hardware) sub-problem is solved once.
+    The full dataflows x pe_counts x batches cross product is a single
+    :class:`~repro.api.Scenario`, so it fans out at layer granularity
+    under ``REPRO_PARALLEL`` and every repeated (dataflow, layer,
+    hardware) sub-problem is solved once.
     """
-    jobs = [_cell_job(name, p, n, workload) for name, p, n in cells]
-    evaluations = default_engine().evaluate_networks(jobs)
+    scenario = Scenario(workload=_WORKLOADS[workload],
+                        dataflows=PAPER_DATAFLOWS,
+                        batches=tuple(batches),
+                        pe_counts=tuple(pe_counts))
+    by_key = {
+        (row.dataflow, row.num_pes, row.batch): _suite_result(
+            row.dataflow, row.num_pes, row.batch, row.evaluation)
+        for row in default_session().evaluate(scenario)
+    }
+    # Preserve the pre-facade insertion order (dataflow -> PEs ->
+    # batch): exported CSVs and reports iterate the dict directly.
     return {
-        (name, p, n): _suite_result(name, p, n, evaluation)
-        for (name, p, n), evaluation in zip(cells, evaluations)
+        key: by_key[key]
+        for key in ((name, p, n) for name in PAPER_DATAFLOWS
+                    for p in pe_counts for n in batches)
+        if key in by_key
     }
 
 
@@ -207,19 +218,14 @@ def run_conv_suite(pe_counts: Sequence[int] = CONV_PE_COUNTS,
                    batches: Sequence[int] = CONV_BATCHES
                    ) -> Dict[Tuple[str, int, int], ConvSuiteResult]:
     """Evaluate all six dataflows on AlexNet CONV for the full sweep."""
-    return _run_suite([(name, p, n)
-                       for name in DATAFLOWS
-                       for p in pe_counts
-                       for n in batches], "conv")
+    return _run_suite("conv", pe_counts, batches)
 
 
 def run_fc_suite(pe_count: int = FC_PE_COUNT,
                  batches: Sequence[int] = FC_BATCHES
                  ) -> Dict[Tuple[str, int, int], ConvSuiteResult]:
     """Evaluate all six dataflows on AlexNet FC layers (Fig. 14)."""
-    return _run_suite([(name, pe_count, n)
-                       for name in DATAFLOWS
-                       for n in batches], "fc")
+    return _run_suite("fc", (pe_count,), batches)
 
 
 def rs_normalization(workload: str = "conv", num_pes: int = 256,

@@ -22,13 +22,14 @@ wrapper raised ``TypeError: unhashable type`` on them).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api import Scenario, Session, default_session
 from repro.arch.hardware import HardwareConfig
 from repro.arch.storage import allocate_storage, baseline_storage_area
-from repro.dataflows.row_stationary import RowStationary
-from repro.engine.core import EvaluationEngine, NetworkJob, default_engine
+from repro.engine.core import EvaluationEngine
 from repro.nn.networks import alexnet_conv_layers
 
 #: Storage fraction of total area at the 256-PE baseline, read off the
@@ -113,31 +114,52 @@ def fig15_area_allocation_sweep(
         baseline_pes: int = 256,
         rf_choices: Sequence[int] = RF_CHOICES,
         *,
+        session: Optional[Session] = None,
         engine: Optional[EvaluationEngine] = None,
         parallel: Optional[bool] = None) -> Dict[int, SweepPoint]:
     """Sweep PE count under fixed total area; best RS setup per point.
 
     ``pe_counts`` and ``rf_choices`` accept any integer sequence (lists
-    included).  All (grid point, layer) evaluations are dispatched to
-    the engine in one batch, so they fan out across workers when
-    parallelism is on and always land in the engine cache, which is what
-    keeps the repeated sweeps of the benchmarks and exports cheap.
+    included).  The whole grid is one explicit-hardware
+    :class:`~repro.api.Scenario` answered through ``session`` (the
+    process-wide default when omitted), so it fans out across workers
+    when parallelism is on and always lands in the session cache, which
+    is what keeps the repeated sweeps of the benchmarks and exports
+    cheap.
+
+    ``engine=`` is deprecated: wrap the engine in a session instead
+    (``session=Session(...)`` owns construction of both).
     """
+    if engine is not None:
+        warnings.warn(
+            "the 'engine' argument of fig15_area_allocation_sweep is "
+            "deprecated; pass session=repro.api.Session(...) (or none, "
+            "for the shared default session) instead",
+            DeprecationWarning, stacklevel=2)
+        if session is not None:
+            raise ValueError("pass either session= or the deprecated "
+                             "engine=, not both")
+        session = Session(engine=engine)
     pe_counts = tuple(pe_counts)
     rf_choices = tuple(rf_choices)
-    eng = engine if engine is not None else default_engine()
+    sess = session if session is not None else default_session()
 
     total_area = total_chip_area(baseline_pes)
-    layers = alexnet_conv_layers(batch)
-    dataflow = RowStationary()
     grid = _sweep_grid(pe_counts, baseline_pes, rf_choices)
+    if not grid:
+        return {}
 
-    jobs = [NetworkJob(dataflow, tuple(layers), cell.hardware)
-            for cell in grid]
-    evaluations = eng.evaluate_networks(jobs, parallel=parallel)
+    scenario = Scenario(
+        workload=tuple(alexnet_conv_layers(batch)),
+        dataflows=("RS",),
+        batches=(batch,),
+        hardware=tuple(cell.hardware for cell in grid),
+    )
+    results = sess.evaluate(scenario, parallel=parallel)
 
     best: Dict[int, SweepPoint] = {}
-    for cell, evaluation in zip(grid, evaluations):
+    for cell, row in zip(grid, results):
+        evaluation = row.evaluation
         if not evaluation.feasible:
             continue
         point = SweepPoint(

@@ -1,0 +1,599 @@
+"""The unified session facade: one typed entry surface for everything.
+
+The reproduction grew three parallel front doors -- the CLI, the batch
+service and the figure suites -- each hand-wiring its own engine, cache
+and result rows.  This module collapses them onto the paper's actual
+shape (any dataflow x any CNN workload x any hardware point under one
+energy model, Section VI):
+
+* :class:`Scenario` -- a typed description of an evaluation grid:
+  workload (a registered network name or explicit layers) x dataflows x
+  batch sizes x hardware points x objective.  Names resolve through the
+  pluggable registries in :mod:`repro.registry`, so a
+  ``@register_network`` / ``@register_dataflow`` /
+  ``@register_objective`` extension is immediately expressible.
+* :class:`Session` -- owns the :class:`~repro.engine.core.EvaluationEngine`,
+  its bounded LRU cache, the optional persistent disk tier and the
+  worker pools.  It is the *only* place engines are constructed on the
+  CLI, service and analysis paths.
+* :meth:`Session.evaluate` -- one deduplicated engine dispatch of the
+  whole grid, answered as a :class:`ResultSet`: tabular,
+  JSON-round-trippable, with ``filter``/``best``/``group_by`` helpers.
+* :meth:`Session.stream` -- the same grid, yielded one
+  :class:`Result` at a time as cells complete, so callers can render
+  progress or stop early instead of waiting on the whole grid.
+
+Results are bit-identical between ``evaluate``, ``stream``, the serial
+and the parallel paths (see ``tests/test_api.py`` for the parity suite
+against the pre-facade drivers)::
+
+    from repro.api import Scenario, Session
+
+    with Session() as session:
+        results = session.evaluate(Scenario(
+            workload="alexnet-conv", dataflows=("RS", "WS", "NLR"),
+            batches=(16,), pe_counts=(256, 1024)))
+        print(results.best("energy_per_op").dataflow)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.arch.hardware import HardwareConfig
+from repro.dataflows.registry import equal_area_hardware
+from repro.energy.model import NetworkEvaluation
+from repro.engine.cache import CacheStats, EvaluationCache
+from repro.engine.core import (
+    EngineConfig,
+    EvaluationEngine,
+    NetworkJob,
+    default_engine,
+)
+from repro.nn.layer import LayerShape
+from repro.registry import (
+    dataflow_registry,
+    get_dataflow,
+    get_network,
+    network_registry,
+    objective_registry,
+)
+
+#: Workload label used for scenarios built from explicit layer lists.
+CUSTOM_WORKLOAD = "custom"
+
+#: Sentinel for ``Session(cache_file=ENV_CACHE)``: resolve the persistent
+#: tier from the ``REPRO_CACHE`` environment variable (the ``repro
+#: batch``/``repro serve`` behavior).  The default ``cache_file=None``
+#: means *no* disk tier -- a library session never touches a file the
+#: caller didn't name.
+ENV_CACHE = object()
+
+
+class EmptyScenarioError(ValueError):
+    """A scenario's hardware grid pruned down to zero valid points."""
+
+
+# ----------------------------------------------------------------------
+# Scenario: the typed grid description.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One fully resolved (dataflow, batch, hardware) point of a grid."""
+
+    workload: str
+    dataflow: str
+    batch: int
+    num_pes: int
+    rf_bytes_per_pe: int
+    objective: str
+    layers: Tuple[LayerShape, ...]
+    hardware: HardwareConfig
+
+    @property
+    def job(self) -> NetworkJob:
+        """The engine-level unit of work this cell evaluates."""
+        return NetworkJob(get_dataflow(self.dataflow), self.layers,
+                          self.hardware, self.objective)
+
+
+def _positive_tuple(values, what: str) -> Tuple[int, ...]:
+    if isinstance(values, int) and not isinstance(values, bool):
+        values = (values,)
+    if isinstance(values, str):
+        # Iterating "256" would silently turn it into the grid (2, 5, 6).
+        raise ValueError(
+            f"{what} must be a sequence of integers, got {values!r}")
+    result = tuple(int(v) for v in values)
+    if not result or any(v < 1 for v in result):
+        raise ValueError(
+            f"{what} must be a non-empty sequence of positive integers, "
+            f"got {values!r}")
+    return result
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A typed evaluation grid: workload x dataflows x hardware x objective.
+
+    ``workload`` is either a registered network name (see
+    :func:`repro.registry.register_network`) or an explicit tuple of
+    :class:`~repro.nn.layer.LayerShape`.  The hardware axis is either
+    the equal-area grid ``pe_counts x rf_choices`` (``rf_choices=None``
+    picks each dataflow's Section VI-B default, as the paper's figures
+    do) or, when ``hardware`` is given, an explicit list of
+    :class:`~repro.arch.hardware.HardwareConfig` points (the Fig. 15
+    sweep's fixed-total-area allocations, for example).
+
+    Validation is eager: unknown workload/dataflow/objective names fail
+    at construction with the registered names listed.
+    """
+
+    workload: Union[str, Tuple[LayerShape, ...]]
+    dataflows: Tuple[str, ...] = ()
+    batches: Tuple[int, ...] = (16,)
+    pe_counts: Tuple[int, ...] = (256,)
+    rf_choices: Optional[Tuple[int, ...]] = None
+    hardware: Optional[Tuple[HardwareConfig, ...]] = None
+    objective: str = "energy"
+
+    def __post_init__(self) -> None:
+        set_ = lambda name, value: object.__setattr__(self, name, value)  # noqa: E731
+        if isinstance(self.workload, str):
+            if self.workload not in network_registry:
+                raise ValueError(
+                    f"unknown network {self.workload!r}; known: "
+                    f"{sorted(network_registry)}")
+            set_("workload", self.workload.lower())
+        else:
+            layers = tuple(self.workload)
+            if not layers or not all(isinstance(l, LayerShape)
+                                     for l in layers):
+                raise ValueError(
+                    "workload must be a registered network name or a "
+                    "non-empty sequence of LayerShape objects, got "
+                    f"{self.workload!r}")
+            set_("workload", layers)
+        dataflows = ((self.dataflows,) if isinstance(self.dataflows, str)
+                     else tuple(self.dataflows))
+        if not dataflows:
+            dataflows = tuple(dataflow_registry)
+        try:
+            # Canonical registry keys, not the instances' .name: a model
+            # registered under an alias must stay resolvable by it.
+            set_("dataflows", tuple(dataflow_registry.canonical(n)
+                                    for n in dataflows))
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
+        set_("batches", _positive_tuple(self.batches, "batches"))
+        set_("pe_counts", _positive_tuple(self.pe_counts, "pe_counts"))
+        if self.rf_choices is not None:
+            set_("rf_choices", _positive_tuple(self.rf_choices,
+                                               "rf_choices"))
+        if self.hardware is not None:
+            hardware = tuple(self.hardware)
+            if not hardware or not all(isinstance(h, HardwareConfig)
+                                       for h in hardware):
+                raise ValueError(
+                    "hardware must be a non-empty sequence of "
+                    "HardwareConfig points")
+            set_("hardware", hardware)
+        try:
+            # Canonical spelling: the objective lands in the engine
+            # cache key, where "EDP" and "edp" must be one entry.
+            set_("objective", objective_registry.canonical(self.objective))
+        except KeyError:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; known: "
+                f"{list(objective_registry)}") from None
+        if not isinstance(self.workload, str) and len(self.batches) > 1:
+            raise ValueError(
+                "an explicit-layers workload carries its own batch size; "
+                "'batches' may only name one value (used as the row label)")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def workload_name(self) -> str:
+        """The registry name, or ``"custom"`` for explicit layers."""
+        return (self.workload if isinstance(self.workload, str)
+                else CUSTOM_WORKLOAD)
+
+    def layers_for(self, batch: int) -> Tuple[LayerShape, ...]:
+        """The layer list one cell evaluates at a given batch size."""
+        if isinstance(self.workload, str):
+            return tuple(get_network(self.workload)(batch))
+        return self.workload
+
+    def _hardware_points(self, dataflow: str
+                         ) -> List[Tuple[int, int, HardwareConfig]]:
+        """(num_pes, rf_bytes_per_pe, config) points for one dataflow.
+
+        On the equal-area grid, points whose RF demand alone exceeds
+        the Eq. (2) storage budget are skipped -- they have no valid
+        configuration, mirroring how the Fig. 15 sweep prunes its grid.
+        """
+        if self.hardware is not None:
+            return [(hw.num_pes, hw.rf_bytes_per_pe, hw)
+                    for hw in self.hardware]
+        points = []
+        rf_options = (self.rf_choices if self.rf_choices is not None
+                      else (None,))
+        for num_pes in self.pe_counts:
+            for rf in rf_options:
+                try:
+                    hw = equal_area_hardware(dataflow, num_pes, rf)
+                except ValueError:
+                    continue  # RF alone exceeds the storage budget
+                points.append((num_pes, hw.rf_bytes_per_pe, hw))
+        return points
+
+    def cells(self) -> Tuple[ScenarioCell, ...]:
+        """Expand the grid; raises :class:`EmptyScenarioError` when every
+        hardware point was pruned."""
+        out: List[ScenarioCell] = []
+        workload = self.workload_name
+        layers_by_batch = {batch: self.layers_for(batch)
+                           for batch in self.batches}
+        for dataflow in self.dataflows:
+            points = self._hardware_points(dataflow)
+            for batch in self.batches:
+                layers = layers_by_batch[batch]
+                for num_pes, rf_bytes, hw in points:
+                    out.append(ScenarioCell(
+                        workload=workload, dataflow=dataflow, batch=batch,
+                        num_pes=num_pes, rf_bytes_per_pe=rf_bytes,
+                        objective=self.objective, layers=layers,
+                        hardware=hw))
+        if not out:
+            raise EmptyScenarioError(
+                "expands to no valid hardware point (every (pes, rf) "
+                "choice exceeds the area budget)")
+        return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Result rows and the ResultSet container.
+# ----------------------------------------------------------------------
+
+#: The scalar metric columns of a result row, in table order.
+METRICS = ("energy_per_op", "delay_per_op", "edp_per_op",
+           "dram_reads_per_op", "dram_writes_per_op",
+           "dram_accesses_per_op")
+
+
+@dataclass(frozen=True)
+class Result:
+    """One evaluated grid cell, as a uniform tabular row.
+
+    The scalar fields round-trip through JSON; ``evaluation`` keeps the
+    full :class:`~repro.energy.model.NetworkEvaluation` (per-layer
+    mappings, energy breakdowns) for in-process consumers like the
+    figure suites, and is dropped -- not compared -- on serialization.
+    """
+
+    workload: str
+    dataflow: str
+    batch: int
+    num_pes: int
+    rf_bytes_per_pe: int
+    objective: str
+    feasible: bool
+    energy_per_op: float = float("nan")
+    delay_per_op: float = float("nan")
+    edp_per_op: float = float("nan")
+    dram_reads_per_op: float = float("nan")
+    dram_writes_per_op: float = float("nan")
+    dram_accesses_per_op: float = float("nan")
+    evaluation: Optional[NetworkEvaluation] = field(
+        default=None, compare=False, repr=False)
+
+    @classmethod
+    def from_evaluation(cls, cell: ScenarioCell,
+                        evaluation: NetworkEvaluation) -> "Result":
+        """Fold one cell's engine answer into a row."""
+        common = dict(
+            workload=cell.workload, dataflow=cell.dataflow,
+            batch=cell.batch, num_pes=cell.num_pes,
+            rf_bytes_per_pe=cell.rf_bytes_per_pe,
+            objective=cell.objective, evaluation=evaluation)
+        if not evaluation.feasible:
+            return cls(feasible=False, **common)
+        return cls(
+            feasible=True,
+            energy_per_op=evaluation.energy_per_op,
+            delay_per_op=evaluation.delay_per_op,
+            edp_per_op=evaluation.edp_per_op,
+            dram_reads_per_op=evaluation.dram_reads_per_op,
+            dram_writes_per_op=evaluation.dram_writes_per_op,
+            dram_accesses_per_op=evaluation.dram_accesses_per_op,
+            **common)
+
+    def to_dict(self) -> Dict:
+        """A JSON-safe dict: metrics are included only when feasible."""
+        data: Dict = {
+            "workload": self.workload, "dataflow": self.dataflow,
+            "batch": self.batch, "num_pes": self.num_pes,
+            "rf_bytes_per_pe": self.rf_bytes_per_pe,
+            "objective": self.objective, "feasible": self.feasible,
+        }
+        if self.feasible:
+            data.update({name: getattr(self, name) for name in METRICS})
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Result":
+        known = {f.name for f in fields(cls)} - {"evaluation"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown result field(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """The uniform answer to a scenario: a queryable table of rows."""
+
+    rows: Tuple[Result, ...]
+
+    def __iter__(self) -> Iterator[Result]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index) -> Union[Result, "ResultSet"]:
+        if isinstance(index, slice):
+            return ResultSet(self.rows[index])
+        return self.rows[index]
+
+    # -- querying -------------------------------------------------------
+
+    @property
+    def feasible(self) -> "ResultSet":
+        return self.filter(feasible=True)
+
+    def filter(self, predicate: Optional[Callable[[Result], bool]] = None,
+               **where) -> "ResultSet":
+        """Rows matching a predicate and/or field equalities::
+
+            results.filter(dataflow="RS", num_pes=256)
+            results.filter(lambda r: r.energy_per_op < 10)
+        """
+        def keep(row: Result) -> bool:
+            if predicate is not None and not predicate(row):
+                return False
+            return all(getattr(row, name) == value
+                       for name, value in where.items())
+        return ResultSet(tuple(row for row in self.rows if keep(row)))
+
+    def best(self, metric: str = "energy_per_op") -> Optional[Result]:
+        """The feasible row minimizing ``metric`` (None when none are)."""
+        candidates = [row for row in self.rows if row.feasible]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda row: getattr(row, metric))
+
+    def group_by(self, *names: str) -> Dict:
+        """Rows bucketed by one or more fields.
+
+        Keys are the field value for a single name, tuples for several;
+        values are :class:`ResultSet` groups, insertion-ordered.
+        """
+        if not names:
+            raise ValueError("group_by needs at least one field name")
+        groups: Dict = {}
+        for row in self.rows:
+            key = (getattr(row, names[0]) if len(names) == 1
+                   else tuple(getattr(row, name) for name in names))
+            groups.setdefault(key, []).append(row)
+        return {key: ResultSet(tuple(rows)) for key, rows in groups.items()}
+
+    # -- serialization --------------------------------------------------
+
+    def to_dicts(self) -> List[Dict]:
+        return [row.to_dict() for row in self.rows]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    @classmethod
+    def from_dicts(cls, data: Sequence[Dict]) -> "ResultSet":
+        return cls(tuple(Result.from_dict(entry) for entry in data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        return cls.from_dicts(json.loads(text))
+
+    def to_table(self, title: Optional[str] = None) -> str:
+        """Render the rows as an aligned text table."""
+        from repro.analysis.report import format_table  # lazy: avoids cycle
+
+        rows = []
+        for r in self.rows:
+            metrics = ([f"{r.energy_per_op:.3f}", f"{r.edp_per_op:.5f}",
+                        f"{r.dram_accesses_per_op:.5f}"] if r.feasible
+                       else ["infeasible", "-", "-"])
+            rows.append([r.workload, r.dataflow, str(r.batch),
+                         str(r.num_pes), f"{r.rf_bytes_per_pe} B",
+                         *metrics])
+        return format_table(
+            ["workload", "dataflow", "batch", "PEs", "RF/PE", "energy/op",
+             "EDP/op", "DRAM/op"], rows, title=title)
+
+
+# ----------------------------------------------------------------------
+# Session: the one owner of engines, caches and pools.
+# ----------------------------------------------------------------------
+
+
+class Session:
+    """Owns the engine, cache tiers and worker pools behind one surface.
+
+    Construction covers every knob the CLI/service used to hand-wire:
+
+    ``parallel`` / ``executor`` / ``workers``
+        Worker-pool policy (defaults honor ``REPRO_PARALLEL``);
+        ``workers=N`` implies ``parallel=True``.
+    ``cache`` / ``max_cache_entries``
+        The in-memory bounded LRU tier (``REPRO_CACHE_MAX_ENTRIES``).
+    ``cache_file``
+        The persistent disk tier: loaded (and validated) on
+        construction, flushed atomically on :meth:`close`.  ``None``
+        (the default) means no disk tier; pass :data:`ENV_CACHE` to
+        resolve the path from the ``REPRO_CACHE`` environment variable,
+        as ``repro batch``/``repro serve`` do.
+    ``engine``
+        Wrap an existing engine instead of building one (the default
+        session does this); the session then neither owns its pool nor
+        its persistence.
+
+    Sessions are context managers; ``close()`` flushes the disk tier
+    and shuts the pool down.
+    """
+
+    def __init__(self, *,
+                 parallel: Optional[bool] = None,
+                 executor: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 cache: Optional[EvaluationCache] = None,
+                 max_cache_entries: Optional[int] = None,
+                 cache_file: Optional[Union[str, Path]] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 engine: Optional[EvaluationEngine] = None) -> None:
+        if engine is not None:
+            if any(option is not None for option in
+                   (parallel, executor, workers, cache, max_cache_entries,
+                    cache_file, engine_config)):
+                raise ValueError(
+                    "pass either an existing engine or construction "
+                    "options, not both")
+            self._engine = engine
+            self._owns_engine = False
+            self._cache_file: Optional[Path] = None
+        else:
+            config = engine_config or EngineConfig.from_env()
+            if workers is not None:
+                config = replace(config, parallel=True, max_workers=workers)
+            if executor is not None:
+                config = replace(config, executor=executor)
+            if parallel is not None:
+                config = replace(config, parallel=parallel)
+            if cache is None:
+                cache = EvaluationCache(max_entries=max_cache_entries)
+            elif max_cache_entries is not None:
+                raise ValueError(
+                    "pass either an existing cache or max_cache_entries, "
+                    "not both (the cache carries its own bound)")
+            self._engine = EvaluationEngine(config, cache)
+            self._owns_engine = True
+            self._cache_file = self._resolve_cache_file(cache_file)
+            if self._cache_file is not None:
+                from repro.service.persistence import load_into
+                load_into(self._engine.cache, self._cache_file)
+        self._closed = False
+
+    @staticmethod
+    def _resolve_cache_file(cache_file) -> Optional[Path]:
+        if cache_file is None:
+            return None
+        if cache_file is ENV_CACHE:
+            from repro.service.persistence import default_cache_path
+            return default_cache_path()
+        return Path(cache_file)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> EvaluationEngine:
+        return self._engine
+
+    @property
+    def cache(self) -> EvaluationCache:
+        return self._engine.cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._engine.cache.stats
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, scenario: Scenario,
+                 parallel: Optional[bool] = None) -> ResultSet:
+        """Answer a whole scenario as one deduplicated engine batch.
+
+        Rows come back in grid order (dataflows x batches x hardware
+        points).  ``parallel`` overrides the session's pool policy for
+        this call only.
+        """
+        cells = scenario.cells()
+        evaluations = self._engine.evaluate_networks(
+            [cell.job for cell in cells], parallel=parallel)
+        return ResultSet(tuple(
+            Result.from_evaluation(cell, evaluation)
+            for cell, evaluation in zip(cells, evaluations)))
+
+    def stream(self, scenario: Scenario,
+               parallel: Optional[bool] = None) -> Iterator[Result]:
+        """Yield each cell's :class:`Result` as soon as it completes.
+
+        Serial sessions yield in grid order, computing lazily; parallel
+        sessions fan the whole grid out and yield in completion order.
+        Values are bit-identical to :meth:`evaluate` -- only the
+        delivery schedule differs.
+        """
+        cells = scenario.cells()
+        for index, evaluation in self._engine.evaluate_networks_stream(
+                [cell.job for cell in cells], parallel=parallel):
+            yield Result.from_evaluation(cells[index], evaluation)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the persistent tier (if any) and shut the pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._cache_file is not None:
+            from repro.service.persistence import flush
+            flush(self._engine.cache, self._cache_file)
+        if self._owns_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The process-wide default session (wraps the default engine, so the
+# facade and the legacy drivers share one cache).
+# ----------------------------------------------------------------------
+
+def default_session() -> Session:
+    """A session over the process-wide default engine.
+
+    Cheap to call; every instance shares the same engine and cache as
+    :func:`repro.engine.core.default_engine`, which is what keeps the
+    analysis suites, the CLI one-shots and ad-hoc facade calls all
+    hitting one memo store.
+    """
+    return Session(engine=default_engine())

@@ -14,14 +14,17 @@ Subcommands mirror the library's main entry points:
   hardware) through the evaluation service.
 * ``serve``    -- long-lived JSON-lines service loop on stdin/stdout.
 
-All evaluations run on the shared engine (:mod:`repro.engine`): results
-are memoized across subcommand internals, and ``sweep``/``batch`` can
-fan their grids out over a worker pool (``--workers`` or the
-``REPRO_PARALLEL`` environment variable; ``--serial`` forces the
-sequential path).  ``batch`` and ``serve`` persist the cache across
-processes via ``--cache-file`` or the ``REPRO_CACHE`` environment
-variable, so a repeated grid is answered from disk instead of re-running
-the mapping search.
+All subcommands run through the unified facade (:mod:`repro.api`):
+grids are described as :class:`~repro.api.Scenario` objects and every
+engine, cache tier and worker pool is owned by a
+:class:`~repro.api.Session` -- the CLI never wires those up itself.
+Results are memoized across subcommand internals, and
+``sweep``/``batch`` can fan their grids out over a worker pool
+(``--workers`` or the ``REPRO_PARALLEL`` environment variable;
+``--serial`` forces the sequential path).  ``batch`` and ``serve``
+persist the cache across processes via ``--cache-file`` or the
+``REPRO_CACHE`` environment variable, so a repeated grid is answered
+from disk instead of re-running the mapping search.
 
 Errors (unknown layer names, impossible sweep grids) exit with a clean
 one-line message and a nonzero status instead of a traceback: 2 for bad
@@ -38,22 +41,21 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.experiments import fig7_storage_allocation, hardware_for
+from repro.analysis.experiments import fig7_storage_allocation
 from repro.analysis.report import format_table
 from repro.analysis.sweep import PE_COUNTS, fig15_area_allocation_sweep
+from repro.api import ENV_CACHE, Scenario, Session, default_session
+from repro.engine.core import default_engine
 from repro.arch.energy_costs import MemoryLevel
 from repro.arch.hardware import HardwareConfig
-from repro.dataflows.registry import DATAFLOWS, get_dataflow
-from repro.energy.model import evaluate_network
-from repro.engine.core import EngineConfig, EvaluationEngine, default_engine
+from repro.dataflows.registry import DATAFLOWS
 from repro.nn.layer import LayerShape, conv_layer
-from repro.nn.networks import alexnet, alexnet_conv_layers, alexnet_fc_layers
+from repro.nn.networks import alexnet
 from repro.nn.reference import conv_layer_reference, random_layer_tensors
 from repro.service import (
     BatchDispatcher,
     BatchResult,
     parse_requests,
-    persistent_cache,
     serve,
 )
 from repro.sim import simulate_layer
@@ -92,15 +94,24 @@ def _add_service_arguments(parser: argparse.ArgumentParser,
                                  help="force the serial evaluation path")
 
 
-def _service_engine(args: argparse.Namespace, cache) -> EvaluationEngine:
-    """Build the engine behind a service subcommand from its flags."""
+def _service_session(args: argparse.Namespace) -> Session:
+    """Build the facade session behind a service subcommand's flags.
+
+    The session owns every tier the flags describe: the worker pool
+    (--workers/--serial, else REPRO_PARALLEL), the bounded LRU
+    (--max-cache-entries) and the persistent disk tier (--cache-file,
+    else REPRO_CACHE), flushed on close.
+    """
+    options = dict(
+        # No --cache-file flag falls back to the REPRO_CACHE variable.
+        cache_file=(args.cache_file if args.cache_file is not None
+                    else ENV_CACHE),
+        max_cache_entries=args.max_cache_entries)
     if args.workers is not None:
-        config = EngineConfig(parallel=True, max_workers=args.workers)
-    elif args.serial:
-        config = EngineConfig(parallel=False)
-    else:
-        config = EngineConfig.from_env()
-    return EvaluationEngine(config, cache)
+        return Session(parallel=True, workers=args.workers, **options)
+    if args.serial:
+        return Session(parallel=False, **options)
+    return Session(**options)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,23 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    layers = (alexnet_conv_layers(args.batch) if args.layers == "conv"
-              else alexnet_fc_layers(args.batch))
+    scenario = Scenario(workload=f"alexnet-{args.layers}",
+                        batches=(args.batch,), pe_counts=(args.pes,))
+    results = default_session().evaluate(scenario)
     rows = []
     rs_energy: Optional[float] = None
-    for name, dataflow in DATAFLOWS.items():
-        hw = hardware_for(name, args.pes)
-        ev = evaluate_network(dataflow, layers, hw)
-        if not ev.feasible:
-            rows.append([name, "infeasible", "-", "-", "-"])
+    for cell in results:
+        if not cell.feasible:
+            rows.append([cell.dataflow, "infeasible", "-", "-", "-"])
             continue
-        if name == "RS":
-            rs_energy = ev.energy_per_op
+        if cell.dataflow == "RS":
+            rs_energy = cell.energy_per_op
         rows.append([
-            name, f"{ev.energy_per_op:.3f}",
-            f"{ev.energy_per_op / rs_energy:.2f}x" if rs_energy else "-",
-            f"{ev.dram_accesses_per_op:.5f}",
-            f"{ev.edp_per_op:.5f}",
+            cell.dataflow, f"{cell.energy_per_op:.3f}",
+            f"{cell.energy_per_op / rs_energy:.2f}x" if rs_energy else "-",
+            f"{cell.dram_accesses_per_op:.5f}",
+            f"{cell.edp_per_op:.5f}",
         ])
     print(format_table(
         ["dataflow", "energy/op", "vs RS", "DRAM/op", "EDP/op"], rows,
@@ -199,29 +209,33 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _find_layer(name: str, batch: int) -> Optional[LayerShape]:
-    """Look up an AlexNet layer by name; print a clean error when unknown."""
+def _find_layer(name: str, batch: int) -> LayerShape:
+    """Look up an AlexNet layer by name.
+
+    An unknown name raises a ``ValueError`` naming the known layers
+    (the same error style as ``get_dataflow``), which ``main`` turns
+    into a clean one-line exit-code-2 failure.
+    """
     for layer in alexnet(batch):
         if layer.name == name.upper():
             return layer
     names = ", ".join(l.name for l in alexnet())
-    print(f"unknown layer {name!r}; known: {names}", file=sys.stderr)
-    return None
+    raise ValueError(f"unknown layer {name!r}; known: {names}")
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     layer = _find_layer(args.layer, args.batch)
-    if layer is None:
-        return 2
-    dataflow = get_dataflow(args.dataflow)
-    hw = hardware_for(dataflow.name, args.pes)
-    ev = default_engine().evaluate_layer(dataflow, layer, hw)
-    if ev is None:
-        print(f"{dataflow.name} has no feasible mapping for "
-              f"{layer.describe()} on {hw.describe()}")
+    scenario = Scenario(workload=(layer,), dataflows=(args.dataflow,),
+                        batches=(args.batch,), pe_counts=(args.pes,))
+    cell = scenario.cells()[0]
+    result = default_session().evaluate(scenario).rows[0]
+    if not result.feasible:
+        print(f"{result.dataflow} has no feasible mapping for "
+              f"{layer.describe()} on {cell.hardware.describe()}")
         return 1
+    ev = result.evaluation.evaluations[0]
     print(layer.describe())
-    print(hw.describe())
+    print(cell.hardware.describe())
     print()
     print(ev.mapping.describe())
     level = ev.breakdown.by_level
@@ -254,17 +268,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     kwargs = {}
+    session = None
     if args.rf is not None:
         kwargs["rf_choices"] = args.rf
     if args.serial:
         kwargs["parallel"] = False
     elif args.workers is not None:
-        kwargs["engine"] = EvaluationEngine(
-            EngineConfig(parallel=True, max_workers=args.workers),
-            cache=default_engine().cache)
+        # A pooled session sharing the process-wide cache, so repeated
+        # sweeps in one process stay warm regardless of worker count.
+        session = Session(parallel=True, workers=args.workers,
+                          cache=default_engine().cache)
+        kwargs["session"] = session
         kwargs["parallel"] = True
-    points = fig15_area_allocation_sweep(args.pes, batch=args.batch,
-                                         **kwargs)
+    try:
+        points = fig15_area_allocation_sweep(args.pes, batch=args.batch,
+                                             **kwargs)
+    finally:
+        if session is not None:
+            session.close()
     if not points:
         print("no feasible sweep point for the requested grid "
               f"(PEs: {', '.join(map(str, args.pes))})", file=sys.stderr)
@@ -323,10 +344,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     requests = parse_requests(json.loads(spec_text))
-    with persistent_cache(args.cache_file,
-                          max_entries=args.max_cache_entries) as cache:
-        with _service_engine(args, cache) as engine:
-            results = BatchDispatcher(engine).run_many(requests)
+    with _service_session(args) as session:
+        results = BatchDispatcher(session).run_many(requests)
     if args.json:
         payload = [result.to_dict() for result in results]
         json.dump(payload[0] if len(payload) == 1 else payload,
@@ -342,11 +361,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    with persistent_cache(args.cache_file,
-                          max_entries=args.max_cache_entries) as cache:
-        with _service_engine(args, cache) as engine:
-            served = serve(sys.stdin, sys.stdout,
-                           BatchDispatcher(engine))
+    with _service_session(args) as session:
+        served = serve(sys.stdin, sys.stdout,
+                       BatchDispatcher(session))
     print(f"served {served} request(s)", file=sys.stderr)
     return 0
 
@@ -360,19 +377,19 @@ def cmd_mapping(args: argparse.Namespace) -> int:
     from repro.mapping.logical import LogicalSet
 
     layer = _find_layer(args.layer, args.batch)
-    if layer is None:
-        return 2
-    dataflow = get_dataflow("RS")
-    hw = hardware_for("RS", args.pes)
-    ev = default_engine().evaluate_layer(dataflow, layer, hw)
-    if ev is None:
+    scenario = Scenario(workload=(layer,), dataflows=("RS",),
+                        batches=(args.batch,), pe_counts=(args.pes,))
+    result = default_session().evaluate(scenario).rows[0]
+    if not result.feasible:
         print("no feasible RS mapping")
         return 1
+    ev = result.evaluation.evaluations[0]
     demo_set = LogicalSet(n=0, m=0, c=0, height=layer.R,
                           width=min(layer.E, 6), stride=layer.U)
     print(render_logical_set(demo_set))
     print()
-    plan = plan_from_mapping_params(layer, hw, ev.mapping.params)
+    plan = plan_from_mapping_params(layer, scenario.cells()[0].hardware,
+                                    ev.mapping.params)
     print(render_array_occupancy(plan))
     print()
     print(ev.mapping.describe())

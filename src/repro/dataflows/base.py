@@ -54,7 +54,17 @@ class BufferBudget:
 
 
 class Dataflow(abc.ABC):
-    """Abstract base class of the six dataflow models."""
+    """Abstract base class of the six dataflow models.
+
+    Instances are *shared immutable singletons*: ``get_dataflow`` and the
+    registry hand every caller the same object, so all state lives in
+    class attributes and instance attribute assignment is refused.
+    Without this, one caller tweaking e.g. ``rf_bytes_per_pe`` on the
+    instance it got back would silently change every other caller's
+    evaluations (and poison the engine cache, which keys on the
+    dataflow *name*).  Variants belong in a subclass registered under
+    its own name.
+    """
 
     #: Canonical short name used in figures (RS, WS, OSA, OSB, OSC, NLR).
     name: str = "?"
@@ -64,6 +74,18 @@ class Dataflow(abc.ABC):
 
     #: Long descriptive name from the taxonomy (Table III).
     description: str = ""
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(
+            f"cannot set {name!r}: {type(self).__name__} instances are "
+            f"shared immutable singletons (get_dataflow returns the same "
+            f"object to every caller); subclass and register a variant "
+            f"instead of mutating")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(
+            f"cannot delete {name!r}: {type(self).__name__} instances "
+            f"are shared immutable singletons")
 
     @abc.abstractmethod
     def enumerate_mappings(self, layer: LayerShape,

@@ -1,8 +1,21 @@
-"""Registry of the six dataflow models, keyed by their figure names."""
+"""Registry of the six dataflow models, keyed by their figure names.
+
+Since the ``repro.registry`` refactor this module is a thin
+compatibility layer: the six paper dataflows are registered into the
+process-wide :data:`repro.registry.dataflow_registry` (in the paper's
+presentation order, Fig. 11-14), and :data:`DATAFLOWS` is a live
+read-only view over that registry -- a dataflow registered later via
+:func:`repro.registry.register_dataflow` shows up here too.
+
+The instances handed out are shared immutable singletons (see
+:class:`~repro.dataflows.base.Dataflow`): every caller gets the same
+object, and attribute assignment on it raises, so one driver's state
+can never leak into another's evaluation.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.base import Dataflow
@@ -14,33 +27,32 @@ from repro.dataflows.output_stationary import (
 )
 from repro.dataflows.row_stationary import RowStationary
 from repro.dataflows.weight_stationary import WeightStationary
+from repro.registry import dataflow_registry, register_dataflow
 
-#: The six dataflows in the paper's presentation order (Fig. 11-14).
-DATAFLOWS: Dict[str, Dataflow] = {
-    df.name: df
-    for df in (
-        RowStationary(),
-        WeightStationary(),
-        OutputStationaryA(),
-        OutputStationaryB(),
-        OutputStationaryC(),
-        NoLocalReuse(),
-    )
-}
+# Register the paper's six dataflows in presentation order (Fig. 11-14).
+for _df in (RowStationary(), WeightStationary(), OutputStationaryA(),
+            OutputStationaryB(), OutputStationaryC(), NoLocalReuse()):
+    register_dataflow(_df, replace=True)
+del _df
+
+#: The registered dataflows as a read-only mapping (presentation order
+#: first, extensions after).  Kept for compatibility; new code should
+#: use :data:`repro.registry.dataflow_registry` directly.
+DATAFLOWS = dataflow_registry
 
 
 def get_dataflow(name: str) -> Dataflow:
-    """Look up a dataflow by its short name (RS, WS, OSA, OSB, OSC, NLR)."""
-    try:
-        return DATAFLOWS[name.upper()]
-    except KeyError:
-        known = ", ".join(DATAFLOWS)
-        raise KeyError(f"unknown dataflow {name!r}; known: {known}") from None
+    """Look up a dataflow by its short name (RS, WS, OSA, OSB, OSC, NLR).
+
+    Returns the shared immutable instance; unknown names raise a
+    ``KeyError`` listing every registered dataflow.
+    """
+    return dataflow_registry.get(name)
 
 
 def dataflow_names() -> List[str]:
-    """The dataflow names in presentation order."""
-    return list(DATAFLOWS)
+    """The dataflow names in registration (presentation) order."""
+    return dataflow_registry.names()
 
 
 def equal_area_hardware(dataflow_name: str, num_pes: int,

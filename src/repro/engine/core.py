@@ -42,9 +42,14 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
@@ -289,6 +294,96 @@ class EvaluationEngine:
                 costs=cell.hardware.costs,
             ))
         return results
+
+    def evaluate_networks_stream(self, jobs: Sequence[NetworkJob],
+                                 parallel: Optional[bool] = None
+                                 ) -> Iterator[
+                                     Tuple[int, NetworkEvaluation]]:
+        """Evaluate a grid of cells, yielding each as soon as it is done.
+
+        Yields ``(job_index, NetworkEvaluation)`` pairs -- every job
+        exactly once.  On the serial path cells complete in job order,
+        each computed lazily just before it is yielded; on the parallel
+        path all unique layer tasks fan out across the pool at once and
+        cells are yielded in *completion* order (fully cached cells
+        first).  The per-cell results are bit-identical to
+        :meth:`evaluate_networks` -- only the delivery schedule differs
+        -- which is what lets :meth:`repro.api.Session.stream` hand
+        callers early rows without waiting on the whole grid.
+        """
+        jobs = list(jobs)
+        results: Dict[CacheKey, Optional[LayerEvaluation]] = {}
+        pending: Dict[CacheKey, LayerJob] = {}
+        cell_keys: List[List[CacheKey]] = []
+        for cell in jobs:
+            keys = []
+            for layer_job in cell.layer_jobs:
+                key = layer_job.key
+                keys.append(key)
+                if key in results or key in pending:
+                    continue
+                value = self.cache.get(key)
+                if value is MISSING:
+                    pending[key] = layer_job
+                else:
+                    results[key] = value
+            cell_keys.append(keys)
+
+        def finish(index: int) -> Tuple[int, NetworkEvaluation]:
+            cell = jobs[index]
+            return index, NetworkEvaluation(
+                dataflow=cell.dataflow.name,
+                layers=cell.layers,
+                evaluations=tuple(results[key] for key in cell_keys[index]),
+                costs=cell.hardware.costs,
+            )
+
+        if not self._use_parallel(parallel, len(pending)):
+            for index in range(len(jobs)):
+                for key in cell_keys[index]:
+                    if key not in results:
+                        job = pending[key]
+                        value = _evaluate_layer_task(
+                            job.dataflow, job.layer, job.hardware,
+                            job.objective)
+                        self.cache.put(key, value)
+                        results[key] = value
+                yield finish(index)
+            return
+
+        pool = self._executor()
+
+        def record(key: CacheKey):
+            # Cache from the completion callback, not the consumption
+            # loop: if the caller abandons the stream early (the
+            # documented use), already-computed results are still kept.
+            def done(future) -> None:
+                if not future.cancelled() and future.exception() is None:
+                    self.cache.put(key, future.result())
+            return done
+
+        futures = {}
+        for key, job in pending.items():
+            future = pool.submit(_evaluate_layer_task, job.dataflow,
+                                 job.layer, job.hardware, job.objective)
+            future.add_done_callback(record(key))
+            futures[future] = key
+        key_cells: Dict[CacheKey, List[int]] = {}
+        remaining: List[int] = []
+        for index, keys in enumerate(cell_keys):
+            missing = {key for key in keys if key not in results}
+            remaining.append(len(missing))
+            for key in missing:
+                key_cells.setdefault(key, []).append(index)
+            if not missing:  # answered entirely from the cache
+                yield finish(index)
+        for future in as_completed(futures):
+            key = futures[future]
+            results[key] = future.result()
+            for index in key_cells.get(key, ()):
+                remaining[index] -= 1
+                if remaining[index] == 0:
+                    yield finish(index)
 
     def evaluate_many(self, jobs: Sequence[LayerJob],
                       parallel: Optional[bool] = None

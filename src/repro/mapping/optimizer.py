@@ -17,23 +17,39 @@ thousands of mappings).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.engine.reducer import StreamingBest
 from repro.mapping.mapping import Mapping
 from repro.nn.layer import LayerShape
+from repro.registry import objective_registry, register_objective
 
 if TYPE_CHECKING:  # avoid a circular import; Dataflow is only a type here
     from repro.dataflows.base import Dataflow
 
-#: Objective functions selectable by name.
-OBJECTIVES: dict[str, Callable[[Mapping, EnergyCosts], float]] = {
-    "energy": lambda mapping, costs: mapping.energy_per_mac(costs),
-    "edp": lambda mapping, costs: mapping.edp(costs),
-    "dram": lambda mapping, costs: mapping.dram_accesses_per_op,
-}
+
+@register_objective("energy")
+def _energy_objective(mapping: Mapping, costs: EnergyCosts) -> float:
+    """The paper's Eq. (3)+(4) objective: energy per MAC."""
+    return mapping.energy_per_mac(costs)
+
+
+@register_objective("edp")
+def _edp_objective(mapping: Mapping, costs: EnergyCosts) -> float:
+    return mapping.edp(costs)
+
+
+@register_objective("dram")
+def _dram_objective(mapping: Mapping, costs: EnergyCosts) -> float:
+    return mapping.dram_accesses_per_op
+
+
+#: Objective functions selectable by name.  A live read-only view over
+#: :data:`repro.registry.objective_registry`; register new objectives
+#: with :func:`repro.registry.register_objective`.
+OBJECTIVES = objective_registry
 
 
 @dataclass(frozen=True)

@@ -12,8 +12,10 @@ from __future__ import annotations
 from typing import List
 
 from repro.nn.layer import LayerShape, conv_layer, fc_layer
+from repro.registry import register_network
 
 
+@register_network("alexnet")
 def alexnet(batch_size: int = 1) -> List[LayerShape]:
     """The 5 CONV + 3 FC layers of AlexNet, exactly as in Table II.
 
@@ -36,16 +38,19 @@ def alexnet(batch_size: int = 1) -> List[LayerShape]:
     return [layer.with_batch(batch_size) for layer in layers]
 
 
+@register_network("alexnet-conv")
 def alexnet_conv_layers(batch_size: int = 1) -> List[LayerShape]:
     """Only the 5 CONV layers of AlexNet (Fig. 11-13 workload)."""
     return [l for l in alexnet(batch_size) if not l.is_fc]
 
 
+@register_network("alexnet-fc")
 def alexnet_fc_layers(batch_size: int = 16) -> List[LayerShape]:
     """Only the 3 FC layers of AlexNet (Fig. 14 workload)."""
     return [l for l in alexnet(batch_size) if l.is_fc]
 
 
+@register_network("vgg16")
 def vgg16(batch_size: int = 1) -> List[LayerShape]:
     """The 13 CONV + 3 FC layers of VGG16 (Simonyan & Zisserman, 2014).
 
@@ -74,6 +79,7 @@ def vgg16(batch_size: int = 1) -> List[LayerShape]:
     return [layer.with_batch(batch_size) for layer in layers]
 
 
+@register_network("resnet18")
 def resnet18(batch_size: int = 1) -> List[LayerShape]:
     """The 17 CONV + 1 FC layers of ResNet-18 (He et al., 2016 [5]).
 

@@ -1,0 +1,277 @@
+"""Pluggable registries for workloads, dataflows and objectives.
+
+The paper's contribution is a *taxonomy*: any dataflow x any CNN shape
+x any hardware point, evaluated under one energy model.  This module is
+the extension surface that keeps the code shaped like that claim --
+three decorator-based registries that every front door (the CLI, the
+batch service, the :mod:`repro.api` session facade and the analysis
+suites) resolves names through:
+
+* :func:`register_network` -- a named workload: a callable taking a
+  batch size and returning the layer list (``alexnet``, ``vgg16``, or
+  your own).
+* :func:`register_dataflow` -- a :class:`~repro.dataflows.base.Dataflow`
+  model (or a class that instantiates to one), keyed by its short name.
+* :func:`register_objective` -- a mapping-scoring function
+  ``(mapping, costs) -> float`` the optimizer can minimize.
+
+Registering once makes the name available everywhere at the same time:
+``repro batch`` specs, :class:`repro.api.Scenario`, the CLI and the
+figure suites.  The legacy lookup tables --
+``repro.dataflows.registry.DATAFLOWS``,
+``repro.service.schema.NETWORKS`` and
+``repro.mapping.optimizer.OBJECTIVES`` -- remain as thin views over
+these registries, so older call sites keep working while new scenarios
+become one-registration changes.
+
+The registries seed themselves lazily from the package's own modules on
+first lookup, so ``import repro.registry`` alone stays cheap and free
+of import cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: Sentinel for :meth:`Registry.get`: "raise on a miss" (vs a default).
+_RAISE = object()
+
+
+class Registry(Mapping):
+    """An ordered, case-normalizing name -> value mapping.
+
+    Behaves like a read-only :class:`dict` (so legacy code that iterated
+    the old module-level tables keeps working verbatim), plus:
+
+    * :meth:`add` -- register a value, refusing accidental collisions
+      unless ``replace=True``;
+    * :meth:`get` -- lookup that raises a ``KeyError`` naming the known
+      entries, so a typo fails with the full menu instead of a bare miss;
+    * lazy seeding -- the built-in entries are registered by importing
+      the modules that define them, the first time anything looks.
+    """
+
+    def __init__(self, kind: str,
+                 seed_modules: tuple = (),
+                 normalize: Callable[[str], str] = str.lower) -> None:
+        self.kind = kind
+        self._normalize = normalize
+        self._items: Dict[str, T] = {}
+        self._seed_modules = seed_modules
+        self._seeded = not seed_modules
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Registration.
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, value: T, *, replace: bool = False) -> T:
+        """Register ``value`` under ``name`` (normalized); returns it."""
+        key = self._normalize(name)
+        with self._lock:
+            if not replace and key in self._items \
+                    and self._items[key] is not value:
+                raise ValueError(
+                    f"{self.kind} {key!r} is already registered; pass "
+                    f"replace=True to override it")
+            self._items[key] = value
+        return value
+
+    def remove(self, name: str) -> None:
+        """Unregister an entry (mainly for tests and plugin teardown)."""
+        self._ensure_seeded()
+        with self._lock:
+            self._items.pop(self._normalize(name), None)
+
+    # ------------------------------------------------------------------
+    # Lookup (Mapping protocol + friendly errors).
+    # ------------------------------------------------------------------
+
+    def _ensure_seeded(self) -> None:
+        if self._seeded:
+            return
+        with self._lock:
+            if self._seeded:
+                return
+            # Mark first: the seed modules call add() while importing.
+            self._seeded = True
+            for module in self._seed_modules:
+                importlib.import_module(module)
+
+    def get(self, name: str, default=_RAISE) -> T:
+        """Look up ``name``; a miss raises with the known names listed."""
+        self._ensure_seeded()
+        key = self._normalize(str(name))
+        with self._lock:
+            if key in self._items:
+                return self._items[key]
+        if default is not _RAISE:
+            return default
+        known = ", ".join(self.names())
+        raise KeyError(f"unknown {self.kind} {name!r}; known: {known}")
+
+    def canonical(self, name: str) -> str:
+        """The canonical registry key for ``name`` (case-folded).
+
+        This -- not the registered object's own ``.name`` attribute --
+        is the spelling that round-trips through :meth:`get`, which
+        matters when a value is registered under an explicit alias.
+        A miss raises with the known names listed.
+        """
+        self._ensure_seeded()
+        key = self._normalize(str(name))
+        with self._lock:
+            if key in self._items:
+                return key
+        known = ", ".join(self.names())
+        raise KeyError(f"unknown {self.kind} {name!r}; known: {known}")
+
+    def names(self) -> List[str]:
+        """The registered names, in registration order."""
+        self._ensure_seeded()
+        with self._lock:
+            return list(self._items)
+
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __contains__(self, name) -> bool:
+        self._ensure_seeded()
+        if not isinstance(name, str):
+            return False
+        with self._lock:
+            return self._normalize(name) in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_seeded()
+        with self._lock:
+            return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Registry {self.kind}: {', '.join(self.names())}>"
+
+
+# ----------------------------------------------------------------------
+# The three registries.  Seed modules are imported lazily on first
+# lookup; each one registers its entries at import time via the
+# decorators below.
+# ----------------------------------------------------------------------
+
+#: Named workloads: ``name -> callable(batch_size) -> [LayerShape, ...]``.
+network_registry: Registry = Registry(
+    "network", seed_modules=("repro.nn.networks",), normalize=str.lower)
+
+#: Dataflow models keyed by their figure names (RS, WS, OSA, ...).
+dataflow_registry: Registry = Registry(
+    "dataflow", seed_modules=("repro.dataflows.registry",),
+    normalize=str.upper)
+
+#: Mapping objectives: ``name -> callable(mapping, costs) -> float``.
+objective_registry: Registry = Registry(
+    "objective", seed_modules=("repro.mapping.optimizer",),
+    normalize=str.lower)
+
+
+def register_network(name: Optional[str] = None, *, replace: bool = False):
+    """Decorator registering a workload builder under ``name``.
+
+    The builder takes a batch size and returns the layer list::
+
+        @register_network("tinynet")
+        def tinynet(batch_size: int = 1):
+            return [conv_layer("C1", H=16, R=3, E=14, C=8, M=16,
+                               N=batch_size)]
+
+    Bare usage (``@register_network``) keys the builder by its function
+    name.  The name becomes valid everywhere at once: ``Scenario``
+    workloads, ``repro batch`` specs, and the CLI.
+    """
+    def decorate(func):
+        network_registry.add(name or func.__name__, func, replace=replace)
+        return func
+
+    if callable(name):  # bare @register_network
+        func, name = name, None
+        return decorate(func)
+    return decorate
+
+
+def register_dataflow(dataflow=None, *, name: Optional[str] = None,
+                      replace: bool = False):
+    """Register a dataflow model (instance or class) by its short name.
+
+    Accepts a :class:`~repro.dataflows.base.Dataflow` instance, or a
+    class (decorator form), which is instantiated once and registered as
+    the shared immutable singleton ``get_dataflow`` hands out::
+
+        @register_dataflow
+        class MyDataflow(Dataflow):
+            name = "MINE"
+            ...
+    """
+    def decorate(obj):
+        instance = obj() if isinstance(obj, type) else obj
+        dataflow_registry.add(name or instance.name, instance,
+                              replace=replace)
+        return obj
+
+    if dataflow is None:
+        return decorate
+    return decorate(dataflow)
+
+
+def register_objective(name: Optional[str] = None, *, replace: bool = False):
+    """Decorator registering a mapping objective ``(mapping, costs) ->
+    float`` the optimizer minimizes::
+
+        @register_objective("dram")
+        def dram(mapping, costs):
+            return mapping.dram_accesses_per_op
+    """
+    def decorate(func):
+        objective_registry.add(name or func.__name__, func, replace=replace)
+        return func
+
+    if callable(name):  # bare @register_objective
+        func, name = name, None
+        return decorate(func)
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Convenience lookups (the friendly-error path used by the facade).
+# ----------------------------------------------------------------------
+
+
+def get_network(name: str) -> Callable:
+    """The workload builder registered under ``name`` (case-insensitive)."""
+    return network_registry.get(name)
+
+
+def get_dataflow(name: str):
+    """The shared dataflow instance registered under ``name``."""
+    return dataflow_registry.get(name)
+
+
+def get_objective(name: str) -> Callable:
+    """The objective function registered under ``name``."""
+    return objective_registry.get(name)
+
+
+def network_names() -> List[str]:
+    return network_registry.names()
+
+
+def dataflow_names() -> List[str]:
+    return dataflow_registry.names()
+
+
+def objective_names() -> List[str]:
+    return objective_registry.names()

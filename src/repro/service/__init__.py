@@ -28,7 +28,6 @@ from repro.service.persistence import (
     persistent_cache,
 )
 from repro.service.schema import (
-    NETWORKS,
     BatchRequest,
     BatchResult,
     CellResult,
@@ -37,6 +36,23 @@ from repro.service.schema import (
     parse_requests,
 )
 from repro.service.server import serve
+
+
+def __getattr__(name: str):
+    # Deprecated re-export, warned here (not via schema.NETWORKS) so the
+    # warning points at the caller's access site rather than this shim.
+    if name == "NETWORKS":
+        import warnings
+
+        from repro.registry import network_registry
+
+        warnings.warn(
+            "repro.service.NETWORKS is deprecated; use "
+            "repro.registry.network_registry (and @register_network to "
+            "add workloads) instead",
+            DeprecationWarning, stacklevel=2)
+        return network_registry
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BatchDispatcher",

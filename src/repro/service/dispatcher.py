@@ -1,94 +1,97 @@
 """Grid expansion and aggregation: BatchRequest -> BatchResult.
 
-The dispatcher is the service's execution core.  It expands each
-:class:`~repro.service.schema.BatchRequest` into engine-level
-:class:`~repro.engine.core.NetworkJob` cells -- one per (dataflow,
-hardware point) -- and streams them through the shared
-:class:`~repro.engine.core.EvaluationEngine` as a single deduplicated
-batch, so a grid of G cells over L layers fans out as at most G x L
-layer evaluations, minus everything the cache or intra-batch
-deduplication already covers.  Per-request cache traffic is measured as
-a stats delta and reported in the :class:`BatchResult`.
+The dispatcher is the service's wire adapter over the unified facade:
+each :class:`~repro.service.schema.BatchRequest` is translated into a
+:class:`repro.api.Scenario`, answered through a
+:class:`repro.api.Session` (one deduplicated engine batch, so a grid of
+G cells over L layers fans out as at most G x L layer evaluations,
+minus everything the cache already covers), and the resulting
+:class:`repro.api.ResultSet` rows are folded back into the service's
+JSON schema.  Per-request cache traffic is measured as a stats delta
+and reported in the :class:`BatchResult`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Union
 
-from repro.dataflows.registry import DATAFLOWS, equal_area_hardware
-from repro.energy.model import NetworkEvaluation
-from repro.engine.core import EvaluationEngine, NetworkJob, default_engine
+from repro.api import (
+    EmptyScenarioError,
+    Result,
+    Scenario,
+    ScenarioCell,
+    Session,
+    default_session,
+)
+from repro.dataflows.registry import equal_area_hardware  # noqa: F401  (re-export)
+from repro.engine.core import EvaluationEngine
 from repro.service.schema import BatchRequest, BatchResult, CellResult
 
 
-@dataclass(frozen=True)
-class _Cell:
-    """One expanded (dataflow, hardware) point of a request grid."""
+def scenario_from_request(request: BatchRequest) -> Scenario:
+    """The facade-level description of one request's grid."""
+    workload = (request.layers if request.layers is not None
+                else request.network)
+    return Scenario(
+        workload=workload,
+        dataflows=request.dataflows,
+        batches=(request.batch,),
+        pe_counts=request.pe_counts,
+        rf_choices=request.rf_choices,
+        objective=request.objective,
+    )
 
-    dataflow: str
-    num_pes: int
-    rf_bytes_per_pe: int
-    job: NetworkJob
 
-
-def expand_request(request: BatchRequest) -> List[_Cell]:
-    """Expand a request grid into per-cell engine jobs.
+def expand_request(request: BatchRequest) -> List[ScenarioCell]:
+    """Expand a request grid into resolved scenario cells.
 
     Hardware points whose RF demand exceeds the equal-area storage
     budget are skipped (they have no valid configuration, mirroring how
-    the Fig. 15 sweep prunes its grid).
+    the Fig. 15 sweep prunes its grid); a grid with *no* surviving
+    point is an error.
     """
-    layers = request.resolved_layers
-    cells: List[_Cell] = []
-    for name in request.dataflows:
-        rf_options: Tuple[Optional[int], ...] = (
-            request.rf_choices if request.rf_choices is not None
-            else (None,))
-        for num_pes in request.pe_counts:
-            for rf in rf_options:
-                try:
-                    hardware = equal_area_hardware(name, num_pes, rf)
-                except ValueError:
-                    continue  # RF alone exceeds the storage budget
-                cells.append(_Cell(
-                    dataflow=name,
-                    num_pes=num_pes,
-                    rf_bytes_per_pe=hardware.rf_bytes_per_pe,
-                    job=NetworkJob(DATAFLOWS[name], layers, hardware,
-                                   request.objective),
-                ))
-    if not cells:
+    try:
+        return list(scenario_from_request(request).cells())
+    except EmptyScenarioError as exc:
         raise ValueError(
-            f"request {request.request_id!r} expands to no valid hardware "
-            f"point (every (pes, rf) choice exceeds the area budget)")
-    return cells
+            f"request {request.request_id!r} {exc}") from None
 
 
 class BatchDispatcher:
-    """Runs batch requests on an evaluation engine."""
+    """Runs batch requests on a facade session."""
 
-    def __init__(self, engine: Optional[EvaluationEngine] = None) -> None:
-        self.engine = engine if engine is not None else default_engine()
+    def __init__(self, session: Optional[Union[Session, EvaluationEngine]]
+                 = None) -> None:
+        if session is None:
+            session = default_session()
+        elif isinstance(session, EvaluationEngine):
+            # Compatibility: callers used to hand the dispatcher a bare
+            # engine; wrap it (the session then doesn't own its pool).
+            session = Session(engine=session)
+        self.session = session
+
+    @property
+    def engine(self) -> EvaluationEngine:
+        return self.session.engine
 
     def run(self, request: BatchRequest,
             parallel: Optional[bool] = None) -> BatchResult:
         """Expand, evaluate and aggregate one request."""
         start = time.perf_counter()
-        before = self.engine.cache.stats
-        cells = expand_request(request)
-        evaluations = self.engine.evaluate_networks(
-            [cell.job for cell in cells], parallel=parallel)
-        results = tuple(
-            self._cell_result(request, cell, evaluation)
-            for cell, evaluation in zip(cells, evaluations))
+        before = self.session.cache.stats
+        scenario = scenario_from_request(request)
+        try:
+            results = self.session.evaluate(scenario, parallel=parallel)
+        except EmptyScenarioError as exc:
+            raise ValueError(
+                f"request {request.request_id!r} {exc}") from None
         return BatchResult(
             request_id=request.request_id,
-            cells=results,
-            layer_jobs=sum(len(cell.job.layers) for cell in cells),
+            cells=tuple(self._cell_result(row) for row in results),
+            layer_jobs=sum(len(row.evaluation.layers) for row in results),
             elapsed_s=time.perf_counter() - start,
-            cache=self.engine.cache.stats.since(before),
+            cache=self.session.cache.stats.since(before),
         )
 
     def run_many(self, requests: List[BatchRequest],
@@ -98,22 +101,21 @@ class BatchDispatcher:
                 for request in requests]
 
     @staticmethod
-    def _cell_result(request: BatchRequest, cell: _Cell,
-                     evaluation: NetworkEvaluation) -> CellResult:
-        if not evaluation.feasible:
+    def _cell_result(row: Result) -> CellResult:
+        if not row.feasible:
             return CellResult(
-                dataflow=cell.dataflow, num_pes=cell.num_pes,
-                rf_bytes_per_pe=cell.rf_bytes_per_pe, batch=request.batch,
-                objective=request.objective, feasible=False)
+                dataflow=row.dataflow, num_pes=row.num_pes,
+                rf_bytes_per_pe=row.rf_bytes_per_pe, batch=row.batch,
+                objective=row.objective, feasible=False)
         return CellResult(
-            dataflow=cell.dataflow,
-            num_pes=cell.num_pes,
-            rf_bytes_per_pe=cell.rf_bytes_per_pe,
-            batch=request.batch,
-            objective=request.objective,
+            dataflow=row.dataflow,
+            num_pes=row.num_pes,
+            rf_bytes_per_pe=row.rf_bytes_per_pe,
+            batch=row.batch,
+            objective=row.objective,
             feasible=True,
-            energy_per_op=evaluation.energy_per_op,
-            delay_per_op=evaluation.delay_per_op,
-            edp_per_op=evaluation.edp_per_op,
-            dram_accesses_per_op=evaluation.dram_accesses_per_op,
+            energy_per_op=row.energy_per_op,
+            delay_per_op=row.delay_per_op,
+            edp_per_op=row.edp_per_op,
+            dram_accesses_per_op=row.dram_accesses_per_op,
         )

@@ -15,29 +15,31 @@ malformed spec fails at the service boundary (CLI exit code 2, or an
 from __future__ import annotations
 
 import operator
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.dataflows.registry import DATAFLOWS, get_dataflow
 from repro.engine.cache import CacheStats
-from repro.mapping.optimizer import OBJECTIVES
 from repro.nn.layer import LayerShape, LayerType
-from repro.nn.networks import (
-    alexnet,
-    alexnet_conv_layers,
-    alexnet_fc_layers,
-    resnet18,
-    vgg16,
+from repro.registry import (
+    get_network,
+    network_registry,
+    objective_registry,
 )
 
-#: Named workloads a request can ask for instead of explicit layers.
-NETWORKS = {
-    "alexnet": alexnet,
-    "alexnet-conv": alexnet_conv_layers,
-    "alexnet-fc": alexnet_fc_layers,
-    "vgg16": vgg16,
-    "resnet18": resnet18,
-}
+
+def __getattr__(name: str):
+    # Legacy module-level workload table, replaced by the pluggable
+    # registry (PEP 562 keeps the old attribute importable).
+    if name == "NETWORKS":
+        warnings.warn(
+            "repro.service.schema.NETWORKS is deprecated; use "
+            "repro.registry.network_registry (and @register_network to "
+            "add workloads) instead",
+            DeprecationWarning, stacklevel=2)
+        return network_registry
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 _LAYER_FIELDS = ("name", "H", "R", "E", "C", "M", "U", "N", "type")
 _REQUEST_FIELDS = ("id", "network", "layers", "batch", "dataflows",
@@ -123,10 +125,10 @@ class BatchRequest:
             raise ValueError(
                 f"request {self.request_id!r} must set exactly one of "
                 f"'network' or 'layers'")
-        if self.network is not None and self.network not in NETWORKS:
+        if self.network is not None and self.network not in network_registry:
             raise ValueError(
                 f"unknown network {self.network!r}; known: "
-                f"{sorted(NETWORKS)}")
+                f"{sorted(network_registry)}")
         if not self.dataflows:
             raise ValueError(
                 f"request {self.request_id!r} names no dataflows")
@@ -134,10 +136,16 @@ class BatchRequest:
             if name not in DATAFLOWS:
                 raise ValueError(
                     f"unknown dataflow {name!r}; known: {list(DATAFLOWS)}")
-        if self.objective not in OBJECTIVES:
+        try:
+            # Canonical spelling, as with dataflow names: the objective
+            # is part of the engine cache key, so "EDP" and "edp" must
+            # warm the same entries.
+            object.__setattr__(self, "objective",
+                               objective_registry.canonical(self.objective))
+        except KeyError:
             raise ValueError(
                 f"unknown objective {self.objective!r}; known: "
-                f"{list(OBJECTIVES)}")
+                f"{list(objective_registry)}") from None
         if self.batch < 1:
             raise ValueError(f"batch must be >= 1, got {self.batch}")
 
@@ -148,7 +156,7 @@ class BatchRequest:
         """The layer list the request evaluates (network or explicit)."""
         if self.layers is not None:
             return self.layers
-        return tuple(NETWORKS[self.network](self.batch))
+        return tuple(get_network(self.network)(self.batch))
 
     @classmethod
     def from_dict(cls, data: Dict, default_id: str = "req") -> "BatchRequest":

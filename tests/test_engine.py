@@ -19,6 +19,7 @@ from repro.analysis.sweep import (
     pe_logic_area,
     total_chip_area,
 )
+from repro.api import Session
 from repro.arch.hardware import HardwareConfig
 from repro.arch.storage import allocate_storage
 from repro.dataflows.registry import DATAFLOWS
@@ -183,18 +184,19 @@ class TestSweepParity:
     def test_serial_engine_sweep_matches_seed(self, reference):
         points = fig15_area_allocation_sweep(
             SWEEP_PES, batch=SWEEP_BATCH, rf_choices=SWEEP_RF,
-            engine=serial_engine())
+            session=Session(engine=serial_engine()))
         assert points == reference
 
     def test_parallel_sweep_matches_seed(self, reference, thread_engine):
         points = fig15_area_allocation_sweep(
             SWEEP_PES, batch=SWEEP_BATCH, rf_choices=SWEEP_RF,
-            engine=thread_engine, parallel=True)
+            session=Session(engine=thread_engine), parallel=True)
         assert points == reference
 
     def test_cached_sweep_matches_seed(self, reference):
         engine = serial_engine()
-        kwargs = dict(batch=SWEEP_BATCH, rf_choices=SWEEP_RF, engine=engine)
+        kwargs = dict(batch=SWEEP_BATCH, rf_choices=SWEEP_RF,
+                      session=Session(engine=engine))
         first = fig15_area_allocation_sweep(SWEEP_PES, **kwargs)
         again = fig15_area_allocation_sweep(SWEEP_PES, **kwargs)
         assert first == again == reference
@@ -202,12 +204,13 @@ class TestSweepParity:
 
     def test_sweep_accepts_list_arguments(self):
         """Regression: the lru_cache seed crashed on unhashable lists."""
-        engine = serial_engine()
+        session = Session(engine=serial_engine())
         from_lists = fig15_area_allocation_sweep(
             list(SWEEP_PES), batch=SWEEP_BATCH,
-            rf_choices=list(SWEEP_RF), engine=engine)
+            rf_choices=list(SWEEP_RF), session=session)
         from_tuples = fig15_area_allocation_sweep(
-            SWEEP_PES, batch=SWEEP_BATCH, rf_choices=SWEEP_RF, engine=engine)
+            SWEEP_PES, batch=SWEEP_BATCH, rf_choices=SWEEP_RF,
+            session=session)
         assert from_lists == from_tuples
 
 
