@@ -23,8 +23,13 @@ Top-level re-exports cover the public API used by the examples and benchmarks:
   engine/cache/pools, ``Scenario`` describes a typed evaluation grid,
   ``session.evaluate``/``session.stream`` answer it as a ``ResultSet``.
 * :mod:`repro.registry` -- pluggable ``@register_network`` /
-  ``@register_dataflow`` / ``@register_objective`` registries every
-  front door (CLI, service, facade, figure suites) resolves through.
+  ``@register_dataflow`` / ``@register_objective`` /
+  ``@register_design_space`` registries every front door (CLI, service,
+  facade, figure suites) resolves through.
+* :mod:`repro.dse` -- hardware design-space exploration:
+  ``DesignSpace`` sweeps PE-array geometry x RF x buffer capacity
+  (optionally under the paper's equal-area budget) and
+  ``session.explore`` reduces it to a ``ParetoSet``.
 """
 
 from repro.api import (
@@ -37,6 +42,7 @@ from repro.api import (
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.registry import DATAFLOWS, get_dataflow
+from repro.dse import DesignSpace, ParetoSet
 from repro.energy.model import evaluate_layer, evaluate_network
 from repro.engine.core import (
     EngineConfig,
@@ -48,6 +54,7 @@ from repro.nn.layer import LayerShape
 from repro.nn.networks import alexnet
 from repro.registry import (
     register_dataflow,
+    register_design_space,
     register_network,
     register_objective,
 )
@@ -65,12 +72,15 @@ __all__ = [
     "optimize_mapping",
     "LayerShape",
     "alexnet",
+    "DesignSpace",
+    "ParetoSet",
     "Result",
     "ResultSet",
     "Scenario",
     "Session",
     "default_session",
     "register_dataflow",
+    "register_design_space",
     "register_network",
     "register_objective",
 ]

@@ -56,6 +56,7 @@ def _evaluate(dataflow_name: str, num_pes: int, batch: int,
 
 @dataclass(frozen=True)
 class StorageRow:
+    """One dataflow's row of the Fig. 7b storage-allocation table."""
     dataflow: str
     rf_bytes_per_pe: int
     total_rf_kb: float
@@ -85,12 +86,14 @@ def fig7_storage_allocation(num_pes: int = 256) -> Dict[str, StorageRow]:
 
 @dataclass(frozen=True)
 class Fig10Row:
+    """One layer's row of the Fig. 10 RS energy breakdown."""
     layer: str
     breakdown: LevelBreakdown          # whole-layer energy by level
     macs: int
 
     @property
     def total(self) -> float:
+        """Total normalized energy of the layer (sum over levels)."""
         return self.breakdown.total
 
     @property
@@ -151,10 +154,12 @@ class ConvSuiteResult:
 
     @property
     def dram_accesses_per_op(self) -> float:
+        """Combined DRAM reads + writes per MAC."""
         return self.dram_reads_per_op + self.dram_writes_per_op
 
     @property
     def edp_per_op(self) -> float:
+        """Energy-delay product per MAC (energy/op x delay/op)."""
         return self.energy_per_op * self.delay_per_op
 
 

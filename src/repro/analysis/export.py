@@ -31,6 +31,7 @@ def _write(path: pathlib.Path, header: Sequence[str],
 
 
 def export_fig7(directory: pathlib.Path, num_pes: int = 256) -> pathlib.Path:
+    """Write the Fig. 7b storage-allocation table as CSV."""
     rows = [[r.dataflow, r.rf_bytes_per_pe, r.total_rf_kb, r.buffer_kb,
              r.total_kb]
             for r in fig7_storage_allocation(num_pes).values()]
@@ -41,6 +42,7 @@ def export_fig7(directory: pathlib.Path, num_pes: int = 256) -> pathlib.Path:
 
 
 def export_fig10(directory: pathlib.Path) -> pathlib.Path:
+    """Write the Fig. 10 RS energy breakdown as CSV."""
     rows = []
     for name, row in fig10_rs_breakdown().items():
         b = row.breakdown
@@ -87,6 +89,7 @@ def export_fc_suite(directory: pathlib.Path) -> pathlib.Path:
 
 
 def export_fig15(directory: pathlib.Path) -> pathlib.Path:
+    """Write the Fig. 15 area-allocation sweep as CSV."""
     rows = [[pes, pt.active_pes, pt.rf_bytes_per_pe, pt.buffer_kb,
              pt.storage_area_fraction, pt.energy_per_op, pt.delay_per_op]
             for pes, pt in sorted(fig15_area_allocation_sweep().items())]
@@ -94,6 +97,32 @@ def export_fig15(directory: pathlib.Path) -> pathlib.Path:
     _write(path, ["num_pes", "active_pes", "rf_bytes_per_pe", "buffer_kb",
                   "storage_area_fraction", "energy_per_op",
                   "delay_per_op"], rows)
+    return path
+
+
+#: Column order of the :func:`export_dse` CSV (stable export schema).
+DSE_CSV_HEADER = (
+    "workload", "dataflow", "batch", "objective", "num_pes", "array_h",
+    "array_w", "rf_bytes_per_pe", "buffer_bytes", "area", "feasible",
+    "on_front", "energy_per_op", "delay_per_op", "edp_per_op",
+    "dram_reads_per_op", "dram_writes_per_op", "dram_accesses_per_op",
+)
+
+
+def export_dse(directory: str | pathlib.Path, pareto,
+               stem: str = "dse_pareto") -> pathlib.Path:
+    """Write a :class:`repro.dse.ParetoSet` as one long-format CSV.
+
+    Every evaluated candidate is a row -- dominated and infeasible
+    points included -- tagged with ``on_front`` membership, so the
+    frontier can be re-derived (or re-plotted against the full cloud)
+    by any downstream tool.  Returns the written path.
+    """
+    rows = []
+    for entry in pareto.to_dicts(include_dominated=True):
+        rows.append([entry.get(name, "") for name in DSE_CSV_HEADER])
+    path = pathlib.Path(directory) / f"{stem}.csv"
+    _write(path, DSE_CSV_HEADER, rows)
     return path
 
 

@@ -68,6 +68,7 @@ class SweepPoint:
 
     @property
     def edp_per_op(self) -> float:
+        """Energy-delay product per MAC at this sweep point."""
         return self.energy_per_op * self.delay_per_op
 
 

@@ -337,6 +337,7 @@ class Result:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Result":
+        """Rebuild a row from :meth:`to_dict` output (sans evaluation)."""
         known = {f.name for f in fields(cls)} - {"evaluation"}
         unknown = set(data) - known
         if unknown:
@@ -367,6 +368,7 @@ class ResultSet:
 
     @property
     def feasible(self) -> "ResultSet":
+        """Only the rows with at least one valid mapping."""
         return self.filter(feasible=True)
 
     def filter(self, predicate: Optional[Callable[[Result], bool]] = None,
@@ -408,17 +410,21 @@ class ResultSet:
     # -- serialization --------------------------------------------------
 
     def to_dicts(self) -> List[Dict]:
+        """One JSON-safe dict per row, in table order."""
         return [row.to_dict() for row in self.rows]
 
     def to_json(self, indent: Optional[int] = None) -> str:
+        """The rows as a JSON document (see :meth:`to_dicts`)."""
         return json.dumps(self.to_dicts(), indent=indent)
 
     @classmethod
     def from_dicts(cls, data: Sequence[Dict]) -> "ResultSet":
+        """Rebuild a result set from :meth:`to_dicts` output."""
         return cls(tuple(Result.from_dict(entry) for entry in data))
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
+        """Rebuild a result set from :meth:`to_json` output."""
         return cls.from_dicts(json.loads(text))
 
     def to_table(self, title: Optional[str] = None) -> str:
@@ -522,14 +528,17 @@ class Session:
 
     @property
     def engine(self) -> EvaluationEngine:
+        """The engine this session owns (or wraps)."""
         return self._engine
 
     @property
     def cache(self) -> EvaluationCache:
+        """The engine's in-memory cache tier."""
         return self._engine.cache
 
     @property
     def cache_stats(self) -> CacheStats:
+        """Cumulative hit/miss/eviction counters of the cache."""
         return self._engine.cache.stats
 
     # ------------------------------------------------------------------
@@ -562,6 +571,33 @@ class Session:
         for index, evaluation in self._engine.evaluate_networks_stream(
                 [cell.job for cell in cells], parallel=parallel):
             yield Result.from_evaluation(cells[index], evaluation)
+
+    def explore(self, space, parallel: Optional[bool] = None):
+        """Sweep a hardware design space and reduce it to a Pareto set.
+
+        ``space`` is a :class:`repro.dse.DesignSpace` (or a registered
+        name resolvable through
+        :func:`repro.registry.get_design_space`).  Every (dataflow,
+        hardware point) candidate is evaluated through this session's
+        engine -- sharing its cache tiers and worker pools with
+        :meth:`evaluate`/:meth:`stream`, so repeated or overlapping
+        explorations stay warm -- and the answer is a
+        :class:`repro.dse.ParetoSet`: the non-dominated frontier over
+        the space's metrics plus every evaluated candidate.
+
+        ``parallel`` overrides the session's pool policy for this call
+        only; the frontier is bit-identical either way.
+        """
+        from repro.dse import DesignSpace, explore  # lazy: dse imports us
+
+        if isinstance(space, str):
+            from repro.registry import get_design_space
+            space = get_design_space(space)
+        if not isinstance(space, DesignSpace):
+            raise TypeError(
+                f"explore() takes a DesignSpace or a registered design "
+                f"space name, got {space!r}")
+        return explore(space, session=self, parallel=parallel)
 
     # ------------------------------------------------------------------
 

@@ -62,14 +62,17 @@ class HardwareConfig:
 
     @property
     def rf_bytes_per_pe(self) -> int:
+        """Register-file capacity per PE, in bytes."""
         return self.rf_words_per_pe * BYTES_PER_WORD
 
     @property
     def buffer_bytes(self) -> int:
+        """Global-buffer capacity, in bytes."""
         return self.buffer_words * BYTES_PER_WORD
 
     @property
     def total_rf_words(self) -> int:
+        """Aggregate RF capacity across the array, in words."""
         return self.num_pes * self.rf_words_per_pe
 
     def with_costs(self, costs: EnergyCosts) -> "HardwareConfig":
@@ -77,6 +80,7 @@ class HardwareConfig:
         return replace(self, costs=costs)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the configuration."""
         return (
             f"{self.num_pes} PEs ({self.array_h}x{self.array_w}), "
             f"{self.rf_bytes_per_pe} B RF/PE, "

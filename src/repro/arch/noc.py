@@ -51,6 +51,7 @@ class MulticastNoc:
     records: List[TransferRecord] = field(default_factory=list)
 
     def multicast(self, destinations: Iterable[Coordinate], words: int) -> TransferRecord:
+        """Deliver ``words`` to every destination in one multicast."""
         dests = list(destinations)
         if not dests:
             raise ValueError("multicast requires at least one destination")
@@ -84,6 +85,7 @@ class LocalPsumNoc:
     records: List[TransferRecord] = field(default_factory=list)
 
     def send(self, src: Coordinate, dst: Coordinate, words: int) -> TransferRecord:
+        """Move ``words`` between neighbouring PEs point-to-point."""
         hops = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
         if hops != 1:
             raise ValueError(
@@ -97,6 +99,7 @@ class LocalPsumNoc:
 
     @property
     def total_words_delivered(self) -> int:
+        """Total words delivered across all point-to-point sends."""
         return sum(rec.words for rec in self.records)
 
 

@@ -10,9 +10,14 @@ Subcommands mirror the library's main entry points:
   verify it against the Eq. (1) reference.
 * ``sweep``    -- the Fig. 15 fixed-area allocation sweep.
 * ``storage``  -- the Fig. 7b equal-area storage allocation.
+* ``dse``      -- hardware design-space exploration: sweep PE-array
+  geometries x RF x buffer sizes and reduce to a Pareto front
+  (energy x delay x area), optionally under the paper's equal-area
+  normalization.
 * ``batch``    -- run a JSON batch spec (grids of network x dataflow x
   hardware) through the evaluation service.
-* ``serve``    -- long-lived JSON-lines service loop on stdin/stdout.
+* ``serve``    -- long-lived JSON-lines service loop on stdin/stdout
+  (``{"verb": "dse"}`` requests run design-space explorations).
 
 All subcommands run through the unified facade (:mod:`repro.api`):
 grids are described as :class:`~repro.api.Scenario` objects and every
@@ -45,7 +50,9 @@ from repro.analysis.experiments import fig7_storage_allocation
 from repro.analysis.report import format_table
 from repro.analysis.sweep import PE_COUNTS, fig15_area_allocation_sweep
 from repro.api import ENV_CACHE, Scenario, Session, default_session
+from repro.dse import DesignSpace
 from repro.engine.core import default_engine
+from repro.registry import get_design_space
 from repro.arch.energy_costs import MemoryLevel
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.registry import DATAFLOWS
@@ -72,6 +79,55 @@ def _int_list(text: str) -> Tuple[int, ...]:
         raise argparse.ArgumentTypeError(
             f"expected positive integers, got {text!r}")
     return values
+
+
+def _size_list(text: str) -> Tuple[int, ...]:
+    """Parse a comma-separated list of sizes; 0 is legal (argparse type).
+
+    Used for the ``dse`` storage axes, where 0 names a real operating
+    point: the NLR dataflow has no RF at all, and a zero-byte buffer
+    is a valid (if usually infeasible) design point.
+    """
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}") from None
+    if not values or any(v < 0 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"expected non-negative integers, got {text!r}")
+    return values
+
+
+def _str_list(text: str) -> Tuple[str, ...]:
+    """Parse a comma-separated list of names (argparse type)."""
+    values = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated names, got {text!r}")
+    return values
+
+
+def _shape_list(text: str) -> Tuple[Tuple[int, int], ...]:
+    """Parse HxW[,HxW...] PE-array geometries (argparse type)."""
+    shapes = []
+    for part in text.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        h, sep, w = part.partition("x")
+        try:
+            shape = (int(h), int(w)) if sep else ()
+        except ValueError:
+            shape = ()
+        if len(shape) != 2 or any(v < 1 for v in shape):
+            raise argparse.ArgumentTypeError(
+                f"expected HxW geometries like 12x14, got {text!r}")
+        shapes.append(shape)
+    if not shapes:
+        raise argparse.ArgumentTypeError(
+            f"expected HxW geometries like 12x14, got {text!r}")
+    return tuple(shapes)
 
 
 def _add_service_arguments(parser: argparse.ArgumentParser,
@@ -115,6 +171,7 @@ def _service_session(args: argparse.Namespace) -> Session:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser with every ``repro`` subcommand wired up."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Eyeriss (ISCA 2016) reproduction: row-stationary "
@@ -159,6 +216,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("storage", help="Fig. 7b storage allocation")
 
+    dse = sub.add_parser(
+        "dse", help="hardware design-space exploration -> Pareto front")
+    dse.add_argument("--space", default=None, metavar="NAME",
+                     help="a registered design space "
+                          "(@register_design_space); conflicts with the "
+                          "grid flags below")
+    # Grid flags default to SUPPRESS so _dse_space can tell an explicit
+    # flag from an omitted one: mixing any of them with --space is an
+    # error (as on the service wire), never a silent ignore.
+    grid = dict(default=argparse.SUPPRESS)
+    dse.add_argument("--network", **grid,
+                     help="registered workload (default alexnet-conv)")
+    dse.add_argument("--dataflows", type=_str_list, metavar="DF[,DF...]",
+                     **grid,
+                     help="dataflows to sweep (default: all registered)")
+    dse.add_argument("--batch", type=int, **grid,
+                     help="batch size N (default 16)")
+    dse.add_argument("--pes", type=_int_list, metavar="N[,N...]", **grid,
+                     help="PE counts, most-square geometry "
+                          "(default 64,128,256 when --shapes is unset)")
+    dse.add_argument("--shapes", type=_shape_list, metavar="HxW[,HxW...]",
+                     **grid,
+                     help="explicit PE-array geometries, e.g. 12x14")
+    dse.add_argument("--rf", type=_size_list, metavar="B[,B...]", **grid,
+                     help="RF bytes/PE choices; 0 = no RF, the NLR "
+                          "operating point (default 256,512)")
+    dse.add_argument("--glb", type=_size_list, metavar="KB[,KB...]", **grid,
+                     help="global-buffer sizes in kB (free mode only; "
+                          "default: the #PE x 512 B baseline)")
+    dse.add_argument("--equal-area", action="store_true", **grid,
+                     help="derive each point's buffer from the Eq. (2) "
+                          "equal-area budget (the paper's methodology)")
+    dse.add_argument("--area-budget", type=float, metavar="AREA", **grid,
+                     help="normalized storage-area budget (default: the "
+                          "Eq. (2) baseline per PE count)")
+    dse.add_argument("--objective", **grid,
+                     help="mapping objective (default energy)")
+    dse.add_argument("--all", action="store_true",
+                     help="include dominated candidates in --json output "
+                          "and print them as a second table")
+    dse.add_argument("--json", action="store_true",
+                     help="emit the candidates as JSON rows")
+    dse.add_argument("--csv", default=None, metavar="DIR",
+                     help="also export every candidate as CSV under DIR")
+    _add_service_arguments(dse, workers=True)
+
     batch = sub.add_parser(
         "batch", help="run a JSON batch spec through the service")
     batch.add_argument("spec",
@@ -185,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: six-dataflow table on AlexNet CONV/FC layers."""
     scenario = Scenario(workload=f"alexnet-{args.layers}",
                         batches=(args.batch,), pe_counts=(args.pes,))
     results = default_session().evaluate(scenario)
@@ -224,6 +328,7 @@ def _find_layer(name: str, batch: int) -> LayerShape:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``repro evaluate``: one dataflow on one layer, mapping + energy."""
     layer = _find_layer(args.layer, args.batch)
     scenario = Scenario(workload=(layer,), dataflows=(args.dataflow,),
                         batches=(args.batch,), pe_counts=(args.pes,))
@@ -250,6 +355,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    """``repro simulate``: functional RS run checked against Eq. (1)."""
     layer = conv_layer("demo", H=15, R=3, E=13, C=8, M=16, U=1, N=2)
     hw = HardwareConfig.eyeriss_chip()
     ifmap, weights, bias = random_layer_tensors(layer, seed=args.seed,
@@ -267,6 +373,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: the Fig. 15 fixed-area allocation sweep."""
     kwargs = {}
     session = None
     if args.rf is not None:
@@ -303,6 +410,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_storage(args: argparse.Namespace) -> int:
+    """``repro storage``: the Fig. 7b equal-area storage allocation."""
     rows = [[r.dataflow, f"{r.rf_bytes_per_pe} B", f"{r.total_rf_kb:.0f} kB",
              f"{r.buffer_kb:.0f} kB", f"{r.total_kb:.0f} kB"]
             for r in fig7_storage_allocation(256).values()]
@@ -312,7 +420,88 @@ def cmd_storage(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The ``repro dse`` grid-flag destinations (SUPPRESS defaults: present
+#: on the namespace only when the user passed them).
+_DSE_GRID_FLAGS = ("network", "dataflows", "batch", "pes", "shapes",
+                   "rf", "glb", "equal_area", "area_budget", "objective")
+
+
+def _dse_space(args: argparse.Namespace) -> DesignSpace:
+    """Resolve the design space a ``repro dse`` invocation describes.
+
+    ``--space NAME`` resolves through the design-space registry and
+    takes the whole description from the registered builder; otherwise
+    the grid flags are assembled into an ad-hoc :class:`DesignSpace`.
+    Mixing ``--space`` with explicit grid flags is an error, mirroring
+    the service wire's 'space xor inline fields' rule.
+    """
+    given = [name for name in _DSE_GRID_FLAGS if hasattr(args, name)]
+    if args.space is not None:
+        if given:
+            flags = ", ".join("--" + name.replace("_", "-")
+                              for name in given)
+            raise ValueError(
+                f"--space replaces the whole grid description; drop "
+                f"{flags} (or drop --space)")
+        try:
+            return get_design_space(args.space)
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
+    get = lambda name, default: getattr(args, name, default)  # noqa: E731
+    shapes = get("shapes", None)
+    pe_counts = get("pes", None)
+    if pe_counts is None:
+        pe_counts = () if shapes else (64, 128, 256)
+    options = dict(
+        workload=get("network", "alexnet-conv"),
+        batch=get("batch", 16), pe_counts=pe_counts,
+        rf_choices=get("rf", (256, 512)),
+        objective=get("objective", "energy"),
+        equal_area=get("equal_area", False),
+        area_budget=get("area_budget", None))
+    if get("dataflows", None):
+        options["dataflows"] = args.dataflows
+    if shapes:
+        options["array_shapes"] = shapes
+    glb = get("glb", None)
+    if glb is not None:
+        options["glb_choices"] = tuple(kb * 1024 for kb in glb)
+    return DesignSpace(**options)
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    """``repro dse``: explore a hardware space, print the Pareto front."""
+    space = _dse_space(args)
+    with _service_session(args) as session:
+        before = session.cache_stats
+        pareto = session.explore(space)
+        stats = session.cache_stats.since(before)
+    if args.csv:
+        from repro.analysis.export import export_dse
+
+        path = export_dse(Path(args.csv), pareto)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(pareto.to_json(indent=2, include_dominated=args.all))
+    else:
+        print(pareto.to_table(
+            title=f"Pareto front ({' x '.join(pareto.metrics)}): "
+                  f"{len(pareto)} of {len(pareto.candidates)} candidates, "
+                  f"{space.workload_name}, objective {space.objective}"))
+        if args.all and pareto.dominated:
+            print()
+            print(pareto.to_table(title="dominated candidates",
+                                  rows=pareto.dominated))
+        print(f"cache: {stats.hits} hits / {stats.hits + stats.misses} "
+              f"lookups ({stats.hit_rate:.0%})", file=sys.stderr)
+    if not len(pareto):
+        print("no feasible design point in the space", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _batch_result_table(result: BatchResult) -> str:
+    """Aligned text table of one batch result's cells + cache stats."""
     rows = []
     for cell in result.cells:
         if cell.feasible:
@@ -336,6 +525,7 @@ def _batch_result_table(result: BatchResult) -> str:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    """``repro batch``: run a JSON spec through the batch service."""
     try:
         spec_text = (sys.stdin.read() if args.spec == "-"
                      else Path(args.spec).read_text())
@@ -361,6 +551,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the long-lived JSON-lines service loop."""
     with _service_session(args) as session:
         served = serve(sys.stdin, sys.stdout,
                        BatchDispatcher(session))
@@ -369,6 +560,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_mapping(args: argparse.Namespace) -> int:
+    """``repro mapping``: visualize a layer's RS mapping (Fig. 6)."""
     from repro.analysis.visualize import (
         render_array_occupancy,
         render_logical_set,
@@ -402,6 +594,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "storage": cmd_storage,
+    "dse": cmd_dse,
     "batch": cmd_batch,
     "serve": cmd_serve,
     "mapping": cmd_mapping,
@@ -409,6 +602,7 @@ COMMANDS = {
 
 
 def main(argv: List[str] | None = None) -> int:
+    """CLI entry point: dispatch a subcommand, map errors to exit 2."""
     args = build_parser().parse_args(argv)
     try:
         return COMMANDS[args.command](args)

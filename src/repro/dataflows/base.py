@@ -39,10 +39,12 @@ class BufferBudget:
 
     @property
     def used_words(self) -> float:
+        """Buffer words this budget has already committed."""
         return self.ifmap_words + self.filter_words + self.psum_words
 
     @property
     def fits(self) -> bool:
+        """True while the committed words fit the buffer capacity."""
         return self.used_words <= self.capacity_words
 
     @property

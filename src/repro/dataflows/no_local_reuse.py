@@ -34,6 +34,7 @@ class NoLocalReuse(Dataflow):
 
     def enumerate_mappings(self, layer: LayerShape,
                            hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal NLR mapping of ``layer`` on ``hw``."""
         m, c = layer.M, layer.C
         for m_g in thin_candidates(divisors_up_to(m, hw.num_pes), limit=8):
             room = hw.num_pes // m_g

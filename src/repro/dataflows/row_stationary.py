@@ -58,6 +58,7 @@ class RowStationary(Dataflow):
 
     def enumerate_mappings(self, layer: LayerShape,
                            hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal RS mapping of ``layer`` on ``hw``."""
         # A logical set occupies R contiguous PEs along one array
         # dimension; orient the array so the taller dimension hosts them.
         array_h, array_w = hw.array_h, hw.array_w

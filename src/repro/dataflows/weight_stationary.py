@@ -48,6 +48,7 @@ class WeightStationary(Dataflow):
 
     def enumerate_mappings(self, layer: LayerShape,
                            hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal WS mapping of ``layer`` on ``hw``."""
         r2 = layer.R ** 2
         blocks = hw.num_pes // r2
         if blocks < 1:

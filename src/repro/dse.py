@@ -1,0 +1,656 @@
+"""Hardware design-space exploration: sweep the machine, not the workload.
+
+Everything before this module scaled the repo along the *workload* axis:
+more networks, more dataflows, bigger grids of the paper's two hardware
+knobs (PE count, RF size).  The paper's actual argument, however, is a
+*trade-off space* -- the energy ranking of the dataflows shifts as the
+PE-array geometry, the register-file capacity and the global-buffer
+capacity change, and the row-stationary claim is only meaningful under
+the equal-storage-area comparison of Section VI-B.  This module searches
+that hardware space directly:
+
+* :class:`DesignSpace` -- a typed description of a hardware sweep: PE
+  array geometries (square ``pe_counts`` and/or explicit non-square
+  ``array_shapes``) x RF bytes/PE x global-buffer sizes, under one
+  workload x dataflows x objective.  Two normalization modes:
+
+  - **free mode** (default): every ``geometry x rf x glb`` combination
+    is a candidate; an optional ``area_budget`` (normalized Fig. 7a
+    units, see :mod:`repro.arch.area`) filters out points whose storage
+    area exceeds it.
+  - **equal-area mode** (``equal_area=True``): the global buffer is
+    *derived* per point from the Eq. (2) storage-area budget -- the
+    paper's comparison methodology -- and points whose RF demand alone
+    exceeds the budget are pruned.
+
+* :func:`explore` -- evaluate every (dataflow, design point) candidate
+  through the shared evaluation engine.  Candidates are expressed as
+  :class:`~repro.engine.core.NetworkJob` cells, so the whole space fans
+  out across the session's worker pool at layer granularity and every
+  repeated (dataflow, layer, hardware, objective) sub-problem hits the
+  engine's cache tiers: a warm re-exploration computes nothing.
+
+* :class:`ParetoSet` -- the reduced answer: the non-dominated frontier
+  over configurable metrics (energy/op x delay/op x storage area by
+  default), with every evaluated candidate retained for export.
+
+The front is a deterministic pure function of the design space: serial,
+thread-pool and process-pool explorations return bit-identical
+candidates in the same order (``tests/test_dse.py`` pins this, plus the
+frontier of a small fixed space).
+
+Entry points: :meth:`repro.api.Session.explore`, the ``repro dse`` CLI
+subcommand, and the ``{"verb": "dse"}`` request of ``repro serve``.
+Named spaces register through :func:`repro.registry.register_design_space`::
+
+    from repro.api import Session
+    from repro.dse import DesignSpace
+
+    with Session() as session:
+        pareto = session.explore(DesignSpace(
+            workload="alexnet-conv", dataflows=("RS", "NLR"),
+            pe_counts=(128, 256), rf_choices=(256, 512),
+            equal_area=True))
+        for point in pareto:
+            print(point.dataflow, point.num_pes, point.energy_per_op)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.arch.area import storage_area
+from repro.arch.hardware import HardwareConfig, square_array_geometry
+from repro.arch.storage import (
+    BYTES_PER_WORD,
+    allocate_storage,
+    baseline_storage_area,
+)
+from repro.energy.model import NetworkEvaluation
+from repro.engine.core import NetworkJob
+from repro.nn.layer import LayerShape
+from repro.registry import (
+    dataflow_registry,
+    get_dataflow,
+    get_network,
+    network_registry,
+    objective_registry,
+    register_design_space,
+)
+
+#: Workload label used for spaces built from explicit layer lists.
+CUSTOM_WORKLOAD = "custom"
+
+#: Baseline global-buffer bytes per PE used when free mode is given no
+#: explicit ``glb_choices`` (the Fig. 10 setup: #PE x 512 B).
+BASELINE_GLB_BYTES_PER_PE = 512
+
+#: Metric columns a Pareto front may minimize over.
+CANDIDATE_METRICS = (
+    "energy_per_op", "delay_per_op", "edp_per_op",
+    "dram_reads_per_op", "dram_writes_per_op", "dram_accesses_per_op",
+    "area",
+)
+
+#: The default Pareto objectives: the paper's three-way trade-off.
+DEFAULT_METRICS = ("energy_per_op", "delay_per_op", "area")
+
+
+class EmptyDesignSpaceError(ValueError):
+    """A design space pruned down to zero valid hardware points."""
+
+
+# ----------------------------------------------------------------------
+# Design points: one resolved hardware configuration plus its area.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One resolved hardware point of a design space.
+
+    Capacities are stored in bytes (the sweep-facing unit); the
+    :attr:`hardware` property converts to the 16-bit-word capacities
+    :class:`~repro.arch.hardware.HardwareConfig` carries.
+    """
+
+    array_h: int
+    array_w: int
+    rf_bytes_per_pe: int
+    buffer_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.array_h < 1 or self.array_w < 1:
+            raise ValueError(
+                f"array geometry must be positive, got "
+                f"{self.array_h}x{self.array_w}")
+        if self.rf_bytes_per_pe < 0 or self.buffer_bytes < 0:
+            raise ValueError("storage capacities cannot be negative")
+
+    @property
+    def num_pes(self) -> int:
+        """Total PEs of the array geometry."""
+        return self.array_h * self.array_w
+
+    @property
+    def area(self) -> float:
+        """Normalized storage area of this point (Fig. 7a units).
+
+        The sum of every PE's register file plus the global buffer,
+        each costed through :func:`repro.arch.area.storage_area`; the
+        same quantity Eq. (2) budgets, so free-mode ``area_budget``
+        filtering and equal-area derivation are directly comparable.
+        """
+        return (self.num_pes * storage_area(self.rf_bytes_per_pe)
+                + storage_area(self.buffer_bytes))
+
+    @property
+    def hardware(self) -> HardwareConfig:
+        """The engine-level hardware identity of this point."""
+        return HardwareConfig(
+            num_pes=self.num_pes, array_h=self.array_h,
+            array_w=self.array_w,
+            rf_words_per_pe=self.rf_bytes_per_pe // BYTES_PER_WORD,
+            buffer_words=self.buffer_bytes // BYTES_PER_WORD)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the point."""
+        return (f"{self.array_h}x{self.array_w} PEs, "
+                f"{self.rf_bytes_per_pe} B RF/PE, "
+                f"{self.buffer_bytes / 1024:.0f} kB buffer "
+                f"(area {self.area:.0f})")
+
+
+def _positive_tuple(values, what: str, minimum: int = 1) -> Tuple[int, ...]:
+    """Normalize a scalar/sequence of ints, rejecting strings and zeros."""
+    if isinstance(values, int) and not isinstance(values, bool):
+        values = (values,)
+    if isinstance(values, str):
+        # Iterating "256" would silently turn it into the grid (2, 5, 6).
+        raise ValueError(
+            f"{what} must be a sequence of integers, got {values!r}")
+    result = tuple(int(v) for v in values)
+    if any(v < minimum for v in result):
+        raise ValueError(
+            f"{what} must be integers >= {minimum}, got {values!r}")
+    return result
+
+
+def _shape_tuple(values) -> Tuple[Tuple[int, int], ...]:
+    """Normalize ``array_shapes`` into ((h, w), ...) pairs."""
+    shapes = []
+    for entry in values:
+        pair = tuple(int(v) for v in entry)
+        if len(pair) != 2 or any(v < 1 for v in pair):
+            raise ValueError(
+                f"array_shapes entries must be (height, width) pairs of "
+                f"positive integers, got {entry!r}")
+        shapes.append(pair)
+    return tuple(shapes)
+
+
+# ----------------------------------------------------------------------
+# DesignSpace: the typed sweep description.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A typed hardware sweep under one workload x dataflows x objective.
+
+    The hardware axes:
+
+    ``pe_counts`` / ``array_shapes``
+        PE-array geometries.  ``pe_counts`` entries become the
+        most-square factorization (:func:`~repro.arch.hardware.
+        square_array_geometry`); ``array_shapes`` names explicit
+        ``(height, width)`` pairs, e.g. the chip's 12x14.  At least one
+        axis must be non-empty; duplicates collapse.
+    ``rf_choices``
+        Register-file bytes per PE (0 is legal: the NLR operating point
+        has no RF at all).
+    ``glb_choices`` / ``equal_area`` / ``area_budget``
+        Free mode enumerates ``glb_choices`` global-buffer sizes in
+        bytes (``None`` defaults to the Fig. 10 baseline, #PE x 512 B)
+        and drops points whose storage area exceeds ``area_budget``
+        when one is given.  ``equal_area=True`` instead *derives* the
+        buffer from the Eq. (2) budget (``area_budget`` overrides the
+        budget itself), reproducing the paper's equal-area comparison;
+        explicit ``glb_choices`` are then contradictory and rejected.
+
+    ``metrics`` names the Pareto objectives (all minimized); the
+    default is the paper's energy/op x delay/op x storage-area
+    trade-off.  Validation is eager, like :class:`repro.api.Scenario`:
+    unknown names fail at construction with the known menu listed.
+    """
+
+    workload: Union[str, Tuple[LayerShape, ...]]
+    dataflows: Tuple[str, ...] = ()
+    batch: int = 16
+    pe_counts: Tuple[int, ...] = ()
+    array_shapes: Tuple[Tuple[int, int], ...] = ()
+    rf_choices: Tuple[int, ...] = (512,)
+    glb_choices: Optional[Tuple[int, ...]] = None
+    equal_area: bool = False
+    area_budget: Optional[float] = None
+    objective: str = "energy"
+    metrics: Tuple[str, ...] = DEFAULT_METRICS
+
+    def __post_init__(self) -> None:
+        set_ = lambda name, value: object.__setattr__(self, name, value)  # noqa: E731
+        if isinstance(self.workload, str):
+            if self.workload not in network_registry:
+                raise ValueError(
+                    f"unknown network {self.workload!r}; known: "
+                    f"{sorted(network_registry)}")
+            set_("workload", self.workload.lower())
+        else:
+            layers = tuple(self.workload)
+            if not layers or not all(isinstance(l, LayerShape)
+                                     for l in layers):
+                raise ValueError(
+                    "workload must be a registered network name or a "
+                    "non-empty sequence of LayerShape objects, got "
+                    f"{self.workload!r}")
+            set_("workload", layers)
+        dataflows = ((self.dataflows,) if isinstance(self.dataflows, str)
+                     else tuple(self.dataflows))
+        if not dataflows:
+            dataflows = tuple(dataflow_registry)
+        try:
+            set_("dataflows", tuple(dataflow_registry.canonical(n)
+                                    for n in dataflows))
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        set_("pe_counts", _positive_tuple(self.pe_counts, "pe_counts"))
+        set_("array_shapes", _shape_tuple(self.array_shapes))
+        if not self.pe_counts and not self.array_shapes:
+            raise ValueError(
+                "a design space needs at least one PE-array geometry: "
+                "set pe_counts and/or array_shapes")
+        set_("rf_choices", _positive_tuple(self.rf_choices, "rf_choices",
+                                           minimum=0))
+        if not self.rf_choices:
+            raise ValueError("rf_choices must name at least one RF size")
+        if self.equal_area and self.glb_choices is not None:
+            raise ValueError(
+                "equal_area=True derives the global buffer from the area "
+                "budget; explicit glb_choices are contradictory")
+        if self.glb_choices is not None:
+            glb = _positive_tuple(self.glb_choices, "glb_choices",
+                                  minimum=0)
+            if not glb:
+                raise ValueError(
+                    "glb_choices must name at least one buffer size")
+            set_("glb_choices", glb)
+        if self.area_budget is not None and self.area_budget <= 0:
+            raise ValueError(
+                f"area_budget must be positive, got {self.area_budget}")
+        try:
+            set_("objective", objective_registry.canonical(self.objective))
+        except KeyError:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; known: "
+                f"{list(objective_registry)}") from None
+        metrics = ((self.metrics,) if isinstance(self.metrics, str)
+                   else tuple(self.metrics))
+        unknown = [m for m in metrics if m not in CANDIDATE_METRICS]
+        if unknown or not metrics:
+            raise ValueError(
+                f"unknown Pareto metric(s) {unknown}; known: "
+                f"{list(CANDIDATE_METRICS)}")
+        set_("metrics", metrics)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def workload_name(self) -> str:
+        """The registry name, or ``"custom"`` for explicit layers."""
+        return (self.workload if isinstance(self.workload, str)
+                else CUSTOM_WORKLOAD)
+
+    def layers(self) -> Tuple[LayerShape, ...]:
+        """The layer list every candidate evaluates (at ``batch``)."""
+        if isinstance(self.workload, str):
+            return tuple(get_network(self.workload)(self.batch))
+        return self.workload
+
+    def geometries(self) -> Tuple[Tuple[int, int], ...]:
+        """The deduplicated (height, width) array geometries, in order."""
+        seen = []
+        for num_pes in self.pe_counts:
+            shape = square_array_geometry(num_pes)
+            if shape not in seen:
+                seen.append(shape)
+        for shape in self.array_shapes:
+            if shape not in seen:
+                seen.append(shape)
+        return tuple(seen)
+
+    def _budget(self, num_pes: int) -> float:
+        """The storage-area budget one geometry is held to."""
+        if self.area_budget is not None:
+            return self.area_budget
+        return baseline_storage_area(num_pes)
+
+    def points(self) -> Tuple[DesignPoint, ...]:
+        """Expand the hardware axes into concrete design points.
+
+        Equal-area mode derives each point's buffer from the budget and
+        prunes (geometry, rf) pairs whose RF area alone exceeds it;
+        free mode filters enumerated points against ``area_budget``
+        when one is set.  Raises :class:`EmptyDesignSpaceError` when
+        everything was pruned.
+        """
+        out: List[DesignPoint] = []
+        for h, w in self.geometries():
+            num_pes = h * w
+            for rf in self.rf_choices:
+                if self.equal_area:
+                    try:
+                        allocation = allocate_storage(
+                            num_pes, rf, self._budget(num_pes))
+                    except ValueError:
+                        continue  # RF alone exceeds the area budget
+                    out.append(DesignPoint(
+                        array_h=h, array_w=w, rf_bytes_per_pe=rf,
+                        buffer_bytes=allocation.buffer_words
+                        * BYTES_PER_WORD))
+                    continue
+                glb_options = (self.glb_choices
+                               if self.glb_choices is not None
+                               else (num_pes * BASELINE_GLB_BYTES_PER_PE,))
+                for glb in glb_options:
+                    point = DesignPoint(array_h=h, array_w=w,
+                                        rf_bytes_per_pe=rf,
+                                        buffer_bytes=glb)
+                    if (self.area_budget is not None
+                            and point.area > self.area_budget):
+                        continue  # outside the fixed-area envelope
+                    out.append(point)
+        if not out:
+            raise EmptyDesignSpaceError(
+                "expands to no valid hardware point (every geometry x "
+                "storage choice exceeds the area budget)")
+        return tuple(out)
+
+    def candidates(self) -> Tuple[Tuple[str, DesignPoint], ...]:
+        """The (dataflow, point) pairs to evaluate, in expansion order."""
+        points = self.points()
+        return tuple((dataflow, point) for dataflow in self.dataflows
+                     for point in points)
+
+
+# ----------------------------------------------------------------------
+# Candidate rows and the Pareto reduction.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DseCandidate:
+    """One evaluated (dataflow, design point) row of an exploration.
+
+    The scalar fields round-trip through JSON; ``evaluation`` keeps the
+    full :class:`~repro.energy.model.NetworkEvaluation` for in-process
+    consumers and is dropped -- not compared -- on serialization.
+    """
+
+    workload: str
+    dataflow: str
+    batch: int
+    objective: str
+    array_h: int
+    array_w: int
+    num_pes: int
+    rf_bytes_per_pe: int
+    buffer_bytes: int
+    area: float
+    feasible: bool
+    energy_per_op: float = float("nan")
+    delay_per_op: float = float("nan")
+    edp_per_op: float = float("nan")
+    dram_reads_per_op: float = float("nan")
+    dram_writes_per_op: float = float("nan")
+    dram_accesses_per_op: float = float("nan")
+    evaluation: Optional[NetworkEvaluation] = field(
+        default=None, compare=False, repr=False)
+
+    @classmethod
+    def from_evaluation(cls, space: DesignSpace, dataflow: str,
+                        point: DesignPoint,
+                        evaluation: NetworkEvaluation) -> "DseCandidate":
+        """Fold one candidate's engine answer into a row."""
+        common = dict(
+            workload=space.workload_name, dataflow=dataflow,
+            batch=space.batch, objective=space.objective,
+            array_h=point.array_h, array_w=point.array_w,
+            num_pes=point.num_pes,
+            rf_bytes_per_pe=point.rf_bytes_per_pe,
+            buffer_bytes=point.buffer_bytes, area=point.area,
+            evaluation=evaluation)
+        if not evaluation.feasible:
+            return cls(feasible=False, **common)
+        return cls(
+            feasible=True,
+            energy_per_op=evaluation.energy_per_op,
+            delay_per_op=evaluation.delay_per_op,
+            edp_per_op=evaluation.edp_per_op,
+            dram_reads_per_op=evaluation.dram_reads_per_op,
+            dram_writes_per_op=evaluation.dram_writes_per_op,
+            dram_accesses_per_op=evaluation.dram_accesses_per_op,
+            **common)
+
+    def to_dict(self) -> Dict:
+        """A JSON-safe dict; metric columns only when feasible."""
+        data: Dict = {
+            "workload": self.workload, "dataflow": self.dataflow,
+            "batch": self.batch, "objective": self.objective,
+            "array_h": self.array_h, "array_w": self.array_w,
+            "num_pes": self.num_pes,
+            "rf_bytes_per_pe": self.rf_bytes_per_pe,
+            "buffer_bytes": self.buffer_bytes, "area": self.area,
+            "feasible": self.feasible,
+        }
+        if self.feasible:
+            data.update({name: getattr(self, name)
+                         for name in CANDIDATE_METRICS if name != "area"})
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DseCandidate":
+        """Rebuild a row from :meth:`to_dict` output (sans evaluation)."""
+        known = {f.name for f in fields(cls)} - {"evaluation"}
+        payload = {k: v for k, v in data.items() if k != "on_front"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown candidate field(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        return cls(**payload)
+
+
+def dominates(a: DseCandidate, b: DseCandidate,
+              metrics: Sequence[str]) -> bool:
+    """True when ``a`` Pareto-dominates ``b``: no worse on every metric
+    and strictly better on at least one (all metrics are minimized)."""
+    strictly_better = False
+    for name in metrics:
+        va, vb = getattr(a, name), getattr(b, name)
+        if va > vb:
+            return False
+        if va < vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(candidates: Sequence[DseCandidate],
+                 metrics: Sequence[str] = DEFAULT_METRICS
+                 ) -> Tuple[DseCandidate, ...]:
+    """The non-dominated subset of ``candidates``, in input order.
+
+    Infeasible rows never reach the front; rows tied on every metric
+    are mutually non-dominating and all survive.  The result is a pure
+    function of the input order, which the engine keeps deterministic
+    across serial and parallel evaluation -- hence bit-identical fronts.
+    """
+    feasible = [c for c in candidates if c.feasible]
+    return tuple(
+        c for c in feasible
+        if not any(dominates(other, c, metrics) for other in feasible))
+
+
+@dataclass(frozen=True)
+class ParetoSet:
+    """An exploration's answer: every candidate plus its Pareto frontier.
+
+    Iterating (and ``len``) covers the frontier; :attr:`candidates`
+    retains the full evaluated space for export and audit, and
+    :attr:`dominated` is the difference.
+    """
+
+    candidates: Tuple[DseCandidate, ...]
+    metrics: Tuple[str, ...]
+    frontier: Tuple[DseCandidate, ...]
+
+    @classmethod
+    def reduce(cls, candidates: Sequence[DseCandidate],
+               metrics: Sequence[str] = DEFAULT_METRICS) -> "ParetoSet":
+        """Reduce evaluated candidates to their non-dominated frontier."""
+        candidates = tuple(candidates)
+        metrics = tuple(metrics)
+        return cls(candidates=candidates, metrics=metrics,
+                   frontier=pareto_front(candidates, metrics))
+
+    def __iter__(self) -> Iterator[DseCandidate]:
+        return iter(self.frontier)
+
+    def __len__(self) -> int:
+        return len(self.frontier)
+
+    @property
+    def dominated(self) -> Tuple[DseCandidate, ...]:
+        """Feasible candidates beaten by some frontier point."""
+        on_front = set(map(id, self.frontier))
+        return tuple(c for c in self.candidates
+                     if c.feasible and id(c) not in on_front)
+
+    @property
+    def feasible_candidates(self) -> Tuple[DseCandidate, ...]:
+        """Every candidate with at least one valid mapping."""
+        return tuple(c for c in self.candidates if c.feasible)
+
+    def best(self, metric: str = "energy_per_op"
+             ) -> Optional[DseCandidate]:
+        """The frontier point minimizing one metric (None when empty)."""
+        if not self.frontier:
+            return None
+        return min(self.frontier, key=lambda c: getattr(c, metric))
+
+    # -- serialization --------------------------------------------------
+
+    def to_dicts(self, include_dominated: bool = False) -> List[Dict]:
+        """JSON-safe rows tagged with ``on_front`` membership."""
+        on_front = set(map(id, self.frontier))
+        rows = (self.candidates if include_dominated else self.frontier)
+        return [dict(row.to_dict(), on_front=id(row) in on_front)
+                for row in rows]
+
+    def to_json(self, indent: Optional[int] = None,
+                include_dominated: bool = False) -> str:
+        """The :meth:`to_dicts` rows as a JSON document."""
+        return json.dumps(self.to_dicts(include_dominated), indent=indent)
+
+    def to_table(self, title: Optional[str] = None,
+                 rows: Optional[Sequence[DseCandidate]] = None) -> str:
+        """Render candidate rows (default: the frontier) as a table."""
+        from repro.analysis.report import format_table  # lazy: avoids cycle
+
+        table = []
+        for c in (self.frontier if rows is None else rows):
+            metrics = ([f"{c.energy_per_op:.3f}", f"{c.delay_per_op:.5f}",
+                        f"{c.edp_per_op:.5f}"] if c.feasible
+                       else ["infeasible", "-", "-"])
+            table.append([
+                c.dataflow, f"{c.array_h}x{c.array_w}",
+                f"{c.rf_bytes_per_pe} B",
+                f"{c.buffer_bytes / 1024:.0f} kB", f"{c.area:.0f}",
+                *metrics])
+        return format_table(
+            ["dataflow", "array", "RF/PE", "buffer", "area", "energy/op",
+             "delay/op", "EDP/op"], table, title=title)
+
+
+# ----------------------------------------------------------------------
+# Exploration: the engine-backed evaluation of a whole space.
+# ----------------------------------------------------------------------
+
+
+def explore(space: DesignSpace, *, session=None,
+            parallel: Optional[bool] = None) -> ParetoSet:
+    """Evaluate every candidate of ``space`` and reduce to a Pareto set.
+
+    Candidates become :class:`~repro.engine.core.NetworkJob` cells of
+    one deduplicated engine batch: layers fan out across the session's
+    worker pool, and any (dataflow, layer, hardware, objective)
+    sub-problem seen before -- in this exploration, a previous one, or
+    any other driver sharing the session -- is answered from the cache
+    tiers instead of re-running the mapping search.
+
+    ``session`` defaults to :func:`repro.api.default_session` (the
+    process-wide shared engine); ``parallel`` overrides the session's
+    pool policy for this call only.  Results are bit-identical across
+    the serial and parallel paths.
+    """
+    if session is None:
+        from repro.api import default_session  # lazy: api imports dse
+        session = default_session()
+    cells = space.candidates()
+    layers = space.layers()
+    jobs = [NetworkJob(get_dataflow(dataflow), layers, point.hardware,
+                       space.objective) for dataflow, point in cells]
+    evaluations = session.engine.evaluate_networks(jobs, parallel=parallel)
+    return ParetoSet.reduce(
+        tuple(DseCandidate.from_evaluation(space, dataflow, point,
+                                           evaluation)
+              for (dataflow, point), evaluation in zip(cells, evaluations)),
+        space.metrics)
+
+
+# ----------------------------------------------------------------------
+# Built-in named design spaces (the registry's seed entries).
+# ----------------------------------------------------------------------
+
+
+@register_design_space("equal-area-grid")
+def equal_area_grid() -> DesignSpace:
+    """The Section VI-B methodology as a ready-made space: every
+    dataflow on AlexNet CONV, PE counts x RF sizes under the Eq. (2)
+    equal-area budget (the buffer is derived, not enumerated)."""
+    return DesignSpace(workload="alexnet-conv", equal_area=True,
+                       pe_counts=(128, 256, 512),
+                       rf_choices=(128, 256, 512, 1024))
+
+
+@register_design_space("chip-neighborhood")
+def chip_neighborhood() -> DesignSpace:
+    """Free-mode sweep around the fabricated chip's operating point:
+    non-square geometries near 12x14, RF and buffer sizes bracketing
+    the 512 B / 108 kB silicon (Fig. 4)."""
+    return DesignSpace(workload="alexnet-conv", batch=1,
+                       dataflows=("RS",),
+                       array_shapes=((10, 14), (12, 14), (14, 14)),
+                       rf_choices=(256, 512),
+                       glb_choices=(64 * 1024, 108 * 1024))

@@ -26,6 +26,7 @@ class LevelBreakdown:
 
     @property
     def total(self) -> float:
+        """Total energy across all storage levels."""
         return self.alu + self.dram + self.buffer + self.array + self.rf
 
     @property
@@ -38,6 +39,7 @@ class LevelBreakdown:
                                 for f in fields(self)))
 
     def scaled(self, factor: float) -> "LevelBreakdown":
+        """A copy with every level scaled by ``factor``."""
         return LevelBreakdown(*(getattr(self, f.name) * factor
                                 for f in fields(self)))
 
@@ -52,6 +54,7 @@ class TypeBreakdown:
 
     @property
     def total(self) -> float:
+        """Total energy across all data types."""
         return self.ifmaps + self.weights + self.psums
 
     def __add__(self, other: "TypeBreakdown") -> "TypeBreakdown":
@@ -59,6 +62,7 @@ class TypeBreakdown:
                                for f in fields(self)))
 
     def scaled(self, factor: float) -> "TypeBreakdown":
+        """A copy with every data type scaled by ``factor``."""
         return TypeBreakdown(*(getattr(self, f.name) * factor
                                for f in fields(self)))
 
@@ -72,6 +76,7 @@ class EnergyBreakdown:
 
     @property
     def total(self) -> float:
+        """Total energy (identical via levels or data types)."""
         return self.by_level.total
 
     def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":

@@ -50,10 +50,12 @@ class LayerEvaluation:
 
     @property
     def energy_per_op(self) -> float:
+        """Normalized energy per MAC of this layer."""
         return self.breakdown.total / self.layer.macs
 
     @property
     def dram_accesses_per_op(self) -> float:
+        """Combined DRAM reads + writes per MAC."""
         return self.mapping.dram_accesses_per_op
 
     @property
@@ -63,6 +65,7 @@ class LayerEvaluation:
 
     @property
     def edp_per_op(self) -> float:
+        """Energy-delay product per MAC of this layer."""
         return self.energy_per_op * self.delay_per_op
 
 
@@ -82,6 +85,7 @@ class NetworkEvaluation:
 
     @property
     def total_macs(self) -> int:
+        """Total MACs across the network's layers."""
         return sum(layer.macs for layer in self.layers)
 
     def _require_feasible(self) -> None:
@@ -104,32 +108,38 @@ class NetworkEvaluation:
 
     @property
     def energy_per_op(self) -> float:
+        """Normalized energy per MAC, aggregated over all layers."""
         return self.breakdown.total / self.total_macs
 
     @property
     def dram_reads_per_op(self) -> float:
+        """DRAM read words per MAC, aggregated over all layers."""
         self._require_feasible()
         reads = sum(ev.mapping.dram_reads for ev in self.evaluations)
         return reads / self.total_macs
 
     @property
     def dram_writes_per_op(self) -> float:
+        """DRAM write words per MAC, aggregated over all layers."""
         self._require_feasible()
         writes = sum(ev.mapping.dram_writes for ev in self.evaluations)
         return writes / self.total_macs
 
     @property
     def dram_accesses_per_op(self) -> float:
+        """Combined DRAM reads + writes per MAC."""
         return self.dram_reads_per_op + self.dram_writes_per_op
 
     @property
     def delay_per_op(self) -> float:
+        """MAC-weighted delay per op (see :mod:`repro.energy.edp`)."""
         self._require_feasible()
         return edp_model.aggregate_delay_per_op(
             [ev.mapping for ev in self.evaluations])
 
     @property
     def edp_per_op(self) -> float:
+        """Network-level energy-delay product per MAC."""
         return self.energy_per_op * self.delay_per_op
 
 

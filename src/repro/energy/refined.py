@@ -80,6 +80,7 @@ class RefinedCostModel:
     @classmethod
     def for_hardware(cls, dataflow_name: str, hw: HardwareConfig,
                      base: EnergyCosts | None = None) -> "RefinedCostModel":
+        """Calibrate the refined cost table for one (dataflow, hardware)."""
         base = base or hw.costs
         broadcast = dataflow_name.upper() in BROADCAST_DATAFLOWS
         return cls(

@@ -100,6 +100,7 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -151,6 +152,7 @@ class EvaluationCache:
 
     def put(self, key: CacheKey,
             value: Optional["LayerEvaluation"]) -> None:
+        """Store one evaluation under its key (evicting LRU if full)."""
         with self._lock:
             self._put_locked(key, value)
 
@@ -186,6 +188,7 @@ class EvaluationCache:
 
     @property
     def stats(self) -> CacheStats:
+        """Cumulative hit/miss/eviction counters."""
         with self._lock:
             return CacheStats(hits=self._hits, misses=self._misses,
                               size=len(self._data),

@@ -147,6 +147,7 @@ class LayerJob:
 
     @property
     def key(self) -> CacheKey:
+        """The cache identity of this job."""
         return CacheKey(dataflow=self.dataflow.name, layer=self.layer,
                         hardware=self.hardware, objective=self.objective)
 
@@ -176,6 +177,7 @@ class NetworkJob:
 
     @property
     def layer_jobs(self) -> Tuple[LayerJob, ...]:
+        """One :class:`LayerJob` per layer, in network order."""
         return tuple(LayerJob(self.dataflow, layer, self.hardware,
                               self.objective) for layer in self.layers)
 

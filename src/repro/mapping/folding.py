@@ -86,6 +86,7 @@ class FoldingPlan:
 
     @property
     def spatial_sets(self) -> int:
+        """Number of logical sets mapped onto the array at once."""
         return self.n_s * self.m_s * self.c_s
 
     @property
@@ -100,6 +101,7 @@ class FoldingPlan:
 
     @property
     def active_pes(self) -> int:
+        """Physical PEs doing useful work under this plan."""
         return self.spatial_sets * self.layer.R * self.e
 
     @property

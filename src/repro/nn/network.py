@@ -158,9 +158,11 @@ class Network:
         return [r.layer for r in self.resolved if r.layer is not None]
 
     def total_macs(self) -> int:
+        """Total MACs across all layers."""
         return sum(layer.macs for layer in self.layer_shapes())
 
     def describe(self) -> str:
+        """Multi-line human-readable summary of the network."""
         lines = [f"{self.name} (batch {self.batch}):"]
         for r in self.resolved:
             lines.append(
@@ -196,6 +198,7 @@ class Network:
         return params
 
     def random_input(self, seed: int = 0, integer: bool = False) -> np.ndarray:
+        """A reproducible random input tensor for the first layer."""
         rng = np.random.default_rng(seed + 1)
         shape = (self.batch, self.input_channels, self.input_size,
                  self.input_size)

@@ -3,7 +3,7 @@
 The paper's contribution is a *taxonomy*: any dataflow x any CNN shape
 x any hardware point, evaluated under one energy model.  This module is
 the extension surface that keeps the code shaped like that claim --
-three decorator-based registries that every front door (the CLI, the
+four decorator-based registries that every front door (the CLI, the
 batch service, the :mod:`repro.api` session facade and the analysis
 suites) resolves names through:
 
@@ -14,6 +14,9 @@ suites) resolves names through:
   model (or a class that instantiates to one), keyed by its short name.
 * :func:`register_objective` -- a mapping-scoring function
   ``(mapping, costs) -> float`` the optimizer can minimize.
+* :func:`register_design_space` -- a named hardware sweep: a callable
+  returning a :class:`repro.dse.DesignSpace`, resolvable by the
+  ``repro dse`` CLI and the service's ``dse`` verb.
 
 Registering once makes the name available everywhere at the same time:
 ``repro batch`` specs, :class:`repro.api.Scenario`, the CLI and the
@@ -159,7 +162,7 @@ class Registry(Mapping):
 
 
 # ----------------------------------------------------------------------
-# The three registries.  Seed modules are imported lazily on first
+# The four registries.  Seed modules are imported lazily on first
 # lookup; each one registers its entries at import time via the
 # decorators below.
 # ----------------------------------------------------------------------
@@ -177,6 +180,10 @@ dataflow_registry: Registry = Registry(
 objective_registry: Registry = Registry(
     "objective", seed_modules=("repro.mapping.optimizer",),
     normalize=str.lower)
+
+#: Named design spaces: ``name -> callable() -> repro.dse.DesignSpace``.
+design_space_registry: Registry = Registry(
+    "design space", seed_modules=("repro.dse",), normalize=str.lower)
 
 
 def register_network(name: Optional[str] = None, *, replace: bool = False):
@@ -245,6 +252,36 @@ def register_objective(name: Optional[str] = None, *, replace: bool = False):
     return decorate
 
 
+def register_design_space(name: Optional[str] = None, *,
+                          replace: bool = False):
+    """Decorator registering a design-space builder under ``name``.
+
+    The builder is a zero-argument callable returning a
+    :class:`repro.dse.DesignSpace`; registering makes the name usable
+    as ``repro dse --space NAME`` and in ``{"verb": "dse", "space":
+    NAME}`` service requests::
+
+        @register_design_space("rf-sweep")
+        def rf_sweep():
+            return DesignSpace(workload="alexnet-conv",
+                               pe_counts=(256,),
+                               rf_choices=(128, 256, 512, 1024),
+                               equal_area=True)
+
+    Bare usage (``@register_design_space``) keys the builder by its
+    function name.
+    """
+    def decorate(func):
+        design_space_registry.add(name or func.__name__, func,
+                                  replace=replace)
+        return func
+
+    if callable(name):  # bare @register_design_space
+        func, name = name, None
+        return decorate(func)
+    return decorate
+
+
 # ----------------------------------------------------------------------
 # Convenience lookups (the friendly-error path used by the facade).
 # ----------------------------------------------------------------------
@@ -265,13 +302,30 @@ def get_objective(name: str) -> Callable:
     return objective_registry.get(name)
 
 
+def get_design_space(name: str):
+    """Build the design space registered under ``name``.
+
+    Calls the registered builder, so every lookup returns a fresh
+    (immutable) :class:`repro.dse.DesignSpace`.
+    """
+    return design_space_registry.get(name)()
+
+
 def network_names() -> List[str]:
+    """The registered workload names, in registration order."""
     return network_registry.names()
 
 
 def dataflow_names() -> List[str]:
+    """The registered dataflow names, in registration order."""
     return dataflow_registry.names()
 
 
 def objective_names() -> List[str]:
+    """The registered objective names, in registration order."""
     return objective_registry.names()
+
+
+def design_space_names() -> List[str]:
+    """The registered design-space names, in registration order."""
+    return design_space_registry.names()

@@ -10,6 +10,11 @@ deduplicated engine jobs, fans them out through the shared
 :class:`~repro.service.schema.BatchResult` with per-cell metrics and
 the request's cache traffic.
 
+The JSON-lines loop also speaks a ``dse`` verb: a
+:class:`~repro.service.schema.DseRequest` runs a hardware design-space
+exploration (:mod:`repro.dse`) on the same session and answers with a
+:class:`~repro.service.schema.DseResult` carrying the Pareto front.
+
 Persistence lives in :mod:`repro.service.persistence`
 (:func:`persistent_cache` + the ``REPRO_CACHE`` variable): the warm
 cache survives process restarts, which is what makes repeated
@@ -31,6 +36,8 @@ from repro.service.schema import (
     BatchRequest,
     BatchResult,
     CellResult,
+    DseRequest,
+    DseResult,
     layer_from_dict,
     layer_to_dict,
     parse_requests,
@@ -60,6 +67,8 @@ __all__ = [
     "BatchResult",
     "CACHE_ENV",
     "CellResult",
+    "DseRequest",
+    "DseResult",
     "NETWORKS",
     "default_cache_path",
     "equal_area_hardware",

@@ -25,8 +25,15 @@ from repro.api import (
     default_session,
 )
 from repro.dataflows.registry import equal_area_hardware  # noqa: F401  (re-export)
+from repro.dse import EmptyDesignSpaceError
 from repro.engine.core import EvaluationEngine
-from repro.service.schema import BatchRequest, BatchResult, CellResult
+from repro.service.schema import (
+    BatchRequest,
+    BatchResult,
+    CellResult,
+    DseRequest,
+    DseResult,
+)
 
 
 def scenario_from_request(request: BatchRequest) -> Scenario:
@@ -73,6 +80,7 @@ class BatchDispatcher:
 
     @property
     def engine(self) -> EvaluationEngine:
+        """The engine behind this dispatcher's session."""
         return self.session.engine
 
     def run(self, request: BatchRequest,
@@ -99,6 +107,30 @@ class BatchDispatcher:
         """Run several requests; later ones reuse earlier ones' cache."""
         return [self.run(request, parallel=parallel)
                 for request in requests]
+
+    def run_dse(self, request: DseRequest,
+                parallel: Optional[bool] = None) -> DseResult:
+        """Serve one design-space exploration (the ``dse`` verb).
+
+        The space is explored through the same session (and therefore
+        the same cache tiers and pools) as the batch verb, so a DSE job
+        re-visiting hardware points a batch grid already evaluated --
+        or vice versa -- answers from the cache.
+        """
+        start = time.perf_counter()
+        before = self.session.cache.stats
+        try:
+            pareto = self.session.explore(request.space, parallel=parallel)
+        except EmptyDesignSpaceError as exc:
+            raise ValueError(
+                f"dse request {request.request_id!r} {exc}") from None
+        return DseResult(
+            request_id=request.request_id,
+            pareto=pareto,
+            elapsed_s=time.perf_counter() - start,
+            include_dominated=request.include_dominated,
+            cache=self.session.cache.stats.since(before),
+        )
 
     @staticmethod
     def _cell_result(row: Result) -> CellResult:

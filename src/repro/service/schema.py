@@ -1,11 +1,17 @@
 """Request/response schema of the batch evaluation service.
 
-A :class:`BatchRequest` describes a grid of evaluation problems --
-(network | explicit layer list) x dataflows x hardware points x
-objective -- in plain JSON-friendly data.  The dispatcher
-(:mod:`repro.service.dispatcher`) expands it into engine-level jobs and
-answers with a :class:`BatchResult`: one :class:`CellResult` per grid
-cell plus the cache traffic the request generated.
+The service speaks two request verbs, both plain JSON:
+
+* ``batch`` (the default) -- a :class:`BatchRequest` describes a grid
+  of evaluation problems, (network | explicit layer list) x dataflows
+  x hardware points x objective.  The dispatcher
+  (:mod:`repro.service.dispatcher`) expands it into engine-level jobs
+  and answers with a :class:`BatchResult`: one :class:`CellResult` per
+  grid cell plus the cache traffic the request generated.
+* ``dse`` -- a :class:`DseRequest` describes a hardware design-space
+  exploration (:mod:`repro.dse`), either by a registered space name or
+  by inline grid fields, and is answered with a :class:`DseResult`
+  carrying the Pareto front.
 
 Everything validates eagerly with clear ``ValueError`` messages, so a
 malformed spec fails at the service boundary (CLI exit code 2, or an
@@ -20,9 +26,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.dataflows.registry import DATAFLOWS, get_dataflow
+from repro.dse import DesignSpace, ParetoSet
 from repro.engine.cache import CacheStats
 from repro.nn.layer import LayerShape, LayerType
 from repro.registry import (
+    get_design_space,
     get_network,
     network_registry,
     objective_registry,
@@ -89,15 +97,21 @@ def layer_from_dict(data: Dict) -> LayerShape:
     missing = {"name", "H", "R", "C", "M"} - set(data)
     if missing:
         raise ValueError(f"layer is missing field(s) {sorted(missing)}")
-    h, r = int(data["H"]), int(data["R"])
-    u = int(data.get("U", 1))
-    e = int(data["E"]) if "E" in data else (h - r + u) // u
-    return LayerShape(name=str(data["name"]), H=h, R=r, E=e,
-                      C=int(data["C"]), M=int(data["M"]), U=u,
-                      N=int(data.get("N", 1)), layer_type=kind)
+    try:
+        h, r = int(data["H"]), int(data["R"])
+        u = int(data.get("U", 1))
+        e = int(data["E"]) if "E" in data else (h - r + u) // u
+        return LayerShape(name=str(data["name"]), H=h, R=r, E=e,
+                          C=int(data["C"]), M=int(data["M"]), U=u,
+                          N=int(data.get("N", 1)), layer_type=kind)
+    except TypeError as exc:
+        # int(None) and friends: keep wrong-typed wire values at the
+        # ValueError level the serve loop converts to an error line.
+        raise ValueError(f"malformed layer field: {exc}") from None
 
 
 def layer_to_dict(layer: LayerShape) -> Dict:
+    """The JSON wire form of a :class:`LayerShape`."""
     return {"name": layer.name, "type": layer.layer_type.value,
             "H": layer.H, "R": layer.R, "E": layer.E, "C": layer.C,
             "M": layer.M, "U": layer.U, "N": layer.N}
@@ -160,6 +174,7 @@ class BatchRequest:
 
     @classmethod
     def from_dict(cls, data: Dict, default_id: str = "req") -> "BatchRequest":
+        """Decode a request object, validating fields eagerly."""
         if not isinstance(data, dict):
             raise ValueError(f"a request must be an object, got {data!r}")
         unknown = set(data) - set(_REQUEST_FIELDS)
@@ -174,6 +189,10 @@ class BatchRequest:
             dataflows = tuple(get_dataflow(str(n)).name for n in dataflows)
         except KeyError as exc:
             raise ValueError(str(exc.args[0])) from None
+        except TypeError:
+            raise ValueError(
+                f"'dataflows' must be a list of names, "
+                f"got {data.get('dataflows')!r}") from None
         layers = data.get("layers")
         if layers is not None:
             if not isinstance(layers, list) or not layers:
@@ -182,12 +201,18 @@ class BatchRequest:
         rf_choices = data.get("rf_choices")
         if rf_choices is not None:
             rf_choices = _positive_ints(rf_choices, "'rf_choices'")
+        try:
+            batch = int(data.get("batch", 16))
+        except TypeError:
+            raise ValueError(
+                f"'batch' must be an integer, "
+                f"got {data.get('batch')!r}") from None
         return cls(
             request_id=str(data.get("id", default_id)),
             dataflows=dataflows,
             pe_counts=_positive_ints(data.get("pe_counts", (256,)),
                                      "'pe_counts'"),
-            batch=int(data.get("batch", 16)),
+            batch=batch,
             network=data.get("network"),
             layers=layers,
             rf_choices=rf_choices,
@@ -195,6 +220,7 @@ class BatchRequest:
         )
 
     def to_dict(self) -> Dict:
+        """The JSON wire form of this request."""
         data: Dict = {
             "id": self.request_id,
             "dataflows": list(self.dataflows),
@@ -227,6 +253,7 @@ class CellResult:
     dram_accesses_per_op: float = float("nan")
 
     def to_dict(self) -> Dict:
+        """The JSON wire form of this cell (metrics only when feasible)."""
         data: Dict = {
             "dataflow": self.dataflow,
             "pes": self.num_pes,
@@ -257,14 +284,211 @@ class BatchResult:
 
     @property
     def feasible_cells(self) -> int:
+        """Number of grid cells with at least one valid mapping."""
         return sum(1 for cell in self.cells if cell.feasible)
 
     def to_dict(self) -> Dict:
+        """The JSON wire form of this result."""
         return {
             "id": self.request_id,
             "cells": [cell.to_dict() for cell in self.cells],
             "layer_jobs": self.layer_jobs,
             "feasible_cells": self.feasible_cells,
+            "elapsed_s": self.elapsed_s,
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+                "size": self.cache.size,
+                "evictions": self.cache.evictions,
+            },
+        }
+
+
+_DSE_GRID_FIELDS = ("network", "layers", "batch", "dataflows", "pe_counts",
+                    "array_shapes", "rf_choices", "glb_choices",
+                    "equal_area", "area_budget", "objective", "metrics")
+_DSE_FIELDS = ("id", "verb", "space", "include_dominated",
+               *_DSE_GRID_FIELDS)
+
+
+def _array_shapes(values) -> Tuple[Tuple[int, int], ...]:
+    """Decode the ``array_shapes`` wire field: a list of [h, w] pairs."""
+    if not isinstance(values, (list, tuple)):
+        raise ValueError(
+            f"'array_shapes' must be a list of [height, width] pairs, "
+            f"got {values!r}")
+    shapes = []
+    for entry in values:
+        if (not isinstance(entry, (list, tuple)) or len(entry) != 2):
+            raise ValueError(
+                f"each array shape must be a [height, width] pair, "
+                f"got {entry!r}")
+        shapes.append((operator.index(entry[0]), operator.index(entry[1])))
+    return tuple(shapes)
+
+
+@dataclass(frozen=True)
+class DseRequest:
+    """One design-space exploration, as submitted by a client.
+
+    Carries the fully validated :class:`repro.dse.DesignSpace`;
+    ``space_name`` remembers a registered-space reference so the
+    request round-trips through :meth:`to_dict` unchanged.
+    """
+
+    request_id: str
+    space: DesignSpace
+    space_name: Optional[str] = None
+    include_dominated: bool = False
+
+    @classmethod
+    def from_dict(cls, data: Dict, default_id: str = "dse") -> "DseRequest":
+        """Decode a ``{"verb": "dse", ...}`` wire object.
+
+        Either ``space`` names a registered design space, or the inline
+        grid fields (``network``/``layers``, ``pe_counts``,
+        ``array_shapes``, ``rf_choices``, ``glb_choices``,
+        ``equal_area``, ``area_budget``, ...) describe one ad hoc --
+        mixing both is rejected, as are unknown fields.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"a dse request must be an object, got {data!r}")
+        unknown = set(data) - set(_DSE_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown dse request field(s) {sorted(unknown)}; "
+                f"known: {list(_DSE_FIELDS)}")
+        verb = data.get("verb", "dse")
+        if verb != "dse":
+            raise ValueError(f"not a dse request (verb {verb!r})")
+        request_id = str(data.get("id", default_id))
+        include_dominated = bool(data.get("include_dominated", False))
+        if "space" in data:
+            inline = sorted(set(data) & set(_DSE_GRID_FIELDS))
+            if inline:
+                raise ValueError(
+                    f"request {request_id!r} sets both 'space' and inline "
+                    f"grid field(s) {inline}; pick one")
+            name = str(data["space"])
+            try:
+                space = get_design_space(name)
+            except KeyError as exc:
+                raise ValueError(str(exc.args[0])) from None
+            return cls(request_id=request_id, space=space, space_name=name,
+                       include_dominated=include_dominated)
+        if (data.get("network") is None) == (data.get("layers") is None):
+            raise ValueError(
+                f"request {request_id!r} must set exactly one of "
+                f"'network' or 'layers' (or a registered 'space')")
+        options: Dict = {}
+        if data.get("layers") is not None:
+            layers = data["layers"]
+            if not isinstance(layers, list) or not layers:
+                raise ValueError("'layers' must be a non-empty list")
+            options["workload"] = tuple(layer_from_dict(entry)
+                                        for entry in layers)
+        else:
+            options["workload"] = str(data["network"])
+        # Wrong-typed wire values (a string where a list belongs, null
+        # where an int belongs) surface as TypeError from the coercions
+        # below; fold them into ValueError so a malformed request stays
+        # a clean error line in serve mode instead of killing the loop.
+        try:
+            dataflows = data.get("dataflows")
+            if dataflows is not None:
+                options["dataflows"] = (
+                    (dataflows,) if isinstance(dataflows, str)
+                    else tuple(str(n) for n in dataflows))
+            if "batch" in data:
+                options["batch"] = int(data["batch"])
+            if "pe_counts" in data:
+                options["pe_counts"] = _positive_ints(data["pe_counts"],
+                                                      "'pe_counts'")
+            if "array_shapes" in data:
+                options["array_shapes"] = _array_shapes(
+                    data["array_shapes"])
+            if "rf_choices" in data:
+                options["rf_choices"] = tuple(
+                    operator.index(v) for v in data["rf_choices"])
+            if "glb_choices" in data:
+                options["glb_choices"] = tuple(
+                    operator.index(v) for v in data["glb_choices"])
+            if "equal_area" in data:
+                options["equal_area"] = bool(data["equal_area"])
+            if "area_budget" in data and data["area_budget"] is not None:
+                options["area_budget"] = float(data["area_budget"])
+            if "objective" in data:
+                options["objective"] = str(data["objective"])
+            if "metrics" in data:
+                metrics = data["metrics"]
+                options["metrics"] = ((metrics,)
+                                      if isinstance(metrics, str)
+                                      else tuple(str(m) for m in metrics))
+            space = DesignSpace(**options)
+        except TypeError as exc:
+            raise ValueError(
+                f"request {request_id!r} has a malformed field: "
+                f"{exc}") from None
+        return cls(request_id=request_id, space=space,
+                   include_dominated=include_dominated)
+
+    def to_dict(self) -> Dict:
+        """The JSON wire form (a registered space stays by-name)."""
+        data: Dict = {"id": self.request_id, "verb": "dse"}
+        if self.include_dominated:
+            data["include_dominated"] = True
+        if self.space_name is not None:
+            data["space"] = self.space_name
+            return data
+        space = self.space
+        if isinstance(space.workload, str):
+            data["network"] = space.workload
+        else:
+            data["layers"] = [layer_to_dict(l) for l in space.workload]
+        data.update(
+            dataflows=list(space.dataflows), batch=space.batch,
+            objective=space.objective, metrics=list(space.metrics))
+        if space.pe_counts:
+            data["pe_counts"] = list(space.pe_counts)
+        if space.array_shapes:
+            data["array_shapes"] = [list(s) for s in space.array_shapes]
+        data["rf_choices"] = list(space.rf_choices)
+        if space.glb_choices is not None:
+            data["glb_choices"] = list(space.glb_choices)
+        if space.equal_area:
+            data["equal_area"] = True
+        if space.area_budget is not None:
+            data["area_budget"] = space.area_budget
+        return data
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """The service's answer to one :class:`DseRequest`."""
+
+    request_id: str
+    pareto: ParetoSet
+    elapsed_s: float
+    include_dominated: bool = False
+    cache: CacheStats = field(default_factory=lambda: CacheStats(0, 0, 0))
+
+    @property
+    def front_size(self) -> int:
+        """Number of non-dominated points on the frontier."""
+        return len(self.pareto.frontier)
+
+    def to_dict(self) -> Dict:
+        """The JSON wire form: frontier rows plus exploration stats."""
+        return {
+            "id": self.request_id,
+            "verb": "dse",
+            "metrics": list(self.pareto.metrics),
+            "front": self.pareto.to_dicts(
+                include_dominated=self.include_dominated),
+            "front_size": self.front_size,
+            "candidates": len(self.pareto.candidates),
+            "feasible_candidates": len(self.pareto.feasible_candidates),
             "elapsed_s": self.elapsed_s,
             "cache": {
                 "hits": self.cache.hits,

@@ -14,6 +14,13 @@ bad line answers with an ``{"id": ..., "error": ...}`` object instead
 of killing the loop, so one malformed request cannot take down a
 service that other clients share.  Blank lines are ignored and EOF ends
 the loop.
+
+Requests carry an optional ``verb``: the default ``"batch"`` runs a
+:class:`~repro.service.schema.BatchRequest` grid, and ``"dse"`` runs a
+hardware design-space exploration
+(:class:`~repro.service.schema.DseRequest` -> Pareto front), both on
+the same dispatcher session -- so batch and DSE traffic share one
+cache.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import json
 from typing import IO, Optional
 
 from repro.service.dispatcher import BatchDispatcher
-from repro.service.schema import BatchRequest
+from repro.service.schema import BatchRequest, DseRequest
 
 
 def serve(input_stream: IO[str], output_stream: IO[str],
@@ -38,8 +45,24 @@ def serve(input_stream: IO[str], output_stream: IO[str],
         request_id = f"req-{number}"
         try:
             payload = json.loads(line)
-            request = BatchRequest.from_dict(payload, default_id=request_id)
-            response = dispatcher.run(request, parallel=parallel).to_dict()
+            verb = (payload.get("verb", "batch")
+                    if isinstance(payload, dict) else "batch")
+            if verb == "dse":
+                request = DseRequest.from_dict(payload,
+                                               default_id=request_id)
+                response = dispatcher.run_dse(
+                    request, parallel=parallel).to_dict()
+            elif verb == "batch":
+                if isinstance(payload, dict):
+                    payload = {key: value for key, value in payload.items()
+                               if key != "verb"}
+                request = BatchRequest.from_dict(payload,
+                                                 default_id=request_id)
+                response = dispatcher.run(
+                    request, parallel=parallel).to_dict()
+            else:
+                raise ValueError(
+                    f"unknown verb {verb!r}; known: batch, dse")
             served += 1
         except (ValueError, RuntimeError) as exc:
             response = {"id": request_id, "error": str(exc)}

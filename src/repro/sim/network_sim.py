@@ -34,15 +34,18 @@ class NetworkSimulationResult:
     traces: Dict[str, AccessTrace]
 
     def total_trace(self) -> AccessTrace:
+        """Access counts summed across every simulated layer."""
         total = AccessTrace()
         for trace in self.traces.values():
             total = total.merged(trace)
         return total
 
     def total_energy(self, costs: EnergyCosts) -> float:
+        """Total normalized energy of the simulated network."""
         return self.total_trace().energy(costs)
 
     def energy_by_op(self, costs: EnergyCosts) -> Dict[str, float]:
+        """Energy split by operation type (MACs vs data movement)."""
         return {name: trace.energy(costs)
                 for name, trace in self.traces.items()}
 

@@ -58,6 +58,7 @@ class OutputStationarySimulator:
     def run(self, ifmap: np.ndarray, weights: np.ndarray,
             bias: np.ndarray | None = None
             ) -> Tuple[np.ndarray, AccessTrace]:
+        """Execute the layer; returns the ofmap and its access trace."""
         layer, sched = self.layer, self.schedule
         n, m, c = layer.N, layer.M, layer.C
         e, r, u = layer.E, layer.R, layer.U

@@ -42,14 +42,17 @@ class SimulationReport:
     passes_executed: int
 
     def energy(self, costs: EnergyCosts) -> float:
+        """Total normalized energy of the simulated execution."""
         return self.trace.energy(costs)
 
     @property
     def dram_accesses(self) -> int:
+        """Total DRAM word accesses of the execution."""
         return self.trace.level_total(MemoryLevel.DRAM)
 
     @property
     def rf_accesses(self) -> int:
+        """Total register-file word accesses of the execution."""
         return self.trace.level_total(MemoryLevel.RF)
 
 

@@ -43,6 +43,7 @@ class SparsityStats:
 
     @property
     def ifmap_density(self) -> float:
+        """Fraction of ifmap values that are non-zero."""
         if self.total_ifmap_words == 0:
             return 0.0
         return 1.0 - self.zero_ifmap_words / self.total_ifmap_words

@@ -42,15 +42,18 @@ class TimingEstimate:
 
     @property
     def stall_cycles(self) -> float:
+        """Cycles the array waits on data delivery."""
         return self.total_cycles - self.compute_cycles
 
     @property
     def compute_bound(self) -> bool:
+        """True when computation, not bandwidth, bounds the run."""
         return self.compute_cycles >= max(self.dram_cycles,
                                           self.buffer_cycles)
 
     @property
     def macs_per_cycle(self) -> float:
+        """Achieved MACs per cycle under the stall model."""
         return self.macs / self.total_cycles
 
     @property

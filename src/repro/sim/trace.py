@@ -37,16 +37,19 @@ class AccessTrace:
     # ------------------------------------------------------------------
 
     def read(self, level: MemoryLevel, kind: DataKind, words: int = 1) -> None:
+        """Record ``words`` read at one level of the hierarchy."""
         if words < 0:
             raise ValueError("cannot record a negative access count")
         self.reads[(level, kind)] += words
 
     def write(self, level: MemoryLevel, kind: DataKind, words: int = 1) -> None:
+        """Record ``words`` written at one level of the hierarchy."""
         if words < 0:
             raise ValueError("cannot record a negative access count")
         self.writes[(level, kind)] += words
 
     def mac(self, count: int = 1) -> None:
+        """Record executed MAC operations."""
         self.macs += count
 
     # ------------------------------------------------------------------
@@ -92,6 +95,7 @@ class AccessTrace:
         return result
 
     def summary(self) -> str:
+        """Multi-line human-readable access summary."""
         lines = [f"MACs: {self.macs:,}"]
         for level in MemoryLevel.storage_levels():
             lines.append(f"{level.value:>7}: {self.level_total(level):,} accesses")

@@ -190,3 +190,91 @@ class TestCliServe:
         assert responses[0]["feasible_cells"] == 1
         assert "error" in responses[1]
         assert "served 1 request(s)" in captured.err
+
+
+class TestCliDse:
+    ARGS = ["dse", "--dataflows", "RS,NLR", "--pes", "16,32",
+            "--rf", "64,128", "--glb", "8,16", "--batch", "1",
+            "--network", "alexnet-fc", "--serial"]
+
+    def test_dse_table_output(self, capsys):
+        assert main(self.ARGS) == 0
+        captured = capsys.readouterr()
+        assert "Pareto front" in captured.out
+        assert "cache:" in captured.err
+
+    def test_dse_json_output_tags_front(self, capsys):
+        assert main(self.ARGS + ["--json", "--all"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        # 2 dataflows x 2 geometries x 2 RF x 2 GLB = 16 candidates.
+        assert len(rows) == 16
+        assert {row["on_front"] for row in rows} <= {True, False}
+        assert any(row["on_front"] for row in rows)
+
+    def test_dse_serial_parallel_bit_identical(self, capsys):
+        assert main(self.ARGS + ["--json", "--all"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        workers = [a for a in self.ARGS if a != "--serial"] + \
+            ["--workers", "2", "--json", "--all"]
+        assert main(workers) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel
+
+    def test_dse_csv_export(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--csv", str(tmp_path)]) == 0
+        path = tmp_path / "dse_pareto.csv"
+        assert path.exists()
+        assert path.read_text().startswith("workload,dataflow,")
+
+    def test_dse_registered_space_by_name(self, capsys):
+        assert main(["dse", "--space", "chip-neighborhood",
+                     "--serial"]) == 0
+        assert "12x14" in capsys.readouterr().out
+
+    def test_dse_unknown_space_exits_2(self, capsys):
+        assert main(["dse", "--space", "nope", "--serial"]) == 2
+        assert "unknown design space" in capsys.readouterr().err
+
+    def test_dse_space_conflicts_with_grid_flags(self, capsys):
+        # A named space plus explicit grid flags must be a loud error,
+        # not a silent ignore (the service wire rejects the same mix).
+        assert main(["dse", "--space", "chip-neighborhood",
+                     "--rf", "1024", "--serial"]) == 2
+        err = capsys.readouterr().err
+        assert "--rf" in err and "--space" in err
+
+    def test_dse_empty_space_exits_2(self, capsys):
+        assert main(self.ARGS + ["--area-budget", "0.001"]) == 2
+        assert "no valid hardware point" in capsys.readouterr().err
+
+    def test_dse_bad_shapes_exit_2(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "--shapes", "12by14", "--serial"])
+
+    def test_dse_non_square_shapes(self, capsys):
+        assert main(["dse", "--network", "alexnet-fc", "--batch", "1",
+                     "--dataflows", "RS", "--shapes", "2x8,4x4",
+                     "--rf", "64", "--glb", "8", "--serial",
+                     "--json", "--all"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {(r["array_h"], r["array_w"]) for r in rows} == \
+            {(2, 8), (4, 4)}
+
+    def test_dse_zero_rf_reaches_the_nlr_operating_point(self, capsys):
+        # --rf 0 is the documented no-RF (NLR) point, not a flag error:
+        # the space expands and evaluates (exit 0 feasible / 1 not,
+        # never the argparse/usage exit 2).
+        code = main(["dse", "--network", "alexnet-fc", "--batch", "1",
+                     "--dataflows", "NLR", "--pes", "16", "--rf", "0",
+                     "--glb", "8", "--serial", "--json", "--all"])
+        assert code in (0, 1)
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["rf_bytes_per_pe"] == 0
+
+    def test_dse_equal_area_mode(self, capsys):
+        assert main(["dse", "--network", "alexnet-fc", "--batch", "1",
+                     "--dataflows", "RS", "--pes", "16", "--rf", "64",
+                     "--equal-area", "--serial", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        # The buffer is derived from the Eq. (2) budget, not 16x512 B.
+        assert rows[0]["buffer_bytes"] != 16 * 512

@@ -25,6 +25,7 @@ from repro.service import (
     serve,
 )
 from repro.service.schema import layer_from_dict, layer_to_dict
+from repro.service.schema import DseRequest
 
 
 def serial_engine() -> EvaluationEngine:
@@ -324,3 +325,128 @@ class TestServeLoop:
         _, responses = self.run_serve([line, line])
         assert responses[0]["cache"]["hit_rate"] == 0.0
         assert responses[1]["cache"]["hit_rate"] == 1.0
+
+
+TINY_DSE = {"verb": "dse", "layers": [
+    {"name": "T1", "H": 8, "R": 3, "C": 4, "M": 8}],
+    "dataflows": ["RS"], "batch": 1, "pe_counts": [16],
+    "rf_choices": [64], "glb_choices": [8192]}
+
+
+class TestDseVerb:
+    def test_request_round_trip(self):
+        request = DseRequest.from_dict(dict(TINY_DSE, id="d1"))
+        rebuilt = DseRequest.from_dict(request.to_dict())
+        assert rebuilt.space == request.space
+        assert rebuilt.request_id == "d1"
+
+    def test_registered_space_round_trips_by_name(self):
+        request = DseRequest.from_dict(
+            {"verb": "dse", "space": "equal-area-grid"})
+        assert request.space_name == "equal-area-grid"
+        assert request.to_dict()["space"] == "equal-area-grid"
+        assert DseRequest.from_dict(request.to_dict()).space == request.space
+
+    def test_space_and_inline_fields_conflict(self):
+        with pytest.raises(ValueError, match="pick one"):
+            DseRequest.from_dict({"verb": "dse", "space": "equal-area-grid",
+                                  "pe_counts": [16]})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown dse request field"):
+            DseRequest.from_dict(dict(TINY_DSE, pes=[16]))
+
+    def test_unknown_space_rejected_with_menu(self):
+        with pytest.raises(ValueError, match="equal-area-grid"):
+            DseRequest.from_dict({"verb": "dse", "space": "nope"})
+
+    def test_network_or_layers_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            DseRequest.from_dict({"verb": "dse", "pe_counts": [16]})
+
+    @pytest.mark.parametrize("field,value", [
+        ("rf_choices", "512"), ("glb_choices", "8192"),
+        ("batch", None), ("dataflows", 7),
+        ("array_shapes", [[4, None]]), ("metrics", 3),
+        ("pe_counts", [None]),
+    ])
+    def test_wrong_typed_fields_become_value_errors(self, field, value):
+        # TypeError must never escape: it would kill the serve loop,
+        # which only converts ValueError/RuntimeError to error lines.
+        with pytest.raises(ValueError):
+            DseRequest.from_dict(dict(TINY_DSE, **{field: value}))
+
+    def test_wrong_typed_layer_field_becomes_value_error(self):
+        # int(None) inside layer_from_dict must not leak a TypeError
+        # past the serve loop's error handling -- on either verb.
+        bad_layer = [{"name": "T", "H": None, "R": 3, "C": 4, "M": 8}]
+        with pytest.raises(ValueError, match="malformed layer"):
+            DseRequest.from_dict({"verb": "dse", "layers": bad_layer,
+                                  "pe_counts": [16]})
+        with pytest.raises(ValueError, match="malformed layer"):
+            BatchRequest.from_dict({"layers": bad_layer})
+
+    def test_wrong_typed_batch_request_fields_become_value_errors(self):
+        with pytest.raises(ValueError, match="'batch'"):
+            BatchRequest.from_dict({"network": "alexnet-conv",
+                                    "batch": None})
+        with pytest.raises(ValueError, match="'dataflows'"):
+            BatchRequest.from_dict({"network": "alexnet-conv",
+                                    "dataflows": 7})
+
+    def test_serve_survives_wrong_typed_dse_request(self):
+        output = io.StringIO()
+        lines = "\n".join([
+            json.dumps(dict(TINY_DSE, rf_choices="512")),
+            json.dumps(tiny_request().to_dict()),
+        ]) + "\n"
+        served = serve(io.StringIO(lines), output,
+                       BatchDispatcher(serial_engine()))
+        responses = [json.loads(line)
+                     for line in output.getvalue().splitlines()]
+        assert served == 1
+        assert "error" in responses[0]
+        assert responses[1]["feasible_cells"] == 1
+
+    def test_dispatcher_runs_dse(self):
+        dispatcher = BatchDispatcher(serial_engine())
+        result = dispatcher.run_dse(DseRequest.from_dict(TINY_DSE))
+        payload = result.to_dict()
+        assert payload["verb"] == "dse"
+        assert payload["candidates"] == 1
+        assert payload["front_size"] == len(payload["front"])
+        assert payload["cache"]["misses"] > 0
+
+    def test_dse_and_batch_share_the_session_cache(self):
+        dispatcher = BatchDispatcher(serial_engine())
+        dispatcher.run_dse(DseRequest.from_dict(TINY_DSE))
+        again = dispatcher.run_dse(DseRequest.from_dict(TINY_DSE))
+        assert again.cache.misses == 0
+        assert again.cache.hits > 0
+
+    def test_serve_dispatches_by_verb(self):
+        output = io.StringIO()
+        lines = "\n".join([
+            json.dumps(TINY_DSE),
+            json.dumps(tiny_request().to_dict()),
+            json.dumps({"verb": "launch-missiles"}),
+        ]) + "\n"
+        served = serve(io.StringIO(lines), output,
+                       BatchDispatcher(serial_engine()))
+        responses = [json.loads(line)
+                     for line in output.getvalue().splitlines()]
+        assert served == 2
+        assert responses[0]["verb"] == "dse" and responses[0]["front_size"] >= 0
+        assert responses[1]["feasible_cells"] == 1
+        assert "unknown verb" in responses[2]["error"]
+
+    def test_include_dominated_expands_the_front_payload(self):
+        spec = dict(TINY_DSE, rf_choices=[64, 128],
+                    include_dominated=True)
+        dispatcher = BatchDispatcher(serial_engine())
+        result = dispatcher.run_dse(DseRequest.from_dict(spec))
+        payload = result.to_dict()
+        assert len(payload["front"]) == payload["candidates"]
+        assert all("on_front" in row for row in payload["front"])
+        assert payload["front_size"] == sum(
+            1 for row in payload["front"] if row["on_front"])

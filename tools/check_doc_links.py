@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Link checker for the repo's markdown pages.
+
+Scans markdown files for ``[text](target)`` links and verifies that
+every *relative* target resolves to an existing file (anchors are
+stripped; external ``http(s)://`` and ``mailto:`` targets are assumed
+reachable — CI runs offline).  This is what keeps README/docs
+cross-references from rotting as files move.
+
+Usage::
+
+    python tools/check_doc_links.py                 # README.md + docs/
+    python tools/check_doc_links.py README.md docs/NOTATION.md
+
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Markdown inline links: [text](target), tolerating titles after a space.
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)[^)]*\)")
+
+#: Targets that are not file paths and are never checked.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def default_pages(root: Path) -> List[Path]:
+    """README plus every markdown page under docs/."""
+    pages = [root / "README.md"]
+    pages.extend(sorted((root / "docs").glob("*.md")))
+    return [page for page in pages if page.exists()]
+
+
+def iter_links(page: Path) -> Iterator[Tuple[int, str]]:
+    """Yield (line number, raw target) for every inline link."""
+    for number, line in enumerate(page.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def broken_links(page: Path) -> List[str]:
+    """Human-readable descriptions of every dead relative link."""
+    problems = []
+    for number, target in iter_links(page):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure in-page anchor
+            continue
+        resolved = (page.parent / path).resolve()
+        if not resolved.exists():
+            problems.append(f"{page}:{number}: broken link -> {target}")
+    return problems
+
+
+def main(argv=None) -> int:
+    """Run the checker; see the module docstring for the contract."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("pages", nargs="*",
+                        help="markdown files to check "
+                             "(default: README.md and docs/*.md)")
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    pages = ([Path(p) for p in args.pages] if args.pages
+             else default_pages(root))
+    problems: List[str] = []
+    checked = 0
+    for page in pages:
+        if not page.exists():
+            problems.append(f"{page}: page does not exist")
+            continue
+        checked += 1
+        problems.extend(broken_links(page))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {checked} page(s): "
+          f"{'all links resolve' if not problems else f'{len(problems)} problem(s)'}")
+    return 0 if not problems else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

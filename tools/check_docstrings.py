@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Docstring coverage gate for the public surface (interrogate-style).
+
+The container has no ``interrogate`` package, so this is a small
+self-hosted equivalent: walk the source tree with :mod:`ast`, count
+every public definition (modules, classes, functions and methods whose
+name does not start with ``_``), and fail when the fraction carrying a
+docstring drops below ``--fail-under``.
+
+Definitions nested inside functions are skipped (they are
+implementation detail, not surface), as are all underscore-prefixed
+names — including dunders — and members of private classes.
+
+Usage::
+
+    python tools/check_docstrings.py                       # src/repro, 95%
+    python tools/check_docstrings.py --fail-under 100 src/repro/api.py
+    python tools/check_docstrings.py --list-missing
+
+Exit status: 0 when coverage >= the threshold, 1 below it, 2 on a
+file that cannot be parsed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Default tree checked when no paths are given, anchored to the repo
+#: root (not the current working directory) so the gate runs from
+#: anywhere, like ``check_doc_links.py``.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = (str(REPO_ROOT / "src" / "repro"),)
+
+#: Default minimum coverage, in percent.
+DEFAULT_FAIL_UNDER = 95.0
+
+
+def iter_python_files(paths: List[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def public_definitions(tree: ast.Module,
+                       module_label: str) -> List[Tuple[str, bool]]:
+    """The module's public (label, has_docstring) pairs.
+
+    Walks module and class bodies only — a ``def`` inside a function is
+    a closure, not public surface — and skips every name starting with
+    an underscore along with the bodies of private classes.
+    """
+    found: List[Tuple[str, bool]] = [
+        (module_label, ast.get_docstring(tree) is not None)]
+
+    def visit(body, prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                found.append((f"{prefix}{node.name}",
+                              ast.get_docstring(node) is not None))
+            elif isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                label = f"{prefix}{node.name}"
+                found.append((label, ast.get_docstring(node) is not None))
+                visit(node.body, f"{label}.")
+
+    visit(tree.body, f"{module_label}:")
+    return found
+
+
+def main(argv=None) -> int:
+    """Run the gate; see the module docstring for the contract."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help=f"files or directories to check "
+                             f"(default: {', '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--fail-under", type=float,
+                        default=DEFAULT_FAIL_UNDER, metavar="PCT",
+                        help="minimum coverage percentage "
+                             f"(default {DEFAULT_FAIL_UNDER})")
+    parser.add_argument("--list-missing", action="store_true",
+                        help="print every undocumented definition")
+    args = parser.parse_args(argv)
+
+    for path in (Path(p) for p in args.paths):
+        if not path.exists():
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
+            return 2
+
+    total = documented = 0
+    missing: List[str] = []
+    for path in iter_python_files([Path(p) for p in args.paths]):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:
+            print(f"error: cannot parse {path}: {exc}", file=sys.stderr)
+            return 2
+        for label, documented_flag in public_definitions(tree, str(path)):
+            total += 1
+            if documented_flag:
+                documented += 1
+            else:
+                missing.append(label)
+
+    coverage = 100.0 * documented / total if total else 100.0
+    status = "OK" if coverage >= args.fail_under else "FAIL"
+    if missing and (args.list_missing or status == "FAIL"):
+        print(f"{len(missing)} undocumented definition(s):")
+        for label in missing:
+            print(f"  {label}")
+    print(f"docstring coverage: {coverage:.1f}% ({documented}/{total} "
+          f"public definitions), fail-under {args.fail_under:g}% "
+          f"-> {status}")
+    return 0 if status == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
