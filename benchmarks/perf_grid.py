@@ -1,0 +1,35 @@
+"""The canonical Fig. 15 perf-benchmark workload, defined exactly once.
+
+Both perf harnesses -- ``benchmarks/test_engine_speedup.py`` (the
+tier-1 assertion) and ``tools/bench.py`` (the BENCH_perf.json record
+and the CI ``perf-smoke`` gate) -- import their grid and sweep runner
+from here, so the asserted benchmark and the recorded one can never
+silently measure different workloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: The benchmark grid: a subset of the Fig. 15 axes, heavy enough to
+#: time reliably, light enough for CI.
+PE_COUNTS = (32, 160, 288)
+RF_CHOICES = (256, 512, 1024)
+BATCH = 8
+WORKERS = 4
+
+
+def run_sweep(engine, parallel, pe_counts=PE_COUNTS, rf_choices=RF_CHOICES):
+    """Run the benchmark sweep on ``engine``; returns (points, seconds).
+
+    The grid defaults to the canonical axes above; ``tools/bench.py
+    --quick`` passes a smaller one for smoke runs.
+    """
+    from repro.analysis.sweep import fig15_area_allocation_sweep
+    from repro.api import Session
+
+    start = time.perf_counter()
+    points = fig15_area_allocation_sweep(
+        pe_counts, batch=BATCH, rf_choices=rf_choices,
+        session=Session(engine=engine), parallel=parallel)
+    return points, time.perf_counter() - start

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.arch.hardware import HardwareConfig
+from repro.mapping.divisors import thin_candidates
 from repro.mapping.mapping import Mapping
 from repro.nn.layer import LayerShape
 
@@ -100,6 +101,38 @@ class Dataflow(abc.ABC):
         (e.g. WS with too many live psums, Fig. 11a).
         """
 
+    def enumerate_candidate_arrays(self, layer: LayerShape,
+                                   hw: HardwareConfig):
+        """The candidate space as one structure-of-arrays batch, or None.
+
+        The vectorized search path (:mod:`repro.kernels`): dataflows
+        that implement it return a
+        :class:`~repro.kernels.CandidateArrays` block holding *exactly*
+        the candidates :meth:`enumerate_mappings` would yield -- same
+        rows, same order, same feasibility filters -- as NumPy columns
+        the scoring kernel can reduce in a handful of array ops.  The
+        base implementation returns None, which tells
+        ``optimize_mapping`` to fall back to the streaming scalar path
+        (so third-party dataflows keep working unmodified).
+        """
+        return None
+
+    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
+                        params) -> Mapping:
+        """Materialize the :class:`Mapping` of one candidate-array row.
+
+        ``params`` is the row's tiling-parameter dict
+        (:meth:`~repro.kernels.CandidateArrays.row_params`).  Must
+        return an object field-for-field identical to what
+        :meth:`enumerate_mappings` would have yielded for that row; the
+        built-in dataflows guarantee it by routing through their scalar
+        builders.  Only called for dataflows whose
+        :meth:`enumerate_candidate_arrays` returned a block.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} emits candidate arrays but does not "
+            f"implement rebuild_mapping")
+
     def supports(self, layer: LayerShape, hw: HardwareConfig) -> bool:
         """True when at least one feasible mapping exists."""
         return next(iter(self.enumerate_mappings(layer, hw)), None) is not None
@@ -108,17 +141,7 @@ class Dataflow(abc.ABC):
         return f"<Dataflow {self.name}>"
 
 
-def thin_candidates(values: tuple[int, ...], limit: int = 8) -> tuple[int, ...]:
-    """Subsample a divisor list to bound the mapping-search fan-out.
-
-    Keeps the endpoints and an evenly spread interior so the optimizer
-    still sees small, medium and large tile choices.  The paper's search
-    is exhaustive; thinning is a performance concession documented in
-    DESIGN.md and tested to not change the optimum on the AlexNet layers
-    (the energy landscape is smooth in the tile sizes).
-    """
-    if len(values) <= limit:
-        return values
-    step = (len(values) - 1) / (limit - 1)
-    picked = sorted({values[round(i * step)] for i in range(limit)})
-    return tuple(picked)
+#: Re-exported for backward compatibility: ``thin_candidates`` moved to
+#: :mod:`repro.mapping.divisors` to live with (and share the memoization
+#: of) the other tiling helpers.
+__all__ = ["BufferBudget", "Dataflow", "thin_candidates"]

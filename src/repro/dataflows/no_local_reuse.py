@@ -12,10 +12,13 @@ which is why NLR's energy is dominated by buffer accesses for weights
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Dict, Iterator, Optional
+
+import numpy as np
 
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.base import BufferBudget, Dataflow, thin_candidates
+from repro.kernels import CandidateArrays, empty_candidates
 from repro.mapping.divisors import divisors_up_to
 from repro.mapping.mapping import Mapping
 from repro.mapping.reuse import AccumSplit, ReuseSplit
@@ -42,6 +45,63 @@ class NoLocalReuse(Dataflow):
                 mapping = self._build_mapping(layer, hw, m_g, c_g)
                 if mapping is not None:
                     yield mapping
+
+    def enumerate_candidate_arrays(self, layer: LayerShape,
+                                   hw: HardwareConfig
+                                   ) -> Optional[CandidateArrays]:
+        """The NLR candidate space as structure-of-arrays columns.
+
+        Mirrors :meth:`enumerate_mappings`: ``(m_g, c_g)`` pairs in the
+        same thinned-divisor order, the buffer-staging budget applied as
+        a batch mask, and the broadcast-degeneration rescale of
+        :meth:`_build_mapping` as a vectorized select.
+        """
+        n, m, c = layer.N, layer.M, layer.C
+        r, e, h = layer.R, layer.E, layer.H
+        mg_vals, cg_vals = [], []
+        for m_g in thin_candidates(divisors_up_to(m, hw.num_pes), limit=8):
+            room = hw.num_pes // m_g
+            for c_g in thin_candidates(divisors_up_to(c, room), limit=6):
+                mg_vals.append(m_g)
+                cg_vals.append(c_g)
+        if not mg_vals:
+            return empty_candidates()
+        mg = np.array(mg_vals, dtype=np.int64)
+        cg = np.array(cg_vals, dtype=np.int64)
+
+        used = c * r * h + mg * c * r * r + mg * e
+        keep = used <= hw.buffer_words
+        if not keep.any():
+            return empty_candidates()
+        mg, cg = mg[keep], cg[keep]
+        count = mg.shape[0]
+        ones = np.ones(count, dtype=np.float64)
+
+        if_c = mg.astype(np.float64)
+        if_b = layer.ifmap_reuse / if_c
+        low = if_b < 1.0 - _EPS
+        if_c = np.where(low, float(layer.ifmap_reuse), if_c)
+        if_b = np.where(low, 1.0, if_b)
+
+        return CandidateArrays(
+            ifmap=(ones, if_b, if_c, ones),
+            filter=(ones, np.full(count, float(n * e * e)), ones, ones),
+            psum=(ones, layer.psum_accumulations / cg,
+                  cg.astype(np.float64), ones),
+            active_pes=mg * cg,
+            params={"m_g": mg, "c_g": cg},
+        )
+
+    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
+                        params: Dict[str, int]) -> Mapping:
+        """Materialize one candidate row through the scalar builder."""
+        mapping = self._build_mapping(layer, hw, params["m_g"],
+                                      params["c_g"])
+        if mapping is None:
+            raise LookupError(
+                f"NLR candidate {params} did not rebuild; the vectorized "
+                f"feasibility mask and the scalar builder disagree")
+        return mapping
 
     def _build_mapping(self, layer: LayerShape, hw: HardwareConfig,
                        m_g: int, c_g: int) -> Mapping | None:

@@ -33,16 +33,28 @@ a concrete loop nest (the same discipline as the RS model):
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
 
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.base import BufferBudget, Dataflow, thin_candidates
+from repro.kernels import (
+    CandidateArrays,
+    ScenarioExpansion,
+    empty_candidates,
+)
 from repro.mapping.divisors import divisors_up_to
 from repro.mapping.mapping import Mapping
 from repro.mapping.reuse import AccumSplit, ReuseSplit
 from repro.nn.layer import LayerShape
 
 _EPS = 1e-9
+
+#: Buffer-residency scenarios in yield order (the vectorized path
+#: encodes a row's scenario as an index into this tuple).
+_SCENARIOS = ("filters-all-resident", "filter-chunk-resident",
+              "filters-stream")
 
 
 def _psum_in_rf(layer: LayerShape) -> AccumSplit:
@@ -73,69 +85,163 @@ class _OutputStationaryBase(Dataflow):
 
     def enumerate_mappings(self, layer: LayerShape,
                            hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal OS mapping: configs x residency scenarios."""
+        for cfg in self._configurations(layer, hw):
+            yield from self._config_candidates(layer, hw, cfg)
+
+    def _config_candidates(self, layer: LayerShape, hw: HardwareConfig,
+                           cfg) -> Iterator[Mapping]:
+        """The feasible residency scenarios of one array configuration."""
         n, m, c = layer.N, layer.M, layer.C
         r = layer.R
-        for (params, active, if_c, i_f, m_if, rounds, window,
-             dram_overlap) in self._configurations(layer, hw):
-            psum = _psum_in_rf(layer)
+        (params, active, if_c, i_f, m_if, rounds, window,
+         dram_overlap) = cfg
+        psum = _psum_in_rf(layer)
 
-            # Ifmap: array reuse if_c per delivery; dram_overlap is spent
-            # at DRAM (OSC only); the rest is buffer/DRAM per scenario.
-            # Sub-unity residuals are allowed (stride gaps leave fetched
-            # values partially unused); the DRAM factors stay >= 1.
-            if_residual = layer.ifmap_reuse / (if_c * dram_overlap)
-            if if_residual < _EPS:
+        # Ifmap: array reuse if_c per delivery; dram_overlap is spent
+        # at DRAM (OSC only); the rest is buffer/DRAM per scenario.
+        # Sub-unity residuals are allowed (stride gaps leave fetched
+        # values partially unused); the DRAM factors stay >= 1.
+        if_residual = layer.ifmap_reuse / (if_c * dram_overlap)
+        if if_residual < _EPS:
+            return
+        chunk_reuse = m / m_if
+
+        # Filter: array reuse only across in-flight images; the rest
+        # of T_w = N*E^2 is buffer or DRAM re-delivery per scenario.
+        w_c = float(i_f)
+        w_residual = layer.filter_reuse / w_c
+
+        base_params = dict(params)
+
+        # Scenario 1: whole filter set resident.
+        all_resident = BufferBudget(hw.buffer_words,
+                                    filter_words=m * c * r * r,
+                                    ifmap_words=window)
+        if all_resident.fits:
+            yield self._mapping(
+                layer, psum, active,
+                if_a=dram_overlap, if_b=if_residual, if_c=if_c,
+                w_a=1.0, w_b=w_residual, w_c=w_c,
+                params={**base_params, "scenario": _SCENARIOS[0],
+                        "buffer_occupancy": round(all_resident.occupancy, 3)},
+            )
+
+        # Scenario 2: only the in-flight filter chunk resident; the
+        # ifmap is re-fetched from DRAM once per chunk.
+        chunk = BufferBudget(hw.buffer_words,
+                             filter_words=m_if * c * r * r,
+                             ifmap_words=window)
+        rest = if_residual / chunk_reuse
+        if chunk.fits and rest >= _EPS:
+            yield self._mapping(
+                layer, psum, active,
+                if_a=dram_overlap * chunk_reuse, if_b=rest, if_c=if_c,
+                w_a=1.0, w_b=w_residual, w_c=w_c,
+                params={**base_params, "scenario": _SCENARIOS[1],
+                        "buffer_occupancy": round(chunk.occupancy, 3)},
+            )
+
+        # Scenario 3: weights stream from DRAM once per round; the
+        # round's ifmap working set stays buffered.
+        stream = BufferBudget(hw.buffer_words,
+                              filter_words=m_if * r * r,
+                              ifmap_words=window)
+        if stream.fits and rounds >= 1.0 - _EPS:
+            yield self._mapping(
+                layer, psum, active,
+                if_a=dram_overlap, if_b=if_residual, if_c=if_c,
+                w_a=float(rounds), w_b=w_residual / rounds, w_c=w_c,
+                params={**base_params, "scenario": _SCENARIOS[2],
+                        "buffer_occupancy": round(stream.occupancy, 3)},
+            )
+
+    def enumerate_candidate_arrays(self, layer: LayerShape,
+                                   hw: HardwareConfig
+                                   ) -> Optional[CandidateArrays]:
+        """The OS candidate space as structure-of-arrays columns.
+
+        Mirrors :meth:`enumerate_mappings`: the variant's
+        :meth:`_configurations` generator drives the row order (it is
+        cheap -- at most a few dozen configs), and the three
+        buffer-residency scenarios of every config are scored as
+        interleaved column triples with the same feasibility predicates
+        as :meth:`_config_candidates`.
+        """
+        cfgs = list(self._configurations(layer, hw))
+        if not cfgs:
+            return empty_candidates()
+        n, m, c = layer.N, layer.M, layer.C
+        r = layer.R
+
+        param_keys = list(cfgs[0][0].keys())
+        pcols = {key: np.array([cfg[0][key] for cfg in cfgs],
+                               dtype=np.int64) for key in param_keys}
+        active = np.array([cfg[1] for cfg in cfgs], dtype=np.int64)
+        if_c = np.array([cfg[2] for cfg in cfgs], dtype=np.float64)
+        i_f = np.array([cfg[3] for cfg in cfgs], dtype=np.int64)
+        m_if = np.array([cfg[4] for cfg in cfgs], dtype=np.int64)
+        rounds = np.array([cfg[5] for cfg in cfgs], dtype=np.float64)
+        window = np.array([cfg[6] for cfg in cfgs], dtype=np.int64)
+        overlap = np.array([cfg[7] for cfg in cfgs], dtype=np.float64)
+
+        if_residual = layer.ifmap_reuse / (if_c * overlap)
+        cfg_ok = ~(if_residual < _EPS)
+        chunk_reuse = m / m_if
+        w_c = i_f.astype(np.float64)
+        w_residual = layer.filter_reuse / w_c
+        rest = if_residual / chunk_reuse
+
+        cap = hw.buffer_words
+        count = active.shape[0]
+        ones = np.ones(count, dtype=np.float64)
+        # Scenario columns in _config_candidates order:
+        # (mask, if_a, if_b, w_a, w_b).
+        scenarios = (
+            (cfg_ok & (window + m * c * r * r <= cap),
+             overlap, if_residual, ones, w_residual),
+            (cfg_ok & (window + m_if * c * r * r <= cap) & (rest >= _EPS),
+             overlap * chunk_reuse, rest, ones, w_residual),
+            (cfg_ok & (window + m_if * r * r <= cap)
+             & (rounds >= 1.0 - _EPS),
+             overlap, if_residual, rounds, w_residual / rounds),
+        )
+
+        rows = ScenarioExpansion([s[0] for s in scenarios])
+        if not rows:
+            return empty_candidates()
+        if_a = rows.select([s[1] for s in scenarios])
+        if_b = rows.select([s[2] for s in scenarios])
+        w_a = rows.select([s[3] for s in scenarios])
+        w_b = rows.select([s[4] for s in scenarios])
+
+        accum = np.full(count, float(layer.psum_accumulations))
+        params = {key: rows.repeat(col) for key, col in pcols.items()}
+        params["scenario"] = rows.scenario_index()
+        return CandidateArrays(
+            ifmap=(if_a, if_b, rows.repeat(if_c), rows.repeat(ones)),
+            filter=(w_a, w_b, rows.repeat(w_c), rows.repeat(ones)),
+            psum=(rows.repeat(ones), rows.repeat(ones), rows.repeat(ones),
+                  rows.repeat(accum)),
+            active_pes=rows.repeat(active),
+            params=params,
+        )
+
+    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
+                        params: Dict[str, int]) -> Mapping:
+        """Materialize one candidate row through the scalar builder."""
+        label = _SCENARIOS[params["scenario"]]
+        wanted = {key: value for key, value in params.items()
+                  if key != "scenario"}
+        for cfg in self._configurations(layer, hw):
+            if dict(cfg[0]) != wanted:
                 continue
-            chunk_reuse = m / m_if
-
-            # Filter: array reuse only across in-flight images; the rest
-            # of T_w = N*E^2 is buffer or DRAM re-delivery per scenario.
-            w_c = float(i_f)
-            w_residual = layer.filter_reuse / w_c
-
-            base_params = dict(params)
-
-            # Scenario 1: whole filter set resident.
-            all_resident = BufferBudget(hw.buffer_words,
-                                        filter_words=m * c * r * r,
-                                        ifmap_words=window)
-            if all_resident.fits:
-                yield self._mapping(
-                    layer, psum, active,
-                    if_a=dram_overlap, if_b=if_residual, if_c=if_c,
-                    w_a=1.0, w_b=w_residual, w_c=w_c,
-                    params={**base_params, "scenario": "filters-all-resident",
-                            "buffer_occupancy": round(all_resident.occupancy, 3)},
-                )
-
-            # Scenario 2: only the in-flight filter chunk resident; the
-            # ifmap is re-fetched from DRAM once per chunk.
-            chunk = BufferBudget(hw.buffer_words,
-                                 filter_words=m_if * c * r * r,
-                                 ifmap_words=window)
-            rest = if_residual / chunk_reuse
-            if chunk.fits and rest >= _EPS:
-                yield self._mapping(
-                    layer, psum, active,
-                    if_a=dram_overlap * chunk_reuse, if_b=rest, if_c=if_c,
-                    w_a=1.0, w_b=w_residual, w_c=w_c,
-                    params={**base_params, "scenario": "filter-chunk-resident",
-                            "buffer_occupancy": round(chunk.occupancy, 3)},
-                )
-
-            # Scenario 3: weights stream from DRAM once per round; the
-            # round's ifmap working set stays buffered.
-            stream = BufferBudget(hw.buffer_words,
-                                  filter_words=m_if * r * r,
-                                  ifmap_words=window)
-            if stream.fits and rounds >= 1.0 - _EPS:
-                yield self._mapping(
-                    layer, psum, active,
-                    if_a=dram_overlap, if_b=if_residual, if_c=if_c,
-                    w_a=float(rounds), w_b=w_residual / rounds, w_c=w_c,
-                    params={**base_params, "scenario": "filters-stream",
-                            "buffer_occupancy": round(stream.occupancy, 3)},
-                )
+            for mapping in self._config_candidates(layer, hw, cfg):
+                if mapping.params["scenario"] == label:
+                    return mapping
+        raise LookupError(
+            f"{self.name} candidate {params} did not rebuild; the "
+            f"vectorized feasibility mask and the scalar builder disagree")
 
     def _mapping(self, layer: LayerShape, psum: AccumSplit, active: int, *,
                  if_a: float, if_b: float, if_c: float,

@@ -35,10 +35,18 @@ every candidate.
 
 from __future__ import annotations
 
-from typing import Iterator
+from functools import lru_cache
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
 
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.base import BufferBudget, Dataflow, thin_candidates
+from repro.kernels import (
+    CandidateArrays,
+    ScenarioExpansion,
+    empty_candidates,
+)
 from repro.mapping.divisors import divisors, divisors_up_to, largest_divisor_up_to
 from repro.mapping.mapping import Mapping
 from repro.mapping.reuse import AccumSplit, ReuseSplit
@@ -46,6 +54,41 @@ from repro.nn.layer import LayerShape
 
 #: Tolerance for "reuse factor is at least one" feasibility checks.
 _EPS = 1e-9
+
+#: Second-phase-folding scenarios, in the order ``_build_mappings``
+#: yields them (the vectorized path encodes a row's scenario as an index
+#: into this tuple).
+_SCENARIOS = ("both-resident", "ifmap-streams", "filter-streams",
+              "both-stream")
+
+
+@lru_cache(maxsize=None)
+def _rf_fold_arrays(r: int, rf_words: int, v_fold: int, n_left: int,
+                    m_left: int, c_left: int
+                    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """The RF-feasible ``(n_r, m_r, c_r)`` fold triples, as int64 columns.
+
+    The array twin of :meth:`RowStationary._rf_folds`: the full thinned
+    cross product in the same n_r-major / c_r-minor order, filtered by
+    the identical scratchpad-fit inequality.  Memoized because the key
+    depends only on the per-PE geometry -- across a sweep the same
+    ``(n_left, m_left, c_left)`` residues recur for every layer x
+    hardware cell.  Returns None when no fold fits (the caller skips the
+    whole sub-tree, as the scalar generator does implicitly).  Callers
+    must treat the returned arrays as read-only.
+    """
+    nr_list = thin_candidates(divisors(n_left), limit=4)
+    mr_list = thin_candidates(divisors(m_left), limit=6)
+    cr_list = thin_candidates(divisors(c_left), limit=4)
+    a, b, c = len(nr_list), len(mr_list), len(cr_list)
+    nr = np.repeat(np.array(nr_list, dtype=np.int64), b * c)
+    mr = np.tile(np.repeat(np.array(mr_list, dtype=np.int64), c), a)
+    cr = np.tile(np.array(cr_list, dtype=np.int64), a * b)
+    words = v_fold * ((mr * cr * r) + (nr * cr * r)) + mr * nr
+    keep = words <= rf_words
+    if not keep.any():
+        return None
+    return nr[keep], mr[keep], cr[keep]
 
 
 class RowStationary(Dataflow):
@@ -56,20 +99,33 @@ class RowStationary(Dataflow):
     description = ("Row stationary: 1D-row primitives; all reuse types "
                    "optimized across RF, array and buffer (Section V)")
 
-    def enumerate_mappings(self, layer: LayerShape,
-                           hw: HardwareConfig) -> Iterator[Mapping]:
-        """Yield every legal RS mapping of ``layer`` on ``hw``."""
-        # A logical set occupies R contiguous PEs along one array
-        # dimension; orient the array so the taller dimension hosts them.
+    @staticmethod
+    def _geometry(layer: LayerShape,
+                  hw: HardwareConfig) -> tuple[int, int, int, int]:
+        """Array orientation and vertical folding for one (layer, hw).
+
+        A logical set occupies R contiguous PEs along one array
+        dimension; orient the array so the taller dimension hosts them.
+        When R still exceeds the array height, fold the set vertically:
+        ``r_eff`` physical rows each run ``v_fold = R / r_eff`` filter
+        rows interleaved in the RF (``r_eff`` is the largest divisor of
+        R that fits, so the psum split stays exact).
+
+        The single source of this rule: the scalar enumerator, the
+        array enumerator and the winner rebuild all derive their
+        ``(array_h, array_w, r_eff, v_fold)`` here, which is what keeps
+        the three views of the mapping space aligned.
+        """
         array_h, array_w = hw.array_h, hw.array_w
         if layer.R > array_h and array_w > array_h:
             array_h, array_w = array_w, array_h
-        # When R still exceeds the array height, fold the set vertically:
-        # r_eff physical rows each run v_fold = R / r_eff filter rows
-        # interleaved in the RF (r_eff is the largest divisor of R that
-        # fits, so the psum split stays exact).
         r_eff = largest_divisor_up_to(layer.R, array_h)
-        v_fold = layer.R // r_eff
+        return array_h, array_w, r_eff, layer.R // r_eff
+
+    def enumerate_mappings(self, layer: LayerShape,
+                           hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal RS mapping of ``layer`` on ``hw``."""
+        array_h, array_w, r_eff, v_fold = self._geometry(layer, hw)
 
         rf_words = hw.rf_words_per_pe
         n, m, c = layer.N, layer.M, layer.C
@@ -87,6 +143,147 @@ class RowStationary(Dataflow):
                     yield from self._build_mappings(
                         layer, hw, e, r_eff, v_fold,
                         n_s, m_s, c_s, n_r, m_r, c_r)
+
+    def enumerate_candidate_arrays(self, layer: LayerShape,
+                                   hw: HardwareConfig
+                                   ) -> Optional[CandidateArrays]:
+        """The full RS candidate space as structure-of-arrays columns.
+
+        Mirrors :meth:`enumerate_mappings` row for row: the outer
+        ``e`` x spatial loops run in Python (their divisor lists are
+        memoized), the RF-fold cross product comes from the cached
+        :func:`_rf_fold_arrays` blocks, and every formula of
+        :meth:`_build_mappings` -- reuse splits, active PEs, the four
+        buffer-residency budgets -- is evaluated once over the whole
+        fold batch in NumPy.  Rows are ordered fold-major with the
+        scenario innermost, exactly the scalar yield order, and
+        infeasible rows (RF overflow, PE overflow, vanished residual
+        reuse, budget misses) are dropped by the same predicates.
+        """
+        array_h, array_w, r_eff, v_fold = self._geometry(layer, hw)
+
+        rf_words = hw.rf_words_per_pe
+        n, m, c = layer.N, layer.M, layer.C
+        r, e_full, h, u = layer.R, layer.E, layer.H, layer.U
+
+        e_vals, ns_vals, ms_vals, cs_vals, sizes = [], [], [], [], []
+        fold_blocks = []
+        for e in thin_candidates(divisors_up_to(layer.E, array_w)):
+            sets_v = array_h // r_eff
+            sets_h = array_w // e
+            max_sets = sets_v * sets_h
+            if max_sets < 1:
+                continue
+            for n_s, m_s, c_s in self._spatial_assignments(n, m, c, max_sets):
+                folds = _rf_fold_arrays(r, rf_words, v_fold,
+                                        n // n_s, m // m_s, c // c_s)
+                if folds is None:
+                    continue
+                e_vals.append(e)
+                ns_vals.append(n_s)
+                ms_vals.append(m_s)
+                cs_vals.append(c_s)
+                sizes.append(folds[0].shape[0])
+                fold_blocks.append(folds)
+
+        if not fold_blocks:
+            return empty_candidates()
+
+        reps = np.array(sizes, dtype=np.int64)
+        e_col = np.repeat(np.array(e_vals, dtype=np.int64), reps)
+        ns = np.repeat(np.array(ns_vals, dtype=np.int64), reps)
+        ms = np.repeat(np.array(ms_vals, dtype=np.int64), reps)
+        cs = np.repeat(np.array(cs_vals, dtype=np.int64), reps)
+        nr = np.concatenate([f[0] for f in fold_blocks])
+        mr = np.concatenate([f[1] for f in fold_blocks])
+        cr = np.concatenate([f[2] for f in fold_blocks])
+
+        n_p, m_p, c_p = ns * nr, ms * mr, cs * cr
+        strip = (e_col - 1) * u + r
+
+        # The _build_mappings formulas, one NumPy expression per column
+        # (the association order replicates the scalar code exactly).
+        filt_d = (e_full * nr).astype(np.float64)
+        filt_c = (e_col * ns).astype(np.float64)
+        filt_pass = (e_full / e_col) * (n / n_p)
+        if_d = (e_full * r / h) * mr
+        if_c = (e_col * r / strip) * ms
+        if_residual = layer.ifmap_reuse / (if_d * if_c)
+        if_chunk = m / m_p
+        if_rest = if_residual / if_chunk
+
+        ps_b = c / c_p
+        ps_c = (r_eff * cs).astype(np.float64)
+        ps_d = ((r * v_fold) * cr).astype(np.float64)
+
+        active = ns * ms * cs * r_eff * e_col
+        fold_ok = (active <= hw.num_pes) & ~(if_rest < _EPS)
+
+        psum_tile = n_p * m_p * e_col * e_full
+        ifmap_tile = n_p * c * strip * h
+        ifmap_pass = n_p * c_p * strip * h
+        filter_chunk = m_p * c * r * r
+        filter_pass = m_p * c_p * r * r
+        filter_all = m * c * r * r
+        cap = hw.buffer_words
+
+        count = active.shape[0]
+        ones = np.ones(count, dtype=np.float64)
+        # Scenario columns in _build_mappings order: (mask, if_a, if_b,
+        # filt_a, filt_b) -- the (c, d) factors and the psum split are
+        # shared by all four scenarios of a fold.
+        scenarios = (
+            (fold_ok & (ifmap_tile + filter_all + psum_tile <= cap),
+             ones, if_residual, ones, filt_pass),
+            (fold_ok & (ifmap_pass + filter_chunk + psum_tile <= cap),
+             if_chunk, if_rest, ones, filt_pass),
+            (fold_ok & (ifmap_tile + filter_pass + psum_tile <= cap),
+             ones, if_residual, filt_pass, ones),
+            (fold_ok & (ifmap_pass + filter_pass + psum_tile <= cap),
+             if_chunk, if_rest, filt_pass, ones),
+        )
+
+        rows = ScenarioExpansion([s[0] for s in scenarios])
+        if_a = rows.select([s[1] for s in scenarios])
+        if_b = rows.select([s[2] for s in scenarios])
+        w_a = rows.select([s[3] for s in scenarios])
+        w_b = rows.select([s[4] for s in scenarios])
+
+        return CandidateArrays(
+            ifmap=(if_a, if_b, rows.repeat(if_c), rows.repeat(if_d)),
+            filter=(w_a, w_b, rows.repeat(filt_c), rows.repeat(filt_d)),
+            psum=(rows.repeat(ones), rows.repeat(ps_b), rows.repeat(ps_c),
+                  rows.repeat(ps_d)),
+            active_pes=rows.repeat(active),
+            params={
+                "e": rows.repeat(e_col), "n_s": rows.repeat(ns),
+                "m_s": rows.repeat(ms), "c_s": rows.repeat(cs),
+                "n_r": rows.repeat(nr), "m_r": rows.repeat(mr),
+                "c_r": rows.repeat(cr),
+                "scenario": rows.scenario_index(),
+            },
+        )
+
+    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
+                        params: Dict[str, int]) -> Mapping:
+        """Materialize one candidate row through the scalar builder.
+
+        ``params`` is a :meth:`CandidateArrays.row_params` row; routing
+        it back through :meth:`_build_mappings` guarantees the returned
+        :class:`Mapping` is field-for-field the object the scalar search
+        would have produced.
+        """
+        _array_h, _array_w, r_eff, v_fold = self._geometry(layer, hw)
+        label = _SCENARIOS[params["scenario"]]
+        for mapping in self._build_mappings(
+                layer, hw, params["e"], r_eff, v_fold,
+                params["n_s"], params["m_s"], params["c_s"],
+                params["n_r"], params["m_r"], params["c_r"]):
+            if mapping.params["scenario"] == label:
+                return mapping
+        raise LookupError(
+            f"RS candidate {params} did not rebuild; the vectorized "
+            f"feasibility mask and the scalar builder disagree")
 
     # ------------------------------------------------------------------
     # Search-space enumeration helpers.
@@ -198,28 +395,28 @@ class RowStationary(Dataflow):
         scenarios = (
             # Full filter set and the ifmap strip tile both stay resident:
             # every input leaves DRAM exactly once.
-            ("both-resident",
+            (_SCENARIOS[0],
              BufferBudget(hw.buffer_words, ifmap_words=ifmap_tile,
                           filter_words=filter_all, psum_words=psum_tile),
              1.0, if_residual, 1.0, filt_pass_reuse),
             # m-chunk outer loop: the current filter chunk is resident
             # across strips/batches; the ifmap is re-read from DRAM once
             # per chunk.
-            ("ifmap-streams",
+            (_SCENARIOS[1],
              BufferBudget(hw.buffer_words, ifmap_words=ifmap_pass,
                           filter_words=filter_chunk, psum_words=psum_tile),
              if_chunk_reuse, if_rest, 1.0, filt_pass_reuse),
             # strip/batch outer loop: the ifmap strip tile is resident
             # across m-chunks; weights are re-read from DRAM once per
             # strip/batch pass (FC layers with huge filter sets).
-            ("filter-streams",
+            (_SCENARIOS[2],
              BufferBudget(hw.buffer_words, ifmap_words=ifmap_tile,
                           filter_words=filter_pass, psum_words=psum_tile),
              1.0, if_residual, filt_pass_reuse, 1.0),
             # Neither input is held across passes; both are re-read from
             # DRAM per pass.  The optimizer balances m_p (ifmap re-reads)
             # against n_p (weight re-reads) -- the FC sweet spot.
-            ("both-stream",
+            (_SCENARIOS[3],
              BufferBudget(hw.buffer_words, ifmap_words=ifmap_pass,
                           filter_words=filter_pass, psum_words=psum_tile),
              if_chunk_reuse, if_rest, filt_pass_reuse, 1.0),

@@ -26,10 +26,13 @@ Mapping parameters searched:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Dict, Iterator, Optional
+
+import numpy as np
 
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.base import BufferBudget, Dataflow, thin_candidates
+from repro.kernels import CandidateArrays, empty_candidates
 from repro.mapping.divisors import divisors_up_to
 from repro.mapping.mapping import Mapping
 from repro.mapping.reuse import AccumSplit, ReuseSplit
@@ -60,6 +63,73 @@ class WeightStationary(Dataflow):
                 mapping = self._build_mapping(layer, hw, m_f, c_f)
                 if mapping is not None:
                     yield mapping
+
+    def enumerate_candidate_arrays(self, layer: LayerShape,
+                                   hw: HardwareConfig
+                                   ) -> Optional[CandidateArrays]:
+        """The WS candidate space as structure-of-arrays columns.
+
+        Mirrors :meth:`enumerate_mappings`: the ``(m_f, c_f)`` pairs are
+        collected in the same thinned-divisor order and every formula of
+        :meth:`_build_mapping` -- the live-psum budget, the broadcast
+        rescales, the splits -- is evaluated over the whole batch at
+        once, with infeasible rows dropped by the same predicate.
+        """
+        r2 = layer.R ** 2
+        blocks = hw.num_pes // r2
+        if blocks < 1:
+            return empty_candidates()
+
+        n, m, c = layer.N, layer.M, layer.C
+        e, h = layer.E, layer.H
+        mf_vals, cf_vals = [], []
+        for m_f in thin_candidates(divisors_up_to(m, blocks)):
+            for c_f in thin_candidates(divisors_up_to(c, blocks // m_f)):
+                mf_vals.append(m_f)
+                cf_vals.append(c_f)
+        if not mf_vals:
+            return empty_candidates()
+        mf = np.array(mf_vals, dtype=np.int64)
+        cf = np.array(cf_vals, dtype=np.int64)
+
+        # Feasibility: the in-flight psums + staging rows + pinned
+        # weights must fit the buffer (the missing Fig. 11a WS bar).
+        used = cf * h + mf * cf * r2 + n * mf * e * e
+        keep = used <= hw.buffer_words
+        if not keep.any():
+            return empty_candidates()
+        mf, cf = mf[keep], cf[keep]
+        count = mf.shape[0]
+        ones = np.ones(count, dtype=np.float64)
+
+        # Ifmap broadcast reuse with the two degenerate-geometry
+        # rescales of _build_mapping, as vectorized selects.
+        if_c = (mf * r2 * e * e / (h * h)).astype(np.float64)
+        if_c = np.where(if_c < 1.0, 1.0, if_c)
+        if_a = layer.ifmap_reuse / if_c
+        low = if_a < 1.0
+        if_c = np.where(low, float(layer.ifmap_reuse), if_c)
+        if_a = np.where(low, 1.0, if_a)
+
+        return CandidateArrays(
+            ifmap=(if_a, ones, if_c, ones),
+            filter=(ones, ones, ones,
+                    np.full(count, float(n * e * e))),
+            psum=(ones, c / cf, (r2 * cf).astype(np.float64), ones),
+            active_pes=mf * cf * r2,
+            params={"m_f": mf, "c_f": cf},
+        )
+
+    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
+                        params: Dict[str, int]) -> Mapping:
+        """Materialize one candidate row through the scalar builder."""
+        mapping = self._build_mapping(layer, hw, params["m_f"],
+                                      params["c_f"])
+        if mapping is None:
+            raise LookupError(
+                f"WS candidate {params} did not rebuild; the vectorized "
+                f"feasibility mask and the scalar builder disagree")
+        return mapping
 
     def _build_mapping(self, layer: LayerShape, hw: HardwareConfig,
                        m_f: int, c_f: int) -> Mapping | None:

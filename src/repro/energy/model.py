@@ -3,6 +3,10 @@
 ``evaluate_layer`` runs the mapping optimizer for one (dataflow, layer,
 hardware) triple and returns the full accounting record; it is the pure,
 uncached primitive the evaluation engine dispatches to its workers.
+The search itself runs on the vectorized kernel of :mod:`repro.kernels`
+for the built-in objectives (with a bit-identical streaming fallback
+for custom ones -- see docs/PERFORMANCE.md), so the record built here
+is the same whichever path scored the candidates.
 ``evaluate_network`` aggregates a list of layers (e.g. the five CONV
 layers of AlexNet) the way the paper's figures do -- totals divided by
 total MACs -- and routes through the shared
@@ -147,7 +151,12 @@ def evaluate_layer(dataflow: Dataflow, layer: LayerShape,
                    hw: HardwareConfig,
                    costs: EnergyCosts | None = None,
                    objective: str = "energy") -> Optional[LayerEvaluation]:
-    """Optimize one layer and account its energy; None when infeasible."""
+    """Optimize one layer and account its energy; None when infeasible.
+
+    The mapping search dispatches to the vectorized kernel or the
+    streaming scalar path per the rules in ``optimize_mapping`` -- the
+    returned record is bit-identical either way.
+    """
     cost_table = costs or hw.costs
     result = optimize_mapping(dataflow, layer, hw, cost_table, objective)
     if result.best is None:

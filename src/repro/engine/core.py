@@ -16,6 +16,11 @@ hardware, objective) problems are turned into
 The unit of parallel work is one *layer* evaluation, not one network or
 sweep point: a sweep over G grid points of L layers becomes G x L
 independent tasks, which load-balances far better than G lumpy tasks.
+Tasks are *dispatched* in deduplicated chunks (about four per worker,
+see ``EngineConfig.chunk_size``): each chunk ships every distinct
+dataflow and hardware config once, and a per-worker initializer installs
+the dataflow-registry snapshot up front, so the per-job pickling that
+used to dominate process-pool wall time is gone.
 
 Parallelism is off by default and is enabled per call
 (``parallel=True``), per engine (:class:`EngineConfig`), or globally via
@@ -40,7 +45,9 @@ of its key, so only wall-clock time changes (see
 
 from __future__ import annotations
 
+import math
 import os
+import pickle
 import threading
 from concurrent.futures import (
     Executor,
@@ -49,7 +56,7 @@ from concurrent.futures import (
     as_completed,
 )
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
@@ -110,12 +117,19 @@ class EngineConfig:
     min_parallel_jobs:
         Pools are only engaged when at least this many uncached tasks
         are pending; smaller batches run inline to avoid pool overhead.
+    chunk_size:
+        Tasks per dispatched batch.  None (default) auto-sizes to about
+        four chunks per worker, which amortizes the per-task IPC and
+        pickling overhead (the old one-future-per-layer dispatch spent
+        more time serializing jobs than evaluating them) while keeping
+        enough chunks in flight for load balancing.
     """
 
     parallel: bool = False
     executor: str = "process"
     max_workers: Optional[int] = None
     min_parallel_jobs: int = 2
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.executor not in ("process", "thread"):
@@ -123,6 +137,8 @@ class EngineConfig:
                 f"executor must be 'process' or 'thread', "
                 f"not {self.executor!r}"
             )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be a positive integer")
 
     @classmethod
     def from_env(cls) -> "EngineConfig":
@@ -189,6 +205,106 @@ def _evaluate_layer_task(dataflow: Dataflow, layer: LayerShape,
     return evaluate_layer(dataflow, layer, hw, None, objective)
 
 
+# ----------------------------------------------------------------------
+# Chunked process-pool dispatch.
+#
+# The seed engine submitted one future per layer job, re-pickling the
+# dataflow singleton and the hardware config (with its EnergyCosts
+# table) for every task -- on sweep-sized batches the serialization
+# overhead swamped the actual mapping search and the pool *lost* to the
+# serial path.  Dispatch now works in chunks: shared state is installed
+# once per worker by an initializer (the dataflow-registry snapshot),
+# and each chunk deduplicates its dataflows and hardware configs so a
+# grid of G cells x L layers pickles each config once per chunk instead
+# of once per job.
+# ----------------------------------------------------------------------
+
+#: A dataflow reference inside a chunk payload: the registry name of a
+#: worker-installed singleton (cheap), or the pickled instance itself
+#: (fallback for dataflows the workers do not know).
+_DataflowRef = Union[str, Dataflow]
+
+
+def _picklable_entries(registry) -> Dict[str, object]:
+    """A registry's picklable entries, for worker installs.
+
+    Unpicklable entries (e.g. closures, lambdas) are simply left out;
+    dataflow jobs referencing them fall back to carrying the instance
+    inside the chunk payload, exactly as every job did before (custom
+    *objectives* have no such fallback -- they must be picklable, i.e.
+    module-level functions, to be evaluated on a process pool).
+    """
+    snapshot: Dict[str, object] = {}
+    for name in registry.names():
+        value = registry[name]
+        try:
+            pickle.dumps(value)
+        except Exception:
+            continue
+        snapshot[name] = value
+    return snapshot
+
+
+def _registry_snapshot() -> Tuple[Dict[str, Dataflow], Dict[str, object]]:
+    """The (dataflows, objectives) registry state to install per worker."""
+    from repro.registry import dataflow_registry, objective_registry
+
+    return (_picklable_entries(dataflow_registry),
+            _picklable_entries(objective_registry))
+
+
+def _worker_init(dataflows: Dict[str, Dataflow],
+                 objectives: Dict[str, object]) -> None:
+    """Per-worker initializer: install shared state exactly once.
+
+    Seeds the built-in registries (importing the dataflow modules also
+    pulls in the energy model and the default
+    :class:`~repro.arch.energy_costs.EnergyCosts` table, so with spawn
+    start methods the import cost is paid here, not on the first chunk)
+    and then installs the parent's registered dataflows -- so chunk
+    rows can reference them by *name* instead of shipping pickled
+    instances with every job -- and its custom objectives, which
+    workers can only ever resolve by name.
+    """
+    import repro.dataflows.registry  # noqa: F401  (seeds the builtins)
+    import repro.mapping.optimizer  # noqa: F401  (seeds the objectives)
+    from repro.registry import dataflow_registry, objective_registry
+
+    for name, dataflow in dataflows.items():
+        dataflow_registry.add(name, dataflow, replace=True)
+    for name, objective in objectives.items():
+        objective_registry.add(name, objective, replace=True)
+
+
+def _evaluate_chunk(dataflows: Tuple[_DataflowRef, ...],
+                    hardwares: Tuple[HardwareConfig, ...],
+                    rows: Tuple[Tuple[int, LayerShape, int, str], ...]
+                    ) -> List[Tuple[bool, object]]:
+    """Top-level chunk worker: evaluate a batch of deduplicated rows.
+
+    ``rows`` hold ``(dataflow_index, layer, hardware_index, objective)``
+    tuples indexing into the chunk-level ``dataflows`` / ``hardwares``
+    tables, so each distinct dataflow and hardware config crosses the
+    process boundary once per chunk.  Returns ``(ok, payload)`` entries
+    in row order, where a failed row carries its exception instead of a
+    result -- per-row isolation, so one raising job (a buggy custom
+    objective, say) cannot discard its siblings' work the way a shared
+    chunk exception would.
+    """
+    from repro.registry import get_dataflow
+
+    resolved = [get_dataflow(ref) if isinstance(ref, str) else ref
+                for ref in dataflows]
+    entries: List[Tuple[bool, object]] = []
+    for df, layer, hw, objective in rows:
+        try:
+            entries.append((True, _evaluate_layer_task(
+                resolved[df], layer, hardwares[hw], objective)))
+        except Exception as error:  # re-raised by the dispatching side
+            entries.append((False, error))
+    return entries
+
+
 def _with_costs(hw: HardwareConfig,
                 costs: Optional[EnergyCosts]) -> HardwareConfig:
     """Fold an explicit cost table into the hardware identity.
@@ -211,22 +327,37 @@ class EvaluationEngine:
         self.cache = cache if cache is not None else EvaluationCache()
         self._pool: Optional[Executor] = None
         self._pool_lock = threading.Lock()
+        self._shared_by_id: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Pool management.
     # ------------------------------------------------------------------
 
     def _executor(self) -> Executor:
-        """The engine's persistent pool, created on first parallel use."""
+        """The engine's persistent pool, created on first parallel use.
+
+        Process pools are created with a worker initializer that
+        installs the current dataflow-registry snapshot in every worker,
+        so chunk payloads can reference dataflows by name; the engine
+        remembers which instances the snapshot covered
+        (``_shared_by_id``).  Thread pools share the process registry
+        and skip all of that.
+        """
         with self._pool_lock:
             if self._pool is None:
                 if self.config.executor == "thread":
+                    self._shared_by_id = {}
                     self._pool = ThreadPoolExecutor(
                         max_workers=self.config.max_workers,
                         thread_name_prefix="repro-engine")
                 else:
+                    dataflows, objectives = _registry_snapshot()
+                    self._shared_by_id = {
+                        id(df): name for name, df in dataflows.items()}
                     self._pool = ProcessPoolExecutor(
-                        max_workers=self.config.max_workers)
+                        max_workers=self.config.max_workers,
+                        initializer=_worker_init,
+                        initargs=(dataflows, objectives))
             return self._pool
 
     def close(self) -> None:
@@ -235,6 +366,7 @@ class EvaluationEngine:
             if self._pool is not None:
                 self._pool.shutdown()
                 self._pool = None
+                self._shared_by_id = {}
 
     def __enter__(self) -> "EvaluationEngine":
         return self
@@ -355,21 +487,25 @@ class EvaluationEngine:
 
         pool = self._executor()
 
-        def record(key: CacheKey):
+        def record(keys: Tuple[CacheKey, ...]):
             # Cache from the completion callback, not the consumption
             # loop: if the caller abandons the stream early (the
-            # documented use), already-computed results are still kept.
+            # documented use), already-computed results are still kept
+            # -- including a failed row's siblings.
             def done(future) -> None:
                 if not future.cancelled() and future.exception() is None:
-                    self.cache.put(key, future.result())
+                    for key, (ok, payload) in zip(keys, future.result()):
+                        if ok:
+                            self.cache.put(key, payload)
             return done
 
         futures = {}
-        for key, job in pending.items():
-            future = pool.submit(_evaluate_layer_task, job.dataflow,
-                                 job.layer, job.hardware, job.objective)
-            future.add_done_callback(record(key))
-            futures[future] = key
+        for chunk in self._chunked(list(pending.items())):
+            future = pool.submit(_evaluate_chunk,
+                                 *self._chunk_payload(chunk))
+            keys = tuple(key for key, _job in chunk)
+            future.add_done_callback(record(keys))
+            futures[future] = keys
         key_cells: Dict[CacheKey, List[int]] = {}
         remaining: List[int] = []
         for index, keys in enumerate(cell_keys):
@@ -380,12 +516,18 @@ class EvaluationEngine:
             if not missing:  # answered entirely from the cache
                 yield finish(index)
         for future in as_completed(futures):
-            key = futures[future]
-            results[key] = future.result()
-            for index in key_cells.get(key, ()):
-                remaining[index] -= 1
-                if remaining[index] == 0:
-                    yield finish(index)
+            error: Optional[Exception] = None
+            for key, (ok, payload) in zip(futures[future], future.result()):
+                if not ok:
+                    error = error or payload
+                    continue
+                results[key] = payload
+                for index in key_cells.get(key, ()):
+                    remaining[index] -= 1
+                    if remaining[index] == 0:
+                        yield finish(index)
+            if error is not None:
+                raise error
 
     def evaluate_many(self, jobs: Sequence[LayerJob],
                       parallel: Optional[bool] = None
@@ -421,6 +563,48 @@ class EvaluationEngine:
         enabled = self.config.parallel if parallel is None else parallel
         return enabled and tasks >= self.config.min_parallel_jobs
 
+    def _chunked(self, items: List[Tuple[CacheKey, LayerJob]]
+                 ) -> List[List[Tuple[CacheKey, LayerJob]]]:
+        """Split pending items into dispatch batches (see ``chunk_size``)."""
+        size = self.config.chunk_size
+        if size is None:
+            workers = self.config.max_workers or os.cpu_count() or 1
+            size = max(1, math.ceil(len(items) / (workers * 4)))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _chunk_payload(self, chunk: List[Tuple[CacheKey, LayerJob]]
+                       ) -> Tuple[Tuple[_DataflowRef, ...],
+                                  Tuple[HardwareConfig, ...],
+                                  Tuple[Tuple[int, LayerShape, int, str],
+                                        ...]]:
+        """Deduplicate one chunk into the ``_evaluate_chunk`` payload.
+
+        Dataflows covered by the pool's registry snapshot travel as bare
+        names (the worker already holds the instance); anything else is
+        pickled once per chunk.  Hardware configs -- which carry the
+        EnergyCosts table -- are likewise indexed so a grid chunk ships
+        each config once, not once per layer.
+        """
+        dataflows: List[_DataflowRef] = []
+        df_index: Dict[int, int] = {}
+        hardwares: List[HardwareConfig] = []
+        hw_index: Dict[HardwareConfig, int] = {}
+        rows = []
+        for _key, job in chunk:
+            df = job.dataflow
+            di = df_index.get(id(df))
+            if di is None:
+                di = len(dataflows)
+                df_index[id(df)] = di
+                dataflows.append(self._shared_by_id.get(id(df), df))
+            hi = hw_index.get(job.hardware)
+            if hi is None:
+                hi = len(hardwares)
+                hw_index[job.hardware] = hi
+                hardwares.append(job.hardware)
+            rows.append((di, job.layer, hi, job.objective))
+        return tuple(dataflows), tuple(hardwares), tuple(rows)
+
     def _run(self, items: List[Tuple[CacheKey, LayerJob]],
              parallel: Optional[bool]
              ) -> List[Tuple[CacheKey, Optional[LayerEvaluation]]]:
@@ -430,10 +614,25 @@ class EvaluationEngine:
                                           job.hardware, job.objective))
                     for key, job in items]
         pool = self._executor()
-        futures = [(key, pool.submit(_evaluate_layer_task, job.dataflow,
-                                     job.layer, job.hardware, job.objective))
-                   for key, job in items]
-        return [(key, future.result()) for key, future in futures]
+        futures = [(chunk, pool.submit(_evaluate_chunk,
+                                       *self._chunk_payload(chunk)))
+                   for chunk in self._chunked(items)]
+        results: List[Tuple[CacheKey, Optional[LayerEvaluation]]] = []
+        error: Optional[Exception] = None
+        for chunk, future in futures:
+            for (key, _job), (ok, payload) in zip(chunk, future.result()):
+                if ok:
+                    results.append((key, payload))
+                elif error is None:
+                    error = payload
+        if error is not None:
+            # Keep the siblings' completed work before propagating: a
+            # retry after the caller fixes its objective answers them
+            # from the cache instead of recomputing.
+            for key, value in results:
+                self.cache.put(key, value)
+            raise error
+        return results
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,261 @@
+"""Vectorized candidate-scoring kernels for the mapping search.
+
+The mapping search (Section VI-C-3) is the innermost loop of everything
+this repo does: every ``Session.evaluate``, sweep, DSE candidate and
+service request funnels through ``optimize_mapping``.  The scalar path
+materializes one frozen :class:`~repro.mapping.mapping.Mapping` per
+candidate and scores it one float at a time -- tens of thousands of
+dataclass allocations per (dataflow, layer) cell.  This module is the
+batch alternative:
+
+* Each dataflow emits its full candidate space as a
+  :class:`CandidateArrays` block -- *structure of arrays*, one float64
+  column per reuse-split factor, one int64 column per tiling parameter
+  -- in exactly the order (and with exactly the feasibility filters) of
+  its scalar ``enumerate_mappings`` generator.
+* :func:`score_candidates` computes the objective of the *whole batch*
+  in a handful of NumPy ops, reusing the vectorized Eq. (3)/(4) math of
+  :mod:`repro.mapping.reuse`.
+* :func:`select_best` reduces the score column to the winning row under
+  the same min/tie-break rule as
+  :class:`~repro.engine.reducer.StreamingBest`.
+
+Only the argmin winner is ever materialized as a ``Mapping`` (via the
+dataflow's ``rebuild_mapping``), so everything downstream -- the energy
+breakdown, ``MappingSearchResult``, caches, figures -- is untouched.
+
+Bit-identical parity with the scalar path is the hard contract: the
+expression trees here replicate the scalar association order term for
+term, so the winning mapping *and* its objective score match the scalar
+search to the last bit (``tests/test_kernels.py`` pins this across all
+six dataflows x AlexNet/VGG16/ResNet-18 x a randomized hardware grid).
+
+The kernel handles the three built-in objectives (``energy``, ``edp``,
+``dram``); custom ``@register_objective`` callables take arbitrary
+``Mapping`` objects and therefore stream through the scalar path.  The
+``REPRO_KERNEL`` environment variable overrides the dispatch for
+debugging (see :func:`kernel_mode`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.mapping.reuse import (
+    eq3_access_arrays,
+    eq4_access_arrays,
+    level_energy_arrays,
+)
+from repro.nn.layer import LayerShape
+
+#: Recognized ``REPRO_KERNEL`` values.
+_KERNEL_MODES = ("auto", "vector", "scalar")
+
+
+def kernel_mode() -> str:
+    """The active kernel policy: ``auto`` (default), ``vector``, ``scalar``.
+
+    Read from the ``REPRO_KERNEL`` environment variable on every call so
+    tests and debugging sessions can flip it without re-importing:
+
+    ==========  ========================================================
+    ``auto``    vectorized kernel for the built-in objectives, scalar
+                streaming search otherwise (the default)
+    ``vector``  same dispatch as ``auto`` (the kernel cannot evaluate
+                arbitrary Python objectives, so custom objectives still
+                stream); spelled out for symmetry and log clarity
+    ``scalar``  force the scalar path everywhere (debugging / parity
+                baselines)
+    ==========  ========================================================
+    """
+    raw = os.environ.get("REPRO_KERNEL", "auto").strip().lower()
+    if raw == "":
+        return "auto"
+    if raw not in _KERNEL_MODES:
+        known = ", ".join(_KERNEL_MODES)
+        raise ValueError(f"cannot parse REPRO_KERNEL={raw!r}; known: {known}")
+    return raw
+
+
+@dataclass
+class CandidateArrays:
+    """One dataflow's candidate space as structure-of-arrays columns.
+
+    All rows are *feasible* candidates, in exactly the order the scalar
+    ``enumerate_mappings`` generator would have yielded them (the
+    tie-break rule is order-sensitive: among equal tie keys the first
+    arrival wins).
+
+    Attributes
+    ----------
+    ifmap, filter, psum:
+        ``(a, b, c, d)`` reuse-split columns per data type, float64,
+        one entry per candidate.  Together with the layer's unique-value
+        counts these are everything Eqs. (3)/(4) need.
+    active_pes:
+        Active-PE column (int64); the optimizer's tie-break key and the
+        EDP delay denominator.
+    params:
+        Per-candidate tiling parameters (int64 columns keyed by name,
+        e.g. ``e, n_s, ..., scenario``), enough for the owning dataflow's
+        ``rebuild_mapping`` to re-materialize any row as a full
+        :class:`~repro.mapping.mapping.Mapping` through its scalar
+        builder.
+    """
+
+    ifmap: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    filter: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    psum: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    active_pes: np.ndarray
+    params: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.active_pes.shape[0])
+
+    def row_params(self, index: int) -> Dict[str, int]:
+        """The tiling parameters of one candidate row, as Python ints."""
+        return {name: int(col[index]) for name, col in self.params.items()}
+
+
+def empty_candidates() -> CandidateArrays:
+    """A zero-row block: the dataflow cannot run the layer at all."""
+    z = np.zeros(0, dtype=np.float64)
+    zi = np.zeros(0, dtype=np.int64)
+    return CandidateArrays(ifmap=(z, z, z, z), filter=(z, z, z, z),
+                           psum=(z, z, z, z), active_pes=zi)
+
+
+def interleave(columns) -> np.ndarray:
+    """Merge per-scenario columns into one row-major candidate column.
+
+    Given K same-length columns (one per buffer-residency scenario of a
+    fold), returns the length ``K * F`` column in fold-major /
+    scenario-minor order -- the order the scalar generators yield
+    candidates in, which the tie-break depends on.
+    """
+    return np.stack(columns, axis=1).reshape(-1)
+
+
+class ScenarioExpansion:
+    """Fold-major / scenario-minor row expansion with feasibility masks.
+
+    The dataflows whose folds branch into K buffer-residency scenarios
+    (RS, the OS family) compute per-fold columns once and expand them
+    into candidate rows ordered exactly like the scalar yield order:
+    fold-major, scenario innermost, infeasible rows dropped.  This
+    object owns that ordering contract -- which the bit-identical
+    tie-break depends on -- so the enumerators cannot drift apart.
+
+    Built from the K per-scenario feasibility masks (length-F bool
+    columns); exposes the three expansions the enumerators need.
+    """
+
+    def __init__(self, masks) -> None:
+        self.scenarios = len(masks)
+        self.folds = int(masks[0].shape[0])
+        self.keep = interleave(masks)
+
+    def __bool__(self) -> bool:
+        """Whether any candidate row survived the masks."""
+        return bool(self.keep.any())
+
+    def select(self, columns) -> np.ndarray:
+        """Expand K per-scenario column variants into candidate rows."""
+        return interleave(columns)[self.keep]
+
+    def repeat(self, column: np.ndarray) -> np.ndarray:
+        """Expand one scenario-invariant per-fold column into rows."""
+        return np.repeat(column, self.scenarios)[self.keep]
+
+    def scenario_index(self) -> np.ndarray:
+        """The per-row scenario id (0..K-1), for winner reconstruction."""
+        return np.tile(np.arange(self.scenarios, dtype=np.int64),
+                       self.folds)[self.keep]
+
+
+def _total_energy(block: CandidateArrays, layer: LayerShape,
+                  costs: EnergyCosts) -> np.ndarray:
+    """Whole-layer total energy column (Eq. (3) + Eq. (4) + ALU).
+
+    Mirrors ``Mapping.total_energy``: per-split Table IV weighted sums,
+    added ifmap + filter + psum, plus ``macs * alu`` -- in that order.
+    """
+    e_if = level_energy_arrays(
+        *eq3_access_arrays(layer.ifmap_words, *block.ifmap), costs)
+    e_w = level_energy_arrays(
+        *eq3_access_arrays(layer.filter_words, *block.filter), costs)
+    e_ps = level_energy_arrays(
+        *eq4_access_arrays(layer.ofmap_words, *block.psum), costs)
+    return e_if + e_w + e_ps + layer.macs * costs.alu
+
+
+def energy_per_mac(block: CandidateArrays, layer: LayerShape,
+                   costs: EnergyCosts) -> np.ndarray:
+    """Vectorized ``Mapping.energy_per_mac`` (the paper's Energy/Op)."""
+    return _total_energy(block, layer, costs) / layer.macs
+
+
+def edp(block: CandidateArrays, layer: LayerShape,
+        costs: EnergyCosts) -> np.ndarray:
+    """Vectorized ``Mapping.edp``: energy/MAC times the 1/PE delay."""
+    delay = 1.0 / block.active_pes.astype(np.float64)
+    return energy_per_mac(block, layer, costs) * delay
+
+
+def dram_accesses_per_op(block: CandidateArrays, layer: LayerShape,
+                         costs: EnergyCosts) -> np.ndarray:
+    """Vectorized ``Mapping.dram_accesses_per_op`` (Fig. 11 y-axis)."""
+    if_a, w_a, p_a = block.ifmap[0], block.filter[0], block.psum[0]
+    reads = (layer.ifmap_words * if_a + layer.filter_words * w_a
+             + layer.ofmap_words * (p_a - 1))
+    writes = layer.ofmap_words * p_a
+    return (reads + writes) / layer.macs
+
+
+#: Objective name -> vectorized scorer.  The dispatch in
+#: ``optimize_mapping`` only takes this path when the *registered*
+#: objective is still the matching built-in function, so re-registering
+#: e.g. ``energy`` with a custom callable transparently restores the
+#: scalar search for it.
+SCORERS = {
+    "energy": energy_per_mac,
+    "edp": edp,
+    "dram": dram_accesses_per_op,
+}
+
+
+def score_candidates(block: CandidateArrays, layer: LayerShape,
+                     costs: EnergyCosts, objective: str) -> np.ndarray:
+    """Score every candidate row under a built-in objective at once."""
+    try:
+        scorer = SCORERS[objective]
+    except KeyError:
+        known = ", ".join(SCORERS)
+        raise ValueError(
+            f"no vectorized scorer for objective {objective!r}; "
+            f"known: {known}") from None
+    return scorer(block, layer, costs)
+
+
+def select_best(scores: np.ndarray, active_pes: np.ndarray,
+                tie_tolerance: float) -> Optional[int]:
+    """The winning row index under the StreamingBest min/tie-break rule.
+
+    Exactly the reduction of
+    :class:`~repro.engine.reducer.StreamingBest`: the minimum score
+    defines a ``best * (1 + tie_tolerance)`` whisker; among rows at or
+    below it, the *first* row with the most active PEs wins (``argmax``
+    returns the first occurrence, matching ``max`` semantics over the
+    arrival-ordered contender list).  Returns None on an empty batch.
+    """
+    if scores.shape[0] == 0:
+        return None
+    best = scores.min()
+    threshold = best * (1.0 + tie_tolerance)
+    eligible = np.flatnonzero(scores <= threshold)
+    return int(eligible[np.argmax(active_pes[eligible])])

@@ -29,11 +29,49 @@ def divisors(n: int) -> Tuple[int, ...]:
     return tuple(small + large[::-1])
 
 
+@lru_cache(maxsize=None)
 def divisors_up_to(n: int, limit: int) -> Tuple[int, ...]:
-    """Divisors of ``n`` that do not exceed ``limit``."""
+    """Divisors of ``n`` that do not exceed ``limit``.
+
+    Memoized: mapping searches re-ask for the same ``(n, limit)`` pair
+    once per candidate sub-tree, which across a sweep means millions of
+    identical calls (see ``tests/test_divisors.py`` for the cache-hit
+    regression test).
+    """
     if limit < 1:
         return ()
     return tuple(d for d in divisors(n) if d <= limit)
+
+
+@lru_cache(maxsize=None)
+def _thin_cached(values: Tuple[int, ...], limit: int) -> Tuple[int, ...]:
+    """The memoized body of :func:`thin_candidates` (tuple keys only)."""
+    if len(values) <= limit:
+        return values
+    step = (len(values) - 1) / (limit - 1)
+    picked = sorted({values[round(i * step)] for i in range(limit)})
+    return tuple(picked)
+
+
+def thin_candidates(values, limit: int = 8) -> Tuple[int, ...]:
+    """Subsample a divisor list to bound the mapping-search fan-out.
+
+    Keeps the endpoints and an evenly spread interior so the optimizer
+    still sees small, medium and large tile choices.  The paper's search
+    is exhaustive; thinning is a performance concession documented in
+    DESIGN.md and tested to not change the optimum on the AlexNet layers
+    (the energy landscape is smooth in the tile sizes).
+
+    Memoized per distinct list: the dataflow enumerators thin the same
+    divisor lists for every layer x hardware cell of a sweep.  Accepts
+    any integer sequence (coerced to the hashable tuple cache key).
+    """
+    return _thin_cached(tuple(values), limit)
+
+
+#: Cache introspection for the memoized body (mirrors ``lru_cache``).
+thin_candidates.cache_info = _thin_cached.cache_info
+thin_candidates.cache_clear = _thin_cached.cache_clear
 
 
 def largest_divisor_up_to(n: int, limit: int) -> int:

@@ -7,11 +7,23 @@ defined in Eq. (3) and (4)".  This module is that optimizer: it scores
 every candidate the dataflow enumerates and keeps the best one under the
 chosen objective.
 
-Candidates are folded through the engine's single-pass
-:class:`~repro.engine.reducer.StreamingBest` reducer as they stream out
-of the dataflow's enumerator, so the search never materializes the full
-candidate list (the RS space on batched CONV layers runs to tens of
-thousands of mappings).
+The search runs one of two equivalent engines:
+
+* the **vectorized kernel** (:mod:`repro.kernels`): the dataflow emits
+  its whole candidate space as structure-of-arrays NumPy columns and
+  the objective is reduced in a handful of array ops, materializing a
+  full :class:`~repro.mapping.mapping.Mapping` only for the winner --
+  the default for the three built-in objectives;
+* the **streaming scalar path**: candidates fold one at a time through
+  the engine's single-pass
+  :class:`~repro.engine.reducer.StreamingBest` reducer, never
+  materializing the full candidate list -- the fallback for custom
+  ``@register_objective`` callables (which take arbitrary ``Mapping``
+  objects) and for dataflows without an array enumerator.
+
+Both return bit-identical results (same winning mapping, same score,
+same candidate count); ``REPRO_KERNEL=scalar`` forces the scalar path
+for debugging.  See docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro import kernels
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.engine.reducer import StreamingBest
@@ -50,6 +63,15 @@ def _dram_objective(mapping: Mapping, costs: EnergyCosts) -> float:
 #: :data:`repro.registry.objective_registry`; register new objectives
 #: with :func:`repro.registry.register_objective`.
 OBJECTIVES = objective_registry
+
+#: The built-in scoring callables the vectorized kernel replicates.  The
+#: dispatch compares the *registered* objective against this table by
+#: identity, so a re-registered name drops back to the scalar path.
+_BUILTIN_OBJECTIVES = {
+    "energy": _energy_objective,
+    "edp": _edp_objective,
+    "dram": _dram_objective,
+}
 
 
 @dataclass(frozen=True)
@@ -96,6 +118,12 @@ def optimize_mapping(dataflow: "Dataflow", layer: LayerShape,
     score = OBJECTIVES[objective]
     cost_table = costs or hw.costs
 
+    if _vectorizable(dataflow, objective, score):
+        result = _optimize_vectorized(dataflow, layer, hw, cost_table,
+                                      objective, tie_tolerance)
+        if result is not None:
+            return result
+
     # Stream candidates through a single-pass reduction: track the best
     # objective value, and among candidates within a whisker of it keep
     # the one with the most active PEs -- mapping choices that cost
@@ -109,4 +137,48 @@ def optimize_mapping(dataflow: "Dataflow", layer: LayerShape,
     return MappingSearchResult(dataflow=dataflow.name, layer=layer.name,
                                best=reducer.result(),
                                candidates=reducer.count,
+                               objective=objective)
+
+
+def _vectorizable(dataflow: "Dataflow", objective: str, score) -> bool:
+    """Whether this search may take the vectorized kernel path.
+
+    Requires all three of: the kernel is not disabled
+    (``REPRO_KERNEL=scalar``); the objective is one of the built-in
+    three *and still bound to the built-in scorer* (re-registering e.g.
+    ``energy`` with a custom callable transparently restores the scalar
+    path for it); and -- checked by the caller via the block being
+    non-None -- the dataflow implements ``enumerate_candidate_arrays``.
+    """
+    if kernels.kernel_mode() == "scalar":
+        return False
+    return (objective in kernels.SCORERS
+            and score is _BUILTIN_OBJECTIVES.get(objective))
+
+
+def _optimize_vectorized(dataflow: "Dataflow", layer: LayerShape,
+                         hw: HardwareConfig, cost_table: EnergyCosts,
+                         objective: str, tie_tolerance: float
+                         ) -> Optional[MappingSearchResult]:
+    """Run one search on the array kernel; None defers to the scalar path.
+
+    The dataflow emits its candidate space as one
+    :class:`~repro.kernels.CandidateArrays` block (None means it has no
+    array enumerator), the kernel scores the whole batch, and only the
+    winning row is materialized as a :class:`Mapping` through the
+    dataflow's scalar builder -- so the result is field-for-field what
+    the streaming reduction would have produced.
+    """
+    block = dataflow.enumerate_candidate_arrays(layer, hw)
+    if block is None:
+        return None
+    if len(block) == 0:
+        return MappingSearchResult(dataflow=dataflow.name, layer=layer.name,
+                                   best=None, candidates=0,
+                                   objective=objective)
+    scores = kernels.score_candidates(block, layer, cost_table, objective)
+    winner = kernels.select_best(scores, block.active_pes, tie_tolerance)
+    best = dataflow.rebuild_mapping(layer, hw, block.row_params(winner))
+    return MappingSearchResult(dataflow=dataflow.name, layer=layer.name,
+                               best=best, candidates=len(block),
                                objective=objective)

@@ -32,6 +32,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.arch.energy_costs import EnergyCosts
 
 #: Relative tolerance when checking that a split multiplies to the total.
@@ -201,3 +203,67 @@ class AccumSplit:
     def dram_reads(self) -> float:
         """Psum re-read traffic from DRAM (zero when a = 1)."""
         return self.unique_values * (self.a - 1)
+
+
+# ----------------------------------------------------------------------
+# Vectorized Eq. (3)/(4) kernels (structure-of-arrays candidate batches).
+#
+# These are the array twins of ``ReuseSplit.access_counts`` and
+# ``AccumSplit.access_counts``: each takes per-candidate split columns
+# (float64 arrays) and returns per-level access-count columns for the
+# whole batch at once.  The expression trees mirror the scalar methods
+# term for term -- same association order, same bypass thresholds -- so
+# the floats they produce are bit-identical to the scalar path, which is
+# the contract the vectorized mapping search (:mod:`repro.kernels`)
+# relies on for its "same winner, same score bits" guarantee.
+# ----------------------------------------------------------------------
+
+
+def eq3_access_arrays(unique_values: float, a: np.ndarray, b: np.ndarray,
+                      c: np.ndarray, d: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+    """Vectorized :meth:`ReuseSplit.access_counts` (Eq. (3) + footnote 1).
+
+    Returns ``(dram, buffer, array, rf)`` access-count columns.  The
+    bypass rule is applied per candidate with the same ``_SPLIT_RTOL``
+    threshold as the scalar path: a level whose reuse factor is 1 is
+    skipped and its term zeroed.
+    """
+    dram = unique_values * a
+    ab = dram * b
+    abc = ab * c
+    abcd = abc * d
+    buffer = np.where(b > 1.0 + _SPLIT_RTOL, ab, 0.0)
+    array = np.where(c > 1.0 + _SPLIT_RTOL, abc, 0.0)
+    rf = np.where(d > 1.0 + _SPLIT_RTOL, abcd, 0.0)
+    return dram, buffer, array, rf
+
+
+def eq4_access_arrays(unique_values: float, a: np.ndarray, b: np.ndarray,
+                      c: np.ndarray, d: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+    """Vectorized :meth:`AccumSplit.access_counts` (Eq. (4)).
+
+    Returns ``(dram, buffer, array, rf)`` access-count columns with the
+    same read+write factors as the scalar method: ``(2a-1)`` at DRAM,
+    ``2a(b-1)`` at the buffer, ``ab(c-1)`` across the array and
+    ``2abc(d-1)`` in the RF.
+    """
+    v = unique_values
+    dram = v * (2 * a - 1)
+    v2a = v * 2 * a
+    buffer = v2a * (b - 1)
+    vab = v * a * b
+    array = vab * (c - 1)
+    rf = v2a * b * c * (d - 1)
+    return dram, buffer, array, rf
+
+
+def level_energy_arrays(dram: np.ndarray, buffer: np.ndarray,
+                        array: np.ndarray, rf: np.ndarray,
+                        costs: EnergyCosts) -> np.ndarray:
+    """Vectorized :meth:`AccessCounts.energy`: Table IV weighted sum."""
+    return (dram * costs.dram + buffer * costs.buffer
+            + array * costs.array + rf * costs.rf)

@@ -9,6 +9,7 @@ from repro.mapping.divisors import (
     divisors_up_to,
     largest_divisor_up_to,
     split_candidates,
+    thin_candidates,
     tile_utilization,
 )
 
@@ -49,6 +50,50 @@ class TestDivisors:
     def test_split_candidates_always_contains_one(self):
         assert 1 in split_candidates(7, limit=1)
         assert split_candidates(12) == divisors(12)
+
+
+class TestMemoization:
+    """The tiling helpers are hot-path: identical calls must hit a cache.
+
+    A sweep re-asks for the same divisor lists millions of times (once
+    per candidate sub-tree per layer x hardware cell); these tests pin
+    the ``lru_cache`` layer so a refactor cannot silently drop it.
+    """
+
+    def test_divisors_hits_cache_on_repeat(self):
+        before = divisors.cache_info()
+        first = divisors(2520)
+        again = divisors(2520)
+        after = divisors.cache_info()
+        assert first is again  # the literal cached tuple, not a rebuild
+        assert after.hits >= before.hits + 1
+
+    def test_divisors_up_to_hits_cache_on_repeat(self):
+        before = divisors_up_to.cache_info()
+        first = divisors_up_to(2520, 37)
+        again = divisors_up_to(2520, 37)
+        after = divisors_up_to.cache_info()
+        assert first is again
+        assert after.hits >= before.hits + 1
+
+    def test_thin_candidates_hits_cache_on_repeat(self):
+        values = divisors(7560)
+        before = thin_candidates.cache_info()
+        first = thin_candidates(values, limit=6)
+        again = thin_candidates(values, limit=6)
+        after = thin_candidates.cache_info()
+        assert first is again
+        assert after.hits >= before.hits + 1
+
+    def test_thin_candidates_still_importable_from_dataflows_base(self):
+        from repro.dataflows.base import thin_candidates as legacy
+        assert legacy is thin_candidates
+
+    def test_thinning_semantics_unchanged(self):
+        assert thin_candidates((1, 2, 3), limit=8) == (1, 2, 3)
+        thinned = thin_candidates(tuple(range(1, 101)), limit=8)
+        assert len(thinned) <= 8
+        assert thinned[0] == 1 and thinned[-1] == 100
 
 
 class TestHelpers:

@@ -67,6 +67,19 @@ def serial_engine() -> EvaluationEngine:
     return EvaluationEngine(EngineConfig(parallel=False), EvaluationCache())
 
 
+def _rf_pressure_objective(mapping, costs) -> float:
+    """A custom objective; module-level so process-pool workers can
+    unpickle it from the initializer's registry snapshot."""
+    return mapping.access_counts().rf / mapping.macs
+
+
+def _poisoned_objective(mapping, costs) -> float:
+    """A custom objective that rejects FC layers (T_w = N*E^2 = N)."""
+    if mapping.filter.total_reuse <= BATCH:
+        raise RuntimeError("poisoned objective rejected an FC mapping")
+    return mapping.energy_per_mac(costs)
+
+
 @pytest.fixture(scope="module")
 def seed_results():
     return {name: seed_evaluate_network(DATAFLOWS[name], LAYERS, hw_for(name))
@@ -107,6 +120,64 @@ class TestEngineParity:
             result = engine.evaluate_network(
                 DATAFLOWS["RS"], LAYERS, hw_for("RS"), parallel=True)
         assert result == seed_results["RS"]
+
+    def test_process_pool_resolves_custom_objective(self):
+        """The worker initializer must install custom objectives too.
+
+        Jobs ship objectives as bare name strings, so a process-pool
+        worker can only score a custom ``@register_objective`` entry if
+        the initializer snapshot carried it across.
+        """
+        from repro.registry import objective_registry
+
+        objective_registry.add("test-rf-pressure", _rf_pressure_objective)
+        try:
+            serial = serial_engine().evaluate_network(
+                DATAFLOWS["RS"], LAYERS[:2], hw_for("RS"),
+                objective="test-rf-pressure", parallel=False)
+            with EvaluationEngine(
+                    EngineConfig(parallel=True, executor="process",
+                                 max_workers=2),
+                    EvaluationCache()) as engine:
+                pooled = engine.evaluate_network(
+                    DATAFLOWS["RS"], LAYERS[:2], hw_for("RS"),
+                    objective="test-rf-pressure", parallel=True)
+        finally:
+            objective_registry.remove("test-rf-pressure")
+        assert pooled == serial
+
+    def test_chunk_isolates_failing_rows(self):
+        """One raising job must not discard its chunk siblings' work.
+
+        The chunk worker captures per-row exceptions, the dispatcher
+        caches the completed siblings before re-raising -- so a retry
+        after the caller fixes its objective finds them warm.
+        """
+        from repro.engine.core import LayerJob
+        from repro.registry import objective_registry
+
+        objective_registry.add("test-poisoned", _poisoned_objective)
+        try:
+            with EvaluationEngine(
+                    EngineConfig(parallel=True, executor="process",
+                                 max_workers=2, chunk_size=len(LAYERS)),
+                    EvaluationCache()) as engine:
+                with pytest.raises(RuntimeError, match="poisoned"):
+                    engine.evaluate_network(
+                        DATAFLOWS["RS"], LAYERS, hw_for("RS"),
+                        objective="test-poisoned", parallel=True)
+                # The CONV layers (which score fine) were kept: they sit
+                # in the cache even though the FC rows of the same chunk
+                # raised.
+                conv_jobs = [LayerJob(DATAFLOWS["RS"], layer, hw_for("RS"),
+                                      "test-poisoned")
+                             for layer in LAYERS if layer.E > 1]
+                from repro.engine.cache import MISSING
+                cached = [engine.cache.get(job.key) for job in conv_jobs]
+                assert cached and all(value is not MISSING
+                                      for value in cached)
+        finally:
+            objective_registry.remove("test-poisoned")
 
     def test_cached_path_identical(self, seed_results):
         engine = serial_engine()

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Performance benchmark runner: writes a machine-readable perf record.
+
+Runs the repo's hot-path benchmarks -- the Fig. 15 area-allocation
+sweep through the mapping-search kernel and the evaluation engine --
+and writes ``BENCH_perf.json`` at the repo root (wall times, speedups,
+candidate counts, commit SHA), so every PR leaves a comparable perf
+trajectory behind.  Parity is asserted before any timing is reported:
+all execution paths must produce identical sweep points.
+
+Measured paths:
+
+* ``scalar_serial``   -- streaming scalar search (``REPRO_KERNEL=scalar``)
+* ``vector_serial``   -- vectorized kernel (the default path)
+* ``vector_parallel`` -- vectorized kernel + chunked process pool
+* ``warm_cache``      -- full re-run answered from the engine cache
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py                 # default sweep
+    PYTHONPATH=src python tools/bench.py --min-speedup 3 # CI gate
+    PYTHONPATH=src python tools/bench.py --quick         # tiny grid
+
+Exit status: 0 on success, 1 when parity fails or the vectorized
+speedup is below ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+# The canonical grid, shared with benchmarks/test_engine_speedup.py so
+# the asserted benchmark and this record measure the same workload.
+from perf_grid import (  # noqa: E402  (path setup must precede)
+    BATCH,
+    PE_COUNTS,
+    RF_CHOICES,
+    WORKERS,
+    run_sweep,
+)
+
+
+def _commit_sha() -> str:
+    """The current git commit, or 'unknown' outside a checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"], cwd=ROOT,
+                             capture_output=True, text=True, timeout=10)
+        return out.stdout.strip() or "unknown"
+    except OSError:  # pragma: no cover - git missing
+        return "unknown"
+
+
+def _run_sweep(pe_counts, rf_choices, kernel: str, parallel: bool,
+               engine=None):
+    """One Fig. 15 sweep under an explicit kernel mode; returns
+    ``(points, seconds, engine)`` with the engine reusable for warm
+    re-runs."""
+    from repro.engine import EngineConfig, EvaluationCache, EvaluationEngine
+
+    os.environ["REPRO_KERNEL"] = kernel
+    if engine is None:
+        engine = EvaluationEngine(
+            EngineConfig(parallel=parallel, executor="process",
+                         max_workers=WORKERS),
+            EvaluationCache())
+    points, seconds = run_sweep(engine, parallel, pe_counts=pe_counts,
+                                rf_choices=rf_choices)
+    return points, seconds, engine
+
+
+def _candidate_counts(pe_counts, rf_choices):
+    """Total candidates the RS search scores across the sweep grid."""
+    from repro.analysis.sweep import _sweep_grid
+    from repro.mapping.optimizer import optimize_mapping
+    from repro.nn.networks import alexnet_conv_layers
+    from repro.registry import get_dataflow
+
+    dataflow = get_dataflow("RS")
+    layers = alexnet_conv_layers(BATCH)
+    cells = candidates = 0
+    for cell in _sweep_grid(tuple(pe_counts), 256, tuple(rf_choices)):
+        for layer in layers:
+            result = optimize_mapping(dataflow, layer, cell.hardware)
+            cells += 1
+            candidates += result.candidates
+    return cells, candidates
+
+
+def run_benchmarks(pe_counts, rf_choices) -> dict:
+    """Execute every measured path and assemble the perf record."""
+    scalar_points, scalar_s, _ = _run_sweep(
+        pe_counts, rf_choices, kernel="scalar", parallel=False)
+    vector_points, vector_s, engine = _run_sweep(
+        pe_counts, rf_choices, kernel="vector", parallel=False)
+    _, warm_s, _ = _run_sweep(
+        pe_counts, rf_choices, kernel="vector", parallel=False,
+        engine=engine)
+    parallel_points, parallel_s, parallel_engine = _run_sweep(
+        pe_counts, rf_choices, kernel="vector", parallel=True)
+    parallel_engine.close()
+
+    if scalar_points != vector_points or scalar_points != parallel_points:
+        raise AssertionError(
+            "parity violation: the scalar, vectorized and parallel sweeps "
+            "disagree -- timings are meaningless, refusing to record them")
+
+    cells, candidates = _candidate_counts(pe_counts, rf_choices)
+    return {
+        "schema": 1,
+        "commit": _commit_sha(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": {
+            "sweep": "fig15_area_allocation",
+            "pe_counts": list(pe_counts),
+            "rf_choices": list(rf_choices),
+            "batch": BATCH,
+            "workers": WORKERS,
+            "grid_cells": cells,
+            "candidates_scored": candidates,
+        },
+        "wall_seconds": {
+            "scalar_serial": round(scalar_s, 4),
+            "vector_serial": round(vector_s, 4),
+            "vector_parallel": round(parallel_s, 4),
+            "warm_cache": round(warm_s, 4),
+        },
+        "speedups": {
+            "vector_vs_scalar": round(scalar_s / vector_s, 2),
+            "parallel_vs_serial": round(vector_s / parallel_s, 2),
+            "warm_vs_scalar": round(scalar_s / warm_s, 2),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: BENCH_perf.json at the "
+                             "repo root; --quick runs default to a temp "
+                             "file so they never clobber the canonical "
+                             "record)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless vector_vs_scalar reaches this "
+                             "factor (the CI perf-smoke gate)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny 1x1 grid for smoke runs")
+    args = parser.parse_args(argv)
+
+    pe_counts = (160,) if args.quick else PE_COUNTS
+    rf_choices = (512,) if args.quick else RF_CHOICES
+    if args.out is None:
+        # The checked-in record must only ever hold the canonical grid;
+        # quick smoke runs land outside the tree.
+        args.out = (Path(tempfile.gettempdir()) / "BENCH_perf.quick.json"
+                    if args.quick else ROOT / "BENCH_perf.json")
+
+    try:
+        record = run_benchmarks(pe_counts, rf_choices)
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    walls = record["wall_seconds"]
+    speedups = record["speedups"]
+    print(f"wrote {args.out}")
+    print(f"  scalar serial   {walls['scalar_serial']:8.3f} s")
+    print(f"  vector serial   {walls['vector_serial']:8.3f} s  "
+          f"({speedups['vector_vs_scalar']:.1f}x)")
+    print(f"  vector parallel {walls['vector_parallel']:8.3f} s  "
+          f"({speedups['parallel_vs_serial']:.2f}x vs vector serial)")
+    print(f"  warm cache      {walls['warm_cache']:8.3f} s  "
+          f"({speedups['warm_vs_scalar']:.0f}x)")
+    print(f"  candidates scored: "
+          f"{record['workload']['candidates_scored']:,} across "
+          f"{record['workload']['grid_cells']} cells")
+
+    if args.min_speedup is not None \
+            and speedups["vector_vs_scalar"] < args.min_speedup:
+        print(f"FAIL: vectorized speedup {speedups['vector_vs_scalar']}x "
+              f"is below the required {args.min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
