@@ -126,6 +126,35 @@ def export_dse(directory: str | pathlib.Path, pareto,
     return path
 
 
+#: Column order of the :func:`export_query` CSV: the experiment store's
+#: cell view (see ``ExperimentStore.query_cells``), provenance included.
+QUERY_CSV_HEADER = (
+    "cell_id", "run_id", "kind", "workload", "dataflow", "batch",
+    "num_pes", "rf_bytes_per_pe", "objective", "feasible",
+    "energy_per_op", "delay_per_op", "edp_per_op", "dram_reads_per_op",
+    "dram_writes_per_op", "dram_accesses_per_op", "array_h", "array_w",
+    "buffer_bytes", "area", "commit_sha",
+)
+
+
+def export_query(directory: str | pathlib.Path, cells,
+                 stem: str = "store_query") -> pathlib.Path:
+    """Write experiment-store query rows as one long-format CSV.
+
+    ``cells`` are the dict rows of
+    :meth:`repro.store.db.ExperimentStore.query_cells` (the ``repro
+    query --csv`` path); absent/NULL columns export as empty fields.
+    Returns the written path.
+    """
+    rows = []
+    for cell in cells:
+        values = (cell.get(name) for name in QUERY_CSV_HEADER)
+        rows.append(["" if value is None else value for value in values])
+    path = pathlib.Path(directory) / f"{stem}.csv"
+    _write(path, QUERY_CSV_HEADER, rows)
+    return path
+
+
 def export_all(directory: str | pathlib.Path) -> Dict[str, pathlib.Path]:
     """Write every figure's CSV under ``directory``; returns the paths."""
     directory = pathlib.Path(directory)

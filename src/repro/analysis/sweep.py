@@ -22,14 +22,12 @@ wrapper raised ``TypeError: unhashable type`` on them).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import Scenario, Session, default_session
 from repro.arch.hardware import HardwareConfig
 from repro.arch.storage import allocate_storage, baseline_storage_area
-from repro.engine.core import EvaluationEngine
 from repro.nn.networks import alexnet_conv_layers
 
 #: Storage fraction of total area at the 256-PE baseline, read off the
@@ -116,7 +114,6 @@ def fig15_area_allocation_sweep(
         rf_choices: Sequence[int] = RF_CHOICES,
         *,
         session: Optional[Session] = None,
-        engine: Optional[EvaluationEngine] = None,
         parallel: Optional[bool] = None) -> Dict[int, SweepPoint]:
     """Sweep PE count under fixed total area; best RS setup per point.
 
@@ -126,21 +123,9 @@ def fig15_area_allocation_sweep(
     process-wide default when omitted), so it fans out across workers
     when parallelism is on and always lands in the session cache, which
     is what keeps the repeated sweeps of the benchmarks and exports
-    cheap.
-
-    ``engine=`` is deprecated: wrap the engine in a session instead
-    (``session=Session(...)`` owns construction of both).
+    cheap.  A recording session (``Session(store=..., record=True)``)
+    persists every evaluated grid cell into its experiment store.
     """
-    if engine is not None:
-        warnings.warn(
-            "the 'engine' argument of fig15_area_allocation_sweep is "
-            "deprecated; pass session=repro.api.Session(...) (or none, "
-            "for the shared default session) instead",
-            DeprecationWarning, stacklevel=2)
-        if session is not None:
-            raise ValueError("pass either session= or the deprecated "
-                             "engine=, not both")
-        session = Session(engine=engine)
     pe_counts = tuple(pe_counts)
     rf_choices = tuple(rf_choices)
     sess = session if session is not None else default_session()

@@ -81,6 +81,11 @@ CUSTOM_WORKLOAD = "custom"
 #: caller didn't name.
 ENV_CACHE = object()
 
+#: Sentinel for ``Session(store=ENV_STORE)``: resolve the experiment
+#: store path from the ``REPRO_STORE`` environment variable (no store
+#: when unset), mirroring :data:`ENV_CACHE` for the SQLite tier.
+ENV_STORE = object()
+
 
 class EmptyScenarioError(ValueError):
     """A scenario's hardware grid pruned down to zero valid points."""
@@ -427,6 +432,39 @@ class ResultSet:
         """Rebuild a result set from :meth:`to_json` output."""
         return cls.from_dicts(json.loads(text))
 
+    @classmethod
+    def from_store(cls, store, **filters) -> "ResultSet":
+        """Load recorded grid cells back out of an experiment store.
+
+        ``store`` is an :class:`~repro.store.db.ExperimentStore` or a
+        path to one; ``filters`` pass through to
+        :meth:`~repro.store.db.ExperimentStore.query_cells` (workload,
+        dataflow, batch, num_pes, rf_bytes_per_pe, objective, run_id,
+        commit, ...).  Rows come back in recording order with metric
+        values bit-identical to the live :class:`Result` rows that were
+        recorded -- SQLite REALs are IEEE doubles, so nothing is
+        rounded on the way through.
+        """
+        from repro.store.db import open_store
+
+        filters.setdefault("kind", "grid")
+        opened = not hasattr(store, "query_cells")
+        store = open_store(store)
+        try:
+            rows = []
+            for cell in store.query_cells(**filters):
+                row = {name: cell[name]
+                       for name in ("workload", "dataflow", "batch",
+                                    "num_pes", "rf_bytes_per_pe",
+                                    "objective", "feasible")}
+                if cell["feasible"]:
+                    row.update({name: cell[name] for name in METRICS})
+                rows.append(Result(**row))
+            return cls(tuple(rows))
+        finally:
+            if opened:
+                store.close()
+
     def to_table(self, title: Optional[str] = None) -> str:
         """Render the rows as an aligned text table."""
         from repro.analysis.report import format_table  # lazy: avoids cycle
@@ -465,13 +503,24 @@ class Session:
         (the default) means no disk tier; pass :data:`ENV_CACHE` to
         resolve the path from the ``REPRO_CACHE`` environment variable,
         as ``repro batch``/``repro serve`` do.
+    ``store`` / ``record``
+        The SQLite experiment store.  ``store`` names an
+        :class:`~repro.store.db.ExperimentStore` (or a path to one, or
+        :data:`ENV_STORE` for the ``REPRO_STORE`` environment
+        variable); the engine cache then becomes a
+        :class:`~repro.store.tier.StoreTierCache`, so recorded
+        evaluations answer future sweeps as a warm tier.  ``record=``
+        (``True``, or a string run label) additionally writes every
+        cell :meth:`evaluate`/:meth:`stream`/:meth:`explore` completes
+        into the store's ``cells`` table under a provenance-stamped
+        run -- the rows ``repro query`` and ``repro diff`` read.
     ``engine``
         Wrap an existing engine instead of building one (the default
         session does this); the session then neither owns its pool nor
         its persistence.
 
-    Sessions are context managers; ``close()`` flushes the disk tier
-    and shuts the pool down.
+    Sessions are context managers; ``close()`` finishes the recorded
+    run, flushes the persistence tiers and shuts the pool down.
     """
 
     def __init__(self, *,
@@ -481,12 +530,21 @@ class Session:
                  cache: Optional[EvaluationCache] = None,
                  max_cache_entries: Optional[int] = None,
                  cache_file: Optional[Union[str, Path]] = None,
+                 store=None,
+                 record: Union[bool, str] = False,
                  engine_config: Optional[EngineConfig] = None,
                  engine: Optional[EvaluationEngine] = None) -> None:
+        self._store = None
+        self._owns_store = False
+        self._record_label: Optional[str] = (
+            record if isinstance(record, str) else None)
+        self._recording = bool(record)
+        self._run_id: Optional[int] = None
+        self._run_lock = None
         if engine is not None:
             if any(option is not None for option in
                    (parallel, executor, workers, cache, max_cache_entries,
-                    cache_file, engine_config)):
+                    cache_file, engine_config, store)) or record:
                 raise ValueError(
                     "pass either an existing engine or construction "
                     "options, not both")
@@ -501,7 +559,20 @@ class Session:
                 config = replace(config, executor=executor)
             if parallel is not None:
                 config = replace(config, parallel=parallel)
-            if cache is None:
+            self._store, self._owns_store = self._resolve_store(store)
+            if self._recording and self._store is None:
+                raise ValueError(
+                    "record=True needs a store (pass store=..., or "
+                    "store=ENV_STORE with REPRO_STORE set)")
+            if self._store is not None:
+                if cache is not None:
+                    raise ValueError(
+                        "pass either an existing cache or a store, not "
+                        "both (the store provides the warm cache tier)")
+                from repro.store.tier import StoreTierCache
+                cache = StoreTierCache(self._store,
+                                       max_entries=max_cache_entries)
+            elif cache is None:
                 cache = EvaluationCache(max_entries=max_cache_entries)
             elif max_cache_entries is not None:
                 raise ValueError(
@@ -513,6 +584,9 @@ class Session:
             if self._cache_file is not None:
                 from repro.service.persistence import load_into
                 load_into(self._engine.cache, self._cache_file)
+        if self._recording:
+            import threading
+            self._run_lock = threading.Lock()
         self._closed = False
 
     @staticmethod
@@ -523,6 +597,22 @@ class Session:
             from repro.service.persistence import default_cache_path
             return default_cache_path()
         return Path(cache_file)
+
+    @staticmethod
+    def _resolve_store(store):
+        """(store, owned): opened-from-path stores are closed by us."""
+        if store is None:
+            return None, False
+        if store is ENV_STORE:
+            from repro.store.db import default_store_path
+            path = default_store_path()
+            if path is None:
+                return None, False
+            store = path
+        from repro.store.db import ExperimentStore
+        if isinstance(store, ExperimentStore):
+            return store, False
+        return ExperimentStore(store), True
 
     # ------------------------------------------------------------------
 
@@ -541,6 +631,49 @@ class Session:
         """Cumulative hit/miss/eviction counters of the cache."""
         return self._engine.cache.stats
 
+    @property
+    def store(self):
+        """The session's experiment store, or None when none was given."""
+        return self._store
+
+    @property
+    def recording(self) -> bool:
+        """Whether evaluated cells are being written to the store."""
+        return self._recording
+
+    @property
+    def run_id(self) -> Optional[int]:
+        """The active recorded run's id (None before the first write)."""
+        return self._run_id
+
+    # -- recording ------------------------------------------------------
+
+    def _ensure_run(self) -> int:
+        """Open the provenance-stamped run on the first recorded write."""
+        with self._run_lock:
+            if self._run_id is None:
+                self._run_id = self._store.begin_run(
+                    label=self._record_label)
+                cache = self._engine.cache
+                if hasattr(cache, "run_id"):
+                    cache.run_id = self._run_id
+            return self._run_id
+
+    def _record_rows(self, rows, kind: str = "grid") -> None:
+        """Write result rows into the store's recorded run (if any)."""
+        if not self._recording:
+            return
+        self._store.record_cells(self._ensure_run(), rows, kind=kind)
+
+    def record_dse_candidates(self, candidates) -> None:
+        """Record evaluated DSE candidates (no-op unless recording).
+
+        Called by :func:`repro.dse.explore` so ``Session.explore`` runs
+        land in the store's ``cells`` table (``kind='dse'``) alongside
+        grid cells, with their geometry/buffer/area columns filled.
+        """
+        self._record_rows(candidates, kind="dse")
+
     # ------------------------------------------------------------------
 
     def evaluate(self, scenario: Scenario,
@@ -554,9 +687,11 @@ class Session:
         cells = scenario.cells()
         evaluations = self._engine.evaluate_networks(
             [cell.job for cell in cells], parallel=parallel)
-        return ResultSet(tuple(
+        results = ResultSet(tuple(
             Result.from_evaluation(cell, evaluation)
             for cell, evaluation in zip(cells, evaluations)))
+        self._record_rows(results.rows)
+        return results
 
     def stream(self, scenario: Scenario,
                parallel: Optional[bool] = None) -> Iterator[Result]:
@@ -570,7 +705,9 @@ class Session:
         cells = scenario.cells()
         for index, evaluation in self._engine.evaluate_networks_stream(
                 [cell.job for cell in cells], parallel=parallel):
-            yield Result.from_evaluation(cells[index], evaluation)
+            result = Result.from_evaluation(cells[index], evaluation)
+            self._record_rows((result,))
+            yield result
 
     def explore(self, space, parallel: Optional[bool] = None):
         """Sweep a hardware design space and reduce it to a Pareto set.
@@ -602,15 +739,19 @@ class Session:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Flush the persistent tier (if any) and shut the pool down."""
+        """Finish the run, flush persistence and shut the pool down."""
         if self._closed:
             return
         self._closed = True
         if self._cache_file is not None:
             from repro.service.persistence import flush
             flush(self._engine.cache, self._cache_file)
+        if self._run_id is not None:
+            self._store.finish_run(self._run_id)
         if self._owns_engine:
             self._engine.close()
+        if self._owns_store:
+            self._store.close()
 
     def __enter__(self) -> "Session":
         return self

@@ -17,7 +17,12 @@ Subcommands mirror the library's main entry points:
 * ``batch``    -- run a JSON batch spec (grids of network x dataflow x
   hardware) through the evaluation service.
 * ``serve``    -- long-lived JSON-lines service loop on stdin/stdout
-  (``{"verb": "dse"}`` requests run design-space explorations).
+  (``{"verb": "dse"}`` requests run design-space explorations,
+  ``{"verb": "query"}`` reads the experiment store).
+* ``query``    -- filter recorded cells out of the SQLite experiment
+  store (``--json``/``--csv``), or list its runs with ``--runs``.
+* ``diff``     -- cross-run regression report between two commits'
+  recorded runs (exit 1 when any cell value changed).
 
 All subcommands run through the unified facade (:mod:`repro.api`):
 grids are described as :class:`~repro.api.Scenario` objects and every
@@ -29,7 +34,11 @@ Results are memoized across subcommand internals, and
 ``--serial`` forces the sequential path).  ``batch`` and ``serve``
 persist the cache across processes via ``--cache-file`` or the
 ``REPRO_CACHE`` environment variable, so a repeated grid is answered
-from disk instead of re-running the mapping search.
+from disk instead of re-running the mapping search.  The evaluating
+subcommands also take ``--store``/``--record`` (or ``REPRO_STORE``):
+the SQLite experiment store then backs the warm cache tier and, when
+recording, keeps every evaluated cell queryable by ``repro query`` and
+diffable by ``repro diff``.
 
 Errors (unknown layer names, impossible sweep grids) exit with a clean
 one-line message and a nonzero status instead of a traceback: 2 for bad
@@ -49,7 +58,13 @@ import numpy as np
 from repro.analysis.experiments import fig7_storage_allocation
 from repro.analysis.report import format_table
 from repro.analysis.sweep import PE_COUNTS, fig15_area_allocation_sweep
-from repro.api import ENV_CACHE, Scenario, Session, default_session
+from repro.api import (
+    ENV_CACHE,
+    ENV_STORE,
+    Scenario,
+    Session,
+    default_session,
+)
 from repro.dse import DesignSpace
 from repro.engine.core import default_engine
 from repro.registry import get_design_space
@@ -66,6 +81,7 @@ from repro.service import (
     serve,
 )
 from repro.sim import simulate_layer
+from repro.store.db import ExperimentStore, default_store_path
 
 
 def _int_list(text: str) -> Tuple[int, ...]:
@@ -130,6 +146,20 @@ def _shape_list(text: str) -> Tuple[Tuple[int, int], ...]:
     return tuple(shapes)
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """Experiment-store flags shared by the evaluating subcommands."""
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="SQLite experiment store backing the warm "
+                             "cache tier (default: the REPRO_STORE "
+                             "environment variable; unset = no store)")
+    parser.add_argument("--record", nargs="?", const=True, default=False,
+                        metavar="LABEL",
+                        help="record every evaluated cell into the "
+                             "experiment store under a provenance-stamped "
+                             "run (optional run LABEL); requires --store "
+                             "or REPRO_STORE")
+
+
 def _add_service_arguments(parser: argparse.ArgumentParser,
                            workers: bool = False) -> None:
     """Cache/parallelism flags shared by ``batch`` and ``serve``."""
@@ -141,6 +171,7 @@ def _add_service_arguments(parser: argparse.ArgumentParser,
                         metavar="N",
                         help="LRU bound of the cache (default: "
                              "REPRO_CACHE_MAX_ENTRIES or 65536)")
+    _add_store_arguments(parser)
     if workers:
         parallelism = parser.add_mutually_exclusive_group()
         parallelism.add_argument("--workers", type=int, default=None,
@@ -150,19 +181,33 @@ def _add_service_arguments(parser: argparse.ArgumentParser,
                                  help="force the serial evaluation path")
 
 
+def _store_options(args: argparse.Namespace) -> dict:
+    """Session store/record keywords from a subcommand's flags.
+
+    No ``--store`` flag falls back to the ``REPRO_STORE`` variable
+    (:data:`~repro.api.ENV_STORE`); ``--record`` passes through as
+    ``True`` or the run label.
+    """
+    return dict(
+        store=args.store if args.store is not None else ENV_STORE,
+        record=args.record)
+
+
 def _service_session(args: argparse.Namespace) -> Session:
     """Build the facade session behind a service subcommand's flags.
 
     The session owns every tier the flags describe: the worker pool
     (--workers/--serial, else REPRO_PARALLEL), the bounded LRU
-    (--max-cache-entries) and the persistent disk tier (--cache-file,
-    else REPRO_CACHE), flushed on close.
+    (--max-cache-entries), the persistent disk tier (--cache-file, else
+    REPRO_CACHE, flushed on close) and the experiment store
+    (--store/--record, else REPRO_STORE).
     """
     options = dict(
         # No --cache-file flag falls back to the REPRO_CACHE variable.
         cache_file=(args.cache_file if args.cache_file is not None
                     else ENV_CACHE),
-        max_cache_entries=args.max_cache_entries)
+        max_cache_entries=args.max_cache_entries,
+        **_store_options(args))
     if args.workers is not None:
         return Session(parallel=True, workers=args.workers, **options)
     if args.serial:
@@ -213,8 +258,52 @@ def build_parser() -> argparse.ArgumentParser:
                                   "processes")
     parallelism.add_argument("--serial", action="store_true",
                              help="force the serial evaluation path")
+    _add_store_arguments(sweep)
 
     sub.add_parser("storage", help="Fig. 7b storage allocation")
+
+    query = sub.add_parser(
+        "query", help="query recorded cells out of the experiment store")
+    query.add_argument("--store", default=None, metavar="PATH",
+                       help="the experiment store to read (default: the "
+                            "REPRO_STORE environment variable)")
+    query.add_argument("--workload", "--network", dest="workload",
+                       default=None, help="filter: workload name")
+    query.add_argument("--dataflow", default=None,
+                       help="filter: dataflow name")
+    query.add_argument("--batch", type=int, default=None,
+                       help="filter: batch size")
+    query.add_argument("--pes", type=int, default=None,
+                       help="filter: PE count")
+    query.add_argument("--rf", type=int, default=None,
+                       help="filter: RF bytes per PE")
+    query.add_argument("--objective", default=None,
+                       help="filter: mapping objective")
+    query.add_argument("--kind", choices=("grid", "dse"), default=None,
+                       help="filter: grid cells or DSE candidates")
+    query.add_argument("--run", type=int, default=None, metavar="RUN_ID",
+                       help="filter: one recorded run")
+    query.add_argument("--commit", default=None, metavar="SHA",
+                       help="filter: cells recorded at a commit (full SHA)")
+    query.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="return at most N rows")
+    query.add_argument("--runs", action="store_true",
+                       help="list the recorded runs instead of cells")
+    query.add_argument("--json", action="store_true",
+                       help="emit the rows as JSON")
+    query.add_argument("--csv", default=None, metavar="DIR",
+                       help="also export the rows as CSV under DIR")
+
+    diff = sub.add_parser(
+        "diff", help="cross-run regression report between two commits")
+    diff.add_argument("commit_a", help="git ref of the baseline run "
+                                       "(e.g. HEAD~1, a SHA, a branch)")
+    diff.add_argument("commit_b", help="git ref of the candidate run")
+    diff.add_argument("--store", default=None, metavar="PATH",
+                      help="the experiment store to read (default: the "
+                           "REPRO_STORE environment variable)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
 
     dse = sub.add_parser(
         "dse", help="hardware design-space exploration -> Pareto front")
@@ -380,13 +469,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         kwargs["rf_choices"] = args.rf
     if args.serial:
         kwargs["parallel"] = False
-    elif args.workers is not None:
-        # A pooled session sharing the process-wide cache, so repeated
-        # sweeps in one process stay warm regardless of worker count.
-        session = Session(parallel=True, workers=args.workers,
-                          cache=default_engine().cache)
-        kwargs["session"] = session
+    store_options = _store_options(args)
+    # Session(store=ENV_STORE) quietly degrades to storeless when
+    # REPRO_STORE is unset, so this detects "a store is in play".
+    uses_store = (args.store is not None or bool(args.record)
+                  or default_store_path() is not None)
+    if args.workers is not None:
         kwargs["parallel"] = True
+        if uses_store:
+            session = Session(parallel=True, workers=args.workers,
+                              **store_options)
+        else:
+            # A pooled session sharing the process-wide cache, so
+            # repeated sweeps in one process stay warm regardless of
+            # worker count.
+            session = Session(parallel=True, workers=args.workers,
+                              cache=default_engine().cache)
+    elif uses_store:
+        session = Session(**store_options)
+    if session is not None:
+        kwargs["session"] = session
     try:
         points = fig15_area_allocation_sweep(args.pes, batch=args.batch,
                                              **kwargs)
@@ -407,6 +509,100 @@ def cmd_sweep(args: argparse.Namespace) -> int:
          "norm energy/op"], rows,
         title="Fig. 15 sweep: fixed total area, AlexNet CONV"))
     return 0
+
+
+def _open_cli_store(args: argparse.Namespace) -> ExperimentStore:
+    """The experiment store a ``query``/``diff`` invocation reads."""
+    path = args.store if args.store is not None else default_store_path()
+    if path is None:
+        raise ValueError(
+            "no experiment store named; pass --store PATH or set the "
+            "REPRO_STORE environment variable")
+    path = Path(path)
+    if not path.exists():
+        raise ValueError(f"experiment store {path} does not exist; "
+                         f"record one first (e.g. repro sweep --record "
+                         f"--store {path})")
+    return ExperimentStore(path)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: read recorded cells out of the experiment store."""
+    with _open_cli_store(args) as store:
+        if args.runs:
+            records = [record.to_dict() for record in store.runs()]
+            if args.json:
+                print(json.dumps(records, indent=2))
+            else:
+                rows = [[str(r["run_id"]), r["commit"][:12],
+                         r["label"] or "-", str(r["cells"]),
+                         r["started_at"], r["finished_at"] or "open"]
+                        for r in records]
+                print(format_table(
+                    ["run", "commit", "label", "cells", "started",
+                     "finished"], rows,
+                    title=f"{len(records)} recorded run(s)"))
+            return 0
+        cells = store.query_cells(
+            workload=args.workload, dataflow=args.dataflow,
+            batch=args.batch, num_pes=args.pes, rf_bytes_per_pe=args.rf,
+            objective=args.objective, kind=args.kind, run_id=args.run,
+            commit=args.commit, limit=args.limit)
+    if args.csv:
+        from repro.analysis.export import export_query
+
+        written = export_query(Path(args.csv), cells)
+        print(f"wrote {written}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(cells, indent=2))
+    elif cells:
+        rows = []
+        for cell in cells:
+            metrics = ([f"{cell['energy_per_op']:.3f}",
+                        f"{cell['edp_per_op']:.5f}",
+                        f"{cell['dram_accesses_per_op']:.5f}"]
+                       if cell["feasible"] else ["infeasible", "-", "-"])
+            rows.append([str(cell["run_id"]), cell["kind"],
+                         cell["workload"], cell["dataflow"],
+                         str(cell["batch"]), str(cell["num_pes"]),
+                         f"{cell['rf_bytes_per_pe']} B", *metrics])
+        print(format_table(
+            ["run", "kind", "workload", "dataflow", "batch", "PEs",
+             "RF/PE", "energy/op", "EDP/op", "DRAM/op"], rows,
+            title=f"{len(cells)} recorded cell(s)"))
+    if not cells:
+        print("no recorded cell matches the filters", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """``repro diff``: cross-run regression report between two commits.
+
+    Exit status 0 when the matched cells agree bit-for-bit, 1 when any
+    metric changed or coverage drifted (2 for a missing store/run).
+    """
+    with _open_cli_store(args) as store:
+        report = store.diff_commits(args.commit_a, args.commit_b)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        a, b = report.run_a, report.run_b
+        print(f"run {a.run_id} ({a.commit_sha[:12]}) vs "
+              f"run {b.run_id} ({b.commit_sha[:12]}): "
+              f"{report.matched} matched, {report.identical} identical, "
+              f"{len(report.changed)} changed, "
+              f"{len(report.only_a)}/{len(report.only_b)} unmatched")
+        for delta in report.changed:
+            cell = delta.identity
+            where = (f"{cell['workload']}/{cell['dataflow']} "
+                     f"batch {cell['batch']} {cell['num_pes']} PEs "
+                     f"{cell['rf_bytes_per_pe']} B")
+            for name, (old, new) in delta.metrics.items():
+                print(f"  {where}: {name} {old} -> {new}")
+        if report.clean:
+            print("runs are bit-identical")
+    return 0 if report.clean else 1
 
 
 def cmd_storage(args: argparse.Namespace) -> int:
@@ -594,6 +790,8 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "storage": cmd_storage,
+    "query": cmd_query,
+    "diff": cmd_diff,
     "dse": cmd_dse,
     "batch": cmd_batch,
     "serve": cmd_serve,

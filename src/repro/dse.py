@@ -622,11 +622,15 @@ def explore(space: DesignSpace, *, session=None,
     jobs = [NetworkJob(get_dataflow(dataflow), layers, point.hardware,
                        space.objective) for dataflow, point in cells]
     evaluations = session.engine.evaluate_networks(jobs, parallel=parallel)
-    return ParetoSet.reduce(
-        tuple(DseCandidate.from_evaluation(space, dataflow, point,
-                                           evaluation)
-              for (dataflow, point), evaluation in zip(cells, evaluations)),
-        space.metrics)
+    candidates = tuple(
+        DseCandidate.from_evaluation(space, dataflow, point, evaluation)
+        for (dataflow, point), evaluation in zip(cells, evaluations))
+    recorder = getattr(session, "record_dse_candidates", None)
+    if recorder is not None:
+        # Recording sessions persist every evaluated candidate (not
+        # just the frontier) into the experiment store's cells table.
+        recorder(candidates)
+    return ParetoSet.reduce(candidates, space.metrics)
 
 
 # ----------------------------------------------------------------------

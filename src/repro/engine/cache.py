@@ -91,18 +91,27 @@ class CacheKey:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Point-in-time cache counters."""
+    """Point-in-time cache counters.
+
+    ``hits`` counts the in-memory LRU tier; ``store_hits`` counts
+    lookups answered by a persistent experiment-store tier (see
+    :class:`repro.store.tier.StoreTierCache`) -- always 0 for a plain
+    in-memory cache.  Both tiers count toward :attr:`hit_rate`: a
+    store hit still skipped the mapping search.
+    """
 
     hits: int
     misses: int
     size: int
     evictions: int = 0
+    store_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups answered from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups answered from either cache tier."""
+        answered = self.hits + self.store_hits
+        total = answered + self.misses
+        return answered / total if total else 0.0
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
         """Counter deltas relative to an earlier snapshot (size is
@@ -112,6 +121,7 @@ class CacheStats:
             misses=self.misses - earlier.misses,
             size=self.size,
             evictions=self.evictions - earlier.evictions,
+            store_hits=self.store_hits - earlier.store_hits,
         )
 
 

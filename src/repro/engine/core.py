@@ -13,6 +13,15 @@ hardware, objective) problems are turned into
   out across workers, with a ``parallel=False`` escape hatch on every
   entry point.
 
+The engine only ever calls ``cache.get``/``cache.put``, so the cache
+*tiering* is the cache object's business: a plain
+:class:`~repro.engine.cache.EvaluationCache` is the in-memory LRU, and
+a :class:`~repro.store.tier.StoreTierCache` (what
+``Session(store=...)`` installs) falls through to the SQLite
+experiment store on an LRU miss and writes computed evaluations
+through -- warm runs then survive process restarts without the engine
+knowing a database exists.
+
 The unit of parallel work is one *layer* evaluation, not one network or
 sweep point: a sweep over G grid points of L layers becomes G x L
 independent tasks, which load-balances far better than G lumpy tasks.

@@ -21,8 +21,7 @@ suites) resolves names through:
 Registering once makes the name available everywhere at the same time:
 ``repro batch`` specs, :class:`repro.api.Scenario`, the CLI and the
 figure suites.  The legacy lookup tables --
-``repro.dataflows.registry.DATAFLOWS``,
-``repro.service.schema.NETWORKS`` and
+``repro.dataflows.registry.DATAFLOWS`` and
 ``repro.mapping.optimizer.OBJECTIVES`` -- remain as thin views over
 these registries, so older call sites keep working while new scenarios
 become one-registration changes.

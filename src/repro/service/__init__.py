@@ -15,11 +15,20 @@ The JSON-lines loop also speaks a ``dse`` verb: a
 exploration (:mod:`repro.dse`) on the same session and answers with a
 :class:`~repro.service.schema.DseResult` carrying the Pareto front.
 
+The ``query`` verb reads recorded cells back out of the session's
+SQLite experiment store (:mod:`repro.store`): a
+:class:`~repro.service.schema.QueryRequest` filters the ``cells``
+table and answers with a :class:`~repro.service.schema.QueryResult`,
+safely concurrent with a recording sweep thanks to the store's
+WAL-mode single-writer / multi-reader discipline.
+
 Persistence lives in :mod:`repro.service.persistence`
-(:func:`persistent_cache` + the ``REPRO_CACHE`` variable): the warm
-cache survives process restarts, which is what makes repeated
-design-space retrospectives cheap.  :mod:`repro.service.server` is the
-stdin/stdout JSON-lines loop behind ``repro serve``.
+(:func:`persistent_cache` + the ``REPRO_CACHE`` variable, and the
+``REPRO_STORE`` experiment-store fallback re-exported from
+:mod:`repro.store.db`): the warm cache survives process restarts,
+which is what makes repeated design-space retrospectives cheap.
+:mod:`repro.service.server` is the stdin/stdout JSON-lines loop behind
+``repro serve``.
 """
 
 from repro.service.dispatcher import (
@@ -29,7 +38,9 @@ from repro.service.dispatcher import (
 )
 from repro.service.persistence import (
     CACHE_ENV,
+    STORE_ENV,
     default_cache_path,
+    default_store_path,
     persistent_cache,
 )
 from repro.service.schema import (
@@ -38,28 +49,13 @@ from repro.service.schema import (
     CellResult,
     DseRequest,
     DseResult,
+    QueryRequest,
+    QueryResult,
     layer_from_dict,
     layer_to_dict,
     parse_requests,
 )
 from repro.service.server import serve
-
-
-def __getattr__(name: str):
-    # Deprecated re-export, warned here (not via schema.NETWORKS) so the
-    # warning points at the caller's access site rather than this shim.
-    if name == "NETWORKS":
-        import warnings
-
-        from repro.registry import network_registry
-
-        warnings.warn(
-            "repro.service.NETWORKS is deprecated; use "
-            "repro.registry.network_registry (and @register_network to "
-            "add workloads) instead",
-            DeprecationWarning, stacklevel=2)
-        return network_registry
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BatchDispatcher",
@@ -69,8 +65,11 @@ __all__ = [
     "CellResult",
     "DseRequest",
     "DseResult",
-    "NETWORKS",
+    "QueryRequest",
+    "QueryResult",
+    "STORE_ENV",
     "default_cache_path",
+    "default_store_path",
     "equal_area_hardware",
     "expand_request",
     "layer_from_dict",

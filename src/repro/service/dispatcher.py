@@ -33,6 +33,8 @@ from repro.service.schema import (
     CellResult,
     DseRequest,
     DseResult,
+    QueryRequest,
+    QueryResult,
 )
 
 
@@ -130,6 +132,28 @@ class BatchDispatcher:
             elapsed_s=time.perf_counter() - start,
             include_dominated=request.include_dominated,
             cache=self.session.cache.stats.since(before),
+        )
+
+    def run_query(self, request: QueryRequest) -> QueryResult:
+        """Serve one experiment-store query (the ``query`` verb).
+
+        Reads the session's attached :class:`repro.store.db.ExperimentStore`
+        through its own reader connection, so queries stay answerable
+        while a recording sweep holds the writer -- the WAL multi-reader
+        guarantee the service tier relies on.
+        """
+        start = time.perf_counter()
+        store = getattr(self.session, "store", None)
+        if store is None:
+            raise ValueError(
+                f"query request {request.request_id!r} needs an "
+                f"experiment store; start the service with --store (or "
+                f"set REPRO_STORE)")
+        rows = store.query_cells(**request.filters)
+        return QueryResult(
+            request_id=request.request_id,
+            rows=tuple(rows),
+            elapsed_s=time.perf_counter() - start,
         )
 
     @staticmethod

@@ -11,6 +11,12 @@ functions of their key, so a merge can never change a value).
 The cache file defaults to the ``REPRO_CACHE`` environment variable;
 when neither a path nor the variable is set the cache is purely
 in-memory and nothing touches the disk.
+
+The *queryable* persistence tier -- the SQLite experiment store that
+``--store``/``--record`` sessions write -- lives in :mod:`repro.store`;
+its ``REPRO_STORE`` fallback (:func:`default_store_path`,
+:data:`STORE_ENV`) is re-exported here so the service layer has one
+home for both environment conventions.
 """
 
 from __future__ import annotations
@@ -26,6 +32,10 @@ from repro.engine.cache import (
     EvaluationCache,
     read_snapshot,
     write_snapshot,
+)
+from repro.store.db import (  # noqa: F401  (service-layer re-export)
+    STORE_ENV,
+    default_store_path,
 )
 
 #: Environment variable naming the default cache file.

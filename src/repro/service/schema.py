@@ -1,6 +1,6 @@
 """Request/response schema of the batch evaluation service.
 
-The service speaks two request verbs, both plain JSON:
+The service speaks three request verbs, all plain JSON:
 
 * ``batch`` (the default) -- a :class:`BatchRequest` describes a grid
   of evaluation problems, (network | explicit layer list) x dataflows
@@ -12,6 +12,10 @@ The service speaks two request verbs, both plain JSON:
   exploration (:mod:`repro.dse`), either by a registered space name or
   by inline grid fields, and is answered with a :class:`DseResult`
   carrying the Pareto front.
+* ``query`` -- a :class:`QueryRequest` filters the session's SQLite
+  experiment store (:mod:`repro.store`) and is answered with a
+  :class:`QueryResult` of recorded cell rows -- the WAL-mode store
+  makes this safe while another client's sweep is still recording.
 
 Everything validates eagerly with clear ``ValueError`` messages, so a
 malformed spec fails at the service boundary (CLI exit code 2, or an
@@ -21,7 +25,6 @@ malformed spec fails at the service boundary (CLI exit code 2, or an
 from __future__ import annotations
 
 import operator
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -35,19 +38,6 @@ from repro.registry import (
     network_registry,
     objective_registry,
 )
-
-
-def __getattr__(name: str):
-    # Legacy module-level workload table, replaced by the pluggable
-    # registry (PEP 562 keeps the old attribute importable).
-    if name == "NETWORKS":
-        warnings.warn(
-            "repro.service.schema.NETWORKS is deprecated; use "
-            "repro.registry.network_registry (and @register_network to "
-            "add workloads) instead",
-            DeprecationWarning, stacklevel=2)
-        return network_registry
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 _LAYER_FIELDS = ("name", "H", "R", "E", "C", "M", "U", "N", "type")
 _REQUEST_FIELDS = ("id", "network", "layers", "batch", "dataflows",
@@ -295,14 +285,20 @@ class BatchResult:
             "layer_jobs": self.layer_jobs,
             "feasible_cells": self.feasible_cells,
             "elapsed_s": self.elapsed_s,
-            "cache": {
-                "hits": self.cache.hits,
-                "misses": self.cache.misses,
-                "hit_rate": self.cache.hit_rate,
-                "size": self.cache.size,
-                "evictions": self.cache.evictions,
-            },
+            "cache": _cache_dict(self.cache),
         }
+
+
+def _cache_dict(stats: CacheStats) -> Dict:
+    """The JSON wire form of cache counters, split by tier."""
+    return {
+        "hits": stats.hits,
+        "store_hits": stats.store_hits,
+        "misses": stats.misses,
+        "hit_rate": stats.hit_rate,
+        "size": stats.size,
+        "evictions": stats.evictions,
+    }
 
 
 _DSE_GRID_FIELDS = ("network", "layers", "batch", "dataflows", "pe_counts",
@@ -490,13 +486,94 @@ class DseResult:
             "candidates": len(self.pareto.candidates),
             "feasible_candidates": len(self.pareto.feasible_candidates),
             "elapsed_s": self.elapsed_s,
-            "cache": {
-                "hits": self.cache.hits,
-                "misses": self.cache.misses,
-                "hit_rate": self.cache.hit_rate,
-                "size": self.cache.size,
-                "evictions": self.cache.evictions,
-            },
+            "cache": _cache_dict(self.cache),
+        }
+
+
+#: The filter fields a query request may carry (exact-match columns of
+#: the store's ``cells`` view, plus ``limit``).
+_QUERY_FILTER_FIELDS = ("workload", "network", "dataflow", "batch",
+                        "num_pes", "rf_bytes_per_pe", "objective",
+                        "feasible", "kind", "run_id", "commit", "limit")
+_QUERY_FIELDS = ("id", "verb", *_QUERY_FILTER_FIELDS)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One experiment-store query, as submitted by a client.
+
+    ``filters`` hold validated keyword arguments for
+    :meth:`repro.store.db.ExperimentStore.query_cells`; every field is
+    an exact match on its recorded column.
+    """
+
+    request_id: str
+    filters: Dict = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Dict,
+                  default_id: str = "query") -> "QueryRequest":
+        """Decode a ``{"verb": "query", ...}`` wire object.
+
+        ``network`` is accepted as an alias for ``workload`` (matching
+        the batch verb's vocabulary); unknown fields are rejected.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"a query request must be an object, got {data!r}")
+        unknown = set(data) - set(_QUERY_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown query field(s) {sorted(unknown)}; "
+                f"known: {list(_QUERY_FIELDS)}")
+        verb = data.get("verb", "query")
+        if verb != "query":
+            raise ValueError(f"not a query request (verb {verb!r})")
+        if "workload" in data and "network" in data:
+            raise ValueError(
+                "set either 'workload' or its alias 'network', not both")
+        filters: Dict = {}
+        try:
+            for name in ("workload", "dataflow", "objective", "kind",
+                         "commit"):
+                if data.get(name) is not None:
+                    filters[name] = str(data[name])
+            if data.get("network") is not None:
+                filters["workload"] = str(data["network"])
+            for name in ("batch", "num_pes", "rf_bytes_per_pe", "run_id",
+                         "limit"):
+                if data.get(name) is not None:
+                    filters[name] = operator.index(data[name])
+            if data.get("feasible") is not None:
+                filters["feasible"] = bool(data["feasible"])
+        except TypeError:
+            raise ValueError(
+                f"malformed query field (integer expected): "
+                f"{data!r}") from None
+        return cls(request_id=str(data.get("id", default_id)),
+                   filters=filters)
+
+    def to_dict(self) -> Dict:
+        """The JSON wire form of this request."""
+        return {"id": self.request_id, "verb": "query", **self.filters}
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The service's answer to one :class:`QueryRequest`."""
+
+    request_id: str
+    rows: Tuple[Dict, ...]
+    elapsed_s: float
+
+    def to_dict(self) -> Dict:
+        """The JSON wire form: recorded cell rows in recording order."""
+        return {
+            "id": self.request_id,
+            "verb": "query",
+            "rows": [dict(row) for row in self.rows],
+            "count": len(self.rows),
+            "elapsed_s": self.elapsed_s,
         }
 
 

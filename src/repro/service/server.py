@@ -16,11 +16,13 @@ service that other clients share.  Blank lines are ignored and EOF ends
 the loop.
 
 Requests carry an optional ``verb``: the default ``"batch"`` runs a
-:class:`~repro.service.schema.BatchRequest` grid, and ``"dse"`` runs a
+:class:`~repro.service.schema.BatchRequest` grid, ``"dse"`` runs a
 hardware design-space exploration
-(:class:`~repro.service.schema.DseRequest` -> Pareto front), both on
-the same dispatcher session -- so batch and DSE traffic share one
-cache.
+(:class:`~repro.service.schema.DseRequest` -> Pareto front), and
+``"query"`` reads recorded cells back out of the session's experiment
+store (:class:`~repro.service.schema.QueryRequest`) -- all on the same
+dispatcher session, so batch and DSE traffic share one cache and
+queries see the store mid-recording.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ import json
 from typing import IO, Optional
 
 from repro.service.dispatcher import BatchDispatcher
-from repro.service.schema import BatchRequest, DseRequest
+from repro.service.schema import BatchRequest, DseRequest, QueryRequest
 
 
 def serve(input_stream: IO[str], output_stream: IO[str],
@@ -52,6 +54,10 @@ def serve(input_stream: IO[str], output_stream: IO[str],
                                                default_id=request_id)
                 response = dispatcher.run_dse(
                     request, parallel=parallel).to_dict()
+            elif verb == "query":
+                request = QueryRequest.from_dict(payload,
+                                                 default_id=request_id)
+                response = dispatcher.run_query(request).to_dict()
             elif verb == "batch":
                 if isinstance(payload, dict):
                     payload = {key: value for key, value in payload.items()
@@ -62,7 +68,7 @@ def serve(input_stream: IO[str], output_stream: IO[str],
                     request, parallel=parallel).to_dict()
             else:
                 raise ValueError(
-                    f"unknown verb {verb!r}; known: batch, dse")
+                    f"unknown verb {verb!r}; known: batch, dse, query")
             served += 1
         except (ValueError, RuntimeError) as exc:
             response = {"id": request_id, "error": str(exc)}

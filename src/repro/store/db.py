@@ -1,0 +1,828 @@
+"""The SQLite experiment store: a queryable system of record.
+
+The persistent cache tier used to be a flat pickle snapshot keyed only
+for reuse -- nothing was queryable across sessions, diffable between
+commits, or safe for concurrent readers.  :class:`ExperimentStore`
+replaces it with a normalized SQLite database:
+
+* ``runs`` -- one row per recording session, carrying provenance: the
+  git commit SHA, the checked-in ``BENCH_perf.json`` record (when
+  present), the schema version that wrote it, and timestamps.
+* ``dataflows`` / ``objectives`` / ``layers`` / ``hardware`` -- interned
+  dimension tables, so a layer shape or hardware point shared by a
+  million cells is stored exactly once.  Hardware rows keep both the
+  queryable scalar columns (PEs, geometry, RF, buffer) and a pickled
+  :class:`~repro.arch.hardware.HardwareConfig` blob for exact
+  rehydration (the config embeds its EnergyCosts table).
+* ``evaluations`` -- the layer-level system of record, unique on the
+  engine's cache identity (dataflow, layer, hardware, objective).  This
+  is the table the :class:`~repro.store.tier.StoreTierCache` warm tier
+  reads and writes: a re-run of a recorded sweep rescores nothing.
+* ``cells`` -- the result-row level: one row per evaluated grid cell or
+  DSE candidate, tied to its run, with every scalar metric as a REAL
+  column.  SQLite REALs are IEEE doubles, so metric values round-trip
+  bit-identically into ``repro query`` output.
+
+Concurrency follows the single-writer / multi-reader WAL discipline:
+one writer connection per store instance, guarded by a lock (the
+``Session.stream`` completion callbacks write from pool threads), and
+every reading thread gets its own connection -- in WAL mode readers
+never block on the writer, which is what makes the store safe to query
+while a service-tier sweep is streaming cells into it.
+
+Snapshots are versioned (:data:`SCHEMA_VERSION`) with forward
+migrations: an old database is upgraded in place on open, a corrupt or
+foreign file raises :class:`StoreFormatError` with a clear message, and
+a database written by a *newer* build is refused rather than guessed
+at.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import subprocess
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import MISSING, CacheKey
+from repro.arch.hardware import HardwareConfig
+from repro.nn.layer import LayerShape, LayerType
+
+if TYPE_CHECKING:  # pragma: no cover - only used as a type
+    from repro.energy.model import LayerEvaluation
+
+#: Current schema version, written into ``store_meta`` on creation.
+SCHEMA_VERSION = 2
+
+#: Magic tag in ``store_meta`` distinguishing an experiment store from
+#: any other SQLite file.
+STORE_FORMAT = "repro-experiment-store"
+
+#: Environment variable naming the default store file (the ``repro
+#: query``/``--store`` fallback, mirroring ``REPRO_CACHE``).
+STORE_ENV = "REPRO_STORE"
+
+#: The scalar metric columns shared by the live Result rows and the
+#: ``cells`` table, in schema order.
+CELL_METRICS = ("energy_per_op", "delay_per_op", "edp_per_op",
+                "dram_reads_per_op", "dram_writes_per_op",
+                "dram_accesses_per_op")
+
+
+class StoreFormatError(ValueError):
+    """An experiment store is corrupt, foreign, or from a newer build."""
+
+
+def default_store_path() -> Optional[Path]:
+    """The store file named by ``REPRO_STORE`` (None when unset/empty)."""
+    raw = os.environ.get(STORE_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+def _git(args: Sequence[str], cwd: Optional[Path] = None) -> Optional[str]:
+    """One git query, or None outside a checkout / without git."""
+    try:
+        out = subprocess.run(["git", *args], cwd=cwd, capture_output=True,
+                             text=True, timeout=10)
+    except OSError:  # pragma: no cover - git missing
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def current_commit(cwd: Optional[Path] = None) -> str:
+    """The working tree's commit SHA, or ``"unknown"`` outside git."""
+    return _git(["rev-parse", "HEAD"], cwd) or "unknown"
+
+
+def resolve_commit(ref: str, cwd: Optional[Path] = None) -> str:
+    """Resolve a git ref (``HEAD``, a branch, a short SHA) to a full SHA.
+
+    Outside a checkout the ref is returned verbatim, so stores recorded
+    elsewhere can still be diffed by their literal recorded SHAs.
+    """
+    return _git(["rev-parse", ref], cwd) or ref
+
+
+def bench_provenance(cwd: Optional[Path] = None) -> Optional[str]:
+    """The checked-in ``BENCH_perf.json`` record as a JSON string.
+
+    Looked up at the git toplevel (falling back to the working
+    directory), validated as JSON; None when absent or unparsable --
+    provenance is best-effort, never a reason to fail a run.
+    """
+    top = _git(["rev-parse", "--show-toplevel"], cwd)
+    root = Path(top) if top else (cwd or Path.cwd())
+    path = root / "BENCH_perf.json"
+    if not path.exists():
+        return None
+    try:
+        return json.dumps(json.loads(path.read_text()), sort_keys=True)
+    except (OSError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Schema DDL and migrations.
+# ----------------------------------------------------------------------
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    label          TEXT,
+    command        TEXT,
+    commit_sha     TEXT NOT NULL,
+    bench_json     TEXT,
+    schema_version INTEGER NOT NULL,
+    started_at     TEXT NOT NULL,
+    finished_at    TEXT,
+    n_cells        INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS dataflows (
+    dataflow_id INTEGER PRIMARY KEY,
+    name        TEXT UNIQUE NOT NULL
+);
+CREATE TABLE IF NOT EXISTS objectives (
+    objective_id INTEGER PRIMARY KEY,
+    name         TEXT UNIQUE NOT NULL
+);
+CREATE TABLE IF NOT EXISTS layers (
+    layer_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL, type TEXT NOT NULL,
+    H INTEGER NOT NULL, R INTEGER NOT NULL, E INTEGER NOT NULL,
+    C INTEGER NOT NULL, M INTEGER NOT NULL, U INTEGER NOT NULL,
+    N INTEGER NOT NULL,
+    UNIQUE(name, type, H, R, E, C, M, U, N)
+);
+CREATE TABLE IF NOT EXISTS hardware (
+    hardware_id     INTEGER PRIMARY KEY,
+    fingerprint     TEXT UNIQUE NOT NULL,
+    num_pes         INTEGER NOT NULL,
+    array_h         INTEGER NOT NULL,
+    array_w         INTEGER NOT NULL,
+    rf_bytes_per_pe INTEGER NOT NULL,
+    buffer_bytes    INTEGER NOT NULL,
+    config          BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS evaluations (
+    evaluation_id INTEGER PRIMARY KEY,
+    dataflow_id   INTEGER NOT NULL REFERENCES dataflows(dataflow_id),
+    layer_id      INTEGER NOT NULL REFERENCES layers(layer_id),
+    hardware_id   INTEGER NOT NULL REFERENCES hardware(hardware_id),
+    objective_id  INTEGER NOT NULL REFERENCES objectives(objective_id),
+    feasible      INTEGER NOT NULL,
+    evaluation    BLOB,
+    run_id        INTEGER REFERENCES runs(run_id),
+    UNIQUE(dataflow_id, layer_id, hardware_id, objective_id)
+);
+CREATE TABLE IF NOT EXISTS cells (
+    cell_id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id          INTEGER NOT NULL REFERENCES runs(run_id),
+    kind            TEXT NOT NULL DEFAULT 'grid',
+    workload        TEXT NOT NULL,
+    dataflow_id     INTEGER NOT NULL REFERENCES dataflows(dataflow_id),
+    batch           INTEGER NOT NULL,
+    num_pes         INTEGER NOT NULL,
+    rf_bytes_per_pe INTEGER NOT NULL,
+    objective_id    INTEGER NOT NULL REFERENCES objectives(objective_id),
+    feasible        INTEGER NOT NULL,
+    energy_per_op        REAL,
+    delay_per_op         REAL,
+    edp_per_op           REAL,
+    dram_reads_per_op    REAL,
+    dram_writes_per_op   REAL,
+    dram_accesses_per_op REAL,
+    array_h         INTEGER,
+    array_w         INTEGER,
+    buffer_bytes    INTEGER,
+    area            REAL
+);
+CREATE INDEX IF NOT EXISTS idx_cells_run ON cells(run_id);
+CREATE INDEX IF NOT EXISTS idx_cells_workload ON cells(workload);
+CREATE INDEX IF NOT EXISTS idx_runs_commit ON runs(commit_sha);
+"""
+
+
+def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """v1 -> v2: run-level BENCH provenance and the DSE cell columns.
+
+    Version 1 recorded only grid cells and carried no benchmark record;
+    v2 adds ``runs.bench_json`` plus the ``cells`` columns a DSE
+    candidate needs (geometry, buffer, area, and the ``kind`` tag).
+    """
+    for ddl in (
+            "ALTER TABLE runs ADD COLUMN bench_json TEXT",
+            "ALTER TABLE cells ADD COLUMN kind TEXT NOT NULL "
+            "DEFAULT 'grid'",
+            "ALTER TABLE cells ADD COLUMN array_h INTEGER",
+            "ALTER TABLE cells ADD COLUMN array_w INTEGER",
+            "ALTER TABLE cells ADD COLUMN buffer_bytes INTEGER",
+            "ALTER TABLE cells ADD COLUMN area REAL",
+    ):
+        conn.execute(ddl)
+
+
+#: Forward migrations, keyed by the version they upgrade *from*.
+_MIGRATIONS = {1: _migrate_v1_to_v2}
+
+
+# ----------------------------------------------------------------------
+# Run and diff records.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Provenance of one recording session."""
+
+    run_id: int
+    commit_sha: str
+    started_at: str
+    finished_at: Optional[str]
+    label: Optional[str] = None
+    command: Optional[str] = None
+    schema_version: int = SCHEMA_VERSION
+    n_cells: int = 0
+    bench_json: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        """A JSON-safe summary (the BENCH record stays by reference)."""
+        return {
+            "run_id": self.run_id, "commit": self.commit_sha,
+            "label": self.label, "command": self.command,
+            "started_at": self.started_at, "finished_at": self.finished_at,
+            "schema_version": self.schema_version, "cells": self.n_cells,
+            "has_bench_record": self.bench_json is not None,
+        }
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One cell identity whose metrics changed between two runs."""
+
+    identity: Dict
+    metrics: Dict[str, Tuple[Optional[float], Optional[float]]]
+
+    def to_dict(self) -> Dict:
+        """JSON form: the identity plus per-metric (a, b) pairs."""
+        return {"cell": dict(self.identity),
+                "metrics": {name: {"a": a, "b": b}
+                            for name, (a, b) in self.metrics.items()}}
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """The cross-run regression report ``repro diff`` renders.
+
+    ``changed`` carries every matched cell identity whose metric values
+    differ between the two runs -- the "did the energy model change?"
+    signal; ``only_a``/``only_b`` list identities present in one run
+    but not the other (coverage drift rather than value drift).
+    """
+
+    run_a: RunRecord
+    run_b: RunRecord
+    matched: int
+    identical: int
+    changed: Tuple[CellDelta, ...] = ()
+    only_a: Tuple[Dict, ...] = ()
+    only_b: Tuple[Dict, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """True when the runs agree bit-for-bit on every matched cell."""
+        return not self.changed and not self.only_a and not self.only_b
+
+    def to_dict(self) -> Dict:
+        """The JSON wire/CLI form of the report."""
+        return {
+            "run_a": self.run_a.to_dict(),
+            "run_b": self.run_b.to_dict(),
+            "matched": self.matched,
+            "identical": self.identical,
+            "changed": [delta.to_dict() for delta in self.changed],
+            "only_a": [dict(identity) for identity in self.only_a],
+            "only_b": [dict(identity) for identity in self.only_b],
+            "clean": self.clean,
+        }
+
+
+# ----------------------------------------------------------------------
+# The store proper.
+# ----------------------------------------------------------------------
+
+
+def _utc_now() -> str:
+    """An ISO-8601 UTC timestamp (the store's time format)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def hardware_fingerprint(hw: HardwareConfig) -> str:
+    """Stable content hash of a hardware point (EnergyCosts included).
+
+    Built from the frozen dataclass ``repr`` -- deterministic across
+    processes and Python builds, unlike a pickle byte hash.
+    """
+    return hashlib.sha256(repr(hw).encode("utf-8")).hexdigest()
+
+
+def _pickle(value) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class ExperimentStore:
+    """A normalized, WAL-mode SQLite experiment database.
+
+    One instance owns one *writer* connection, serialized by a lock
+    (``Session.stream`` records cells from pool completion threads);
+    every reading thread lazily opens its own connection, so queries
+    are safe while a sweep is being recorded -- in-process and from
+    other processes alike.
+
+    Instances are context managers; :meth:`close` shuts every
+    connection down.
+    """
+
+    def __init__(self, path: "str | Path", *,
+                 timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        self._timeout = timeout
+        self._write_lock = threading.Lock()
+        self._local = threading.local()
+        self._closed = False
+        self._readers: List[sqlite3.Connection] = []
+        self._readers_lock = threading.Lock()
+        self._writer: Optional[sqlite3.Connection] = None
+        try:
+            self._writer = self._connect()
+            self._initialize()
+        except sqlite3.DatabaseError as exc:
+            if self._writer is not None:
+                self._writer.close()
+            raise StoreFormatError(
+                f"{self.path} is not a valid experiment store "
+                f"(corrupt or foreign file: {exc})") from exc
+
+    # -- connections ----------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=self._timeout,
+                               check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA foreign_keys=ON")
+        return conn
+
+    def _reader(self) -> sqlite3.Connection:
+        """This thread's read connection (WAL: never blocks the writer)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._connect()
+            self._local.conn = conn
+            with self._readers_lock:
+                self._readers.append(conn)
+        return conn
+
+    def close(self) -> None:
+        """Close the writer and every thread-local reader connection."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._write_lock:
+            self._writer.close()
+        with self._readers_lock:
+            for conn in self._readers:
+                try:
+                    conn.close()
+                except sqlite3.Error:  # pragma: no cover - already dead
+                    pass
+            self._readers.clear()
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- schema bootstrap and migration --------------------------------
+
+    def _initialize(self) -> None:
+        conn = self._writer
+        tables = {row[0] for row in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table'")}
+        if not tables:
+            with self._write_lock, conn:
+                conn.executescript(_SCHEMA)
+                conn.execute(
+                    "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                    ("format", STORE_FORMAT))
+                conn.execute(
+                    "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)))
+                conn.execute(
+                    "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                    ("created_at", _utc_now()))
+            return
+        if "store_meta" not in tables:
+            raise StoreFormatError(
+                f"{self.path} is a SQLite database but not an experiment "
+                f"store (no store_meta table)")
+        meta = dict(conn.execute("SELECT key, value FROM store_meta"))
+        if meta.get("format") != STORE_FORMAT:
+            raise StoreFormatError(
+                f"{self.path} has format {meta.get('format')!r}; this "
+                f"build reads {STORE_FORMAT!r}")
+        try:
+            version = int(meta.get("schema_version", ""))
+        except ValueError:
+            raise StoreFormatError(
+                f"{self.path} carries an unparsable schema version "
+                f"{meta.get('schema_version')!r}") from None
+        if version > SCHEMA_VERSION:
+            raise StoreFormatError(
+                f"{self.path} uses schema v{version}; this build reads "
+                f"up to v{SCHEMA_VERSION} -- upgrade the code, not the "
+                f"database")
+        while version < SCHEMA_VERSION:
+            migrate = _MIGRATIONS.get(version)
+            if migrate is None:
+                raise StoreFormatError(
+                    f"{self.path} uses schema v{version} and no migration "
+                    f"path to v{SCHEMA_VERSION} exists")
+            with self._write_lock, conn:
+                migrate(conn)
+                version += 1
+                conn.execute(
+                    "UPDATE store_meta SET value=? WHERE key=?",
+                    (str(version), "schema_version"))
+
+    @property
+    def schema_version(self) -> int:
+        """The schema version of the on-disk database (post-migration)."""
+        row = self._reader().execute(
+            "SELECT value FROM store_meta WHERE key='schema_version'"
+        ).fetchone()
+        return int(row[0])
+
+    # -- dimension interning --------------------------------------------
+
+    def _intern(self, conn: sqlite3.Connection, table: str, id_col: str,
+                where: Dict, extra: Optional[Dict] = None) -> int:
+        """The id of a dimension row, inserting it when new."""
+        clause = " AND ".join(f"{name}=?" for name in where)
+        row = conn.execute(
+            f"SELECT {id_col} FROM {table} WHERE {clause}",
+            tuple(where.values())).fetchone()
+        if row is not None:
+            return row[0]
+        payload = {**where, **(extra or {})}
+        columns = ", ".join(payload)
+        marks = ", ".join("?" for _ in payload)
+        cursor = conn.execute(
+            f"INSERT INTO {table} ({columns}) VALUES ({marks})",
+            tuple(payload.values()))
+        return cursor.lastrowid
+
+    def _dataflow_id(self, conn, name: str) -> int:
+        return self._intern(conn, "dataflows", "dataflow_id",
+                            {"name": name})
+
+    def _objective_id(self, conn, name: str) -> int:
+        return self._intern(conn, "objectives", "objective_id",
+                            {"name": name})
+
+    def _layer_id(self, conn, layer: LayerShape) -> int:
+        return self._intern(conn, "layers", "layer_id", {
+            "name": layer.name, "type": layer.layer_type.value,
+            "H": layer.H, "R": layer.R, "E": layer.E, "C": layer.C,
+            "M": layer.M, "U": layer.U, "N": layer.N})
+
+    def _hardware_id(self, conn, hw: HardwareConfig) -> int:
+        return self._intern(
+            conn, "hardware", "hardware_id",
+            {"fingerprint": hardware_fingerprint(hw)},
+            extra={"num_pes": hw.num_pes, "array_h": hw.array_h,
+                   "array_w": hw.array_w,
+                   "rf_bytes_per_pe": hw.rf_bytes_per_pe,
+                   "buffer_bytes": hw.buffer_bytes,
+                   "config": _pickle(hw)})
+
+    # -- runs -----------------------------------------------------------
+
+    def begin_run(self, label: Optional[str] = None,
+                  command: Optional[str] = None) -> int:
+        """Open a new run, capturing commit + BENCH provenance eagerly."""
+        with self._write_lock, self._writer as conn:
+            cursor = conn.execute(
+                "INSERT INTO runs (label, command, commit_sha, bench_json,"
+                " schema_version, started_at) VALUES (?, ?, ?, ?, ?, ?)",
+                (label, command, current_commit(), bench_provenance(),
+                 SCHEMA_VERSION, _utc_now()))
+            return cursor.lastrowid
+
+    def finish_run(self, run_id: int) -> None:
+        """Stamp a run finished and freeze its recorded-cell count."""
+        with self._write_lock, self._writer as conn:
+            conn.execute(
+                "UPDATE runs SET finished_at=?, n_cells="
+                "(SELECT COUNT(*) FROM cells WHERE run_id=?) "
+                "WHERE run_id=?",
+                (_utc_now(), run_id, run_id))
+
+    def runs(self, commit: Optional[str] = None) -> List[RunRecord]:
+        """Every recorded run, newest first (optionally one commit's)."""
+        sql = ("SELECT run_id, commit_sha, started_at, finished_at, label,"
+               " command, schema_version, n_cells, bench_json FROM runs")
+        args: Tuple = ()
+        if commit is not None:
+            sql += " WHERE commit_sha=?"
+            args = (commit,)
+        sql += " ORDER BY run_id DESC"
+        return [RunRecord(*row)
+                for row in self._reader().execute(sql, args)]
+
+    def run(self, run_id: int) -> RunRecord:
+        """One run's provenance record (KeyError when absent)."""
+        for record in self.runs():
+            if record.run_id == run_id:
+                return record
+        raise KeyError(f"no run {run_id} in {self.path}")
+
+    # -- the layer-evaluation system of record --------------------------
+
+    _EVAL_LOOKUP = """
+        SELECT e.feasible, e.evaluation
+        FROM evaluations e
+        JOIN dataflows d ON d.dataflow_id = e.dataflow_id
+        JOIN objectives o ON o.objective_id = e.objective_id
+        JOIN hardware h ON h.hardware_id = e.hardware_id
+        JOIN layers l ON l.layer_id = e.layer_id
+        WHERE d.name=? AND o.name=? AND h.fingerprint=?
+          AND l.name=? AND l.type=? AND l.H=? AND l.R=? AND l.E=?
+          AND l.C=? AND l.M=? AND l.U=? AND l.N=?
+    """
+
+    def get_evaluation(self, key: CacheKey):
+        """The recorded evaluation under an engine cache key.
+
+        Returns the rehydrated
+        :class:`~repro.energy.model.LayerEvaluation` (or None for a
+        recorded-infeasible problem), or
+        :data:`~repro.engine.cache.MISSING` when the store has never
+        seen the key.  A corrupt blob raises :class:`StoreFormatError`.
+        """
+        layer = key.layer
+        row = self._reader().execute(self._EVAL_LOOKUP, (
+            key.dataflow, key.objective,
+            hardware_fingerprint(key.hardware),
+            layer.name, layer.layer_type.value, layer.H, layer.R,
+            layer.E, layer.C, layer.M, layer.U, layer.N)).fetchone()
+        if row is None:
+            return MISSING
+        feasible, blob = row
+        if not feasible:
+            return None
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:
+            raise StoreFormatError(
+                f"{self.path} holds a corrupt evaluation blob for "
+                f"{key.dataflow}/{layer.name}: {exc}") from exc
+
+    def put_evaluations(self, items, run_id: Optional[int] = None) -> int:
+        """Record ``(CacheKey, LayerEvaluation | None)`` pairs.
+
+        The table is unique on the cache identity; keys the store has
+        already seen are left untouched (evaluations are pure functions
+        of their key, so the first write is as good as any).  Returns
+        the number of newly recorded keys.
+        """
+        items = list(items)
+        if not items:
+            return 0
+        added = 0
+        with self._write_lock, self._writer as conn:
+            for key, value in items:
+                row = (self._dataflow_id(conn, key.dataflow),
+                       self._layer_id(conn, key.layer),
+                       self._hardware_id(conn, key.hardware),
+                       self._objective_id(conn, key.objective))
+                cursor = conn.execute(
+                    "INSERT OR IGNORE INTO evaluations (dataflow_id,"
+                    " layer_id, hardware_id, objective_id, feasible,"
+                    " evaluation, run_id) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (*row, 1 if value is not None else 0,
+                     _pickle(value) if value is not None else None,
+                     run_id))
+                added += cursor.rowcount
+        return added
+
+    def evaluation_count(self) -> int:
+        """Number of layer-evaluation records in the store."""
+        return self._reader().execute(
+            "SELECT COUNT(*) FROM evaluations").fetchone()[0]
+
+    # -- cells ----------------------------------------------------------
+
+    def record_cells(self, run_id: int, rows, kind: str = "grid") -> int:
+        """Record result rows (api ``Result`` or ``DseCandidate``).
+
+        Rows carry the uniform identity columns plus, for DSE
+        candidates, the geometry/buffer/area extras (absent attributes
+        are stored NULL).  Returns the number of rows written.
+        """
+        rows = list(rows)
+        if not rows:
+            return 0
+        with self._write_lock, self._writer as conn:
+            for row in rows:
+                feasible = bool(row.feasible)
+                metrics = [getattr(row, name) if feasible else None
+                           for name in CELL_METRICS]
+                conn.execute(
+                    "INSERT INTO cells (run_id, kind, workload,"
+                    " dataflow_id, batch, num_pes, rf_bytes_per_pe,"
+                    " objective_id, feasible, energy_per_op, delay_per_op,"
+                    " edp_per_op, dram_reads_per_op, dram_writes_per_op,"
+                    " dram_accesses_per_op, array_h, array_w,"
+                    " buffer_bytes, area) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
+                    " ?, ?, ?, ?)",
+                    (run_id, kind, row.workload,
+                     self._dataflow_id(conn, row.dataflow), row.batch,
+                     row.num_pes, row.rf_bytes_per_pe,
+                     self._objective_id(conn, row.objective),
+                     1 if feasible else 0, *metrics,
+                     getattr(row, "array_h", None),
+                     getattr(row, "array_w", None),
+                     getattr(row, "buffer_bytes", None),
+                     getattr(row, "area", None)))
+        return len(rows)
+
+    _CELL_COLUMNS = (
+        "cell_id", "run_id", "kind", "workload", "dataflow", "batch",
+        "num_pes", "rf_bytes_per_pe", "objective", "feasible",
+        *CELL_METRICS, "array_h", "array_w", "buffer_bytes", "area",
+        "commit_sha",
+    )
+
+    def query_cells(self, *, workload: Optional[str] = None,
+                    dataflow: Optional[str] = None,
+                    batch: Optional[int] = None,
+                    num_pes: Optional[int] = None,
+                    rf_bytes_per_pe: Optional[int] = None,
+                    objective: Optional[str] = None,
+                    feasible: Optional[bool] = None,
+                    kind: Optional[str] = None,
+                    run_id: Optional[int] = None,
+                    commit: Optional[str] = None,
+                    limit: Optional[int] = None) -> List[Dict]:
+        """Filtered cell rows as plain dicts, in recording order.
+
+        Every filter is an exact match on its column; ``commit``
+        matches the *recording run's* commit SHA.  Metric values come
+        back as the exact IEEE doubles that were recorded.
+        """
+        where, args = [], []
+        filters = (("c.workload", workload), ("d.name", dataflow),
+                   ("c.batch", batch), ("c.num_pes", num_pes),
+                   ("c.rf_bytes_per_pe", rf_bytes_per_pe),
+                   ("o.name", objective), ("c.kind", kind),
+                   ("c.run_id", run_id), ("r.commit_sha", commit))
+        for column, value in filters:
+            if value is not None:
+                where.append(f"{column}=?")
+                args.append(value)
+        if feasible is not None:
+            where.append("c.feasible=?")
+            args.append(1 if feasible else 0)
+        sql = (
+            "SELECT c.cell_id, c.run_id, c.kind, c.workload, d.name,"
+            " c.batch, c.num_pes, c.rf_bytes_per_pe, o.name, c.feasible,"
+            " c.energy_per_op, c.delay_per_op, c.edp_per_op,"
+            " c.dram_reads_per_op, c.dram_writes_per_op,"
+            " c.dram_accesses_per_op, c.array_h, c.array_w,"
+            " c.buffer_bytes, c.area, r.commit_sha "
+            "FROM cells c"
+            " JOIN dataflows d ON d.dataflow_id = c.dataflow_id"
+            " JOIN objectives o ON o.objective_id = c.objective_id"
+            " JOIN runs r ON r.run_id = c.run_id")
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        sql += " ORDER BY c.cell_id"
+        if limit is not None:
+            sql += " LIMIT ?"
+            args.append(int(limit))
+        out = []
+        for values in self._reader().execute(sql, tuple(args)):
+            entry = dict(zip(self._CELL_COLUMNS, values))
+            entry["feasible"] = bool(entry["feasible"])
+            out.append(entry)
+        return out
+
+    def cell_count(self) -> int:
+        """Number of recorded result cells across all runs."""
+        return self._reader().execute(
+            "SELECT COUNT(*) FROM cells").fetchone()[0]
+
+    # -- diffing --------------------------------------------------------
+
+    #: Columns identifying one cell across runs (everything but the
+    #: metrics, the run link and the rowid).
+    _IDENTITY = ("kind", "workload", "dataflow", "batch", "num_pes",
+                 "rf_bytes_per_pe", "objective", "array_h", "array_w",
+                 "buffer_bytes", "area")
+
+    def _cells_by_identity(self, run_id: int) -> Dict[Tuple, Dict]:
+        cells = {}
+        for row in self.query_cells(run_id=run_id):
+            identity = tuple(row[name] for name in self._IDENTITY)
+            cells[identity] = row  # duplicates: the latest write wins
+        return cells
+
+    def diff_runs(self, run_a: int, run_b: int) -> DiffReport:
+        """Compare two runs cell by cell (exact float equality).
+
+        Cells match on their full identity (workload, dataflow, batch,
+        hardware columns, objective); matched cells whose recorded
+        metrics differ at all -- these are IEEE doubles, so any delta
+        is a real behavioral change, not rounding -- land in
+        ``changed``.
+        """
+        a_cells = self._cells_by_identity(run_a)
+        b_cells = self._cells_by_identity(run_b)
+        changed: List[CellDelta] = []
+        identical = 0
+        compared = ("feasible",) + CELL_METRICS
+        for identity in a_cells.keys() & b_cells.keys():
+            a_row, b_row = a_cells[identity], b_cells[identity]
+            deltas = {name: (a_row[name], b_row[name])
+                      for name in compared
+                      if a_row[name] != b_row[name]}
+            if deltas:
+                changed.append(CellDelta(
+                    identity=dict(zip(self._IDENTITY, identity)),
+                    metrics=deltas))
+            else:
+                identical += 1
+        def identities(keys):
+            return tuple(dict(zip(self._IDENTITY, key))
+                         for key in sorted(
+                             keys, key=lambda k: tuple(map(str, k))))
+        changed.sort(key=lambda d: tuple(map(str, d.identity.values())))
+        return DiffReport(
+            run_a=self.run(run_a), run_b=self.run(run_b),
+            matched=identical + len(changed), identical=identical,
+            changed=tuple(changed),
+            only_a=identities(a_cells.keys() - b_cells.keys()),
+            only_b=identities(b_cells.keys() - a_cells.keys()))
+
+    def diff_commits(self, ref_a: str, ref_b: str) -> DiffReport:
+        """Diff the latest recorded runs of two git refs.
+
+        Refs resolve through ``git rev-parse`` (so ``HEAD`` and short
+        SHAs work).  When both refs name the *same* commit and it has
+        two or more recorded runs, the latest two are compared -- the
+        ``repro diff HEAD HEAD`` round-trip check; with a single run it
+        is compared against itself (trivially clean).
+        """
+        sha_a, sha_b = resolve_commit(ref_a), resolve_commit(ref_b)
+        runs_a = self.runs(commit=sha_a)
+        runs_b = self.runs(commit=sha_b)
+        if not runs_a:
+            raise ValueError(
+                f"no recorded run for {ref_a!r} ({sha_a[:12]}) in "
+                f"{self.path}")
+        if not runs_b:
+            raise ValueError(
+                f"no recorded run for {ref_b!r} ({sha_b[:12]}) in "
+                f"{self.path}")
+        run_b = runs_b[0].run_id
+        if sha_a == sha_b and len(runs_a) > 1:
+            run_a, run_b = runs_a[1].run_id, runs_a[0].run_id
+        else:
+            run_a = runs_a[0].run_id
+        return self.diff_runs(run_a, run_b)
+
+
+def open_store(path: "str | Path | ExperimentStore") -> ExperimentStore:
+    """Coerce a path (or pass through a store instance) to a store.
+
+    The one-liner behind every ``store=`` argument: strings and paths
+    open (creating/migrating as needed), instances pass through.
+    """
+    if isinstance(path, ExperimentStore):
+        return path
+    return ExperimentStore(path)

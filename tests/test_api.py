@@ -5,8 +5,8 @@ driver and a ``BatchRequest``, the facade path must reproduce the
 pre-refactor numbers *bit-identically* -- the legacy path is recreated
 inline from the primitives (``EvaluationEngine.evaluate_network`` over
 per-dataflow equal-area hardware) so a facade regression cannot hide
-behind a matching regression in the drivers.  Streaming, the registry
-extension points and the deprecation shims are covered here too.
+behind a matching regression in the drivers.  Streaming and the
+registry extension points are covered here too.
 """
 
 import json
@@ -563,29 +563,3 @@ class TestFindLayer:
         from repro.cli import _find_layer
 
         assert _find_layer("conv3", 2).name == "CONV3"
-
-
-class TestDeprecations:
-    def test_schema_networks_warns_and_still_works(self):
-        from repro.service import schema
-
-        with pytest.warns(DeprecationWarning, match="network_registry"):
-            networks = schema.NETWORKS
-        assert "alexnet" in networks
-
-    def test_service_networks_reexport_warns(self):
-        import repro.service as service
-
-        with pytest.warns(DeprecationWarning):
-            assert "vgg16" in service.NETWORKS
-
-    def test_fig15_engine_argument_warns_but_matches(self):
-        engine = EvaluationEngine(EngineConfig(parallel=False),
-                                  EvaluationCache())
-        with pytest.warns(DeprecationWarning, match="session"):
-            legacy = fig15_area_allocation_sweep(
-                (32,), batch=2, rf_choices=(512,), engine=engine)
-        with serial_session() as session:
-            assert fig15_area_allocation_sweep(
-                (32,), batch=2, rf_choices=(512,),
-                session=session) == legacy

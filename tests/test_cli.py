@@ -278,3 +278,62 @@ class TestCliDse:
         rows = json.loads(capsys.readouterr().out)
         # The buffer is derived from the Eq. (2) budget, not 16x512 B.
         assert rows[0]["buffer_bytes"] != 16 * 512
+
+
+class TestCliStore:
+    SWEEP = ["sweep", "--pes", "32", "--rf", "512", "--batch", "2",
+             "--serial"]
+
+    def recorded_sweep(self, db, capsys, label=None):
+        record = ["--record"] + ([label] if label else [])
+        assert main(self.SWEEP + ["--store", db] + record) == 0
+        return capsys.readouterr().out
+
+    def test_recorded_sweeps_round_trip_through_query(self, tmp_path,
+                                                      capsys):
+        db = str(tmp_path / "store.db")
+        self.recorded_sweep(db, capsys, "cold")
+        self.recorded_sweep(db, capsys, "warm")
+        assert main(["query", "--store", db, "--json"]) == 0
+        cells = json.loads(capsys.readouterr().out)
+        # One grid cell per recorded run, bit-identical across runs.
+        assert len(cells) == 2
+        assert {c["run_id"] for c in cells} == {1, 2}
+        for metric in ("energy_per_op", "edp_per_op"):
+            assert cells[0][metric] == cells[1][metric]
+        assert main(["query", "--store", db, "--runs"]) == 0
+        runs_out = capsys.readouterr().out
+        assert "cold" in runs_out and "warm" in runs_out
+
+    def test_diff_head_head_is_bit_identical(self, tmp_path, capsys):
+        db = str(tmp_path / "store.db")
+        self.recorded_sweep(db, capsys)
+        self.recorded_sweep(db, capsys)
+        assert main(["diff", "HEAD", "HEAD", "--store", db]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_query_csv_export(self, tmp_path, capsys):
+        db = str(tmp_path / "store.db")
+        self.recorded_sweep(db, capsys)
+        out = tmp_path / "csv"
+        assert main(["query", "--store", db, "--csv", str(out)]) == 0
+        header = (out / "store_query.csv").read_text().splitlines()[0]
+        assert header.startswith("cell_id,run_id,kind,workload")
+
+    def test_query_empty_store_exits_1(self, tmp_path, capsys):
+        db = str(tmp_path / "empty.db")
+        from repro.store import ExperimentStore
+
+        ExperimentStore(db).close()
+        assert main(["query", "--store", db]) == 1
+        assert "no recorded cell" in capsys.readouterr().err
+
+    def test_query_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["query", "--store",
+                     str(tmp_path / "nope.db")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_record_without_store_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main(self.SWEEP + ["--record"]) == 2
+        assert "store" in capsys.readouterr().err

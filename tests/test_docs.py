@@ -33,10 +33,26 @@ class TestDocsPages:
                        "zero_gating_savings", "delay_per_op", "RS", "NLR"):
             assert symbol in text, f"NOTATION.md lost the {symbol} entry"
 
+    def test_experiment_store_page_covers_the_contract(self):
+        text = (ROOT / "docs" / "EXPERIMENT_STORE.md").read_text()
+        for anchor in ("evaluations", "cells", "StoreFormatError",
+                       "repro query", "repro diff", "REPRO_STORE",
+                       "bit-identically", "schema_version"):
+            assert anchor in text, \
+                f"EXPERIMENT_STORE.md lost its {anchor} coverage"
+
+    def test_architecture_page_covers_the_record_path(self):
+        text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for anchor in ("StoreTierCache", "Record.", "store_hits",
+                       "EXPERIMENT_STORE.md"):
+            assert anchor in text, \
+                f"ARCHITECTURE.md lost its {anchor} record-path section"
+
     def test_readme_links_the_docs_pages(self):
         text = (ROOT / "README.md").read_text()
         assert "docs/ARCHITECTURE.md" in text
         assert "docs/NOTATION.md" in text
+        assert "docs/EXPERIMENT_STORE.md" in text
 
 
 class TestDocLinks:
@@ -68,7 +84,8 @@ class TestDocstringCoverage:
         # the tree-wide threshold.
         proc = run_tool("check_docstrings.py", "--fail-under", "100",
                         "src/repro/api.py", "src/repro/registry.py",
-                        "src/repro/dse.py", "src/repro/cli.py")
+                        "src/repro/dse.py", "src/repro/cli.py",
+                        "src/repro/store")
         assert proc.returncode == 0, proc.stdout or proc.stderr
 
     def test_undocumented_definition_is_caught(self, tmp_path):

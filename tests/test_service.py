@@ -25,7 +25,7 @@ from repro.service import (
     serve,
 )
 from repro.service.schema import layer_from_dict, layer_to_dict
-from repro.service.schema import DseRequest
+from repro.service.schema import DseRequest, QueryRequest
 
 
 def serial_engine() -> EvaluationEngine:
@@ -193,8 +193,8 @@ class TestDispatcher:
         data = result.to_dict()
         assert data["id"] == "t"
         assert data["feasible_cells"] == 1
-        assert set(data["cache"]) == {"hits", "misses", "hit_rate",
-                                      "size", "evictions"}
+        assert set(data["cache"]) == {"hits", "store_hits", "misses",
+                                      "hit_rate", "size", "evictions"}
         json.dumps(data)  # must be JSON-serializable as-is
 
 
@@ -450,3 +450,53 @@ class TestDseVerb:
         assert all("on_front" in row for row in payload["front"])
         assert payload["front_size"] == sum(
             1 for row in payload["front"] if row["on_front"])
+
+
+class TestQueryVerb:
+    def recording_dispatcher(self, tmp_path) -> BatchDispatcher:
+        from repro.api import Session
+
+        return BatchDispatcher(Session(
+            parallel=False, store=tmp_path / "svc.db", record=True))
+
+    def test_request_validation(self):
+        request = QueryRequest.from_dict(
+            {"verb": "query", "id": "q1", "dataflow": "RS", "limit": 5})
+        assert request.request_id == "q1"
+        assert request.filters == {"dataflow": "RS", "limit": 5}
+        # "network" is accepted as an alias for "workload"...
+        aliased = QueryRequest.from_dict(
+            {"verb": "query", "network": "alexnet-conv"})
+        assert aliased.filters == {"workload": "alexnet-conv"}
+        # ...but naming both is ambiguous, and unknown fields reject.
+        with pytest.raises(ValueError, match="both"):
+            QueryRequest.from_dict({"verb": "query", "network": "a",
+                                    "workload": "b"})
+        with pytest.raises(ValueError, match="unknown query"):
+            QueryRequest.from_dict({"verb": "query", "pes": 64})
+
+    def test_query_needs_a_store(self):
+        with pytest.raises(ValueError, match="experiment store"):
+            BatchDispatcher(serial_engine()).run_query(
+                QueryRequest.from_dict({"verb": "query"}))
+
+    def test_serve_query_round_trips_recorded_cells(self, tmp_path):
+        dispatcher = self.recording_dispatcher(tmp_path)
+        output = io.StringIO()
+        lines = "\n".join([
+            json.dumps(tiny_request().to_dict()),
+            json.dumps({"verb": "query", "id": "q",
+                        "dataflow": "RS", "kind": "grid"}),
+        ]) + "\n"
+        served = serve(io.StringIO(lines), output, dispatcher)
+        responses = [json.loads(line)
+                     for line in output.getvalue().splitlines()]
+        assert served == 2
+        query = responses[1]
+        assert query["verb"] == "query" and query["id"] == "q"
+        assert query["count"] == len(query["rows"]) == 1
+        # The recorded row round-trips the live cell's floats exactly.
+        cell = responses[0]["cells"][0]
+        row = query["rows"][0]
+        assert row["energy_per_op"] == cell["energy_per_op"]
+        assert row["commit_sha"]

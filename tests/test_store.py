@@ -1,0 +1,291 @@
+"""Tests for the experiment store (:mod:`repro.store`).
+
+Three pillars: the acceptance criteria of the refactor -- a recorded
+sweep read back with ``ResultSet.from_store`` must be *bit-identical*
+to the live rows, and a second recorded run must rescore nothing
+(answered entirely by the store's warm tier) -- plus concurrency
+(two threads streaming into one store; a reader querying mid-write)
+and format safety (corrupt/foreign/newer files raise
+:class:`StoreFormatError`; a v1 database migrates forward in place).
+"""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.api import ResultSet, Scenario, Session
+from repro.engine import EngineConfig, EvaluationCache, EvaluationEngine
+from repro.engine.cache import MISSING, CacheKey
+from repro.nn.layer import conv_layer
+from repro.store import (
+    SCHEMA_VERSION,
+    ExperimentStore,
+    StoreFormatError,
+    StoreTierCache,
+)
+
+
+def tiny_layers(batch: int = 1):
+    return (conv_layer("T1", H=16, R=3, E=14, C=8, M=16, N=batch),)
+
+
+def tiny_scenario(batch: int = 1, pe_counts=(64,)) -> Scenario:
+    return Scenario(workload=tiny_layers(batch), dataflows=("RS",),
+                    batches=(batch,), pe_counts=pe_counts)
+
+
+def recording_session(store, **kwargs) -> Session:
+    return Session(parallel=False, store=store, record=True, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Core store behavior.
+# ----------------------------------------------------------------------
+
+
+class TestStoreCore:
+    def test_fresh_store_carries_current_schema(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            assert store.schema_version == SCHEMA_VERSION
+            assert store.cell_count() == 0
+            assert store.evaluation_count() == 0
+
+    def test_evaluation_roundtrip_and_missing(self, tmp_path):
+        engine = EvaluationEngine(EngineConfig(parallel=False),
+                                  EvaluationCache())
+        (layer,) = tiny_layers()
+        cell = tiny_scenario().cells()[0]
+        hw = cell.job.hardware
+        evaluation = engine.evaluate_layer(cell.job.dataflow, layer, hw)
+        key = CacheKey(dataflow="RS", layer=layer, hardware=hw,
+                       objective="energy")
+        with ExperimentStore(tmp_path / "s.db") as store:
+            assert store.get_evaluation(key) is MISSING
+            assert store.put_evaluations([(key, evaluation)]) == 1
+            # Idempotent: re-putting the same key adds nothing.
+            assert store.put_evaluations([(key, evaluation)]) == 0
+            assert store.get_evaluation(key) == evaluation
+        # A fresh handle (new process, in effect) still answers.
+        with ExperimentStore(tmp_path / "s.db") as store:
+            assert store.get_evaluation(key) == evaluation
+
+    def test_tier_promotes_store_hits_into_lru(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            warm = EvaluationEngine(EngineConfig(parallel=False),
+                                    StoreTierCache(store))
+            warm.evaluate_network(
+                tiny_scenario().cells()[0].job.dataflow, tiny_layers(),
+                tiny_scenario().cells()[0].job.hardware)
+            cache = StoreTierCache(store)
+            cold = EvaluationEngine(EngineConfig(parallel=False), cache)
+            job = tiny_scenario().cells()[0].job
+            cold.evaluate_network(job.dataflow, tiny_layers(),
+                                  job.hardware)
+            assert cache.stats.misses == 0
+            assert cache.stats.store_hits == 1
+            # Second lookup is an LRU hit: the store was only read once.
+            cold.evaluate_network(job.dataflow, tiny_layers(),
+                                  job.hardware)
+            assert cache.stats.store_hits == 1
+            assert cache.stats.hits == 1
+            assert cache.stats.hit_rate == 1.0
+
+    def test_run_provenance_recorded(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            run_id = store.begin_run(label="unit", command="pytest")
+            store.finish_run(run_id)
+            run = store.run(run_id)
+            assert run.label == "unit"
+            assert run.command == "pytest"
+            assert run.commit_sha
+            assert run.schema_version == SCHEMA_VERSION
+            assert run.finished_at is not None
+
+
+# ----------------------------------------------------------------------
+# The acceptance criteria: recorded parity and warm reuse.
+# ----------------------------------------------------------------------
+
+
+class TestRecordedParity:
+    def test_from_store_is_bit_identical_to_live_rows(self, tmp_path):
+        path = tmp_path / "exp.db"
+        scenario = tiny_scenario(pe_counts=(64, 128))
+        with recording_session(path) as session:
+            live = session.evaluate(scenario)
+            assert session.recording and session.run_id is not None
+        # A fresh process: nothing shared with the recording session.
+        recovered = ResultSet.from_store(path)
+        assert recovered.rows == live.rows
+
+    def test_second_recorded_run_rescores_nothing(self, tmp_path):
+        path = tmp_path / "exp.db"
+        scenario = tiny_scenario(pe_counts=(64, 128))
+        with recording_session(path) as session:
+            session.evaluate(scenario)
+        with recording_session(path) as session:
+            again = session.evaluate(scenario)
+            stats = session.cache_stats
+            assert stats.misses == 0, (
+                "the warm run re-scored candidates the store holds")
+            assert stats.store_hits == len(again)
+        with ExperimentStore(path) as store:
+            runs = store.runs()
+            assert len(runs) == 2
+            report = store.diff_runs(runs[0].run_id, runs[1].run_id)
+            assert report.clean
+            assert store.diff_commits("HEAD", "HEAD").clean
+
+    def test_stream_records_cells_as_they_complete(self, tmp_path):
+        path = tmp_path / "exp.db"
+        with recording_session(path) as session:
+            seen = 0
+            for _ in session.stream(tiny_scenario(pe_counts=(64, 128))):
+                seen += 1
+                with ExperimentStore(path) as reader:
+                    assert reader.cell_count() == seen
+
+    def test_explore_records_dse_cells(self, tmp_path):
+        from repro.dse import DesignSpace, explore
+
+        path = tmp_path / "exp.db"
+        space = DesignSpace(workload=tiny_layers(), pe_counts=(64,),
+                            rf_choices=(512,))
+        with recording_session(path) as session:
+            explore(space, session=session)
+        with ExperimentStore(path) as store:
+            cells = store.query_cells(kind="dse")
+            assert cells
+            assert all(c["array_h"] is not None for c in cells)
+        # Grid-kind queries (the from_store default) don't see them.
+        assert len(ResultSet.from_store(path)) == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrency: one writer connection, many readers.
+# ----------------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_two_threads_stream_into_one_store(self, tmp_path):
+        store = ExperimentStore(tmp_path / "exp.db")
+        errors = []
+
+        def record(batch: int) -> None:
+            try:
+                with recording_session(store) as session:
+                    for _ in session.stream(
+                            tiny_scenario(batch, pe_counts=(64, 128))):
+                        pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=record, args=(b,))
+                   for b in (1, 2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        try:
+            assert not errors
+            assert len(store.runs()) == 2
+            assert store.cell_count() == 4
+            for batch in (1, 2):
+                assert len(store.query_cells(batch=batch)) == 2
+        finally:
+            store.close()
+
+    def test_reader_queries_mid_write(self, tmp_path):
+        store = ExperimentStore(tmp_path / "exp.db")
+        first_cell = threading.Event()
+        counts = []
+        errors = []
+
+        def write() -> None:
+            try:
+                with recording_session(store) as session:
+                    for _ in session.stream(
+                            tiny_scenario(pe_counts=(64, 128, 256))):
+                        first_cell.set()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def read() -> None:
+            try:
+                assert first_cell.wait(timeout=30)
+                # Mid-write queries must neither block nor error; each
+                # sees a consistent snapshot of the cells so far.
+                while len(counts) < 50 and (not counts
+                                            or counts[-1] < 3):
+                    counts.append(store.cell_count())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writer = threading.Thread(target=write)
+        reader = threading.Thread(target=read)
+        writer.start()
+        reader.start()
+        writer.join()
+        reader.join()
+        try:
+            assert not errors
+            assert counts and counts == sorted(counts)
+            assert store.cell_count() == 3
+        finally:
+            store.close()
+
+
+# ----------------------------------------------------------------------
+# Format safety and migration.
+# ----------------------------------------------------------------------
+
+
+class TestFormatSafety:
+    def test_corrupt_file_raises_store_format_error(self, tmp_path):
+        path = tmp_path / "corrupt.db"
+        path.write_bytes(b"this is not a sqlite database at all\n")
+        with pytest.raises(StoreFormatError, match="corrupt or foreign"):
+            ExperimentStore(path)
+
+    def test_foreign_sqlite_db_raises(self, tmp_path):
+        path = tmp_path / "foreign.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE unrelated (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreFormatError, match="store_meta"):
+            ExperimentStore(path)
+
+    def test_newer_schema_version_raises(self, tmp_path):
+        path = tmp_path / "future.db"
+        ExperimentStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE store_meta SET value=? WHERE key=?",
+                     (str(SCHEMA_VERSION + 1), "schema_version"))
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreFormatError, match="upgrade the code"):
+            ExperimentStore(path)
+
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        path = tmp_path / "old.db"
+        with recording_session(path) as session:
+            live = session.evaluate(tiny_scenario(pe_counts=(64, 128)))
+        # Downgrade the file to schema v1: drop every v2 column and
+        # wind the version marker back.
+        conn = sqlite3.connect(path)
+        for column in ("kind", "array_h", "array_w", "buffer_bytes",
+                       "area"):
+            conn.execute(f"ALTER TABLE cells DROP COLUMN {column}")
+        conn.execute("ALTER TABLE runs DROP COLUMN bench_json")
+        conn.execute("UPDATE store_meta SET value='1' "
+                     "WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with ExperimentStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+            cells = store.query_cells()
+            # Migrated rows keep their values; kind backfills to 'grid'.
+            assert all(cell["kind"] == "grid" for cell in cells)
+        assert ResultSet.from_store(path).rows == live.rows

@@ -13,7 +13,13 @@ Measured paths:
 * ``scalar_serial``   -- streaming scalar search (``REPRO_KERNEL=scalar``)
 * ``vector_serial``   -- vectorized kernel (the default path)
 * ``vector_parallel`` -- vectorized kernel + chunked process pool
-* ``warm_cache``      -- full re-run answered from the engine cache
+* ``warm_cache``      -- full re-run answered from the in-memory LRU
+* ``store_warm``      -- fresh process simulated: an empty LRU over a
+  populated experiment store, every lookup answered by the store tier
+
+The record also carries a ``cache_tiers`` section -- LRU hits, store
+hits, misses and evictions per warm path -- so cache regressions show
+up in the perf trajectory, not just wall time.
 
 Usage::
 
@@ -80,6 +86,48 @@ def _run_sweep(pe_counts, rf_choices, kernel: str, parallel: bool,
     return points, seconds, engine
 
 
+def _stats_dict(stats) -> dict:
+    """A cache's tier counters as the recorded ``cache_tiers`` entry."""
+    return {
+        "lru_hits": stats.hits,
+        "store_hits": stats.store_hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "hit_rate": round(stats.hit_rate, 4),
+    }
+
+
+def _store_warm_sweep(pe_counts, rf_choices):
+    """The sweep answered from the experiment store's warm tier.
+
+    Populates a throwaway store through a :class:`StoreTierCache`, then
+    re-runs the sweep on a *fresh* engine and empty LRU over the same
+    store -- the cross-process warm-start path -- and returns
+    ``(points, seconds, stats)`` for the store-backed re-run.
+    """
+    from repro.engine import EngineConfig, EvaluationEngine
+    from repro.store import ExperimentStore, StoreTierCache
+
+    os.environ["REPRO_KERNEL"] = "vector"
+    with tempfile.TemporaryDirectory() as tmp:
+        with ExperimentStore(Path(tmp) / "bench-store.db") as store:
+            cold = EvaluationEngine(EngineConfig(parallel=False),
+                                    StoreTierCache(store))
+            run_sweep(cold, False, pe_counts=pe_counts,
+                      rf_choices=rf_choices)
+            warm_cache = StoreTierCache(store)
+            warm = EvaluationEngine(EngineConfig(parallel=False),
+                                    warm_cache)
+            points, seconds = run_sweep(warm, False, pe_counts=pe_counts,
+                                        rf_choices=rf_choices)
+            stats = warm_cache.stats
+    if stats.misses:
+        raise AssertionError(
+            f"store warm tier missed {stats.misses} evaluations -- the "
+            f"second run re-scored work the store should have answered")
+    return points, seconds, stats
+
+
 def _candidate_counts(pe_counts, rf_choices):
     """Total candidates the RS search scores across the sweep grid."""
     from repro.analysis.sweep import _sweep_grid
@@ -107,18 +155,23 @@ def run_benchmarks(pe_counts, rf_choices) -> dict:
     _, warm_s, _ = _run_sweep(
         pe_counts, rf_choices, kernel="vector", parallel=False,
         engine=engine)
+    warm_stats = engine.cache.stats
     parallel_points, parallel_s, parallel_engine = _run_sweep(
         pe_counts, rf_choices, kernel="vector", parallel=True)
     parallel_engine.close()
+    store_points, store_warm_s, store_stats = _store_warm_sweep(
+        pe_counts, rf_choices)
 
-    if scalar_points != vector_points or scalar_points != parallel_points:
+    if scalar_points != vector_points or scalar_points != parallel_points \
+            or scalar_points != store_points:
         raise AssertionError(
-            "parity violation: the scalar, vectorized and parallel sweeps "
-            "disagree -- timings are meaningless, refusing to record them")
+            "parity violation: the scalar, vectorized, parallel and "
+            "store-warmed sweeps disagree -- timings are meaningless, "
+            "refusing to record them")
 
     cells, candidates = _candidate_counts(pe_counts, rf_choices)
     return {
-        "schema": 1,
+        "schema": 2,
         "commit": _commit_sha(),
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "machine": {
@@ -140,11 +193,17 @@ def run_benchmarks(pe_counts, rf_choices) -> dict:
             "vector_serial": round(vector_s, 4),
             "vector_parallel": round(parallel_s, 4),
             "warm_cache": round(warm_s, 4),
+            "store_warm": round(store_warm_s, 4),
         },
         "speedups": {
             "vector_vs_scalar": round(scalar_s / vector_s, 2),
             "parallel_vs_serial": round(vector_s / parallel_s, 2),
             "warm_vs_scalar": round(scalar_s / warm_s, 2),
+            "store_warm_vs_scalar": round(scalar_s / store_warm_s, 2),
+        },
+        "cache_tiers": {
+            "warm_cache": _stats_dict(warm_stats),
+            "store_warm": _stats_dict(store_stats),
         },
     }
 
@@ -189,6 +248,14 @@ def main(argv=None) -> int:
           f"({speedups['parallel_vs_serial']:.2f}x vs vector serial)")
     print(f"  warm cache      {walls['warm_cache']:8.3f} s  "
           f"({speedups['warm_vs_scalar']:.0f}x)")
+    print(f"  store warm      {walls['store_warm']:8.3f} s  "
+          f"({speedups['store_warm_vs_scalar']:.0f}x)")
+    tiers = record["cache_tiers"]
+    for name in ("warm_cache", "store_warm"):
+        t = tiers[name]
+        print(f"  {name:<15} tiers: {t['lru_hits']} LRU hits, "
+              f"{t['store_hits']} store hits, {t['misses']} misses, "
+              f"{t['evictions']} evictions")
     print(f"  candidates scored: "
           f"{record['workload']['candidates_scored']:,} across "
           f"{record['workload']['grid_cells']} cells")
