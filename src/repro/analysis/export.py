@@ -106,6 +106,7 @@ DSE_CSV_HEADER = (
     "array_w", "rf_bytes_per_pe", "buffer_bytes", "area", "feasible",
     "on_front", "energy_per_op", "delay_per_op", "edp_per_op",
     "dram_reads_per_op", "dram_writes_per_op", "dram_accesses_per_op",
+    "index",
 )
 
 
@@ -133,7 +134,7 @@ QUERY_CSV_HEADER = (
     "num_pes", "rf_bytes_per_pe", "objective", "feasible",
     "energy_per_op", "delay_per_op", "edp_per_op", "dram_reads_per_op",
     "dram_writes_per_op", "dram_accesses_per_op", "array_h", "array_w",
-    "buffer_bytes", "area", "commit_sha",
+    "buffer_bytes", "area", "cand_index", "space_fp", "commit_sha",
 )
 
 

@@ -659,20 +659,90 @@ class Session:
                     cache.run_id = self._run_id
             return self._run_id
 
-    def _record_rows(self, rows, kind: str = "grid") -> None:
+    def _record_rows(self, rows, kind: str = "grid",
+                     space_fp: Optional[str] = None) -> None:
         """Write result rows into the store's recorded run (if any)."""
         if not self._recording:
             return
-        self._store.record_cells(self._ensure_run(), rows, kind=kind)
+        self._store.record_cells(self._ensure_run(), rows, kind=kind,
+                                 space_fp=space_fp)
 
-    def record_dse_candidates(self, candidates) -> None:
+    def record_dse_candidates(self, candidates,
+                              space_fp: Optional[str] = None) -> None:
         """Record evaluated DSE candidates (no-op unless recording).
 
-        Called by :func:`repro.dse.explore` so ``Session.explore`` runs
-        land in the store's ``cells`` table (``kind='dse'``) alongside
-        grid cells, with their geometry/buffer/area columns filled.
+        Called by :func:`repro.dse.explore_stream` as each chunk
+        completes, so ``Session.explore`` runs land in the store's
+        ``cells`` table (``kind='dse'``) alongside grid cells, with
+        their geometry/buffer/area columns filled.  ``space_fp`` tags
+        the rows with the design space's fingerprint (plus each row's
+        expansion index), which is what makes a later ``resume=True``
+        able to skip them.
         """
-        self._record_rows(candidates, kind="dse")
+        self._record_rows(candidates, kind="dse", space_fp=space_fp)
+
+    def checkpoint_exploration(self, space_fp: str, space, *,
+                               total: int, done: int) -> None:
+        """Checkpoint a streamed exploration (no-op unless recording).
+
+        Upserts the store's ``explorations`` row for ``space_fp``:
+        candidates planned vs. recorded so far, plus the canonical
+        space description as JSON for introspection.  Called by
+        :func:`repro.dse.explore_stream` at the start and after every
+        chunk.
+        """
+        if not self._recording:
+            return
+        import json as _json
+
+        describe = getattr(space, "describe_dict", None)
+        space_json = (_json.dumps(describe(), sort_keys=True)
+                      if describe is not None else None)
+        self._store.checkpoint_exploration(
+            space_fp, self._ensure_run(), total=total, done=done,
+            space_json=space_json)
+
+    def resume_exploration(self, space_fp: str):
+        """The already-recorded candidates of one exploration.
+
+        Reads every ``cells`` row tagged with ``space_fp`` (deduplicated
+        by expansion index) back as :class:`repro.dse.DseCandidate`
+        rows, ready to rebuild the incremental frontier; returns an
+        empty tuple when nothing was recorded yet.  Raises
+        ``ValueError`` on a non-recording session -- resume without a
+        store has nothing to resume from.
+        """
+        if not self._recording:
+            raise ValueError(
+                "resume needs a recording session: construct the Session "
+                "with store=... and record=True (or --store/--record)")
+        from repro.dse import DseCandidate  # lazy: dse imports us
+
+        rows = []
+        for cell in self._store.exploration_cells(space_fp):
+            payload = {
+                "workload": cell["workload"],
+                "dataflow": cell["dataflow"],
+                "batch": cell["batch"],
+                "objective": cell["objective"],
+                "array_h": cell["array_h"],
+                "array_w": cell["array_w"],
+                "num_pes": cell["num_pes"],
+                "rf_bytes_per_pe": cell["rf_bytes_per_pe"],
+                "buffer_bytes": cell["buffer_bytes"],
+                "area": cell["area"],
+                "feasible": cell["feasible"],
+                "index": cell["cand_index"],
+            }
+            if cell["feasible"]:
+                payload.update({
+                    name: cell[name]
+                    for name in ("energy_per_op", "delay_per_op",
+                                 "edp_per_op", "dram_reads_per_op",
+                                 "dram_writes_per_op",
+                                 "dram_accesses_per_op")})
+            rows.append(DseCandidate(**payload))
+        return tuple(rows)
 
     # ------------------------------------------------------------------
 
@@ -709,21 +779,28 @@ class Session:
             self._record_rows((result,))
             yield result
 
-    def explore(self, space, parallel: Optional[bool] = None):
+    def explore(self, space, parallel: Optional[bool] = None, *,
+                chunk: Optional[int] = None, resume: bool = False,
+                progress=None, keep_candidates: Optional[bool] = None):
         """Sweep a hardware design space and reduce it to a Pareto set.
 
         ``space`` is a :class:`repro.dse.DesignSpace` (or a registered
         name resolvable through
-        :func:`repro.registry.get_design_space`).  Every (dataflow,
-        hardware point) candidate is evaluated through this session's
-        engine -- sharing its cache tiers and worker pools with
-        :meth:`evaluate`/:meth:`stream`, so repeated or overlapping
-        explorations stay warm -- and the answer is a
+        :func:`repro.registry.get_design_space`).  Candidates stream
+        through this session's engine in chunks -- sharing its cache
+        tiers and worker pools with :meth:`evaluate`/:meth:`stream`, so
+        repeated or overlapping explorations stay warm -- while the
+        Pareto frontier is maintained incrementally; the answer is a
         :class:`repro.dse.ParetoSet`: the non-dominated frontier over
-        the space's metrics plus every evaluated candidate.
+        the space's metrics (plus the evaluated candidates, retained
+        for spaces small enough to keep).
 
         ``parallel`` overrides the session's pool policy for this call
-        only; the frontier is bit-identical either way.
+        only; the frontier is bit-identical either way.  ``chunk``,
+        ``resume``, ``progress`` and ``keep_candidates`` are forwarded
+        to :func:`repro.dse.explore` -- notably ``resume=True`` on a
+        recording session continues an interrupted exploration from the
+        experiment store instead of restarting it.
         """
         from repro.dse import DesignSpace, explore  # lazy: dse imports us
 
@@ -734,7 +811,9 @@ class Session:
             raise TypeError(
                 f"explore() takes a DesignSpace or a registered design "
                 f"space name, got {space!r}")
-        return explore(space, session=self, parallel=parallel)
+        return explore(space, session=self, parallel=parallel,
+                       chunk=chunk, resume=resume, progress=progress,
+                       keep_candidates=keep_candidates)
 
     # ------------------------------------------------------------------
 

@@ -50,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional, Tuple
 
@@ -342,6 +343,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "Eq. (2) baseline per PE count)")
     dse.add_argument("--objective", **grid,
                      help="mapping objective (default energy)")
+    # Streaming/sampling flags are not part of the grid description --
+    # they compose with --space (budgeted exploration of a registered
+    # space) instead of conflicting with it.
+    dse.add_argument("--sample", type=int, default=None, metavar="N",
+                     help="evaluate only N seeded-sampled candidates "
+                          "instead of the full space")
+    dse.add_argument("--seed", type=int, default=None, metavar="N",
+                     help="sampling seed (default 0); same seed, same "
+                          "candidate set")
+    dse.add_argument("--sampler", default=None,
+                     choices=("random", "halton"),
+                     help="sampling mode: seeded uniform or "
+                          "low-discrepancy Halton (default random)")
+    dse.add_argument("--chunk", type=int, default=None, metavar="N",
+                     help="candidates per streamed engine batch "
+                          "(default 256); bounds live memory")
+    dse.add_argument("--resume", action="store_true",
+                     help="resume an interrupted exploration from the "
+                          "experiment store (needs --store/--record)")
+    dse.add_argument("--progress", action="store_true",
+                     help="print a progress line to stderr after every "
+                          "chunk")
     dse.add_argument("--all", action="store_true",
                      help="include dominated candidates in --json output "
                           "and print them as a second table")
@@ -629,9 +652,19 @@ def _dse_space(args: argparse.Namespace) -> DesignSpace:
     takes the whole description from the registered builder; otherwise
     the grid flags are assembled into an ad-hoc :class:`DesignSpace`.
     Mixing ``--space`` with explicit grid flags is an error, mirroring
-    the service wire's 'space xor inline fields' rule.
+    the service wire's 'space xor inline fields' rule.  The sampling
+    flags (``--sample``/``--seed``/``--sampler``) are *not* grid flags:
+    they overlay either description, so a registered space can be
+    explored under a budget.
     """
     given = [name for name in _DSE_GRID_FLAGS if hasattr(args, name)]
+    sampling = {}
+    if getattr(args, "sample", None) is not None:
+        sampling["sample"] = args.sample
+    if getattr(args, "seed", None) is not None:
+        sampling["seed"] = args.seed
+    if getattr(args, "sampler", None) is not None:
+        sampling["sampler"] = args.sampler
     if args.space is not None:
         if given:
             flags = ", ".join("--" + name.replace("_", "-")
@@ -640,9 +673,10 @@ def _dse_space(args: argparse.Namespace) -> DesignSpace:
                 f"--space replaces the whole grid description; drop "
                 f"{flags} (or drop --space)")
         try:
-            return get_design_space(args.space)
+            space = get_design_space(args.space)
         except KeyError as exc:
             raise ValueError(str(exc.args[0])) from None
+        return replace(space, **sampling) if sampling else space
     get = lambda name, default: getattr(args, name, default)  # noqa: E731
     shapes = get("shapes", None)
     pe_counts = get("pes", None)
@@ -662,15 +696,22 @@ def _dse_space(args: argparse.Namespace) -> DesignSpace:
     glb = get("glb", None)
     if glb is not None:
         options["glb_choices"] = tuple(kb * 1024 for kb in glb)
-    return DesignSpace(**options)
+    return DesignSpace(**options, **sampling)
 
 
 def cmd_dse(args: argparse.Namespace) -> int:
     """``repro dse``: explore a hardware space, print the Pareto front."""
     space = _dse_space(args)
+    progress = None
+    if args.progress:
+        def progress(info: dict) -> None:
+            print(f"dse: {info['done']}/{info['total']} candidates, "
+                  f"frontier {info['frontier']}, "
+                  f"{info['elapsed_s']:.1f}s", file=sys.stderr)
     with _service_session(args) as session:
         before = session.cache_stats
-        pareto = session.explore(space)
+        pareto = session.explore(space, chunk=args.chunk,
+                                 resume=args.resume, progress=progress)
         stats = session.cache_stats.since(before)
     if args.csv:
         from repro.analysis.export import export_dse
@@ -682,7 +723,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
     else:
         print(pareto.to_table(
             title=f"Pareto front ({' x '.join(pareto.metrics)}): "
-                  f"{len(pareto)} of {len(pareto.candidates)} candidates, "
+                  f"{len(pareto)} of {pareto.num_evaluated} candidates, "
                   f"{space.workload_name}, objective {space.objective}"))
         if args.all and pareto.dominated:
             print()

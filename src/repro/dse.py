@@ -7,7 +7,12 @@ knobs (PE count, RF size).  The paper's actual argument, however, is a
 PE-array geometry, the register-file capacity and the global-buffer
 capacity change, and the row-stationary claim is only meaningful under
 the equal-storage-area comparison of Section VI-B.  This module searches
-that hardware space directly:
+that hardware space directly, and it does so as a **streaming
+pipeline**: candidates are generated lazily, evaluated in chunks, and
+folded into an incrementally maintained Pareto frontier, so memory
+scales with ``O(chunk + frontier)`` rather than with the size of the
+space.  A million-candidate sweep is a budget question, not a memory
+question:
 
 * :class:`DesignSpace` -- a typed description of a hardware sweep: PE
   array geometries (square ``pe_counts`` and/or explicit non-square
@@ -23,21 +28,41 @@ that hardware space directly:
     paper's comparison methodology -- and points whose RF demand alone
     exceeds the budget are pruned.
 
-* :func:`explore` -- evaluate every (dataflow, design point) candidate
-  through the shared evaluation engine.  Candidates are expressed as
-  :class:`~repro.engine.core.NetworkJob` cells, so the whole space fans
-  out across the session's worker pool at layer granularity and every
-  repeated (dataflow, layer, hardware, objective) sub-problem hits the
-  engine's cache tiers: a warm re-exploration computes nothing.
+  The expansion is lazy -- :meth:`DesignSpace.iter_points` /
+  :meth:`DesignSpace.iter_candidates` are generators, with
+  :meth:`DesignSpace.points` / :meth:`DesignSpace.candidates` kept as
+  small ``tuple(...)`` convenience wrappers -- and sized without
+  expansion through :meth:`DesignSpace.count`.  ``sample=N`` restricts
+  an exploration to a seeded budget of candidates, drawn either
+  uniformly at random or from a low-discrepancy (Halton / van der
+  Corput) sequence.
 
-* :class:`ParetoSet` -- the reduced answer: the non-dominated frontier
+* :func:`explore` / :func:`explore_stream` -- evaluate the candidates
+  through the shared evaluation engine's completion-order streaming
+  path, in chunks of ``NetworkJob`` cells, so every repeated (dataflow,
+  layer, hardware, objective) sub-problem hits the engine's cache
+  tiers: a warm re-exploration computes nothing.  Recording sessions
+  persist each candidate into the experiment store *as it completes*
+  and checkpoint progress under the space's fingerprint, so an
+  interrupted exploration resumes from the store (``resume=True``)
+  instead of restarting.
+
+* :class:`ParetoFrontier` -- the mutable online reduction: one
+  :meth:`~ParetoFrontier.insert` per evaluated candidate, dominance
+  short-circuits, dominated rows dropped immediately.
+
+* :class:`ParetoSet` -- the frozen answer: the non-dominated frontier
   over configurable metrics (energy/op x delay/op x storage area by
-  default), with every evaluated candidate retained for export.
+  default), with the evaluated candidates retained for export when the
+  space is small enough to keep (see :data:`KEEP_CANDIDATES_LIMIT`).
 
-The front is a deterministic pure function of the design space: serial,
-thread-pool and process-pool explorations return bit-identical
-candidates in the same order (``tests/test_dse.py`` pins this, plus the
-frontier of a small fixed space).
+The front is a deterministic pure function of the design space:
+frontier rows are kept ordered by *expansion index* (ties by insertion
+order), so serial, thread-pool, process-pool and chunk-streamed
+explorations return bit-identical frontiers regardless of completion
+order, and the streamed incremental reduction matches the exhaustive
+:meth:`ParetoSet.reduce` exactly (``tests/test_dse.py`` pins this, plus
+the frontier of a small fixed space).
 
 Entry points: :meth:`repro.api.Session.explore`, the ``repro dse`` CLI
 subcommand, and the ``{"verb": "dse"}`` request of ``repro serve``.
@@ -57,7 +82,11 @@ Named spaces register through :func:`repro.registry.register_design_space`::
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import json
+import random as _random
+import time
 from dataclasses import dataclass, field, fields
 from typing import (
     Callable,
@@ -105,6 +134,22 @@ CANDIDATE_METRICS = (
 
 #: The default Pareto objectives: the paper's three-way trade-off.
 DEFAULT_METRICS = ("energy_per_op", "delay_per_op", "area")
+
+#: Candidate-sampling strategies ``DesignSpace.sampler`` accepts.
+SAMPLERS = ("random", "halton")
+
+#: Default number of candidates per streamed evaluation chunk.
+DEFAULT_CHUNK = 256
+
+#: Explorations at most this large retain every evaluated candidate in
+#: the returned :class:`ParetoSet` (the historical behaviour, needed for
+#: ``include_dominated`` export); larger spaces keep only the frontier
+#: unless ``keep_candidates`` is forced.
+KEEP_CANDIDATES_LIMIT = 4096
+
+_EMPTY_SPACE_MESSAGE = (
+    "expands to no valid hardware point (every geometry x "
+    "storage choice exceeds the area budget)")
 
 
 class EmptyDesignSpaceError(ValueError):
@@ -200,6 +245,22 @@ def _shape_tuple(values) -> Tuple[Tuple[int, int], ...]:
     return tuple(shapes)
 
 
+def _van_der_corput(index: int, base: int = 2) -> float:
+    """The van der Corput radical inverse of ``index`` in ``base``.
+
+    The 1-D Halton low-discrepancy sequence: successive indices fill
+    ``[0, 1)`` evenly at every prefix length, which is what makes a
+    truncated sampling budget cover the candidate space uniformly
+    instead of clustering the way a pseudo-random draw can.
+    """
+    result, denom = 0.0, 1.0
+    while index:
+        index, remainder = divmod(index, base)
+        denom *= base
+        result += remainder / denom
+    return result
+
+
 # ----------------------------------------------------------------------
 # DesignSpace: the typed sweep description.
 # ----------------------------------------------------------------------
@@ -228,6 +289,15 @@ class DesignSpace:
         buffer from the Eq. (2) budget (``area_budget`` overrides the
         budget itself), reproducing the paper's equal-area comparison;
         explicit ``glb_choices`` are then contradictory and rejected.
+    ``sample`` / ``seed`` / ``sampler``
+        Budgeted exploration: ``sample=N`` restricts the candidate
+        stream to ``N`` of the full dataflow x point expansion, chosen
+        deterministically from ``seed``.  ``sampler="random"`` draws
+        uniformly; ``sampler="halton"`` uses the base-2 van der Corput
+        low-discrepancy sequence (seed-rotated), which spreads a small
+        budget evenly across the expansion order.  Sampling selects
+        *candidates* (dataflow x point pairs); :meth:`points` and
+        :meth:`count` always describe the unsampled point grid.
 
     ``metrics`` names the Pareto objectives (all minimized); the
     default is the paper's energy/op x delay/op x storage-area
@@ -246,6 +316,9 @@ class DesignSpace:
     area_budget: Optional[float] = None
     objective: str = "energy"
     metrics: Tuple[str, ...] = DEFAULT_METRICS
+    sample: Optional[int] = None
+    seed: int = 0
+    sampler: str = "random"
 
     def __post_init__(self) -> None:
         set_ = lambda name, value: object.__setattr__(self, name, value)  # noqa: E731
@@ -313,6 +386,19 @@ class DesignSpace:
                 f"unknown Pareto metric(s) {unknown}; known: "
                 f"{list(CANDIDATE_METRICS)}")
         set_("metrics", metrics)
+        if self.sample is not None:
+            if isinstance(self.sample, bool) or int(self.sample) < 1:
+                raise ValueError(
+                    f"sample must be a positive integer, got "
+                    f"{self.sample!r}")
+            set_("sample", int(self.sample))
+        set_("seed", int(self.seed))
+        sampler = str(self.sampler).lower()
+        if sampler not in SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; known: "
+                f"{list(SAMPLERS)}")
+        set_("sampler", sampler)
 
     # ------------------------------------------------------------------
 
@@ -346,16 +432,16 @@ class DesignSpace:
             return self.area_budget
         return baseline_storage_area(num_pes)
 
-    def points(self) -> Tuple[DesignPoint, ...]:
-        """Expand the hardware axes into concrete design points.
+    def _expand_points(self) -> Iterator[DesignPoint]:
+        """The raw lazy expansion of the hardware axes (may be empty).
 
         Equal-area mode derives each point's buffer from the budget and
         prunes (geometry, rf) pairs whose RF area alone exceeds it;
         free mode filters enumerated points against ``area_budget``
-        when one is set.  Raises :class:`EmptyDesignSpaceError` when
-        everything was pruned.
+        when one is set.  The empty-space check lives in callers
+        (:meth:`iter_points`), so sizing helpers like :meth:`count` can
+        consume this without triggering the error.
         """
-        out: List[DesignPoint] = []
         for h, w in self.geometries():
             num_pes = h * w
             for rf in self.rf_choices:
@@ -365,10 +451,10 @@ class DesignSpace:
                             num_pes, rf, self._budget(num_pes))
                     except ValueError:
                         continue  # RF alone exceeds the area budget
-                    out.append(DesignPoint(
+                    yield DesignPoint(
                         array_h=h, array_w=w, rf_bytes_per_pe=rf,
                         buffer_bytes=allocation.buffer_words
-                        * BYTES_PER_WORD))
+                        * BYTES_PER_WORD)
                     continue
                 glb_options = (self.glb_choices
                                if self.glb_choices is not None
@@ -380,18 +466,166 @@ class DesignSpace:
                     if (self.area_budget is not None
                             and point.area > self.area_budget):
                         continue  # outside the fixed-area envelope
-                    out.append(point)
-        if not out:
-            raise EmptyDesignSpaceError(
-                "expands to no valid hardware point (every geometry x "
-                "storage choice exceeds the area budget)")
-        return tuple(out)
+                    yield point
+
+    def iter_points(self) -> Iterator[DesignPoint]:
+        """Lazily yield the concrete design points, one at a time.
+
+        Memory stays O(1) in the space size: points are generated on
+        demand, never materialized.  Raises
+        :class:`EmptyDesignSpaceError` -- lazily, at exhaustion --
+        when every combination was pruned.
+        """
+        empty = True
+        for point in self._expand_points():
+            empty = False
+            yield point
+        if empty:
+            raise EmptyDesignSpaceError(_EMPTY_SPACE_MESSAGE)
+
+    def points(self) -> Tuple[DesignPoint, ...]:
+        """The design points as a tuple (:meth:`iter_points` collected).
+
+        Convenience wrapper for small spaces and tests; streaming
+        consumers should iterate :meth:`iter_points` instead.  Raises
+        :class:`EmptyDesignSpaceError` when everything was pruned.
+        """
+        return tuple(self.iter_points())
+
+    def count(self) -> int:
+        """The number of design points, without materializing any.
+
+        Free mode with no ``area_budget`` is closed-form:
+        ``geometries x rf_choices x glb_choices``.  The pruned modes
+        (equal-area, explicit ``area_budget``) must test each
+        (geometry, rf[, glb]) combination, but still in O(1) memory --
+        no :class:`DesignPoint` tuple is ever built.  Returns 0 for a
+        fully pruned space (where :meth:`iter_points` would raise).
+        """
+        if not self.equal_area and self.area_budget is None:
+            per_geometry = (len(self.glb_choices)
+                            if self.glb_choices is not None else 1)
+            return len(self.geometries()) * len(self.rf_choices) \
+                * per_geometry
+        total = 0
+        for _ in self._expand_points():
+            total += 1
+        return total
+
+    def candidate_count(self) -> int:
+        """The number of candidates :meth:`iter_candidates` will yield.
+
+        The full expansion is ``count() x len(dataflows)``; with
+        ``sample=N`` set, the stream is capped at ``min(N, full)``.
+        """
+        full = self.count() * len(self.dataflows)
+        if self.sample is not None:
+            return min(self.sample, full)
+        return full
+
+    def _selected_indices(self) -> Optional[frozenset]:
+        """The sampled subset of expansion indices (None = take all).
+
+        Indices number the full dataflow-major expansion
+        (``count() x len(dataflows)`` slots).  ``random`` draws without
+        replacement from ``random.Random(seed)``; ``halton`` maps the
+        seed-rotated van der Corput sequence onto the index range,
+        deduplicating until the budget is met.  Both are pure functions
+        of (space, seed): the same seed always selects the same set.
+        """
+        if self.sample is None:
+            return None
+        total = self.count() * len(self.dataflows)
+        if self.sample >= total:
+            return None
+        if self.sampler == "random":
+            return frozenset(
+                _random.Random(self.seed).sample(range(total), self.sample))
+        # Halton: rotate by the golden-ratio multiple of the seed so
+        # different seeds walk different (still low-discrepancy) orbits.
+        rotation = (self.seed * 0.6180339887498949) % 1.0
+        chosen: set = set()
+        index = 1
+        while len(chosen) < self.sample:
+            value = (_van_der_corput(index) + rotation) % 1.0
+            chosen.add(min(int(value * total), total - 1))
+            index += 1
+        return frozenset(chosen)
+
+    def iter_candidates_indexed(
+            self) -> Iterator[Tuple[int, str, DesignPoint]]:
+        """Lazily yield ``(expansion index, dataflow, point)`` triples.
+
+        The index numbers the *full* dataflow-major expansion (dataflow
+        outer, valid points inner), independent of sampling -- it is
+        the stable candidate identity that checkpoint/resume and the
+        frontier's deterministic ordering key on.  With ``sample`` set,
+        only the selected indices are yielded (still in expansion
+        order).  Raises :class:`EmptyDesignSpaceError` at exhaustion
+        when nothing survives.
+        """
+        selected = self._selected_indices()
+        index = 0
+        yielded = False
+        for dataflow in self.dataflows:
+            for point in self._expand_points():
+                if selected is None or index in selected:
+                    yielded = True
+                    yield index, dataflow, point
+                index += 1
+        if not yielded:
+            raise EmptyDesignSpaceError(_EMPTY_SPACE_MESSAGE)
+
+    def iter_candidates(self) -> Iterator[Tuple[str, DesignPoint]]:
+        """Lazily yield the (dataflow, point) pairs to evaluate."""
+        for _index, dataflow, point in self.iter_candidates_indexed():
+            yield dataflow, point
 
     def candidates(self) -> Tuple[Tuple[str, DesignPoint], ...]:
-        """The (dataflow, point) pairs to evaluate, in expansion order."""
-        points = self.points()
-        return tuple((dataflow, point) for dataflow in self.dataflows
-                     for point in points)
+        """The (dataflow, point) pairs as a tuple, in expansion order.
+
+        Convenience wrapper over :meth:`iter_candidates` for small
+        spaces and tests; sampling (when set) applies here too.
+        """
+        return tuple(self.iter_candidates())
+
+    def describe_dict(self) -> Dict:
+        """The canonical JSON-safe description of this space.
+
+        Everything that determines the candidate stream -- workload,
+        dataflows, resolved geometries, storage axes, mode, objective,
+        metrics and the sampling budget -- in plain types.  This is
+        what :meth:`fingerprint` hashes, so two spaces describing the
+        same exploration fingerprint identically.
+        """
+        workload = (self.workload if isinstance(self.workload, str)
+                    else [repr(layer) for layer in self.workload])
+        return {
+            "workload": workload,
+            "dataflows": list(self.dataflows),
+            "batch": self.batch,
+            "geometries": [list(g) for g in self.geometries()],
+            "rf_choices": list(self.rf_choices),
+            "glb_choices": (None if self.glb_choices is None
+                            else list(self.glb_choices)),
+            "equal_area": self.equal_area,
+            "area_budget": self.area_budget,
+            "objective": self.objective,
+            "metrics": list(self.metrics),
+            "sample": self.sample,
+            "seed": self.seed,
+            "sampler": self.sampler,
+        }
+
+    def fingerprint(self) -> str:
+        """A stable hex digest identifying this exact exploration.
+
+        sha256 over the sorted-key JSON of :meth:`describe_dict`; the
+        experiment store keys exploration checkpoints on it, so
+        ``resume=True`` only ever resumes a byte-compatible space.
+        """
+        payload = json.dumps(self.describe_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -406,6 +640,10 @@ class DseCandidate:
     The scalar fields round-trip through JSON; ``evaluation`` keeps the
     full :class:`~repro.energy.model.NetworkEvaluation` for in-process
     consumers and is dropped -- not compared -- on serialization.
+    ``index`` is the candidate's position in the space's full expansion
+    (``-1`` for hand-built rows); it is excluded from equality but is
+    the deterministic ordering key of streamed frontiers and the
+    identity checkpoint/resume uses.
     """
 
     workload: str
@@ -425,13 +663,15 @@ class DseCandidate:
     dram_reads_per_op: float = float("nan")
     dram_writes_per_op: float = float("nan")
     dram_accesses_per_op: float = float("nan")
+    index: int = field(default=-1, compare=False)
     evaluation: Optional[NetworkEvaluation] = field(
         default=None, compare=False, repr=False)
 
     @classmethod
     def from_evaluation(cls, space: DesignSpace, dataflow: str,
                         point: DesignPoint,
-                        evaluation: NetworkEvaluation) -> "DseCandidate":
+                        evaluation: NetworkEvaluation,
+                        index: int = -1) -> "DseCandidate":
         """Fold one candidate's engine answer into a row."""
         common = dict(
             workload=space.workload_name, dataflow=dataflow,
@@ -440,7 +680,7 @@ class DseCandidate:
             num_pes=point.num_pes,
             rf_bytes_per_pe=point.rf_bytes_per_pe,
             buffer_bytes=point.buffer_bytes, area=point.area,
-            evaluation=evaluation)
+            index=index, evaluation=evaluation)
         if not evaluation.feasible:
             return cls(feasible=False, **common)
         return cls(
@@ -462,7 +702,7 @@ class DseCandidate:
             "num_pes": self.num_pes,
             "rf_bytes_per_pe": self.rf_bytes_per_pe,
             "buffer_bytes": self.buffer_bytes, "area": self.area,
-            "feasible": self.feasible,
+            "feasible": self.feasible, "index": self.index,
         }
         if self.feasible:
             data.update({name: getattr(self, name)
@@ -502,9 +742,12 @@ def pareto_front(candidates: Sequence[DseCandidate],
     """The non-dominated subset of ``candidates``, in input order.
 
     Infeasible rows never reach the front; rows tied on every metric
-    are mutually non-dominating and all survive.  The result is a pure
-    function of the input order, which the engine keeps deterministic
-    across serial and parallel evaluation -- hence bit-identical fronts.
+    are mutually non-dominating and all survive, **in input order** --
+    the documented tie-break.  For rows produced by an exploration the
+    input order is the expansion-index order, so this reference
+    reduction and the incremental :class:`ParetoFrontier` (which sorts
+    by expansion index explicitly) agree bit-for-bit regardless of the
+    completion order a parallel run delivered candidates in.
     """
     feasible = [c for c in candidates if c.feasible]
     return tuple(
@@ -512,27 +755,137 @@ def pareto_front(candidates: Sequence[DseCandidate],
         if not any(dominates(other, c, metrics) for other in feasible))
 
 
+class ParetoFrontier:
+    """A mutable Pareto frontier maintained online, one insert at a time.
+
+    The streaming complement of :func:`pareto_front`: feed every
+    evaluated candidate to :meth:`insert` and the frontier is always
+    current -- dominated arrivals are dropped immediately (dominance
+    short-circuits on the first dominating member) and arrivals that
+    dominate existing members evict them on the spot, so live memory is
+    bounded by the frontier, not the space.
+
+    Ordering is deterministic and completion-order independent: the
+    frontier is kept sorted by each candidate's expansion ``index``
+    (ties -- e.g. hand-built rows with the default ``-1`` -- by
+    insertion order), so serial, parallel and chunk-streamed runs of
+    the same space produce bit-identical frontiers, and
+    :meth:`ParetoSet.best` tie-breaking (earliest frontier entry wins)
+    is stable too.
+
+    ``keep_candidates=True`` additionally retains every inserted row
+    for :attr:`ParetoSet.candidates` export; leave it off for large
+    spaces where only the frontier should stay live.
+    """
+
+    def __init__(self, metrics: Sequence[str] = DEFAULT_METRICS,
+                 keep_candidates: bool = True) -> None:
+        self.metrics = tuple(metrics)
+        self.keep_candidates = keep_candidates
+        self._front: List[DseCandidate] = []
+        self._keys: List[int] = []
+        self._candidates: List[DseCandidate] = []
+        self.evaluated = 0
+        self.feasible_evaluated = 0
+
+    def insert(self, candidate: DseCandidate) -> bool:
+        """Offer one evaluated candidate; True when it joins the front.
+
+        Infeasible rows are counted (and retained when
+        ``keep_candidates``) but never join.  A row dominated by any
+        current member is rejected without further comparisons; an
+        accepted row first evicts every member it dominates, then takes
+        its expansion-index-sorted position.
+        """
+        self.evaluated += 1
+        if candidate.feasible:
+            self.feasible_evaluated += 1
+        if self.keep_candidates:
+            self._candidates.append(candidate)
+        if not candidate.feasible:
+            return False
+        for member in self._front:
+            if dominates(member, candidate, self.metrics):
+                return False  # short-circuit: dropped immediately
+        if any(dominates(candidate, member, self.metrics)
+               for member in self._front):
+            survivors = [(key, member) for key, member
+                         in zip(self._keys, self._front)
+                         if not dominates(candidate, member, self.metrics)]
+            self._keys = [key for key, _ in survivors]
+            self._front = [member for _, member in survivors]
+        position = bisect.bisect_right(self._keys, candidate.index)
+        self._keys.insert(position, candidate.index)
+        self._front.insert(position, candidate)
+        return True
+
+    @property
+    def frontier(self) -> Tuple[DseCandidate, ...]:
+        """The current non-dominated rows, expansion-index ordered."""
+        return tuple(self._front)
+
+    def __len__(self) -> int:
+        return len(self._front)
+
+    def __iter__(self) -> Iterator[DseCandidate]:
+        return iter(self._front)
+
+    def result(self) -> "ParetoSet":
+        """Freeze the current state into a :class:`ParetoSet`.
+
+        Retained candidates come back sorted by expansion index (a
+        stable sort, so default-index rows keep insertion order); when
+        candidates were not kept, :attr:`ParetoSet.candidates` is the
+        frontier itself and the evaluated totals live in
+        :attr:`ParetoSet.evaluated`.
+        """
+        if self.keep_candidates:
+            candidates = tuple(sorted(self._candidates,
+                                      key=lambda c: c.index))
+        else:
+            candidates = self.frontier
+        return ParetoSet(candidates=candidates, metrics=self.metrics,
+                         frontier=self.frontier,
+                         evaluated=self.evaluated,
+                         feasible_evaluated=self.feasible_evaluated)
+
+
 @dataclass(frozen=True)
 class ParetoSet:
-    """An exploration's answer: every candidate plus its Pareto frontier.
+    """An exploration's answer: the Pareto frontier plus its context.
 
     Iterating (and ``len``) covers the frontier; :attr:`candidates`
-    retains the full evaluated space for export and audit, and
-    :attr:`dominated` is the difference.
+    retains the evaluated rows for export and audit (all of them for
+    spaces up to :data:`KEEP_CANDIDATES_LIMIT`, only the frontier for
+    larger streamed runs -- see :attr:`num_evaluated` for the true
+    totals), and :attr:`dominated` is the difference.
     """
 
     candidates: Tuple[DseCandidate, ...]
     metrics: Tuple[str, ...]
     frontier: Tuple[DseCandidate, ...]
+    evaluated: Optional[int] = None
+    feasible_evaluated: Optional[int] = None
 
     @classmethod
     def reduce(cls, candidates: Sequence[DseCandidate],
                metrics: Sequence[str] = DEFAULT_METRICS) -> "ParetoSet":
-        """Reduce evaluated candidates to their non-dominated frontier."""
+        """Reduce evaluated candidates to their non-dominated frontier.
+
+        Implemented as one :meth:`ParetoFrontier.insert` per candidate
+        -- the exhaustive and the streamed reductions are literally the
+        same code, which is what makes their bit-identity a structural
+        property rather than a test-enforced coincidence.  The input
+        rows are retained as given (no reordering).
+        """
         candidates = tuple(candidates)
-        metrics = tuple(metrics)
-        return cls(candidates=candidates, metrics=metrics,
-                   frontier=pareto_front(candidates, metrics))
+        frontier = ParetoFrontier(metrics, keep_candidates=False)
+        for candidate in candidates:
+            frontier.insert(candidate)
+        return cls(candidates=candidates, metrics=tuple(metrics),
+                   frontier=frontier.frontier,
+                   evaluated=frontier.evaluated,
+                   feasible_evaluated=frontier.feasible_evaluated)
 
     def __iter__(self) -> Iterator[DseCandidate]:
         return iter(self.frontier)
@@ -541,20 +894,40 @@ class ParetoSet:
         return len(self.frontier)
 
     @property
+    def num_evaluated(self) -> int:
+        """Candidates evaluated, even when not all were retained."""
+        if self.evaluated is not None:
+            return self.evaluated
+        return len(self.candidates)
+
+    @property
+    def num_feasible(self) -> int:
+        """Feasible candidates evaluated (retained or not)."""
+        if self.feasible_evaluated is not None:
+            return self.feasible_evaluated
+        return len(self.feasible_candidates)
+
+    @property
     def dominated(self) -> Tuple[DseCandidate, ...]:
-        """Feasible candidates beaten by some frontier point."""
+        """Retained feasible candidates beaten by some frontier point."""
         on_front = set(map(id, self.frontier))
         return tuple(c for c in self.candidates
                      if c.feasible and id(c) not in on_front)
 
     @property
     def feasible_candidates(self) -> Tuple[DseCandidate, ...]:
-        """Every candidate with at least one valid mapping."""
+        """Every retained candidate with at least one valid mapping."""
         return tuple(c for c in self.candidates if c.feasible)
 
     def best(self, metric: str = "energy_per_op"
              ) -> Optional[DseCandidate]:
-        """The frontier point minimizing one metric (None when empty)."""
+        """The frontier point minimizing one metric (None when empty).
+
+        Deterministic on ties: ``min`` keeps the first minimal element
+        and the frontier is ordered by expansion index, so equal-metric
+        rows resolve to the lowest expansion index -- streamed
+        completion order cannot change the answer.
+        """
         if not self.frontier:
             return None
         return min(self.frontier, key=lambda c: getattr(c, metric))
@@ -594,43 +967,159 @@ class ParetoSet:
 
 
 # ----------------------------------------------------------------------
-# Exploration: the engine-backed evaluation of a whole space.
+# Exploration: the engine-backed streaming evaluation of a whole space.
 # ----------------------------------------------------------------------
 
 
-def explore(space: DesignSpace, *, session=None,
-            parallel: Optional[bool] = None) -> ParetoSet:
-    """Evaluate every candidate of ``space`` and reduce to a Pareto set.
+def explore_stream(space: DesignSpace, *, session=None,
+                   parallel: Optional[bool] = None,
+                   chunk: Optional[int] = None,
+                   resume: bool = False,
+                   keep_candidates: Optional[bool] = None
+                   ) -> Iterator[Tuple[str, object]]:
+    """Stream an exploration: candidates, progress, then the result.
 
-    Candidates become :class:`~repro.engine.core.NetworkJob` cells of
-    one deduplicated engine batch: layers fan out across the session's
-    worker pool, and any (dataflow, layer, hardware, objective)
-    sub-problem seen before -- in this exploration, a previous one, or
-    any other driver sharing the session -- is answered from the cache
-    tiers instead of re-running the mapping search.
+    The streaming spine of the DSE path.  Candidates are drawn lazily
+    from :meth:`DesignSpace.iter_candidates_indexed` in chunks of
+    ``chunk`` (default :data:`DEFAULT_CHUNK`), each chunk evaluated
+    through the engine's completion-order streaming path
+    (``evaluate_networks_stream``), and every finished row folded into
+    an incremental :class:`ParetoFrontier` -- so at most
+    ``O(chunk + frontier)`` candidates are ever live, regardless of the
+    space size.
 
-    ``session`` defaults to :func:`repro.api.default_session` (the
-    process-wide shared engine); ``parallel`` overrides the session's
-    pool policy for this call only.  Results are bit-identical across
-    the serial and parallel paths.
+    Yields ``(kind, payload)`` events, in order:
+
+    - ``("candidate", DseCandidate)`` per evaluated candidate, in
+      completion order within each chunk;
+    - ``("progress", dict)`` after each chunk, with ``done`` /
+      ``total`` / ``frontier`` / ``elapsed_s``;
+    - ``("result", ParetoSet)`` exactly once, last.
+
+    Recording sessions persist each chunk's rows into the experiment
+    store as they complete (tagged with the space fingerprint and
+    expansion index) and checkpoint progress after every chunk;
+    ``resume=True`` then rebuilds the frontier from the store's rows
+    for this space and skips their indices -- an interrupted
+    exploration continues instead of restarting (requires a recording
+    session; raises ``ValueError`` otherwise).
+
+    ``keep_candidates`` controls whether every evaluated row is
+    retained in the returned :class:`ParetoSet` (``None`` keeps them
+    for spaces up to :data:`KEEP_CANDIDATES_LIMIT` candidates).  Raises
+    :class:`EmptyDesignSpaceError` before any evaluation when the space
+    prunes to nothing.
     """
     if session is None:
         from repro.api import default_session  # lazy: api imports dse
         session = default_session()
-    cells = space.candidates()
+    chunk = DEFAULT_CHUNK if chunk is None else int(chunk)
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    total = space.candidate_count()
+    if total == 0:
+        raise EmptyDesignSpaceError(_EMPTY_SPACE_MESSAGE)
+    if keep_candidates is None:
+        keep_candidates = total <= KEEP_CANDIDATES_LIMIT
+    fingerprint = space.fingerprint()
+    frontier = ParetoFrontier(space.metrics,
+                              keep_candidates=keep_candidates)
+    done_indices: frozenset = frozenset()
+    if resume:
+        resumer = getattr(session, "resume_exploration", None)
+        if resumer is None:
+            raise ValueError(
+                "resume=True needs a recording session backed by an "
+                "experiment store")
+        previous = resumer(fingerprint)
+        for row in previous:
+            frontier.insert(row)
+        done_indices = frozenset(row.index for row in previous)
     layers = space.layers()
-    jobs = [NetworkJob(get_dataflow(dataflow), layers, point.hardware,
-                       space.objective) for dataflow, point in cells]
-    evaluations = session.engine.evaluate_networks(jobs, parallel=parallel)
-    candidates = tuple(
-        DseCandidate.from_evaluation(space, dataflow, point, evaluation)
-        for (dataflow, point), evaluation in zip(cells, evaluations))
     recorder = getattr(session, "record_dse_candidates", None)
-    if recorder is not None:
-        # Recording sessions persist every evaluated candidate (not
-        # just the frontier) into the experiment store's cells table.
-        recorder(candidates)
-    return ParetoSet.reduce(candidates, space.metrics)
+    checkpoint = getattr(session, "checkpoint_exploration", None)
+    if checkpoint is not None:
+        checkpoint(fingerprint, space, total=total,
+                   done=frontier.evaluated)
+    started = time.perf_counter()
+
+    def batches() -> Iterator[List[Tuple[int, str, DesignPoint]]]:
+        """Chunk the candidate stream, skipping already-done indices."""
+        batch: List[Tuple[int, str, DesignPoint]] = []
+        for item in space.iter_candidates_indexed():
+            if item[0] in done_indices:
+                continue
+            batch.append(item)
+            if len(batch) >= chunk:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    for batch in batches():
+        jobs = [NetworkJob(get_dataflow(dataflow), layers, point.hardware,
+                           space.objective)
+                for _index, dataflow, point in batch]
+        rows: List[DseCandidate] = []
+        for job_index, evaluation in session.engine.evaluate_networks_stream(
+                jobs, parallel=parallel):
+            index, dataflow, point = batch[job_index]
+            row = DseCandidate.from_evaluation(space, dataflow, point,
+                                               evaluation, index=index)
+            frontier.insert(row)
+            rows.append(row)
+            yield "candidate", row
+        if recorder is not None:
+            # Recording sessions persist every evaluated candidate (not
+            # just the frontier) into the experiment store's cells table.
+            recorder(rows, space_fp=fingerprint)
+        if checkpoint is not None:
+            checkpoint(fingerprint, space, total=total,
+                       done=frontier.evaluated)
+        yield "progress", {
+            "done": frontier.evaluated,
+            "total": total,
+            "frontier": len(frontier),
+            "elapsed_s": time.perf_counter() - started,
+        }
+    yield "result", frontier.result()
+
+
+def explore(space: DesignSpace, *, session=None,
+            parallel: Optional[bool] = None,
+            chunk: Optional[int] = None,
+            resume: bool = False,
+            progress: Optional[Callable[[Dict], None]] = None,
+            keep_candidates: Optional[bool] = None) -> ParetoSet:
+    """Evaluate every candidate of ``space`` and reduce to a Pareto set.
+
+    Drives :func:`explore_stream` to completion: candidates stream
+    through the engine in chunks, the frontier is maintained
+    incrementally, and the final :class:`ParetoSet` is returned.
+    Because each chunk is one deduplicated engine batch, any (dataflow,
+    layer, hardware, objective) sub-problem seen before -- in this
+    exploration, a previous one, or any other driver sharing the
+    session -- is answered from the cache tiers instead of re-running
+    the mapping search.
+
+    ``session`` defaults to :func:`repro.api.default_session` (the
+    process-wide shared engine); ``parallel`` overrides the session's
+    pool policy for this call only; ``progress`` is called with each
+    progress event dict (``done``/``total``/``frontier``/
+    ``elapsed_s``); ``chunk``, ``resume`` and ``keep_candidates`` are
+    forwarded to :func:`explore_stream`.  Results are bit-identical
+    across the serial, parallel and streamed paths.
+    """
+    result: Optional[ParetoSet] = None
+    for kind, payload in explore_stream(
+            space, session=session, parallel=parallel, chunk=chunk,
+            resume=resume, keep_candidates=keep_candidates):
+        if kind == "progress" and progress is not None:
+            progress(payload)
+        elif kind == "result":
+            result = payload
+    assert result is not None  # explore_stream always yields a result
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -65,7 +65,16 @@ from concurrent.futures import (
     as_completed,
 )
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
@@ -438,22 +447,29 @@ class EvaluationEngine:
             ))
         return results
 
-    def evaluate_networks_stream(self, jobs: Sequence[NetworkJob],
+    def evaluate_networks_stream(self, jobs: Iterable[NetworkJob],
                                  parallel: Optional[bool] = None
                                  ) -> Iterator[
                                      Tuple[int, NetworkEvaluation]]:
         """Evaluate a grid of cells, yielding each as soon as it is done.
 
         Yields ``(job_index, NetworkEvaluation)`` pairs -- every job
-        exactly once.  On the serial path cells complete in job order,
-        each computed lazily just before it is yielded; on the parallel
-        path all unique layer tasks fan out across the pool at once and
-        cells are yielded in *completion* order (fully cached cells
-        first).  The per-cell results are bit-identical to
+        exactly once.  ``jobs`` may be any iterable: on the serial path
+        it is consumed lazily, one cell at a time (never materialized,
+        so a generator of cells costs O(1) memory -- the DSE streaming
+        pipeline depends on this), with cells completing in job order.
+        On the parallel path the jobs are materialized, all unique
+        layer tasks fan out across the pool at once and cells are
+        yielded in *completion* order (fully cached cells first).  The
+        per-cell results are bit-identical to
         :meth:`evaluate_networks` -- only the delivery schedule differs
         -- which is what lets :meth:`repro.api.Session.stream` hand
         callers early rows without waiting on the whole grid.
         """
+        enabled = self.config.parallel if parallel is None else parallel
+        if not enabled:
+            yield from self._stream_serial(jobs)
+            return
         jobs = list(jobs)
         results: Dict[CacheKey, Optional[LayerEvaluation]] = {}
         pending: Dict[CacheKey, LayerJob] = {}
@@ -537,6 +553,35 @@ class EvaluationEngine:
                         yield finish(index)
             if error is not None:
                 raise error
+
+    def _stream_serial(self, jobs: Iterable[NetworkJob]
+                       ) -> Iterator[Tuple[int, NetworkEvaluation]]:
+        """The lazy serial path of :meth:`evaluate_networks_stream`.
+
+        Consumes ``jobs`` one cell at a time -- the iterable is never
+        materialized, so a generator of cells (the DSE chunk pipeline)
+        costs O(1) memory here -- and answers every repeated
+        sub-problem through the cache tiers: a layer computed for an
+        earlier cell (or any earlier driver of this engine) is a cache
+        hit, not a re-run.
+        """
+        for index, cell in enumerate(jobs):
+            evaluations = []
+            for layer_job in cell.layer_jobs:
+                key = layer_job.key
+                value = self.cache.get(key)
+                if value is MISSING:
+                    value = _evaluate_layer_task(
+                        layer_job.dataflow, layer_job.layer,
+                        layer_job.hardware, layer_job.objective)
+                    self.cache.put(key, value)
+                evaluations.append(value)
+            yield index, NetworkEvaluation(
+                dataflow=cell.dataflow.name,
+                layers=cell.layers,
+                evaluations=tuple(evaluations),
+                costs=cell.hardware.costs,
+            )
 
     def evaluate_many(self, jobs: Sequence[LayerJob],
                       parallel: Optional[bool] = None

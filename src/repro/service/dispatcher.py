@@ -122,7 +122,8 @@ class BatchDispatcher:
         start = time.perf_counter()
         before = self.session.cache.stats
         try:
-            pareto = self.session.explore(request.space, parallel=parallel)
+            pareto = self.session.explore(request.space, parallel=parallel,
+                                          chunk=request.chunk)
         except EmptyDesignSpaceError as exc:
             raise ValueError(
                 f"dse request {request.request_id!r} {exc}") from None
@@ -133,6 +134,47 @@ class BatchDispatcher:
             include_dominated=request.include_dominated,
             cache=self.session.cache.stats.since(before),
         )
+
+    def stream_dse(self, request: DseRequest,
+                   parallel: Optional[bool] = None):
+        """Serve one exploration as a stream of wire events.
+
+        The generator behind ``{"verb": "dse", "stream": true}``: one
+        ``{"event": "candidate", ...}`` object per evaluated candidate
+        (in completion order), an ``{"event": "progress", ...}``
+        introspection object after every chunk (done/total/frontier
+        size/elapsed), and finally the same result object
+        :meth:`run_dse` would have answered with, tagged
+        ``"event": "result"``.  The frontier is bit-identical to the
+        non-streamed verb -- only the delivery changes.
+        """
+        from repro.dse import explore_stream
+
+        start = time.perf_counter()
+        before = self.session.cache.stats
+        request_id = request.request_id
+        try:
+            for kind, payload in explore_stream(
+                    request.space, session=self.session, parallel=parallel,
+                    chunk=request.chunk):
+                if kind == "candidate":
+                    yield {"id": request_id, "verb": "dse",
+                           "event": "candidate", **payload.to_dict()}
+                elif kind == "progress":
+                    yield {"id": request_id, "verb": "dse",
+                           "event": "progress", **payload}
+                else:
+                    result = DseResult(
+                        request_id=request_id,
+                        pareto=payload,
+                        elapsed_s=time.perf_counter() - start,
+                        include_dominated=request.include_dominated,
+                        cache=self.session.cache.stats.since(before),
+                    )
+                    yield {"event": "result", **result.to_dict()}
+        except EmptyDesignSpaceError as exc:
+            raise ValueError(
+                f"dse request {request_id!r} {exc}") from None
 
     def run_query(self, request: QueryRequest) -> QueryResult:
         """Serve one experiment-store query (the ``query`` verb).

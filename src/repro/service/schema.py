@@ -25,7 +25,7 @@ malformed spec fails at the service boundary (CLI exit code 2, or an
 from __future__ import annotations
 
 import operator
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.dataflows.registry import DATAFLOWS, get_dataflow
@@ -304,8 +304,11 @@ def _cache_dict(stats: CacheStats) -> Dict:
 _DSE_GRID_FIELDS = ("network", "layers", "batch", "dataflows", "pe_counts",
                     "array_shapes", "rf_choices", "glb_choices",
                     "equal_area", "area_budget", "objective", "metrics")
-_DSE_FIELDS = ("id", "verb", "space", "include_dominated",
-               *_DSE_GRID_FIELDS)
+#: Sampling-budget fields: part of the DesignSpace, but meaningful on
+#: top of a registered space too, so they never conflict with 'space'.
+_DSE_SAMPLING_FIELDS = ("sample", "seed", "sampler")
+_DSE_FIELDS = ("id", "verb", "space", "include_dominated", "stream",
+               "chunk", *_DSE_SAMPLING_FIELDS, *_DSE_GRID_FIELDS)
 
 
 def _array_shapes(values) -> Tuple[Tuple[int, int], ...]:
@@ -337,6 +340,10 @@ class DseRequest:
     space: DesignSpace
     space_name: Optional[str] = None
     include_dominated: bool = False
+    #: Stream per-candidate/progress lines instead of one result line.
+    stream: bool = False
+    #: Candidates per streamed evaluation chunk (None: the dse default).
+    chunk: Optional[int] = None
 
     @classmethod
     def from_dict(cls, data: Dict, default_id: str = "dse") -> "DseRequest":
@@ -346,7 +353,9 @@ class DseRequest:
         grid fields (``network``/``layers``, ``pe_counts``,
         ``array_shapes``, ``rf_choices``, ``glb_choices``,
         ``equal_area``, ``area_budget``, ...) describe one ad hoc --
-        mixing both is rejected, as are unknown fields.
+        mixing both is rejected, as are unknown fields.  The sampling
+        budget (``sample``/``seed``/``sampler``) and the delivery
+        options (``stream``/``chunk``) compose with both forms.
         """
         if not isinstance(data, dict):
             raise ValueError(f"a dse request must be an object, got {data!r}")
@@ -360,6 +369,25 @@ class DseRequest:
             raise ValueError(f"not a dse request (verb {verb!r})")
         request_id = str(data.get("id", default_id))
         include_dominated = bool(data.get("include_dominated", False))
+        stream = bool(data.get("stream", False))
+        try:
+            chunk = (operator.index(data["chunk"])
+                     if data.get("chunk") is not None else None)
+            sampling: Dict = {}
+            if data.get("sample") is not None:
+                sampling["sample"] = operator.index(data["sample"])
+            if "seed" in data:
+                sampling["seed"] = operator.index(data["seed"])
+            if "sampler" in data:
+                sampling["sampler"] = str(data["sampler"])
+        except TypeError:
+            raise ValueError(
+                f"request {request_id!r} has a malformed sampling/chunk "
+                f"field (integer expected): {data!r}") from None
+        if chunk is not None and chunk < 1:
+            raise ValueError(
+                f"request {request_id!r}: 'chunk' must be >= 1, "
+                f"got {chunk}")
         if "space" in data:
             inline = sorted(set(data) & set(_DSE_GRID_FIELDS))
             if inline:
@@ -371,8 +399,11 @@ class DseRequest:
                 space = get_design_space(name)
             except KeyError as exc:
                 raise ValueError(str(exc.args[0])) from None
+            if sampling:
+                space = replace(space, **sampling)
             return cls(request_id=request_id, space=space, space_name=name,
-                       include_dominated=include_dominated)
+                       include_dominated=include_dominated,
+                       stream=stream, chunk=chunk)
         if (data.get("network") is None) == (data.get("layers") is None):
             raise ValueError(
                 f"request {request_id!r} must set exactly one of "
@@ -421,23 +452,32 @@ class DseRequest:
                 options["metrics"] = ((metrics,)
                                       if isinstance(metrics, str)
                                       else tuple(str(m) for m in metrics))
-            space = DesignSpace(**options)
+            space = DesignSpace(**options, **sampling)
         except TypeError as exc:
             raise ValueError(
                 f"request {request_id!r} has a malformed field: "
                 f"{exc}") from None
         return cls(request_id=request_id, space=space,
-                   include_dominated=include_dominated)
+                   include_dominated=include_dominated,
+                   stream=stream, chunk=chunk)
 
     def to_dict(self) -> Dict:
         """The JSON wire form (a registered space stays by-name)."""
         data: Dict = {"id": self.request_id, "verb": "dse"}
         if self.include_dominated:
             data["include_dominated"] = True
+        if self.stream:
+            data["stream"] = True
+        if self.chunk is not None:
+            data["chunk"] = self.chunk
+        space = self.space
+        if space.sample is not None:
+            data["sample"] = space.sample
+            data["seed"] = space.seed
+            data["sampler"] = space.sampler
         if self.space_name is not None:
             data["space"] = self.space_name
             return data
-        space = self.space
         if isinstance(space.workload, str):
             data["network"] = space.workload
         else:
@@ -475,7 +515,12 @@ class DseResult:
         return len(self.pareto.frontier)
 
     def to_dict(self) -> Dict:
-        """The JSON wire form: frontier rows plus exploration stats."""
+        """The JSON wire form: frontier rows plus exploration stats.
+
+        ``candidates``/``feasible_candidates`` count what was
+        *evaluated* -- for large streamed spaces that can exceed the
+        retained rows ``include_dominated=True`` would export.
+        """
         return {
             "id": self.request_id,
             "verb": "dse",
@@ -483,8 +528,8 @@ class DseResult:
             "front": self.pareto.to_dicts(
                 include_dominated=self.include_dominated),
             "front_size": self.front_size,
-            "candidates": len(self.pareto.candidates),
-            "feasible_candidates": len(self.pareto.feasible_candidates),
+            "candidates": self.pareto.num_evaluated,
+            "feasible_candidates": self.pareto.num_feasible,
             "elapsed_s": self.elapsed_s,
             "cache": _cache_dict(self.cache),
         }

@@ -23,6 +23,14 @@ hardware design-space exploration
 store (:class:`~repro.service.schema.QueryRequest`) -- all on the same
 dispatcher session, so batch and DSE traffic share one cache and
 queries see the store mid-recording.
+
+A dse request with ``"stream": true`` answers with *multiple* lines:
+one ``{"event": "candidate", ...}`` object per evaluated candidate as
+it completes, an ``{"event": "progress", ...}`` introspection line
+after every chunk (done/total/frontier/elapsed), and a final
+``{"event": "result", ...}`` line identical in content to the
+non-streamed answer -- a client can tail a million-candidate
+exploration instead of waiting on it.
 """
 
 from __future__ import annotations
@@ -52,8 +60,22 @@ def serve(input_stream: IO[str], output_stream: IO[str],
             if verb == "dse":
                 request = DseRequest.from_dict(payload,
                                                default_id=request_id)
-                response = dispatcher.run_dse(
-                    request, parallel=parallel).to_dict()
+                if request.stream:
+                    # One line per event, flushed as it happens; the
+                    # closing "result" line doubles as the response.
+                    for event in dispatcher.stream_dse(request,
+                                                       parallel=parallel):
+                        if event.get("event") == "result":
+                            response = event
+                            break
+                        json.dump(event, output_stream)
+                        output_stream.write("\n")
+                        output_stream.flush()
+                    else:  # pragma: no cover - stream always ends in result
+                        raise RuntimeError("dse stream ended without result")
+                else:
+                    response = dispatcher.run_dse(
+                        request, parallel=parallel).to_dict()
             elif verb == "query":
                 request = QueryRequest.from_dict(payload,
                                                  default_id=request_id)

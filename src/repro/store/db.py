@@ -59,7 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - only used as a type
     from repro.energy.model import LayerEvaluation
 
 #: Current schema version, written into ``store_meta`` on creation.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Magic tag in ``store_meta`` distinguishing an experiment store from
 #: any other SQLite file.
@@ -207,10 +207,22 @@ CREATE TABLE IF NOT EXISTS cells (
     array_h         INTEGER,
     array_w         INTEGER,
     buffer_bytes    INTEGER,
-    area            REAL
+    area            REAL,
+    cand_index      INTEGER,
+    space_fp        TEXT
+);
+CREATE TABLE IF NOT EXISTS explorations (
+    space_fp   TEXT PRIMARY KEY,
+    run_id     INTEGER NOT NULL REFERENCES runs(run_id),
+    total      INTEGER NOT NULL,
+    done       INTEGER NOT NULL,
+    space_json TEXT,
+    started_at TEXT NOT NULL,
+    updated_at TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_cells_run ON cells(run_id);
 CREATE INDEX IF NOT EXISTS idx_cells_workload ON cells(workload);
+CREATE INDEX IF NOT EXISTS idx_cells_space ON cells(space_fp);
 CREATE INDEX IF NOT EXISTS idx_runs_commit ON runs(commit_sha);
 """
 
@@ -234,8 +246,34 @@ def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
         conn.execute(ddl)
 
 
+def _migrate_v2_to_v3(conn: sqlite3.Connection) -> None:
+    """v2 -> v3: streaming-DSE checkpoint/resume support.
+
+    Adds the per-cell exploration identity (``cand_index`` -- the
+    candidate's position in its design space's full expansion -- and
+    ``space_fp``, the space fingerprint) plus the ``explorations``
+    checkpoint table an interrupted exploration resumes from.
+    """
+    for ddl in (
+            "ALTER TABLE cells ADD COLUMN cand_index INTEGER",
+            "ALTER TABLE cells ADD COLUMN space_fp TEXT",
+            """CREATE TABLE IF NOT EXISTS explorations (
+                space_fp   TEXT PRIMARY KEY,
+                run_id     INTEGER NOT NULL REFERENCES runs(run_id),
+                total      INTEGER NOT NULL,
+                done       INTEGER NOT NULL,
+                space_json TEXT,
+                started_at TEXT NOT NULL,
+                updated_at TEXT NOT NULL
+            )""",
+            "CREATE INDEX IF NOT EXISTS idx_cells_space "
+            "ON cells(space_fp)",
+    ):
+        conn.execute(ddl)
+
+
 #: Forward migrations, keyed by the version they upgrade *from*.
-_MIGRATIONS = {1: _migrate_v1_to_v2}
+_MIGRATIONS = {1: _migrate_v1_to_v2, 2: _migrate_v2_to_v3}
 
 
 # ----------------------------------------------------------------------
@@ -636,12 +674,17 @@ class ExperimentStore:
 
     # -- cells ----------------------------------------------------------
 
-    def record_cells(self, run_id: int, rows, kind: str = "grid") -> int:
+    def record_cells(self, run_id: int, rows, kind: str = "grid",
+                     space_fp: Optional[str] = None) -> int:
         """Record result rows (api ``Result`` or ``DseCandidate``).
 
         Rows carry the uniform identity columns plus, for DSE
         candidates, the geometry/buffer/area extras (absent attributes
-        are stored NULL).  Returns the number of rows written.
+        are stored NULL).  Streamed explorations pass ``space_fp`` (the
+        design-space fingerprint) and rows with an ``index`` attribute,
+        which land in ``cand_index`` -- together the identity
+        ``resume`` rebuilds progress from.  Returns the number of rows
+        written.
         """
         rows = list(rows)
         if not rows:
@@ -651,15 +694,18 @@ class ExperimentStore:
                 feasible = bool(row.feasible)
                 metrics = [getattr(row, name) if feasible else None
                            for name in CELL_METRICS]
+                cand_index = getattr(row, "index", None)
+                if isinstance(cand_index, int) and cand_index < 0:
+                    cand_index = None  # hand-built rows have no identity
                 conn.execute(
                     "INSERT INTO cells (run_id, kind, workload,"
                     " dataflow_id, batch, num_pes, rf_bytes_per_pe,"
                     " objective_id, feasible, energy_per_op, delay_per_op,"
                     " edp_per_op, dram_reads_per_op, dram_writes_per_op,"
                     " dram_accesses_per_op, array_h, array_w,"
-                    " buffer_bytes, area) "
+                    " buffer_bytes, area, cand_index, space_fp) "
                     "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
-                    " ?, ?, ?, ?)",
+                    " ?, ?, ?, ?, ?, ?)",
                     (run_id, kind, row.workload,
                      self._dataflow_id(conn, row.dataflow), row.batch,
                      row.num_pes, row.rf_bytes_per_pe,
@@ -668,14 +714,15 @@ class ExperimentStore:
                      getattr(row, "array_h", None),
                      getattr(row, "array_w", None),
                      getattr(row, "buffer_bytes", None),
-                     getattr(row, "area", None)))
+                     getattr(row, "area", None),
+                     cand_index, space_fp))
         return len(rows)
 
     _CELL_COLUMNS = (
         "cell_id", "run_id", "kind", "workload", "dataflow", "batch",
         "num_pes", "rf_bytes_per_pe", "objective", "feasible",
         *CELL_METRICS, "array_h", "array_w", "buffer_bytes", "area",
-        "commit_sha",
+        "cand_index", "space_fp", "commit_sha",
     )
 
     def query_cells(self, *, workload: Optional[str] = None,
@@ -714,7 +761,8 @@ class ExperimentStore:
             " c.energy_per_op, c.delay_per_op, c.edp_per_op,"
             " c.dram_reads_per_op, c.dram_writes_per_op,"
             " c.dram_accesses_per_op, c.array_h, c.array_w,"
-            " c.buffer_bytes, c.area, r.commit_sha "
+            " c.buffer_bytes, c.area, c.cand_index, c.space_fp,"
+            " r.commit_sha "
             "FROM cells c"
             " JOIN dataflows d ON d.dataflow_id = c.dataflow_id"
             " JOIN objectives o ON o.objective_id = c.objective_id"
@@ -736,6 +784,78 @@ class ExperimentStore:
         """Number of recorded result cells across all runs."""
         return self._reader().execute(
             "SELECT COUNT(*) FROM cells").fetchone()[0]
+
+    # -- exploration checkpoints ----------------------------------------
+
+    def checkpoint_exploration(self, space_fp: str, run_id: int,
+                               total: int, done: int,
+                               space_json: Optional[str] = None) -> None:
+        """Upsert a streamed exploration's progress checkpoint.
+
+        One row per space fingerprint: ``total`` candidates planned,
+        ``done`` recorded so far, and (optionally) the canonical space
+        description as JSON for later introspection.  Re-checkpointing
+        the same fingerprint -- a later chunk, or a resumed run --
+        updates progress in place and keeps the original
+        ``started_at``.
+        """
+        now = _utc_now()
+        with self._write_lock, self._writer as conn:
+            conn.execute(
+                "INSERT INTO explorations (space_fp, run_id, total, done,"
+                " space_json, started_at, updated_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(space_fp) DO UPDATE SET run_id=excluded.run_id,"
+                " total=excluded.total, done=excluded.done,"
+                " space_json=COALESCE(excluded.space_json, space_json),"
+                " updated_at=excluded.updated_at",
+                (space_fp, run_id, int(total), int(done), space_json,
+                 now, now))
+
+    def exploration(self, space_fp: str) -> Optional[Dict]:
+        """The checkpoint row for one space fingerprint (None if absent).
+
+        Keys: ``space_fp``, ``run_id``, ``total``, ``done``,
+        ``space_json``, ``started_at``, ``updated_at``.
+        """
+        row = self._reader().execute(
+            "SELECT space_fp, run_id, total, done, space_json,"
+            " started_at, updated_at FROM explorations WHERE space_fp=?",
+            (space_fp,)).fetchone()
+        if row is None:
+            return None
+        return dict(zip(("space_fp", "run_id", "total", "done",
+                         "space_json", "started_at", "updated_at"), row))
+
+    def exploration_cells(self, space_fp: str) -> List[Dict]:
+        """The recorded candidates of one exploration, deduplicated.
+
+        Returns :meth:`query_cells`-shaped dicts for every cell tagged
+        with ``space_fp`` that carries a ``cand_index``, one per index
+        (the latest write wins when an interrupted chunk double-wrote),
+        ordered by candidate index.  This is what ``resume`` feeds back
+        into the incremental frontier.
+        """
+        sql = (
+            "SELECT c.cell_id, c.run_id, c.kind, c.workload, d.name,"
+            " c.batch, c.num_pes, c.rf_bytes_per_pe, o.name, c.feasible,"
+            " c.energy_per_op, c.delay_per_op, c.edp_per_op,"
+            " c.dram_reads_per_op, c.dram_writes_per_op,"
+            " c.dram_accesses_per_op, c.array_h, c.array_w,"
+            " c.buffer_bytes, c.area, c.cand_index, c.space_fp,"
+            " r.commit_sha "
+            "FROM cells c"
+            " JOIN dataflows d ON d.dataflow_id = c.dataflow_id"
+            " JOIN objectives o ON o.objective_id = c.objective_id"
+            " JOIN runs r ON r.run_id = c.run_id"
+            " WHERE c.space_fp=? AND c.cand_index IS NOT NULL"
+            " ORDER BY c.cell_id")
+        by_index: Dict[int, Dict] = {}
+        for values in self._reader().execute(sql, (space_fp,)):
+            entry = dict(zip(self._CELL_COLUMNS, values))
+            entry["feasible"] = bool(entry["feasible"])
+            by_index[entry["cand_index"]] = entry
+        return [by_index[index] for index in sorted(by_index)]
 
     # -- diffing --------------------------------------------------------
 

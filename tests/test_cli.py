@@ -279,6 +279,45 @@ class TestCliDse:
         # The buffer is derived from the Eq. (2) budget, not 16x512 B.
         assert rows[0]["buffer_bytes"] != 16 * 512
 
+    def test_dse_sample_budget_and_progress(self, capsys):
+        assert main(self.ARGS + ["--sample", "5", "--seed", "3",
+                                 "--chunk", "2", "--progress",
+                                 "--json", "--all"]) == 0
+        captured = capsys.readouterr()
+        rows = json.loads(captured.out)
+        assert len(rows) == 5  # the budget, not the 16-candidate space
+        assert "dse: 5/5 candidates" in captured.err
+
+    def test_dse_sample_is_seed_reproducible(self, capsys):
+        args = self.ARGS + ["--sample", "5", "--seed", "3", "--json",
+                            "--all"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        assert json.loads(capsys.readouterr().out) == first
+
+    def test_dse_sample_composes_with_registered_space(self, capsys):
+        # Sampling flags are budget knobs, not grid flags: they must
+        # not trip the --space-vs-grid conflict.
+        assert main(["dse", "--space", "chip-neighborhood", "--sample",
+                     "6", "--serial", "--json", "--all"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 6
+
+    def test_dse_resume_without_store_exits_2(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "recording session" in capsys.readouterr().err
+
+    def test_dse_resume_with_store_completes(self, tmp_path, capsys):
+        store = str(tmp_path / "dse.db")
+        args = self.ARGS + ["--sample", "6", "--store", store,
+                            "--record", "first", "--json", "--all"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        # Nothing is missing, so --resume is a no-op completion that
+        # answers straight from the recorded cells.
+        assert main(args + ["--resume"]) == 0
+        assert json.loads(capsys.readouterr().out) == first
+
 
 class TestCliStore:
     SWEEP = ["sweep", "--pes", "32", "--rf", "512", "--batch", "2",

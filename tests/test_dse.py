@@ -21,9 +21,11 @@ from repro.dse import (
     DesignSpace,
     DseCandidate,
     EmptyDesignSpaceError,
+    ParetoFrontier,
     ParetoSet,
     dominates,
     explore,
+    explore_stream,
     pareto_front,
 )
 from repro.nn.layer import conv_layer
@@ -322,6 +324,205 @@ class TestExploration:
         with Session() as session, \
                 pytest.raises(EmptyDesignSpaceError):
             session.explore(tiny_space(area_budget=1e-6))
+
+
+class TestLazyExpansion:
+    """The generator-based candidate pipeline (streaming tentpole)."""
+
+    def test_iter_points_is_lazy(self):
+        space = tiny_space()
+        gen = space.iter_points()
+        first = next(gen)
+        assert first == space.points()[0]
+
+    def test_points_tuple_parity_with_generator(self):
+        space = tiny_space()
+        assert space.points() == tuple(space.iter_points())
+        assert space.candidates() == tuple(space.iter_candidates())
+
+    def test_empty_space_raises_lazily(self):
+        space = tiny_space(area_budget=1e-6)
+        # Building the generator must not raise (laziness); draining
+        # it raises without ever having expanded a full list.
+        gen = space.iter_points()
+        with pytest.raises(EmptyDesignSpaceError):
+            next(gen)
+        with pytest.raises(EmptyDesignSpaceError):
+            next(space.iter_candidates())
+        assert space.count() == 0
+
+    def test_count_matches_expansion_free_mode(self):
+        space = tiny_space()
+        assert space.count() == len(space.points()) == 8
+        assert space.candidate_count() == len(space.candidates()) == 24
+
+    def test_count_matches_expansion_equal_area(self):
+        space = tiny_space(glb_choices=None, equal_area=True)
+        assert space.count() == len(space.points())
+
+    def test_count_matches_expansion_under_budget(self):
+        unfiltered = tiny_space()
+        budget = sorted(p.area for p in unfiltered.points())[3]
+        space = tiny_space(area_budget=budget)
+        assert space.count() == len(space.points())
+
+    def test_indexed_candidates_number_the_full_expansion(self):
+        space = tiny_space()
+        indexed = list(space.iter_candidates_indexed())
+        assert [i for i, _, _ in indexed] == list(range(24))
+        # Dataflow-major: the first space.count() entries share df[0].
+        assert {df for _, df, _ in indexed[:8]} == {"RS"}
+
+
+class TestSampling:
+    """Budgeted exploration: seeded random and Halton subsets."""
+
+    def test_same_seed_same_candidate_set(self):
+        a = tiny_space(sample=10, seed=42)
+        b = tiny_space(sample=10, seed=42)
+        ia = [i for i, _, _ in a.iter_candidates_indexed()]
+        ib = [i for i, _, _ in b.iter_candidates_indexed()]
+        assert ia == ib and len(ia) == 10
+
+    def test_different_seed_different_set(self):
+        a = tiny_space(sample=10, seed=0)
+        b = tiny_space(sample=10, seed=1)
+        ia = [i for i, _, _ in a.iter_candidates_indexed()]
+        ib = [i for i, _, _ in b.iter_candidates_indexed()]
+        assert ia != ib
+
+    def test_halton_is_deterministic_and_distinct(self):
+        a = tiny_space(sample=10, seed=3, sampler="halton")
+        b = tiny_space(sample=10, seed=3, sampler="halton")
+        ia = [i for i, _, _ in a.iter_candidates_indexed()]
+        assert ia == [i for i, _, _ in b.iter_candidates_indexed()]
+        assert len(set(ia)) == 10
+
+    def test_sample_covering_the_space_is_the_space(self):
+        space = tiny_space(sample=1000)
+        assert space.candidate_count() == 24
+        assert [i for i, _, _ in space.iter_candidates_indexed()] \
+            == list(range(24))
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError, match="sample"):
+            tiny_space(sample=0)
+        with pytest.raises(ValueError, match="sampler"):
+            tiny_space(sample=4, sampler="sobol")
+
+    def test_sampled_exploration_evaluates_only_the_budget(self):
+        space = tiny_space(sample=6, seed=1)
+        with Session(parallel=False) as session:
+            pareto = session.explore(space)
+        assert pareto.num_evaluated == 6
+        assert len(pareto.candidates) == 6
+
+    def test_fingerprint_tracks_sampling(self):
+        assert tiny_space().fingerprint() != \
+            tiny_space(sample=10).fingerprint()
+        assert tiny_space(sample=10, seed=1).fingerprint() != \
+            tiny_space(sample=10, seed=2).fingerprint()
+        assert tiny_space().fingerprint() == tiny_space().fingerprint()
+
+
+class TestIncrementalPareto:
+    """The online frontier must be bit-identical to exhaustive reduce."""
+
+    def _evaluated_rows(self):
+        with Session(parallel=False) as session:
+            pareto = session.explore(tiny_space())
+        return pareto.candidates
+
+    def test_streamed_frontier_matches_exhaustive_reduce(self):
+        rows = self._evaluated_rows()
+        exhaustive = ParetoSet.reduce(rows)
+        streamed = []
+        with Session(parallel=False) as session:
+            for kind, payload in explore_stream(tiny_space(),
+                                                session=session, chunk=5):
+                if kind == "candidate":
+                    streamed.append(payload)
+                elif kind == "result":
+                    result = payload
+        assert len(streamed) == 24
+        assert result.frontier == exhaustive.frontier
+        assert result.candidates == rows
+
+    def test_any_insertion_order_yields_identical_frontier(self):
+        import random
+
+        rows = self._evaluated_rows()
+        reference = ParetoSet.reduce(rows).frontier
+        rng = random.Random(9)
+        for _ in range(5):
+            shuffled = list(rows)
+            rng.shuffle(shuffled)
+            frontier = ParetoFrontier()
+            for row in shuffled:
+                frontier.insert(row)
+            assert frontier.frontier == reference
+        # Brute-force cross-check: the frontier is exactly the set of
+        # feasible rows no other feasible row dominates.
+        feasible = [r for r in rows if r.feasible]
+        brute = tuple(r for r in feasible
+                      if not any(dominates(o, r, DEFAULT_METRICS)
+                                 for o in feasible))
+        assert set(reference) == set(brute)
+
+    def test_equal_metric_ties_break_by_expansion_index(self):
+        twin = lambda i: DseCandidate(  # noqa: E731
+            workload="custom", dataflow="RS", batch=1, objective="energy",
+            array_h=4, array_w=4, num_pes=16, rf_bytes_per_pe=64,
+            buffer_bytes=1024, area=1.0, feasible=True, energy_per_op=1.0,
+            delay_per_op=1.0, edp_per_op=1.0, index=i)
+        out_of_order = [twin(3), twin(1), twin(2)]
+        frontier = ParetoFrontier()
+        for row in out_of_order:
+            frontier.insert(row)
+        assert [c.index for c in frontier.frontier] == [1, 2, 3]
+
+    def test_insert_short_circuits_dominated_candidates(self):
+        frontier = ParetoFrontier(keep_candidates=False)
+        assert frontier.insert(candidate(energy=1.0, delay=1.0, area=1.0))
+        assert not frontier.insert(candidate(energy=2.0, delay=2.0,
+                                             area=2.0))
+        assert not frontier.insert(candidate(feasible=False))
+        assert len(frontier) == 1
+        result = frontier.result()
+        assert result.num_evaluated == 3
+        assert result.num_feasible == 2
+
+    def test_keep_candidates_false_drops_the_cloud(self):
+        space = tiny_space()
+        with Session(parallel=False) as session:
+            pareto = session.explore(space, keep_candidates=False)
+        assert pareto.candidates == pareto.frontier
+        assert pareto.num_evaluated == 24
+        assert {(c.dataflow, c.num_pes, c.rf_bytes_per_pe, c.buffer_bytes)
+                for c in pareto.frontier} == PINNED_FRONT
+
+    def test_chunked_stream_emits_progress(self):
+        events = []
+        with Session(parallel=False) as session:
+            for kind, payload in explore_stream(tiny_space(),
+                                                session=session, chunk=10):
+                events.append(kind)
+        assert events.count("progress") == 3  # ceil(24 / 10)
+        assert events[-1] == "result"
+        assert events.count("candidate") == 24
+
+    def test_explore_progress_callback(self):
+        seen = []
+        with Session(parallel=False) as session:
+            session.explore(tiny_space(), chunk=8,
+                            progress=lambda info: seen.append(info))
+        assert [info["done"] for info in seen] == [8, 16, 24]
+        assert all(info["total"] == 24 for info in seen)
+
+    def test_resume_without_store_raises(self):
+        with Session(parallel=False) as session, \
+                pytest.raises(ValueError, match="recording session"):
+            session.explore(tiny_space(), resume=True)
 
 
 class TestRegisteredSpaces:

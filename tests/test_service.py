@@ -451,6 +451,56 @@ class TestDseVerb:
         assert payload["front_size"] == sum(
             1 for row in payload["front"] if row["on_front"])
 
+    def test_sampling_fields_round_trip(self):
+        spec = dict(TINY_DSE, rf_choices=[64, 128],
+                    glb_choices=[8192, 16384], sample=2, seed=5,
+                    sampler="halton", chunk=2)
+        request = DseRequest.from_dict(spec)
+        assert request.space.sample == 2
+        assert request.space.sampler == "halton"
+        assert request.chunk == 2
+        rebuilt = DseRequest.from_dict(request.to_dict())
+        assert rebuilt.space == request.space
+        assert rebuilt.chunk == 2
+
+    def test_sampling_composes_with_registered_space(self):
+        request = DseRequest.from_dict(
+            {"verb": "dse", "space": "equal-area-grid", "sample": 3,
+             "seed": 1})
+        assert request.space.sample == 3
+        assert request.space.seed == 1
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError, match="chunk"):
+            DseRequest.from_dict(dict(TINY_DSE, chunk=0))
+
+    def test_streamed_dse_emits_candidate_progress_result(self):
+        spec = dict(TINY_DSE, rf_choices=[64, 128],
+                    glb_choices=[8192, 16384], stream=True, chunk=2)
+        output = io.StringIO()
+        served = serve(io.StringIO(json.dumps(spec) + "\n"), output,
+                       BatchDispatcher(serial_engine()))
+        lines = [json.loads(line)
+                 for line in output.getvalue().splitlines()]
+        assert served == 1
+        events = [line.get("event") for line in lines]
+        assert events[-1] == "result"
+        assert events.count("candidate") == 4
+        assert events.count("progress") == 2  # ceil(4 / 2)
+        progress = [line for line in lines if line["event"] == "progress"]
+        assert progress[-1]["done"] == progress[-1]["total"] == 4
+
+    def test_streamed_result_matches_the_unstreamed_verb(self):
+        spec = dict(TINY_DSE, rf_choices=[64, 128])
+        plain = BatchDispatcher(serial_engine()).run_dse(
+            DseRequest.from_dict(spec)).to_dict()
+        streamed_events = list(BatchDispatcher(serial_engine()).stream_dse(
+            DseRequest.from_dict(dict(spec, stream=True))))
+        result = streamed_events[-1]
+        assert result["event"] == "result"
+        assert result["front"] == plain["front"]
+        assert result["candidates"] == plain["candidates"]
+
 
 class TestQueryVerb:
     def recording_dispatcher(self, tmp_path) -> BatchDispatcher:

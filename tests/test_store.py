@@ -163,6 +163,85 @@ class TestRecordedParity:
 
 
 # ----------------------------------------------------------------------
+# Exploration checkpoints: interrupted DSE resumes from the store.
+# ----------------------------------------------------------------------
+
+
+class TestExplorationCheckpoints:
+    def _space(self, **overrides):
+        from repro.dse import DesignSpace
+
+        options = dict(workload=tiny_layers(), dataflows=("RS", "NLR"),
+                       pe_counts=(16, 64), rf_choices=(64, 512))
+        options.update(overrides)
+        return DesignSpace(**options)
+
+    def test_checkpoint_upserts_progress(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            run_id = store.begin_run(label="dse")
+            store.checkpoint_exploration("fp1", run_id, total=10, done=0,
+                                         space_json='{"a": 1}')
+            store.checkpoint_exploration("fp1", run_id, total=10, done=6)
+            row = store.exploration("fp1")
+            assert row["done"] == 6 and row["total"] == 10
+            # COALESCE keeps the space description across updates.
+            assert row["space_json"] == '{"a": 1}'
+            assert store.exploration("other") is None
+
+    def test_interrupted_explore_resumes_without_rescoring(self, tmp_path):
+        from repro.dse import explore_stream
+
+        path = tmp_path / "exp.db"
+        space = self._space()
+        total = space.candidate_count()
+        fingerprint = space.fingerprint()
+        # Abandon the stream after the first chunk, like a killed
+        # process: its cells and checkpoint are already durable.
+        with recording_session(path) as session:
+            for kind, _ in explore_stream(space, session=session, chunk=3):
+                if kind == "progress":
+                    break
+        with ExperimentStore(path) as store:
+            row = store.exploration(fingerprint)
+            assert row is not None and 0 < row["done"] < total
+            done = row["done"]
+            assert len(store.exploration_cells(fingerprint)) == done
+        # Resume: only the remaining candidates reach the engine.
+        with recording_session(path) as session:
+            before = session.cache_stats
+            resumed = session.explore(space, chunk=3, resume=True)
+            stats = session.cache_stats.since(before)
+        assert stats.misses == (total - done) * len(tiny_layers())
+        assert resumed.num_evaluated == total
+        with ExperimentStore(path) as store:
+            assert store.exploration(fingerprint)["done"] == total
+        # The stitched frontier matches an uninterrupted exploration.
+        with Session(parallel=False) as fresh_session:
+            fresh = fresh_session.explore(space)
+        assert resumed.frontier == fresh.frontier
+
+    def test_exploration_cells_dedup_latest_wins(self, tmp_path):
+        from repro.dse import explore
+
+        path = tmp_path / "exp.db"
+        space = self._space(dataflows=("RS",), pe_counts=(16,),
+                            rf_choices=(64,))
+        with recording_session(path) as session:
+            explore(space, session=session)
+        with recording_session(path) as session:
+            explore(space, session=session)  # records the cell again
+        with ExperimentStore(path) as store:
+            cells = store.exploration_cells(space.fingerprint())
+            assert len(cells) == 1
+            assert cells[0]["cand_index"] == 0
+
+    def test_resume_on_unrecorded_session_raises(self, tmp_path):
+        with Session(parallel=False) as session:
+            with pytest.raises(ValueError, match="recording session"):
+                session.explore(self._space(), resume=True)
+
+
+# ----------------------------------------------------------------------
 # Concurrency: one writer connection, many readers.
 # ----------------------------------------------------------------------
 
@@ -272,13 +351,15 @@ class TestFormatSafety:
         path = tmp_path / "old.db"
         with recording_session(path) as session:
             live = session.evaluate(tiny_scenario(pe_counts=(64, 128)))
-        # Downgrade the file to schema v1: drop every v2 column and
-        # wind the version marker back.
+        # Downgrade the file to schema v1: drop every v2/v3 addition
+        # and wind the version marker back.
         conn = sqlite3.connect(path)
+        conn.execute("DROP INDEX IF EXISTS idx_cells_space")
         for column in ("kind", "array_h", "array_w", "buffer_bytes",
-                       "area"):
+                       "area", "cand_index", "space_fp"):
             conn.execute(f"ALTER TABLE cells DROP COLUMN {column}")
         conn.execute("ALTER TABLE runs DROP COLUMN bench_json")
+        conn.execute("DROP TABLE explorations")
         conn.execute("UPDATE store_meta SET value='1' "
                      "WHERE key='schema_version'")
         conn.commit()

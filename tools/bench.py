@@ -16,6 +16,14 @@ Measured paths:
 * ``warm_cache``      -- full re-run answered from the in-memory LRU
 * ``store_warm``      -- fresh process simulated: an empty LRU over a
   populated experiment store, every lookup answered by the store tier
+* ``dse_stream``      -- budgeted streaming exploration of a >=100k
+  candidate design space (candidates/sec, frontier size, peak RSS)
+
+On a box with fewer CPUs than the benchmark's worker count the pool
+comparison is not meaningful -- the pool only adds IPC overhead -- so
+``vector_parallel`` is skipped and the record carries
+``parallel_skipped: true`` instead of a speedup that reads as a
+regression.
 
 The record also carries a ``cache_tiers`` section -- LRU hits, store
 hits, misses and evictions per warm path -- so cache regressions show
@@ -128,6 +136,66 @@ def _store_warm_sweep(pe_counts, rf_choices):
     return points, seconds, stats
 
 
+def _dse_space(sample: int):
+    """A >=100k-candidate free-mode design space under a sample budget.
+
+    40 PE-array geometries x 20 RF choices x 24 buffer sizes x the six
+    registered dataflows = 115,200 candidates on a single tiny layer;
+    the closed-form ``count()`` keeps the description cheap and the
+    ``sample`` budget keeps the benchmark bounded.
+    """
+    from repro.dse import DesignSpace
+    from repro.nn.layer import conv_layer
+
+    layers = (conv_layer("B1", H=16, R=3, E=14, C=8, M=16, N=1),)
+    return DesignSpace(
+        workload=layers,
+        pe_counts=tuple(range(16, 16 + 8 * 40, 8)),
+        rf_choices=tuple(range(32, 32 + 16 * 20, 16)),
+        glb_choices=tuple(range(4096, 4096 + 2048 * 24, 2048)),
+        batch=1, sample=sample, seed=0)
+
+
+def _dse_stream_bench(sample: int, chunk: int) -> dict:
+    """Measure the streaming DSE pipeline; returns the record section.
+
+    Streams ``sample`` seeded candidates out of the >=100k space in
+    ``chunk``-sized engine batches through the incremental Pareto
+    frontier, and reports throughput (candidates/sec), the frontier
+    size, and the process's peak RSS after the run (``ru_maxrss``) --
+    the number that would blow up if the pipeline ever went back to
+    materializing the whole space.
+    """
+    import resource
+
+    from repro.api import Session
+    from repro.dse import explore_stream
+
+    space = _dse_space(sample)
+    streamed = frontier = 0
+    with Session(parallel=False) as session:
+        start = time.perf_counter()
+        for kind, payload in explore_stream(space, session=session,
+                                            chunk=chunk,
+                                            keep_candidates=False):
+            if kind == "candidate":
+                streamed += 1
+            elif kind == "result":
+                frontier = len(payload.frontier)
+        seconds = time.perf_counter() - start
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "space_candidates": space.count() * len(space.dataflows),
+        "sample": sample,
+        "chunk": chunk,
+        "streamed": streamed,
+        "frontier_size": frontier,
+        "wall_seconds": round(seconds, 4),
+        "candidates_per_sec": round(streamed / seconds, 1),
+        "peak_rss_mb": round(peak_rss_kb / 1024, 1),
+    }
+
+
 def _candidate_counts(pe_counts, rf_choices):
     """Total candidates the RS search scores across the sweep grid."""
     from repro.analysis.sweep import _sweep_grid
@@ -146,7 +214,8 @@ def _candidate_counts(pe_counts, rf_choices):
     return cells, candidates
 
 
-def run_benchmarks(pe_counts, rf_choices) -> dict:
+def run_benchmarks(pe_counts, rf_choices, dse_sample=2000,
+                   dse_chunk=256) -> dict:
     """Execute every measured path and assemble the perf record."""
     scalar_points, scalar_s, _ = _run_sweep(
         pe_counts, rf_choices, kernel="scalar", parallel=False)
@@ -156,9 +225,15 @@ def run_benchmarks(pe_counts, rf_choices) -> dict:
         pe_counts, rf_choices, kernel="vector", parallel=False,
         engine=engine)
     warm_stats = engine.cache.stats
-    parallel_points, parallel_s, parallel_engine = _run_sweep(
-        pe_counts, rf_choices, kernel="vector", parallel=True)
-    parallel_engine.close()
+    # A pool wider than the machine only measures IPC overhead; skip
+    # the comparison rather than record a "slowdown" on small boxes.
+    parallel_skipped = (os.cpu_count() or 1) < WORKERS
+    parallel_s = None
+    parallel_points = scalar_points
+    if not parallel_skipped:
+        parallel_points, parallel_s, parallel_engine = _run_sweep(
+            pe_counts, rf_choices, kernel="vector", parallel=True)
+        parallel_engine.close()
     store_points, store_warm_s, store_stats = _store_warm_sweep(
         pe_counts, rf_choices)
 
@@ -170,6 +245,20 @@ def run_benchmarks(pe_counts, rf_choices) -> dict:
             "refusing to record them")
 
     cells, candidates = _candidate_counts(pe_counts, rf_choices)
+    wall_seconds = {
+        "scalar_serial": round(scalar_s, 4),
+        "vector_serial": round(vector_s, 4),
+        "warm_cache": round(warm_s, 4),
+        "store_warm": round(store_warm_s, 4),
+    }
+    speedups = {
+        "vector_vs_scalar": round(scalar_s / vector_s, 2),
+        "warm_vs_scalar": round(scalar_s / warm_s, 2),
+        "store_warm_vs_scalar": round(scalar_s / store_warm_s, 2),
+    }
+    if not parallel_skipped:
+        wall_seconds["vector_parallel"] = round(parallel_s, 4)
+        speedups["parallel_vs_serial"] = round(vector_s / parallel_s, 2)
     return {
         "schema": 2,
         "commit": _commit_sha(),
@@ -188,23 +277,14 @@ def run_benchmarks(pe_counts, rf_choices) -> dict:
             "grid_cells": cells,
             "candidates_scored": candidates,
         },
-        "wall_seconds": {
-            "scalar_serial": round(scalar_s, 4),
-            "vector_serial": round(vector_s, 4),
-            "vector_parallel": round(parallel_s, 4),
-            "warm_cache": round(warm_s, 4),
-            "store_warm": round(store_warm_s, 4),
-        },
-        "speedups": {
-            "vector_vs_scalar": round(scalar_s / vector_s, 2),
-            "parallel_vs_serial": round(vector_s / parallel_s, 2),
-            "warm_vs_scalar": round(scalar_s / warm_s, 2),
-            "store_warm_vs_scalar": round(scalar_s / store_warm_s, 2),
-        },
+        "parallel_skipped": parallel_skipped,
+        "wall_seconds": wall_seconds,
+        "speedups": speedups,
         "cache_tiers": {
             "warm_cache": _stats_dict(warm_stats),
             "store_warm": _stats_dict(store_stats),
         },
+        "dse_stream": _dse_stream_bench(dse_sample, dse_chunk),
     }
 
 
@@ -232,7 +312,8 @@ def main(argv=None) -> int:
                     if args.quick else ROOT / "BENCH_perf.json")
 
     try:
-        record = run_benchmarks(pe_counts, rf_choices)
+        record = run_benchmarks(pe_counts, rf_choices,
+                                dse_sample=256 if args.quick else 2000)
     except AssertionError as error:
         print(f"FAIL: {error}", file=sys.stderr)
         return 1
@@ -244,8 +325,12 @@ def main(argv=None) -> int:
     print(f"  scalar serial   {walls['scalar_serial']:8.3f} s")
     print(f"  vector serial   {walls['vector_serial']:8.3f} s  "
           f"({speedups['vector_vs_scalar']:.1f}x)")
-    print(f"  vector parallel {walls['vector_parallel']:8.3f} s  "
-          f"({speedups['parallel_vs_serial']:.2f}x vs vector serial)")
+    if record["parallel_skipped"]:
+        print(f"  vector parallel    skipped ({record['machine']['cpu_count']}"
+              f" CPUs < {record['workload']['workers']} workers)")
+    else:
+        print(f"  vector parallel {walls['vector_parallel']:8.3f} s  "
+              f"({speedups['parallel_vs_serial']:.2f}x vs vector serial)")
     print(f"  warm cache      {walls['warm_cache']:8.3f} s  "
           f"({speedups['warm_vs_scalar']:.0f}x)")
     print(f"  store warm      {walls['store_warm']:8.3f} s  "
@@ -259,6 +344,11 @@ def main(argv=None) -> int:
     print(f"  candidates scored: "
           f"{record['workload']['candidates_scored']:,} across "
           f"{record['workload']['grid_cells']} cells")
+    dse = record["dse_stream"]
+    print(f"  dse stream      {dse['wall_seconds']:8.3f} s  "
+          f"({dse['streamed']:,} of {dse['space_candidates']:,} candidates, "
+          f"{dse['candidates_per_sec']:,.0f}/s, frontier "
+          f"{dse['frontier_size']}, peak RSS {dse['peak_rss_mb']} MB)")
 
     if args.min_speedup is not None \
             and speedups["vector_vs_scalar"] < args.min_speedup:

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""dse-scale smoke: streamed sampled exploration at >=100k candidates.
+
+Two hard assertions back the streaming-DSE memory and resume claims:
+
+1. **Bounded memory.**  A ~10k-candidate seeded sample out of a
+   115,200-candidate design space is streamed through the incremental
+   Pareto frontier with ``tracemalloc`` running; the traced Python heap
+   peak must stay under ``--peak-mb``.  A pipeline that quietly went
+   back to materialize-then-reduce (the full candidate list, or one
+   ``DseCandidate`` per evaluated point retained) blows the ceiling
+   immediately.
+
+2. **Resume without re-scoring.**  A second sampled exploration records
+   into an experiment store and is interrupted mid-flight (the iterator
+   is abandoned after a few chunks, exactly like a killed process).  A
+   fresh session then re-runs it with ``resume=True`` -- the CLI's
+   ``repro dse --resume`` path -- and the cache-stats delta must show
+   *only* the unfinished candidates being scored: finished cells come
+   back from the store, not the engine.  The resumed frontier must be
+   bit-identical to an uninterrupted run of the same space.
+
+Usage::
+
+    PYTHONPATH=src python tools/dse_scale.py           # CI defaults
+    PYTHONPATH=src python tools/dse_scale.py --sample 2000 --peak-mb 64
+
+Exit status: 0 on success, 1 when any assertion fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import Session  # noqa: E402  (path setup must precede)
+from repro.dse import DesignSpace, explore_stream  # noqa: E402
+from repro.nn.layer import conv_layer  # noqa: E402
+
+
+def build_space(sample: int, seed: int = 0) -> DesignSpace:
+    """The >=100k-candidate smoke space under a ``sample`` budget.
+
+    40 PE-array geometries x 20 RF choices x 24 buffer sizes x the six
+    registered dataflows = 115,200 candidates on one tiny layer --
+    large enough that materializing it is visible to tracemalloc, small
+    enough per evaluation that a 10k sample streams in seconds.
+    """
+    layers = (conv_layer("S1", H=16, R=3, E=14, C=8, M=16, N=1),)
+    return DesignSpace(
+        workload=layers,
+        pe_counts=tuple(range(16, 16 + 8 * 40, 8)),
+        rf_choices=tuple(range(32, 32 + 16 * 20, 16)),
+        glb_choices=tuple(range(4096, 4096 + 2048 * 24, 2048)),
+        batch=1, sample=sample, seed=seed)
+
+
+def check_streamed_memory(sample: int, chunk: int, peak_mb: float) -> int:
+    """Stream the sampled space under tracemalloc; assert the peak."""
+    space = build_space(sample)
+    total = space.count() * len(space.dataflows)
+    assert total >= 100_000, (
+        f"smoke space shrank to {total} candidates; the scale claim "
+        f"needs >=100k")
+    streamed = frontier = 0
+    tracemalloc.start()
+    start = time.perf_counter()
+    with Session(parallel=False) as session:
+        for kind, payload in explore_stream(space, session=session,
+                                            chunk=chunk,
+                                            keep_candidates=False):
+            if kind == "candidate":
+                streamed += 1
+            elif kind == "result":
+                frontier = len(payload.frontier)
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_used_mb = peak / (1024 * 1024)
+    print(f"streamed {streamed:,} of {total:,} candidates in "
+          f"{seconds:.1f}s ({streamed / seconds:,.0f}/s), frontier "
+          f"{frontier}, tracemalloc peak {peak_used_mb:.1f} MB")
+    assert streamed == space.candidate_count()
+    assert frontier > 0, "streamed exploration found no feasible point"
+    assert peak_used_mb < peak_mb, (
+        f"traced-heap peak {peak_used_mb:.1f} MB exceeds the "
+        f"{peak_mb} MB ceiling -- the streamed path is materializing "
+        f"candidates it should have dropped")
+    return streamed
+
+
+def check_resume(sample: int, chunk: int, interrupt_after: int) -> None:
+    """Interrupt a recorded exploration, resume it, count re-scores."""
+    space = build_space(sample, seed=7)
+    total = space.candidate_count()
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "dse-scale.db"
+        # First flight: abandon the stream after a few chunks, the way
+        # a killed process would -- completed chunks are already in the
+        # store, the in-flight one is lost.
+        done = 0
+        with Session(parallel=False, store=store, record=True) as session:
+            progressed = 0
+            for kind, payload in explore_stream(space, session=session,
+                                                chunk=chunk):
+                if kind == "progress":
+                    progressed += 1
+                    done = payload["done"]
+                    if progressed >= interrupt_after:
+                        break
+        assert 0 < done < total, (
+            f"interrupted run finished {done}/{total} cells; the smoke "
+            f"needs a genuine partial state")
+        # Second flight: resume. Only the unfinished candidates may
+        # reach the engine (one tiny layer each => one miss each);
+        # everything already recorded must come back from the store.
+        with Session(parallel=False, store=store, record=True) as session:
+            before = session.cache_stats
+            resumed = session.explore(space, chunk=chunk, resume=True)
+            stats = session.cache_stats.since(before)
+        print(f"interrupted at {done}/{total}; resume scored "
+              f"{stats.misses} candidates ({stats.store_hits} store "
+              f"hits), frontier {len(resumed)}")
+        assert stats.misses == total - done, (
+            f"resume re-scored finished cells: {stats.misses} engine "
+            f"misses for {total - done} remaining candidates")
+        # And the stitched-together frontier is the frontier.
+        with Session(parallel=False) as session:
+            fresh = session.explore(space, chunk=chunk)
+        assert resumed.frontier == fresh.frontier, (
+            "resumed frontier differs from an uninterrupted run")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sample", type=int, default=10_000,
+                        help="candidate budget for the memory smoke "
+                             "(default 10000)")
+    parser.add_argument("--chunk", type=int, default=512,
+                        help="streamed chunk size (default 512)")
+    parser.add_argument("--peak-mb", type=float, default=64.0,
+                        help="tracemalloc peak ceiling in MB (default 64)")
+    parser.add_argument("--resume-sample", type=int, default=2000,
+                        help="candidate budget for the interrupt/resume "
+                             "check (default 2000)")
+    parser.add_argument("--interrupt-after", type=int, default=2,
+                        help="chunks to finish before the simulated "
+                             "interrupt (default 2)")
+    args = parser.parse_args(argv)
+    try:
+        check_streamed_memory(args.sample, args.chunk, args.peak_mb)
+        check_resume(args.resume_sample, min(args.chunk, 256),
+                     args.interrupt_after)
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print("dse-scale smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
