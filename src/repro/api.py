@@ -772,12 +772,27 @@ class Session:
         Values are bit-identical to :meth:`evaluate` -- only the
         delivery schedule differs.
         """
+        for _, result in self.stream_indexed(scenario, parallel=parallel):
+            yield result
+
+    def stream_indexed(self, scenario: Scenario,
+                       parallel: Optional[bool] = None
+                       ) -> Iterator[Tuple[int, Result]]:
+        """:meth:`stream`, but each row carries its grid index.
+
+        Yields ``(index, Result)`` pairs in completion order, where
+        ``index`` is the cell's position in :meth:`Scenario.cells` grid
+        order.  Consumers that must reassemble the grid-ordered
+        :class:`ResultSet` (the service's streamed ``evaluate`` verb,
+        for one) use the index to slot completion-order rows back into
+        place without re-sorting by field values.
+        """
         cells = scenario.cells()
         for index, evaluation in self._engine.evaluate_networks_stream(
                 [cell.job for cell in cells], parallel=parallel):
             result = Result.from_evaluation(cells[index], evaluation)
             self._record_rows((result,))
-            yield result
+            yield index, result
 
     def explore(self, space, parallel: Optional[bool] = None, *,
                 chunk: Optional[int] = None, resume: bool = False,

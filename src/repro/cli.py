@@ -384,9 +384,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(batch, workers=True)
 
     server = sub.add_parser(
-        "serve", help="JSON-lines service loop: one request per stdin "
-                      "line, one result per stdout line")
+        "serve", help="JSON-lines service loop: stdin/stdout by default, "
+                      "or a concurrent TCP server with --tcp HOST:PORT")
     _add_service_arguments(server, workers=True)
+    server.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                        help="listen on a TCP socket instead of "
+                             "stdin/stdout (port 0 picks a free port, "
+                             "announced as a 'listening' line on stdout)")
+    server.add_argument("--serve-workers", type=int, default=4, metavar="N",
+                        help="concurrent request threads of the TCP "
+                             "server (default 4)")
+    server.add_argument("--window", type=int, default=64, metavar="N",
+                        help="admission window: queued-but-unstarted "
+                             "requests beyond N answer a 'busy' event "
+                             "(default 64)")
+    server.add_argument("--max-line-bytes", type=int, default=None,
+                        metavar="N",
+                        help="cap on one request line in bytes "
+                             "(default 1 MiB); over-limit lines answer "
+                             "an error event")
+    server.add_argument("--metrics-interval", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="log a metrics snapshot to stderr every "
+                             "SECONDS while the TCP server runs "
+                             "(default: off)")
 
     mapping = sub.add_parser(
         "mapping", help="visualize the RS mapping of a layer (Fig. 6)")
@@ -787,11 +808,57 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tcp_endpoint(value: str) -> tuple:
+    """Split a ``--tcp HOST:PORT`` value into its (host, port) pair."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--tcp expects HOST:PORT (e.g. 127.0.0.1:7333), got {value!r}")
+    try:
+        port = int(port)
+    except ValueError:
+        raise ValueError(
+            f"--tcp port must be an integer, got {port!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--tcp port out of range: {port}")
+    return host, port
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: the long-lived JSON-lines service loop."""
+    """``repro serve``: the long-lived JSON-lines service loop.
+
+    Without ``--tcp`` this is the stdin/stdout pipe worker; with
+    ``--tcp HOST:PORT`` it becomes the concurrent asyncio server
+    (:mod:`repro.netserve`), multiplexing every connected client onto
+    this one warm session.  Both modes run the same dispatch core, so
+    a request behaves identically over either transport.  The session
+    closes on the way out, which flushes the persistent cache tier and
+    finishes the recorded store run -- including after a SIGTERM drain.
+    """
     with _service_session(args) as session:
-        served = serve(sys.stdin, sys.stdout,
-                       BatchDispatcher(session))
+        if args.tcp is not None:
+            from repro.netserve.protocol import DEFAULT_MAX_LINE_BYTES
+            from repro.netserve.server import serve_tcp
+
+            host, port = _parse_tcp_endpoint(args.tcp)
+
+            def announce(event: dict) -> None:
+                json.dump(event, sys.stdout)
+                sys.stdout.write("\n")
+                sys.stdout.flush()
+
+            served = serve_tcp(
+                BatchDispatcher(session), host=host, port=port,
+                workers=args.serve_workers, window=args.window,
+                max_line_bytes=(args.max_line_bytes
+                                if args.max_line_bytes is not None
+                                else DEFAULT_MAX_LINE_BYTES),
+                metrics_interval=args.metrics_interval,
+                ready=announce)
+        else:
+            served = serve(sys.stdin, sys.stdout,
+                           BatchDispatcher(session),
+                           max_line_bytes=args.max_line_bytes)
     print(f"served {served} request(s)", file=sys.stderr)
     return 0
 

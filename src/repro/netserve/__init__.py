@@ -1,0 +1,78 @@
+"""Async multi-client evaluation server: a TCP front end over one Session.
+
+``repro.netserve`` turns the JSON-lines verb protocol of
+:mod:`repro.service` into a network service: an asyncio TCP server that
+multiplexes many concurrent clients onto one shared warm
+:class:`repro.api.Session`, so every client's requests hit the same
+cache tiers, worker pools and experiment store.
+
+The package splits into five layers:
+
+* :mod:`repro.netserve.protocol` -- the wire contract: JSON-lines
+  framing, the request size limit, the event vocabulary
+  (``error``/``busy``/``cell``/``candidate``/``progress``/``result``)
+  and the request ``priority`` envelope field.
+* :mod:`repro.netserve.core` -- :class:`~repro.netserve.core.RequestHandler`,
+  the single dispatch path shared by the TCP server and the
+  stdin/stdout pipe loop (:func:`repro.service.server.serve`): one
+  request line in, a stream of event objects out, for every verb
+  (``batch``/``evaluate``/``dse``/``query``/``metrics``/``shutdown``).
+* :mod:`repro.netserve.metrics` -- :class:`~repro.netserve.metrics.ServerMetrics`:
+  per-verb latency histograms, queue depth / in-flight gauges, worker
+  utilization and cache-tier hit rates, served by the ``metrics`` verb.
+* :mod:`repro.netserve.server` -- :class:`~repro.netserve.server.EvalServer`:
+  the asyncio listener, bounded priority admission queue with explicit
+  ``busy`` backpressure, the executor bridge that streams blocking
+  engine generators into each client's writer, and graceful
+  SIGTERM/``shutdown``-verb draining.
+* :mod:`repro.netserve.client` -- :class:`~repro.netserve.client.ServiceClient`
+  (blocking sockets) and :class:`~repro.netserve.client.AsyncServiceClient`
+  (asyncio), the helpers tests, examples and ``tools/loadgen.py`` use.
+
+Start a server with ``repro serve --tcp HOST:PORT`` (see
+``docs/SERVICE.md`` for the full protocol reference)::
+
+    $ repro serve --tcp 127.0.0.1:7333 --store results.db --record &
+    {"event": "listening", "host": "127.0.0.1", "port": 7333}
+
+    >>> from repro.netserve.client import ServiceClient
+    >>> with ServiceClient("127.0.0.1", 7333) as client:
+    ...     reply = client.request({"verb": "batch",
+    ...                             "network": "alexnet-conv",
+    ...                             "dataflows": ["RS"]})
+"""
+
+from repro.netserve.client import AsyncServiceClient, ServiceClient, call
+from repro.netserve.core import RequestHandler
+from repro.netserve.metrics import LatencyHistogram, ServerMetrics
+from repro.netserve.protocol import (
+    DEFAULT_MAX_LINE_BYTES,
+    STREAM_EVENTS,
+    OversizedLineError,
+    busy_event,
+    decode_line,
+    error_event,
+    is_terminal,
+    request_priority,
+)
+from repro.netserve.server import EvalServer, ServerConfig, serve_tcp
+
+__all__ = [
+    "AsyncServiceClient",
+    "DEFAULT_MAX_LINE_BYTES",
+    "EvalServer",
+    "LatencyHistogram",
+    "OversizedLineError",
+    "RequestHandler",
+    "STREAM_EVENTS",
+    "ServerConfig",
+    "ServerMetrics",
+    "ServiceClient",
+    "busy_event",
+    "call",
+    "decode_line",
+    "error_event",
+    "is_terminal",
+    "request_priority",
+    "serve_tcp",
+]

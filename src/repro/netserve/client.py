@@ -1,0 +1,173 @@
+"""Client helpers for the TCP evaluation server.
+
+Two small wrappers over the JSON-lines protocol, used by the tests,
+``tools/loadgen.py`` and the examples -- one blocking
+(:class:`ServiceClient`, plain sockets, safe to drive from worker
+threads) and one asyncio (:class:`AsyncServiceClient`, for callers
+already inside an event loop).  Both expose the same two verbs of
+usage:
+
+* :meth:`~ServiceClient.stream` -- send one request, yield every
+  response event (streamed ``cell``/``candidate``/``progress`` lines
+  included) through the terminal one;
+* :meth:`~ServiceClient.request` -- send one request, swallow the
+  intermediate events and return just the terminal event.
+
+Clients never raise on an ``error``/``busy`` answer -- those are
+protocol-level outcomes the caller inspects -- only on transport
+failures (connection refused, EOF mid-answer)::
+
+    with ServiceClient("127.0.0.1", 7333) as client:
+        reply = client.request({"verb": "batch",
+                                "network": "alexnet-conv",
+                                "dataflows": ["RS"]})
+        if "error" in reply:
+            ...
+
+:func:`call` is the one-shot convenience: connect, ask, disconnect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Dict, Iterator, Optional
+
+from repro.netserve.protocol import is_terminal
+
+
+class ServiceClient:
+    """A blocking JSON-lines client over one TCP connection.
+
+    One in-flight request at a time per client instance (responses are
+    matched by reading until the terminal event, not by id); open
+    several clients for concurrency, as ``tools/loadgen.py`` does.
+    Usable as a context manager; ``timeout`` bounds every socket
+    operation.
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = 60.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def send(self, payload: Dict) -> None:
+        """Write one request line (fire and forget)."""
+        self._sock.sendall(
+            (json.dumps(payload) + "\n").encode("utf-8"))
+
+    def read_event(self) -> Dict:
+        """Read the next response event (EOF is a ``ConnectionError``)."""
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError(
+                "server closed the connection mid-answer")
+        return json.loads(line)
+
+    def stream(self, payload: Dict) -> Iterator[Dict]:
+        """Send one request; yield events through the terminal one."""
+        self.send(payload)
+        while True:
+            event = self.read_event()
+            yield event
+            if is_terminal(event):
+                return
+
+    def request(self, payload: Dict) -> Dict:
+        """Send one request; return its terminal event only."""
+        for event in self.stream(payload):
+            terminal = event
+        return terminal
+
+
+class AsyncServiceClient:
+    """The asyncio twin of :class:`ServiceClient`.
+
+    Construct via :meth:`connect`; supports ``async with``.  The event
+    stream surface mirrors the blocking client with ``async``
+    iteration::
+
+        async with await AsyncServiceClient.connect(host, port) as c:
+            async for event in c.stream({"verb": "evaluate", ...}):
+                ...
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+        """Open a connection and wrap it."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+
+    async def send(self, payload: Dict) -> None:
+        """Write one request line."""
+        self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await self._writer.drain()
+
+    async def read_event(self) -> Dict:
+        """Read the next response event (EOF is a ``ConnectionError``)."""
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError(
+                "server closed the connection mid-answer")
+        return json.loads(line)
+
+    async def stream(self, payload: Dict):
+        """Send one request; yield events through the terminal one."""
+        await self.send(payload)
+        while True:
+            event = await self.read_event()
+            yield event
+            if is_terminal(event):
+                return
+
+    async def request(self, payload: Dict) -> Dict:
+        """Send one request; return its terminal event only."""
+        terminal: Dict = {}
+        async for event in self.stream(payload):
+            terminal = event
+        return terminal
+
+
+def call(host: str, port: int, payload: Dict,
+         timeout: Optional[float] = 60.0) -> Dict:
+    """One-shot: connect, send one request, return its terminal event."""
+    with ServiceClient(host, port, timeout=timeout) as client:
+        return client.request(payload)

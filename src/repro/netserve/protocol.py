@@ -1,0 +1,143 @@
+"""The wire contract: framing, size limits and the event vocabulary.
+
+Everything on the wire is a JSON object on a single ``\\n``-terminated
+line, in both directions.  Requests carry a ``verb`` (default
+``batch``) plus the verb's fields (see :mod:`repro.service.schema`) and
+two transport-level *envelope* fields the dispatch core never sees:
+
+``id``
+    Client-chosen request id, echoed on every response event.  When
+    omitted the server assigns ``req-N`` per connection.
+``priority``
+    Admission priority (any integer, default 0); *lower* runs earlier.
+    Ties are served in arrival order.  Ignored by the pipe transport,
+    which is inherently serial.
+
+Responses are *events*.  A request answers with zero or more streamed
+intermediate events followed by exactly one terminal event:
+
+=============  =======================================================
+event          meaning
+=============  =======================================================
+``cell``       one completed grid cell of an ``evaluate`` request
+``candidate``  one evaluated candidate of a streamed ``dse`` request
+``progress``   periodic introspection during a streamed ``dse``
+``result``     terminal success of a streamed verb (``shutdown`` too)
+``error``      terminal failure; carries a human-readable ``error``
+``busy``       terminal rejection: the admission window is full;
+               carries ``retry_after`` seconds plus queue gauges
+``listening``  server startup announcement (stdout, not per-request)
+=============  =======================================================
+
+Plain (non-streamed) ``batch``/``query``/``metrics`` answers carry no
+``event`` key at all -- they are terminal by definition, which is what
+:func:`is_terminal` encodes: *any* event outside :data:`STREAM_EVENTS`
+ends its request.
+
+Request lines are capped at :data:`DEFAULT_MAX_LINE_BYTES` (overridable
+per server); an oversized line answers with an ``error`` event and the
+connection keeps serving -- framing problems never tear down a client
+that other requests share.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+from typing import Dict, Optional, Union
+
+#: Default cap on one request line.  Generous enough for explicit
+#: layer lists, small enough that a runaway client cannot balloon the
+#: server's line buffers.
+DEFAULT_MAX_LINE_BYTES = 1_048_576
+
+#: Events that *precede* a request's terminal answer.  Anything else
+#: (``result``, ``error``, ``busy``, or an event-less response object)
+#: terminates the request.
+STREAM_EVENTS = frozenset({"cell", "candidate", "progress"})
+
+
+class OversizedLineError(ValueError):
+    """A request line exceeded the server's size limit.
+
+    Raised by :func:`decode_line` and by the TCP reader's resync path;
+    always answered with an ``error`` event, never a disconnect.
+    """
+
+    def __init__(self, size: int, limit: int) -> None:
+        super().__init__(
+            f"request line of {size} bytes exceeds the {limit}-byte "
+            f"limit; split the request or raise --max-line-bytes")
+        self.size = size
+        self.limit = limit
+
+
+def decode_line(line: Union[str, bytes, bytearray],
+                max_bytes: Optional[int] = None) -> Dict:
+    """Parse one request line into its JSON payload.
+
+    Enforces the size cap (:class:`OversizedLineError`) before parsing
+    and requires the payload to be a JSON *object* -- scalars and
+    arrays are protocol errors with a message naming the problem, so a
+    confused client learns what it sent instead of seeing a crash.
+    """
+    limit = DEFAULT_MAX_LINE_BYTES if max_bytes is None else max_bytes
+    if len(line) > limit:
+        raise OversizedLineError(len(line), limit)
+    if isinstance(line, (bytes, bytearray)):
+        line = bytes(line).decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed JSON request line: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"a request must be a JSON object, got "
+            f"{type(payload).__name__}")
+    return payload
+
+
+def request_priority(payload: Dict, *, pop: bool = False) -> int:
+    """The admission priority of a request payload (default 0).
+
+    Lower values are admitted first.  ``pop=True`` also strips the
+    envelope field so verb-level validation never sees it.  A
+    non-integer priority is a ``ValueError``, answered as an ``error``
+    event like any other malformed field.
+    """
+    if "priority" not in payload:
+        return 0
+    raw = payload.pop("priority") if pop else payload["priority"]
+    try:
+        return operator.index(raw)
+    except TypeError:
+        raise ValueError(
+            f"'priority' must be an integer (lower = sooner), "
+            f"got {raw!r}") from None
+
+
+def is_terminal(event: Dict) -> bool:
+    """Whether a response event ends its request's answer stream."""
+    return event.get("event") not in STREAM_EVENTS
+
+
+def error_event(request_id: str, message: str) -> Dict:
+    """A terminal ``error`` event (the structured failure answer)."""
+    return {"event": "error", "id": request_id, "error": message}
+
+
+def busy_event(request_id: str, retry_after: float, *,
+               queue_depth: int, window: int) -> Dict:
+    """A terminal ``busy`` event: explicit admission backpressure.
+
+    ``retry_after`` is the server's estimate (seconds) of when the
+    queue will have room again; ``queue_depth``/``window`` expose the
+    admission state so clients can adapt instead of hammering.
+    """
+    return {
+        "event": "busy",
+        "id": request_id,
+        "retry_after": round(retry_after, 3),
+        "queue_depth": queue_depth,
+        "window": window,
+    }

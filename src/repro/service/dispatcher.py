@@ -104,6 +104,44 @@ class BatchDispatcher:
             cache=self.session.cache.stats.since(before),
         )
 
+    def stream_batch(self, request: BatchRequest,
+                     parallel: Optional[bool] = None):
+        """Serve one batch grid as a stream of wire events.
+
+        The generator behind the service's ``evaluate`` verb: one
+        ``{"event": "cell", ...}`` object per grid cell as it completes
+        (completion order under a parallel session, grid order under a
+        serial one), then a final ``{"event": "result", ...}`` object
+        whose content -- cells back in grid order, layer-job count,
+        cache delta -- is exactly what :meth:`run` would have answered
+        for the same request.  Streaming changes the delivery, never
+        the numbers.
+        """
+        start = time.perf_counter()
+        before = self.session.cache.stats
+        scenario = scenario_from_request(request)
+        request_id = request.request_id
+        rows: dict = {}
+        try:
+            for index, row in self.session.stream_indexed(
+                    scenario, parallel=parallel):
+                rows[index] = row
+                yield {"id": request_id, "verb": "evaluate",
+                       "event": "cell", "index": index,
+                       **self._cell_result(row).to_dict()}
+        except EmptyScenarioError as exc:
+            raise ValueError(
+                f"request {request_id!r} {exc}") from None
+        ordered = [rows[index] for index in sorted(rows)]
+        result = BatchResult(
+            request_id=request_id,
+            cells=tuple(self._cell_result(row) for row in ordered),
+            layer_jobs=sum(len(row.evaluation.layers) for row in ordered),
+            elapsed_s=time.perf_counter() - start,
+            cache=self.session.cache.stats.since(before),
+        )
+        yield {"verb": "evaluate", "event": "result", **result.to_dict()}
+
     def run_many(self, requests: List[BatchRequest],
                  parallel: Optional[bool] = None) -> List[BatchResult]:
         """Run several requests; later ones reuse earlier ones' cache."""

@@ -1,7 +1,7 @@
-"""JSON-lines serve loop: one BatchRequest per line in, one line out.
+"""JSON-lines serve loop: the pipe transport of the service protocol.
 
-``repro serve`` turns the dispatcher into a long-lived worker a parent
-process can feed over a pipe:
+``repro serve`` (without ``--tcp``) turns the dispatcher into a
+long-lived worker a parent process can feed over a pipe:
 
 .. code-block:: text
 
@@ -9,28 +9,29 @@ process can feed over a pipe:
       "pe_counts": [256], "batch": 1}' | repro serve --cache-file c.pkl
     {"id": "req-1", "cells": [...], "cache": {...}, ...}
 
-Each input line is parsed, validated and dispatched independently; a
-bad line answers with an ``{"id": ..., "error": ...}`` object instead
-of killing the loop, so one malformed request cannot take down a
-service that other clients share.  Blank lines are ignored and EOF ends
-the loop.
+Since the netserve refactor this loop is a thin transport: every line
+is answered by :class:`repro.netserve.core.RequestHandler`, the exact
+dispatch path the TCP server (:mod:`repro.netserve.server`) runs, so
+the two modes cannot drift.  The pipe is inherently serial -- requests
+answer one at a time in input order, and the ``priority`` envelope
+field is accepted but has nothing to reorder.
 
-Requests carry an optional ``verb``: the default ``"batch"`` runs a
-:class:`~repro.service.schema.BatchRequest` grid, ``"dse"`` runs a
-hardware design-space exploration
-(:class:`~repro.service.schema.DseRequest` -> Pareto front), and
-``"query"`` reads recorded cells back out of the session's experiment
-store (:class:`~repro.service.schema.QueryRequest`) -- all on the same
-dispatcher session, so batch and DSE traffic share one cache and
-queries see the store mid-recording.
+Requests carry an optional ``verb``: the default ``batch`` runs a
+:class:`~repro.service.schema.BatchRequest` grid in one response line;
+``evaluate`` runs the same grid but streams one ``{"event": "cell"}``
+line per completed cell before the final ``{"event": "result"}`` line;
+``dse`` runs a design-space exploration
+(:class:`~repro.service.schema.DseRequest`, optionally streamed as
+``candidate``/``progress``/``result`` lines); ``query`` reads recorded
+cells back out of the session's experiment store; ``metrics`` answers
+a server-introspection snapshot; and ``shutdown`` answers, then ends
+the loop -- the pipe equivalent of draining the TCP server.
 
-A dse request with ``"stream": true`` answers with *multiple* lines:
-one ``{"event": "candidate", ...}`` object per evaluated candidate as
-it completes, an ``{"event": "progress", ...}`` introspection line
-after every chunk (done/total/frontier/elapsed), and a final
-``{"event": "result", ...}`` line identical in content to the
-non-streamed answer -- a client can tail a million-candidate
-exploration instead of waiting on it.
+Error paths never kill the loop: a malformed JSON line, an unknown
+verb, a bad field or an over-limit line (``max_line_bytes``) each
+answer with a terminal ``{"event": "error", "id": ..., "error": ...}``
+line and the next request is served normally.  Blank lines are ignored
+and EOF ends the loop.
 """
 
 from __future__ import annotations
@@ -39,62 +40,39 @@ import json
 from typing import IO, Optional
 
 from repro.service.dispatcher import BatchDispatcher
-from repro.service.schema import BatchRequest, DseRequest, QueryRequest
 
 
 def serve(input_stream: IO[str], output_stream: IO[str],
           dispatcher: Optional[BatchDispatcher] = None,
-          parallel: Optional[bool] = None) -> int:
-    """Run the JSON-lines loop until EOF; returns requests served."""
-    dispatcher = dispatcher or BatchDispatcher()
+          parallel: Optional[bool] = None,
+          max_line_bytes: Optional[int] = None) -> int:
+    """Run the JSON-lines loop until EOF or a ``shutdown`` verb.
+
+    Returns the number of successfully served requests (lines that
+    answered without an ``error`` event), matching the pre-netserve
+    contract.  ``max_line_bytes`` caps a single request line; ``None``
+    keeps :data:`repro.netserve.protocol.DEFAULT_MAX_LINE_BYTES`.
+    """
+    # Imported lazily: netserve's dispatch core builds on the service
+    # package, so a module-level import here would be circular.
+    from repro.netserve.core import RequestHandler
+
+    handler = RequestHandler(dispatcher, parallel=parallel,
+                             max_line_bytes=max_line_bytes)
     served = 0
     for number, line in enumerate(input_stream, start=1):
         line = line.strip()
         if not line:
             continue
-        request_id = f"req-{number}"
-        try:
-            payload = json.loads(line)
-            verb = (payload.get("verb", "batch")
-                    if isinstance(payload, dict) else "batch")
-            if verb == "dse":
-                request = DseRequest.from_dict(payload,
-                                               default_id=request_id)
-                if request.stream:
-                    # One line per event, flushed as it happens; the
-                    # closing "result" line doubles as the response.
-                    for event in dispatcher.stream_dse(request,
-                                                       parallel=parallel):
-                        if event.get("event") == "result":
-                            response = event
-                            break
-                        json.dump(event, output_stream)
-                        output_stream.write("\n")
-                        output_stream.flush()
-                    else:  # pragma: no cover - stream always ends in result
-                        raise RuntimeError("dse stream ended without result")
-                else:
-                    response = dispatcher.run_dse(
-                        request, parallel=parallel).to_dict()
-            elif verb == "query":
-                request = QueryRequest.from_dict(payload,
-                                                 default_id=request_id)
-                response = dispatcher.run_query(request).to_dict()
-            elif verb == "batch":
-                if isinstance(payload, dict):
-                    payload = {key: value for key, value in payload.items()
-                               if key != "verb"}
-                request = BatchRequest.from_dict(payload,
-                                                 default_id=request_id)
-                response = dispatcher.run(
-                    request, parallel=parallel).to_dict()
-            else:
-                raise ValueError(
-                    f"unknown verb {verb!r}; known: batch, dse, query")
+        failed = False
+        for event in handler.handle_line(line, f"req-{number}"):
+            if event.get("event") == "error":
+                failed = True
+            json.dump(event, output_stream)
+            output_stream.write("\n")
+            output_stream.flush()
+        if not failed:
             served += 1
-        except (ValueError, RuntimeError) as exc:
-            response = {"id": request_id, "error": str(exc)}
-        json.dump(response, output_stream)
-        output_stream.write("\n")
-        output_stream.flush()
+        if handler.shutdown_requested:
+            break
     return served

@@ -48,11 +48,27 @@ class TestDocsPages:
             assert anchor in text, \
                 f"ARCHITECTURE.md lost its {anchor} record-path section"
 
+    def test_service_page_covers_the_wire_contract(self):
+        text = (ROOT / "docs" / "SERVICE.md").read_text()
+        for anchor in ("evaluate", "metrics", "shutdown", "busy",
+                       "retry_after", "--window", "priority",
+                       "is_terminal", "lru_hits", "p95_ms",
+                       "loadgen.py", "--tcp"):
+            assert anchor in text, f"SERVICE.md lost its {anchor} coverage"
+
+    def test_architecture_page_covers_the_request_path(self):
+        text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for anchor in ("RequestHandler", "netserve", "Admission",
+                       "run_in_executor", "SERVICE.md"):
+            assert anchor in text, \
+                f"ARCHITECTURE.md lost its {anchor} request-path section"
+
     def test_readme_links_the_docs_pages(self):
         text = (ROOT / "README.md").read_text()
         assert "docs/ARCHITECTURE.md" in text
         assert "docs/NOTATION.md" in text
         assert "docs/EXPERIMENT_STORE.md" in text
+        assert "docs/SERVICE.md" in text
 
 
 class TestDocLinks:

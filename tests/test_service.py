@@ -327,6 +327,117 @@ class TestServeLoop:
         assert responses[1]["cache"]["hit_rate"] == 1.0
 
 
+class TestServeHardening:
+    """Error paths of the serve loop: answer, never die (PR 8)."""
+
+    def run_serve(self, lines, engine=None, **kwargs):
+        output = io.StringIO()
+        served = serve(io.StringIO("\n".join(lines) + "\n"), output,
+                       BatchDispatcher(engine or serial_engine()), **kwargs)
+        responses = [json.loads(line)
+                     for line in output.getvalue().splitlines()]
+        return served, responses
+
+    def test_malformed_json_is_a_structured_error_event(self):
+        served, responses = self.run_serve(
+            ["{truncated", json.dumps(tiny_request().to_dict())])
+        assert served == 1
+        assert responses[0]["event"] == "error"
+        assert responses[0]["id"] == "req-1"
+        assert "malformed JSON" in responses[0]["error"]
+        assert responses[1]["feasible_cells"] == 1  # loop survived
+
+    def test_unknown_verb_is_a_structured_error_event(self):
+        served, responses = self.run_serve(
+            [json.dumps({"verb": "frobnicate"}),
+             json.dumps(tiny_request().to_dict())])
+        assert served == 1
+        assert responses[0]["event"] == "error"
+        assert "unknown verb" in responses[0]["error"]
+        assert responses[1]["feasible_cells"] == 1
+
+    def test_non_object_payload_is_a_structured_error_event(self):
+        served, responses = self.run_serve(
+            ["[1, 2, 3]", json.dumps(tiny_request().to_dict())])
+        assert served == 1
+        assert responses[0]["event"] == "error"
+        assert "must be a JSON object" in responses[0]["error"]
+
+    def test_oversized_line_answers_error_and_keeps_serving(self):
+        good = json.dumps(tiny_request().to_dict())
+        huge = json.dumps(tiny_request(
+            id="x" * 4096).to_dict())  # well past the tiny limit below
+        served, responses = self.run_serve([huge, good],
+                                           max_line_bytes=1024)
+        assert served == 1
+        assert responses[0]["event"] == "error"
+        assert "exceeds the 1024-byte limit" in responses[0]["error"]
+        assert responses[1]["feasible_cells"] == 1
+
+    def test_priority_envelope_is_accepted_and_stripped(self):
+        spec = dict(tiny_request().to_dict(), priority=5)
+        served, responses = self.run_serve([json.dumps(spec)])
+        assert served == 1 and responses[0]["feasible_cells"] == 1
+
+    def test_bad_priority_is_a_structured_error_event(self):
+        spec = dict(tiny_request().to_dict(), priority="high")
+        served, responses = self.run_serve([json.dumps(spec)])
+        assert served == 0
+        assert responses[0]["event"] == "error"
+        assert "'priority' must be an integer" in responses[0]["error"]
+
+    def test_evaluate_verb_streams_cells_then_result(self):
+        spec = dict(tiny_request(pe_counts=[64, 256]).to_dict(),
+                    verb="evaluate")
+        served, responses = self.run_serve([json.dumps(spec)])
+        assert served == 1
+        kinds = [r.get("event") for r in responses]
+        assert kinds == ["cell", "cell", "result"]
+        final = responses[-1]
+        assert final["feasible_cells"] == 2
+        # The streamed cells carry exactly the final result's rows.
+        by_index = {r["index"]: r for r in responses[:-1]}
+        for index, cell in enumerate(final["cells"]):
+            streamed = by_index[index]
+            assert all(streamed[key] == value
+                       for key, value in cell.items())
+
+    def test_evaluate_verb_matches_batch_verb_bit_identically(self):
+        engine = serial_engine()
+        spec = tiny_request(pe_counts=[64, 256]).to_dict()
+        _, batch_responses = self.run_serve(
+            [json.dumps(dict(spec, verb="batch"))], engine=engine)
+        _, stream_responses = self.run_serve(
+            [json.dumps(dict(spec, verb="evaluate"))],
+            engine=serial_engine())
+        final = {k: v for k, v in stream_responses[-1].items()
+                 if k not in ("event", "verb", "elapsed_s", "cache")}
+        plain = {k: v for k, v in batch_responses[0].items()
+                 if k not in ("elapsed_s", "cache")}
+        assert final == plain
+
+    def test_metrics_verb_answers_a_snapshot(self):
+        served, responses = self.run_serve(
+            [json.dumps(tiny_request().to_dict()),
+             json.dumps({"verb": "metrics", "id": "m1"})])
+        assert served == 2
+        snapshot = responses[-1]
+        assert snapshot["id"] == "m1" and snapshot["verb"] == "metrics"
+        assert snapshot["requests"]["by_verb"]["batch"]["count"] == 1
+        assert snapshot["cache"]["misses"] > 0
+        assert {"depth", "window", "in_flight",
+                "rejected"} <= set(snapshot["queue"])
+
+    def test_shutdown_verb_answers_then_ends_the_loop(self):
+        served, responses = self.run_serve(
+            [json.dumps({"verb": "shutdown"}),
+             json.dumps(tiny_request().to_dict())])  # never reached
+        assert served == 1
+        assert len(responses) == 1
+        assert responses[0]["verb"] == "shutdown"
+        assert responses[0]["draining"] is True
+
+
 TINY_DSE = {"verb": "dse", "layers": [
     {"name": "T1", "H": 8, "R": 3, "C": 4, "M": 8}],
     "dataflows": ["RS"], "batch": 1, "pe_counts": [16],

@@ -27,7 +27,11 @@ regression.
 
 The record also carries a ``cache_tiers`` section -- LRU hits, store
 hits, misses and evictions per warm path -- so cache regressions show
-up in the perf trajectory, not just wall time.
+up in the perf trajectory, not just wall time.  The ``serve`` section
+(TCP server throughput/latency) is written by ``tools/loadgen.py`` and
+preserved verbatim when this script rewrites the record; a record
+whose ``commit`` no longer matches ``git rev-parse HEAD`` draws a
+stale warning on stderr before regeneration.
 
 Usage::
 
@@ -74,6 +78,28 @@ def _commit_sha() -> str:
         return out.stdout.strip() or "unknown"
     except OSError:  # pragma: no cover - git missing
         return "unknown"
+
+
+def _load_previous(path: Path) -> dict:
+    """The existing record at ``path``, or ``{}`` if absent/unreadable."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+
+
+def _warn_if_stale(previous: dict, path: Path, head: str) -> None:
+    """Warn on stderr when the checked-in record predates HEAD.
+
+    Every PR is supposed to leave ``BENCH_perf.json`` regenerated at
+    its own commit; a mismatch here means the perf trajectory silently
+    went stale, so make the regeneration visible instead of quiet.
+    """
+    recorded = previous.get("commit")
+    if recorded and head != "unknown" and recorded != head:
+        print(f"warning: {path.name} was recorded at commit "
+              f"{recorded[:12]} but HEAD is {head[:12]}; regenerating "
+              f"the record at HEAD", file=sys.stderr)
 
 
 def _run_sweep(pe_counts, rf_choices, kernel: str, parallel: bool,
@@ -311,12 +337,20 @@ def main(argv=None) -> int:
         args.out = (Path(tempfile.gettempdir()) / "BENCH_perf.quick.json"
                     if args.quick else ROOT / "BENCH_perf.json")
 
+    previous = _load_previous(args.out)
+    _warn_if_stale(previous, args.out, _commit_sha())
+
     try:
         record = run_benchmarks(pe_counts, rf_choices,
                                 dse_sample=256 if args.quick else 2000)
     except AssertionError as error:
         print(f"FAIL: {error}", file=sys.stderr)
         return 1
+
+    # The ``serve`` section is owned by tools/loadgen.py; carry it
+    # across so regenerating the engine numbers never drops it.
+    if "serve" in previous:
+        record["serve"] = previous["serve"]
 
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     walls = record["wall_seconds"]

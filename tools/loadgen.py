@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Micro load generator for the TCP evaluation server.
+
+Spawns ``repro serve --tcp 127.0.0.1:0`` as a real subprocess (own
+interpreter, recording store, SIGTERM lifecycle), drives it with N
+concurrent client threads issuing a mixed verb deck -- streamed
+``evaluate``, one-shot ``batch``, a tiny streamed ``dse`` and a store
+``query`` -- then scrapes the ``metrics`` verb, sends SIGTERM and
+checks the drain contract: exit status 0 and a flushed experiment
+store (the run row finished, the evaluated cells readable).
+
+Every request is timed from send to terminal event; the summary
+reports requests/sec plus p50/p95 latency.  With ``--update-bench``
+the summary is merged as a ``serve`` section into the repo's
+``BENCH_perf.json`` (the rest of the record is preserved), so the
+server's throughput trajectory rides the same file as the engine's.
+
+This doubles as the CI ``server-smoke`` job::
+
+    PYTHONPATH=src python tools/loadgen.py --clients 8
+    PYTHONPATH=src python tools/loadgen.py --clients 8 --update-bench
+
+Exit status: 0 when every request answered, the metrics scrape is
+sane and the server drained cleanly; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.netserve.client import ServiceClient  # noqa: E402
+
+#: The same deliberately overlapping tiny workload the netserve tests
+#: use: concurrent clients share cache entries, so the metrics scrape
+#: is guaranteed nonzero LRU hits under any interleaving.
+TINY_LAYERS = [{"name": "T1", "H": 8, "R": 3, "C": 4, "M": 8},
+               {"name": "T2", "H": 8, "R": 3, "C": 8, "M": 4}]
+
+#: The mixed verb deck; client ``i`` starts at entry ``i % len(deck)``
+#: and cycles, so any client count >= 4 exercises all four verbs.
+VERB_DECK = (
+    {"verb": "evaluate", "layers": TINY_LAYERS, "batch": 1,
+     "dataflows": ["RS"], "pe_counts": [16, 64]},
+    {"verb": "batch", "layers": TINY_LAYERS, "batch": 1,
+     "dataflows": ["RS", "WS"], "pe_counts": [16]},
+    {"verb": "dse", "layers": TINY_LAYERS[:1], "batch": 1,
+     "dataflows": ["RS"], "pe_counts": [16], "rf_choices": [64],
+     "glb_choices": [8192], "stream": True},
+    {"verb": "query", "kind": "grid"},
+)
+
+
+def _percentile(samples, q: float) -> float:
+    """The q-th percentile (0..1) of a non-empty sample list."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _spawn_server(store: Path, host: str, workers: int,
+                  window: int) -> subprocess.Popen:
+    """Launch ``repro serve --tcp host:0`` recording into ``store``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")] + env.get("PYTHONPATH", "").split(os.pathsep))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--tcp", f"{host}:0", "--serial",
+         "--store", str(store), "--record", "loadgen",
+         "--serve-workers", str(workers), "--window", str(window)],
+        cwd=ROOT, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True)
+
+
+def _await_listening(proc: subprocess.Popen) -> int:
+    """Read the ``listening`` announcement line; return the bound port."""
+    line = proc.stdout.readline()
+    if not line:
+        raise RuntimeError("server exited before announcing its port")
+    event = json.loads(line)
+    if event.get("event") != "listening":
+        raise RuntimeError(f"unexpected announcement: {event!r}")
+    return int(event["port"])
+
+
+def _client_worker(host: str, port: int, index: int, requests: int,
+                   timeout: float, latencies, errors) -> None:
+    """One client thread: cycle the verb deck, timing each request.
+
+    A ``busy`` answer is honoured -- sleep its ``retry_after`` and
+    resend -- so the measurement survives a saturated admission window
+    instead of miscounting backpressure as failure.
+    """
+    try:
+        with ServiceClient(host, port, timeout=timeout) as client:
+            for turn in range(requests):
+                spec = dict(VERB_DECK[(index + turn) % len(VERB_DECK)])
+                spec["id"] = f"lg-{index}-{turn}"
+                while True:
+                    start = time.perf_counter()
+                    terminal = client.request(spec)
+                    elapsed = time.perf_counter() - start
+                    if terminal.get("event") == "busy":
+                        time.sleep(float(terminal["retry_after"]))
+                        continue
+                    break
+                if terminal.get("event") == "error":
+                    errors.append((spec["id"], terminal["error"]))
+                else:
+                    latencies.append((spec["verb"], elapsed))
+    except (ConnectionError, OSError, ValueError) as exc:
+        errors.append((f"client-{index}", repr(exc)))
+
+
+def _check_store_flushed(store: Path) -> dict:
+    """After shutdown: the run row is finished and cells are readable."""
+    from repro.store import ExperimentStore
+
+    with ExperimentStore(store) as reopened:
+        runs = [run for run in reopened.runs() if run.label == "loadgen"]
+        if not runs or any(run.finished_at is None for run in runs):
+            raise AssertionError(
+                "store not flushed: the loadgen run row was never "
+                "finished -- shutdown did not drain")
+        cells = reopened.query_cells()
+    if not cells:
+        raise AssertionError("store not flushed: no recorded cells")
+    return {"runs": len(runs), "cells": len(cells)}
+
+
+def run_load(clients: int, requests: int, host: str, workers: int,
+             window: int, timeout: float) -> dict:
+    """Drive one server lifecycle; return the ``serve`` record section."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "loadgen.db"
+        proc = _spawn_server(store, host, workers, window)
+        try:
+            port = _await_listening(proc)
+            latencies, errors = [], []
+            threads = [threading.Thread(
+                target=_client_worker,
+                args=(host, port, i, requests, timeout, latencies, errors))
+                for i in range(clients)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout)
+            wall = time.perf_counter() - start
+            if any(t.is_alive() for t in threads):
+                raise AssertionError("client thread(s) hung")
+            if errors:
+                raise AssertionError(f"request failures: {errors[:5]}")
+            expected = clients * requests
+            if len(latencies) != expected:
+                raise AssertionError(
+                    f"answered {len(latencies)} of {expected} requests")
+
+            with ServiceClient(host, port, timeout=timeout) as probe:
+                metrics = probe.request({"verb": "metrics"})
+            if metrics["requests"]["errors"]:
+                raise AssertionError(
+                    f"server counted {metrics['requests']['errors']} "
+                    f"errored request(s)")
+            if metrics["requests"]["total"] < expected:
+                raise AssertionError(
+                    f"metrics counted {metrics['requests']['total']} "
+                    f"requests, expected >= {expected}")
+            if not metrics["cache"]["lru_hits"]:
+                raise AssertionError(
+                    "no LRU cache hits despite overlapping workloads")
+
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=60)
+            if code != 0:
+                raise AssertionError(
+                    f"server exited {code} on SIGTERM, expected 0")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        flushed = _check_store_flushed(store)
+
+    seconds = [s for _, s in latencies]
+    return {
+        "clients": clients,
+        "requests": len(latencies),
+        "wall_seconds": round(wall, 4),
+        "requests_per_sec": round(len(latencies) / wall, 1),
+        "latency_ms": {
+            "p50": round(_percentile(seconds, 0.50) * 1000, 2),
+            "p95": round(_percentile(seconds, 0.95) * 1000, 2),
+            "mean": round(sum(seconds) / len(seconds) * 1000, 2),
+        },
+        "server": {"workers": workers, "window": window},
+        "metrics": {
+            "by_verb": metrics["requests"]["by_verb"],
+            "rejected": metrics["queue"]["rejected"],
+            "lru_hits": metrics["cache"]["lru_hits"],
+            "store_hits": metrics["cache"]["store_hits"],
+            "misses": metrics["cache"]["misses"],
+        },
+        "store": flushed,
+    }
+
+
+def update_bench(section: dict, bench_path: Path) -> None:
+    """Merge the ``serve`` section into an existing perf record."""
+    if not bench_path.exists():
+        raise AssertionError(
+            f"{bench_path} does not exist; run tools/bench.py first")
+    record = json.loads(bench_path.read_text())
+    record["serve"] = section
+    bench_path.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads (default 8)")
+    parser.add_argument("--requests", type=int, default=3,
+                        help="requests per client (default 3)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--serve-workers", type=int, default=4,
+                        help="server worker tasks (default 4)")
+    parser.add_argument("--window", type=int, default=64,
+                        help="server admission window (default 64)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-socket-operation timeout (default 120)")
+    parser.add_argument("--update-bench", action="store_true",
+                        help="merge the summary into BENCH_perf.json")
+    parser.add_argument("--bench-file", type=Path,
+                        default=ROOT / "BENCH_perf.json",
+                        help="perf record to update (default: repo root)")
+    args = parser.parse_args(argv)
+
+    try:
+        section = run_load(args.clients, args.requests, args.host,
+                           args.serve_workers, args.window, args.timeout)
+    except (AssertionError, RuntimeError) as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+
+    lat = section["latency_ms"]
+    print(f"serve load: {section['clients']} clients x "
+          f"{args.requests} requests -> {section['requests']} answered "
+          f"in {section['wall_seconds']:.2f} s "
+          f"({section['requests_per_sec']:.1f} req/s)")
+    print(f"  latency   p50 {lat['p50']:.1f} ms, p95 {lat['p95']:.1f} ms, "
+          f"mean {lat['mean']:.1f} ms")
+    print(f"  by verb   {section['metrics']['by_verb']}")
+    print(f"  cache     {section['metrics']['lru_hits']} LRU hits, "
+          f"{section['metrics']['store_hits']} store hits, "
+          f"{section['metrics']['misses']} misses; "
+          f"{section['metrics']['rejected']} rejected")
+    print(f"  shutdown  clean SIGTERM drain; store flushed "
+          f"({section['store']['cells']} cells, "
+          f"{section['store']['runs']} run)")
+
+    if args.update_bench:
+        try:
+            update_bench(section, args.bench_file)
+        except AssertionError as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        print(f"merged serve section into {args.bench_file}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
