@@ -11,10 +11,22 @@ from repro.analysis.experiments import (
     run_conv_suite,
     run_fc_suite,
 )
+from repro.analysis.modern import (
+    WorkloadRanking,
+    modern_workload_comparison,
+    rank_workload,
+    ranking_table,
+    transformer_seq_sweep,
+)
 from repro.analysis.sweep import fig15_area_allocation_sweep
 from repro.analysis.report import format_table
 
 __all__ = [
+    "WorkloadRanking",
+    "modern_workload_comparison",
+    "rank_workload",
+    "ranking_table",
+    "transformer_seq_sweep",
     "ConvSuiteResult",
     "fig7_storage_allocation",
     "fig10_rs_breakdown",

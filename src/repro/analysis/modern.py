@@ -1,0 +1,162 @@
+"""Dataflow rankings on modern workloads vs. the paper's AlexNet.
+
+The paper's evaluation (Section VII) ranks the six dataflows on 2016's
+workload: AlexNet CONV and FC layers.  This module replays the same
+equal-area comparison on the post-paper workloads registered in
+:mod:`repro.nn.networks` -- MobileNetV1's depthwise-separable stacks,
+a dilated context-aggregation module and transformer encoder GEMMs --
+and reports how the energy ranking shifts when cross-channel reuse
+disappears (depthwise), staged windows stretch (dilation) or all
+spatial reuse collapses into batched matrix multiplies (GEMMs).
+
+All cells run through :func:`repro.api.default_session`, so the suites
+share one memo store with the paper-figure drivers and repeated calls
+are answered from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api import Scenario, default_session
+from repro.analysis.experiments import PAPER_DATAFLOWS, hardware_for
+from repro.energy.model import evaluate_network
+from repro.nn.networks import transformer_layer
+from repro.registry import get_dataflow
+
+#: The workload panel: the paper's CONV suite plus the modern additions.
+MODERN_WORKLOADS: Tuple[str, ...] = ("alexnet-conv", "mobilenet",
+                                     "dilated", "transformer")
+
+
+@dataclass(frozen=True)
+class WorkloadRanking:
+    """One workload's equal-area dataflow comparison.
+
+    ``energy_per_op`` maps dataflow name to Eq. (3)+(4) energy per MAC
+    (``None`` when the dataflow cannot run the workload at all);
+    ``ranking`` lists the feasible dataflows best-first.
+    """
+
+    workload: str
+    num_pes: int
+    batch: int
+    energy_per_op: Dict[str, Optional[float]]
+    ranking: Tuple[str, ...]
+
+    def normalized(self, reference: str = "RS") -> Dict[str, float]:
+        """Energy of each feasible dataflow relative to ``reference``."""
+        base = self.energy_per_op.get(reference)
+        if base is None:
+            raise ValueError(
+                f"reference dataflow {reference!r} is infeasible on "
+                f"{self.workload}")
+        return {name: energy / base
+                for name, energy in self.energy_per_op.items()
+                if energy is not None}
+
+
+def rank_workload(workload: str, num_pes: int = 256, batch: int = 1,
+                  dataflows: Sequence[str] = PAPER_DATAFLOWS
+                  ) -> WorkloadRanking:
+    """Rank the dataflows on one registered workload, equal-area.
+
+    Each dataflow is evaluated on its own equal-area hardware point
+    (Section VI-B) via the shared default session; infeasible dataflows
+    (no mapping fits) are recorded as ``None`` and excluded from the
+    ranking rather than erroring, mirroring Fig. 11a's WS gap.
+    """
+    session = default_session()
+    energy: Dict[str, Optional[float]] = {}
+    for name in dataflows:
+        scenario = Scenario(workload=workload, dataflows=(name,),
+                            batches=(batch,), pe_counts=(num_pes,))
+        evaluation = session.evaluate(scenario).rows[0].evaluation
+        energy[name] = (evaluation.energy_per_op if evaluation.feasible
+                        else None)
+    ranking = tuple(sorted(
+        (name for name, value in energy.items() if value is not None),
+        key=lambda name: energy[name]))
+    return WorkloadRanking(workload=workload, num_pes=num_pes,
+                           batch=batch, energy_per_op=energy,
+                           ranking=ranking)
+
+
+def modern_workload_comparison(num_pes: int = 256, batch: int = 1,
+                               workloads: Sequence[str] = MODERN_WORKLOADS
+                               ) -> Dict[str, WorkloadRanking]:
+    """The headline experiment: rankings across the workload panel.
+
+    Returns one :class:`WorkloadRanking` per workload.  The interesting
+    read-out is how the order shifts: rankings tuned on AlexNet's dense
+    convs are not guaranteed to survive depthwise layers (no channel
+    reuse to exploit) or GEMMs (no convolutional window reuse at all).
+    """
+    return {workload: rank_workload(workload, num_pes=num_pes,
+                                    batch=batch)
+            for workload in workloads}
+
+
+def ranking_table(results: Dict[str, WorkloadRanking]
+                  ) -> Tuple[List[str], List[List[str]]]:
+    """Format a comparison as ``(header, rows)`` for ``format_table``.
+
+    One row per dataflow, one column per workload, each cell the energy
+    normalized to that workload's best dataflow (``1.00x`` marks the
+    winner, ``-`` an infeasible cell).
+    """
+    header = ["dataflow"] + [r.workload for r in results.values()]
+    rows = []
+    for name in PAPER_DATAFLOWS:
+        row = [name]
+        for result in results.values():
+            energy = result.energy_per_op.get(name)
+            if energy is None:
+                row.append("-")
+            else:
+                best = result.energy_per_op[result.ranking[0]]
+                row.append(f"{energy / best:.2f}x")
+        rows.append(row)
+    return header, rows
+
+
+@dataclass(frozen=True)
+class SeqSweepPoint:
+    """One (sequence length, dataflow) cell of the transformer sweep."""
+
+    seq_len: int
+    dataflow: str
+    energy_per_op: Optional[float]
+    dram_per_op: Optional[float]
+
+
+def transformer_seq_sweep(seq_lens: Sequence[int] = (32, 64, 128, 256),
+                          dataflows: Sequence[str] = ("RS", "WS", "NLR"),
+                          num_pes: int = 256, batch: int = 1
+                          ) -> List[SeqSweepPoint]:
+    """Sweep encoder-layer GEMMs over sequence length.
+
+    Attention GEMMs grow quadratically with ``seq_len`` while the
+    projections grow linearly, so the sweep shifts the workload's
+    reuse profile as it lengthens.  Evaluates
+    :func:`repro.nn.networks.transformer_layer` directly (the swept
+    shapes are not registered networks) on each dataflow's equal-area
+    hardware.
+    """
+    points = []
+    for seq_len in seq_lens:
+        layers = transformer_layer(batch_size=batch, seq_len=seq_len)
+        for name in dataflows:
+            hw = hardware_for(name, num_pes)
+            evaluation = evaluate_network(get_dataflow(name), layers, hw)
+            if evaluation.feasible:
+                points.append(SeqSweepPoint(
+                    seq_len=seq_len, dataflow=name,
+                    energy_per_op=evaluation.energy_per_op,
+                    dram_per_op=evaluation.dram_accesses_per_op))
+            else:
+                points.append(SeqSweepPoint(seq_len=seq_len, dataflow=name,
+                                            energy_per_op=None,
+                                            dram_per_op=None))
+    return points

@@ -35,9 +35,9 @@ class NoLocalReuse(Dataflow):
     description = ("No local reuse: bare ALU array, all data staged in a "
                    "large global buffer (Section IV-C)")
 
-    def enumerate_mappings(self, layer: LayerShape,
-                           hw: HardwareConfig) -> Iterator[Mapping]:
-        """Yield every legal NLR mapping of ``layer`` on ``hw``."""
+    def enumerate_dense(self, layer: LayerShape,
+                        hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal dense (groups=1) NLR mapping on ``hw``."""
         m, c = layer.M, layer.C
         for m_g in thin_candidates(divisors_up_to(m, hw.num_pes), limit=8):
             room = hw.num_pes // m_g
@@ -46,18 +46,19 @@ class NoLocalReuse(Dataflow):
                 if mapping is not None:
                     yield mapping
 
-    def enumerate_candidate_arrays(self, layer: LayerShape,
-                                   hw: HardwareConfig
-                                   ) -> Optional[CandidateArrays]:
-        """The NLR candidate space as structure-of-arrays columns.
+    def dense_candidate_arrays(self, layer: LayerShape,
+                               hw: HardwareConfig
+                               ) -> Optional[CandidateArrays]:
+        """The dense NLR candidate space as structure-of-arrays columns.
 
-        Mirrors :meth:`enumerate_mappings`: ``(m_g, c_g)`` pairs in the
+        Mirrors :meth:`enumerate_dense`: ``(m_g, c_g)`` pairs in the
         same thinned-divisor order, the buffer-staging budget applied as
         a batch mask, and the broadcast-degeneration rescale of
         :meth:`_build_mapping` as a vectorized select.
         """
         n, m, c = layer.N, layer.M, layer.C
         r, e, h = layer.R, layer.E, layer.H
+        r_span = layer.R_eff
         mg_vals, cg_vals = [], []
         for m_g in thin_candidates(divisors_up_to(m, hw.num_pes), limit=8):
             room = hw.num_pes // m_g
@@ -69,7 +70,7 @@ class NoLocalReuse(Dataflow):
         mg = np.array(mg_vals, dtype=np.int64)
         cg = np.array(cg_vals, dtype=np.int64)
 
-        used = c * r * h + mg * c * r * r + mg * e
+        used = c * r_span * h + mg * c * r * r + mg * e
         keep = used <= hw.buffer_words
         if not keep.any():
             return empty_candidates()
@@ -92,8 +93,8 @@ class NoLocalReuse(Dataflow):
             params={"m_g": mg, "c_g": cg},
         )
 
-    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
-                        params: Dict[str, int]) -> Mapping:
+    def rebuild_dense(self, layer: LayerShape, hw: HardwareConfig,
+                      params: Dict[str, int]) -> Mapping:
         """Materialize one candidate row through the scalar builder."""
         mapping = self._build_mapping(layer, hw, params["m_g"],
                                       params["c_g"])
@@ -111,11 +112,13 @@ class NoLocalReuse(Dataflow):
         # Working sets staged in the buffer: the current filter chunk
         # (m_g filters, all channels, resident across the pixel/batch
         # sweep so each weight leaves DRAM exactly once), the ifmap
-        # sliding-row window, and the in-flight psums of a pixel row.
+        # sliding-row window (R_eff rows when dilated: the taps span
+        # D*(R-1)+1 contiguous buffered rows), and the in-flight psums
+        # of a pixel row.
         budget = BufferBudget(
             capacity_words=hw.buffer_words,
             filter_words=m_g * c * r * r,
-            ifmap_words=c * r * h,
+            ifmap_words=c * layer.R_eff * h,
             psum_words=m_g * e,
         )
         if not budget.fits:

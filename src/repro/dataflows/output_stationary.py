@@ -83,9 +83,9 @@ class _OutputStationaryBase(Dataflow):
     def _configurations(self, layer: LayerShape, hw: HardwareConfig):
         raise NotImplementedError
 
-    def enumerate_mappings(self, layer: LayerShape,
-                           hw: HardwareConfig) -> Iterator[Mapping]:
-        """Yield every legal OS mapping: configs x residency scenarios."""
+    def enumerate_dense(self, layer: LayerShape,
+                        hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal dense OS mapping: configs x scenarios."""
         for cfg in self._configurations(layer, hw):
             yield from self._config_candidates(layer, hw, cfg)
 
@@ -156,12 +156,12 @@ class _OutputStationaryBase(Dataflow):
                         "buffer_occupancy": round(stream.occupancy, 3)},
             )
 
-    def enumerate_candidate_arrays(self, layer: LayerShape,
-                                   hw: HardwareConfig
-                                   ) -> Optional[CandidateArrays]:
-        """The OS candidate space as structure-of-arrays columns.
+    def dense_candidate_arrays(self, layer: LayerShape,
+                               hw: HardwareConfig
+                               ) -> Optional[CandidateArrays]:
+        """The dense OS candidate space as structure-of-arrays columns.
 
-        Mirrors :meth:`enumerate_mappings`: the variant's
+        Mirrors :meth:`enumerate_dense`: the variant's
         :meth:`_configurations` generator drives the row order (it is
         cheap -- at most a few dozen configs), and the three
         buffer-residency scenarios of every config are scored as
@@ -227,8 +227,8 @@ class _OutputStationaryBase(Dataflow):
             params=params,
         )
 
-    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
-                        params: Dict[str, int]) -> Mapping:
+    def rebuild_dense(self, layer: LayerShape, hw: HardwareConfig,
+                      params: Dict[str, int]) -> Mapping:
         """Materialize one candidate row through the scalar builder."""
         label = _SCENARIOS[params["scenario"]]
         wanted = {key: value for key, value in params.items()
@@ -276,14 +276,15 @@ class OutputStationaryA(_OutputStationaryBase):
     def _configurations(self, layer: LayerShape, hw: HardwareConfig):
         e, n, c, r, h, u = (layer.E, layer.N, layer.C, layer.R, layer.H,
                             layer.U)
+        r_span = layer.R_eff  # staged window extent per axis when dilated
         conv_2d = max(1.0, r * r * e * e / (h * h))
         for t_h in thin_candidates(divisors_up_to(e, hw.array_h), limit=4):
             for t_w in thin_candidates(divisors_up_to(e, hw.array_w), limit=4):
                 tile = t_h * t_w
                 room = hw.num_pes // tile
                 for i_f in thin_candidates(divisors_up_to(n, room), limit=4):
-                    window = (i_f * c * ((t_h - 1) * u + r)
-                              * ((t_w - 1) * u + r))
+                    window = (i_f * c * ((t_h - 1) * u + r_span)
+                              * ((t_w - 1) * u + r_span))
                     rounds = (e * e / tile) * (n / i_f)
                     params = {"t_h": t_h, "t_w": t_w, "i_f": i_f}
                     yield (params, tile * i_f, conv_2d, i_f, 1, rounds,
@@ -302,6 +303,7 @@ class OutputStationaryB(_OutputStationaryBase):
     def _configurations(self, layer: LayerShape, hw: HardwareConfig):
         e, n, m, c, r, h, u = (layer.E, layer.N, layer.M, layer.C, layer.R,
                                layer.H, layer.U)
+        r_span = layer.R_eff  # staged window extent per axis when dilated
         for m_a in thin_candidates(divisors_up_to(m, hw.num_pes), limit=6):
             pix_room = hw.num_pes // m_a
             for t_w in thin_candidates(divisors_up_to(e, pix_room), limit=4):
@@ -309,7 +311,7 @@ class OutputStationaryB(_OutputStationaryBase):
                 if_c = m_a * conv_1d
                 room = pix_room // t_w
                 for i_f in thin_candidates(divisors_up_to(n, room), limit=4):
-                    window = i_f * c * r * ((t_w - 1) * u + r)
+                    window = i_f * c * r_span * ((t_w - 1) * u + r_span)
                     rounds = (e * e / t_w) * (n / i_f)
                     params = {"m_a": m_a, "t_w": t_w, "i_f": i_f}
                     yield (params, m_a * t_w * i_f, if_c, i_f, m_a, rounds,
@@ -334,6 +336,8 @@ class OutputStationaryC(_OutputStationaryBase):
         for m_a in thin_candidates(divisors_up_to(m, hw.num_pes), limit=6):
             room = hw.num_pes // m_a
             for n_a in thin_candidates(divisors_up_to(n, room), limit=4):
+                # Tap-based: one pixel's R^2 taps are gathered, so the
+                # staging set does not grow with dilation.
                 window = n_a * c * r * r
                 rounds = (e * e) * (n / n_a)
                 params = {"m_a": m_a, "n_a": n_a}

@@ -122,9 +122,9 @@ class RowStationary(Dataflow):
         r_eff = largest_divisor_up_to(layer.R, array_h)
         return array_h, array_w, r_eff, layer.R // r_eff
 
-    def enumerate_mappings(self, layer: LayerShape,
-                           hw: HardwareConfig) -> Iterator[Mapping]:
-        """Yield every legal RS mapping of ``layer`` on ``hw``."""
+    def enumerate_dense(self, layer: LayerShape,
+                        hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal dense (groups=1) RS mapping on ``hw``."""
         array_h, array_w, r_eff, v_fold = self._geometry(layer, hw)
 
         rf_words = hw.rf_words_per_pe
@@ -144,12 +144,12 @@ class RowStationary(Dataflow):
                         layer, hw, e, r_eff, v_fold,
                         n_s, m_s, c_s, n_r, m_r, c_r)
 
-    def enumerate_candidate_arrays(self, layer: LayerShape,
-                                   hw: HardwareConfig
-                                   ) -> Optional[CandidateArrays]:
-        """The full RS candidate space as structure-of-arrays columns.
+    def dense_candidate_arrays(self, layer: LayerShape,
+                               hw: HardwareConfig
+                               ) -> Optional[CandidateArrays]:
+        """The dense RS candidate space as structure-of-arrays columns.
 
-        Mirrors :meth:`enumerate_mappings` row for row: the outer
+        Mirrors :meth:`enumerate_dense` row for row: the outer
         ``e`` x spatial loops run in Python (their divisor lists are
         memoized), the RF-fold cross product comes from the cached
         :func:`_rf_fold_arrays` blocks, and every formula of
@@ -165,6 +165,7 @@ class RowStationary(Dataflow):
         rf_words = hw.rf_words_per_pe
         n, m, c = layer.N, layer.M, layer.C
         r, e_full, h, u = layer.R, layer.E, layer.H, layer.U
+        r_span = layer.R_eff
 
         e_vals, ns_vals, ms_vals, cs_vals, sizes = [], [], [], [], []
         fold_blocks = []
@@ -199,7 +200,7 @@ class RowStationary(Dataflow):
         cr = np.concatenate([f[2] for f in fold_blocks])
 
         n_p, m_p, c_p = ns * nr, ms * mr, cs * cr
-        strip = (e_col - 1) * u + r
+        strip = (e_col - 1) * u + r_span
 
         # The _build_mappings formulas, one NumPy expression per column
         # (the association order replicates the scalar code exactly).
@@ -264,8 +265,8 @@ class RowStationary(Dataflow):
             },
         )
 
-    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
-                        params: Dict[str, int]) -> Mapping:
+    def rebuild_dense(self, layer: LayerShape, hw: HardwareConfig,
+                      params: Dict[str, int]) -> Mapping:
         """Materialize one candidate row through the scalar builder.
 
         ``params`` is a :meth:`CandidateArrays.row_params` row; routing
@@ -346,7 +347,9 @@ class RowStationary(Dataflow):
         n, m, c = layer.N, layer.M, layer.C
         r, e_full, h, u = layer.R, layer.E, layer.H, layer.U
         n_p, m_p, c_p = n_s * n_r, m_s * m_r, c_s * c_r
-        strip_rows = (e - 1) * u + r  # ifmap rows feeding an e-column strip
+        # Ifmap rows feeding an e-column strip; when dilated the R taps
+        # span R_eff = D*(R-1)+1 contiguous rows.
+        strip_rows = (e - 1) * u + layer.R_eff
 
         # Filter: a resident filter row serves all E sliding positions of
         # its primitive and the n_r interleaved batch primitives (RF); one

@@ -49,9 +49,14 @@ class WeightStationary(Dataflow):
     description = ("Weight stationary: weights pinned in RF for all N*E^2 "
                    "uses; systolic psum accumulation (Section IV-A)")
 
-    def enumerate_mappings(self, layer: LayerShape,
-                           hw: HardwareConfig) -> Iterator[Mapping]:
-        """Yield every legal WS mapping of ``layer`` on ``hw``."""
+    def enumerate_dense(self, layer: LayerShape,
+                        hw: HardwareConfig) -> Iterator[Mapping]:
+        """Yield every legal dense (groups=1) WS mapping on ``hw``.
+
+        Dilation needs no special handling here: every WS working set
+        and reuse factor is tap-based (R x R pinned weights, one staged
+        row per in-flight channel), independent of where the taps land.
+        """
         r2 = layer.R ** 2
         blocks = hw.num_pes // r2
         if blocks < 1:
@@ -64,12 +69,12 @@ class WeightStationary(Dataflow):
                 if mapping is not None:
                     yield mapping
 
-    def enumerate_candidate_arrays(self, layer: LayerShape,
-                                   hw: HardwareConfig
-                                   ) -> Optional[CandidateArrays]:
-        """The WS candidate space as structure-of-arrays columns.
+    def dense_candidate_arrays(self, layer: LayerShape,
+                               hw: HardwareConfig
+                               ) -> Optional[CandidateArrays]:
+        """The dense WS candidate space as structure-of-arrays columns.
 
-        Mirrors :meth:`enumerate_mappings`: the ``(m_f, c_f)`` pairs are
+        Mirrors :meth:`enumerate_dense`: the ``(m_f, c_f)`` pairs are
         collected in the same thinned-divisor order and every formula of
         :meth:`_build_mapping` -- the live-psum budget, the broadcast
         rescales, the splits -- is evaluated over the whole batch at
@@ -120,8 +125,8 @@ class WeightStationary(Dataflow):
             params={"m_f": mf, "c_f": cf},
         )
 
-    def rebuild_mapping(self, layer: LayerShape, hw: HardwareConfig,
-                        params: Dict[str, int]) -> Mapping:
+    def rebuild_dense(self, layer: LayerShape, hw: HardwareConfig,
+                      params: Dict[str, int]) -> Mapping:
         """Materialize one candidate row through the scalar builder."""
         mapping = self._build_mapping(layer, hw, params["m_f"],
                                       params["c_f"])

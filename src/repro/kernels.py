@@ -130,6 +130,55 @@ def empty_candidates() -> CandidateArrays:
                            psum=(z, z, z, z), active_pes=zi)
 
 
+def concat_candidates(blocks) -> CandidateArrays:
+    """Row-concatenate :class:`CandidateArrays` blocks, preserving order.
+
+    The grouped-convolution driver enumerates one dense block per
+    group-parallelism factor and splices them into a single candidate
+    space; rows keep block order, matching the scalar generator's loop
+    nesting (the tie-break is order-sensitive).  Zero-row blocks are
+    dropped; with no surviving rows the empty block is returned.  All
+    non-empty blocks must share the same ``params`` keys (they come from
+    the same dataflow).
+    """
+    blocks = [block for block in blocks if len(block)]
+    if not blocks:
+        return empty_candidates()
+    if len(blocks) == 1:
+        return blocks[0]
+
+    def cat4(tuples):
+        return tuple(np.concatenate(cols) for cols in zip(*tuples))
+
+    return CandidateArrays(
+        ifmap=cat4([block.ifmap for block in blocks]),
+        filter=cat4([block.filter for block in blocks]),
+        psum=cat4([block.psum for block in blocks]),
+        active_pes=np.concatenate([block.active_pes for block in blocks]),
+        params={name: np.concatenate([block.params[name] for block in blocks])
+                for name in blocks[0].params},
+    )
+
+
+def regroup_candidates(block: CandidateArrays, g_p: int) -> CandidateArrays:
+    """Lift a per-group dense block onto the full grouped layer.
+
+    The array twin of :func:`repro.dataflows.base.regroup_mapping`: with
+    ``g_p`` channel groups mapped in parallel, every candidate keeps its
+    per-value reuse factors (the scoring kernel already charges them
+    against the *full* layer's unique-value counts, which are exact
+    ``groups`` multiples of the per-group counts) and scales its
+    active-PE tie-break/delay column by ``g_p``, recorded in a ``g_p``
+    parameter column for winner reconstruction.
+    """
+    params = dict(block.params)
+    params["g_p"] = np.full(len(block), g_p, dtype=np.int64)
+    return CandidateArrays(ifmap=block.ifmap, filter=block.filter,
+                           psum=block.psum,
+                           active_pes=block.active_pes * g_p,
+                           params=params)
+
+
 def interleave(columns) -> np.ndarray:
     """Merge per-scenario columns into one row-major candidate column.
 

@@ -30,7 +30,7 @@ energy.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -142,6 +142,21 @@ class ReuseSplit:
         """Eq. (3) energy of all values of this data type in the layer."""
         return self.access_counts().energy(costs)
 
+    def scaled(self, factor: int) -> "ReuseSplit":
+        """The same split applied to ``factor`` x as many unique values.
+
+        Used by the grouped-convolution driver: a grouped layer is G
+        independent per-group sub-convs whose data volumes are exact
+        1/G slices of the full layer, so the full-layer split keeps the
+        per-value reuse factors (a, b, c, d) and scales only the value
+        population.  ``unique_values`` is an integer in every built-in
+        dataflow, which keeps the scaling (and thus scalar/vector score
+        parity) exact.
+        """
+        if factor == 1:
+            return self
+        return replace(self, unique_values=self.unique_values * factor)
+
     @classmethod
     def no_reuse(cls, unique_values: float) -> "ReuseSplit":
         """A split for data read exactly once (streams straight to ALU)."""
@@ -193,6 +208,18 @@ class AccumSplit:
     def energy(self, costs: EnergyCosts) -> float:
         """Eq. (4) energy of all psum traffic in the layer."""
         return self.access_counts().energy(costs)
+
+    def scaled(self, factor: int) -> "AccumSplit":
+        """The same accumulation split over ``factor`` x as many ofmaps.
+
+        The grouped-convolution twin of :meth:`ReuseSplit.scaled`: each
+        channel group accumulates its own disjoint 1/G slice of the
+        ofmap with identical per-value depth, so only ``unique_values``
+        scales.
+        """
+        if factor == 1:
+            return self
+        return replace(self, unique_values=self.unique_values * factor)
 
     @property
     def dram_writes(self) -> float:

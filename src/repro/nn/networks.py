@@ -1,10 +1,21 @@
-"""Reference CNN workloads: AlexNet (Table II of the paper) and VGG16.
+"""Reference workloads: the paper's CNNs plus modern-era networks.
 
 AlexNet is the benchmark network used throughout the paper's evaluation
 (Section VII).  Table II gives the padded shape configurations; we reproduce
 them exactly, including the padded ifmap sizes (e.g. H=227 for CONV1, H=31
 for CONV2).  VGG16 is included as an additional workload mentioned in
 Section III-B; it is used by tests and extension benchmarks.
+
+The modern workloads extend the comparison past the paper's 2016 horizon:
+
+* ``mobilenet`` -- MobileNetV1 (Howard et al., 2017): depthwise-separable
+  stacks whose 3x3 depthwise layers (``groups == C``) strip almost all
+  channel reuse.
+* ``dilated`` -- a Yu & Koltun (2016) context-aggregation module whose
+  3x3 convs dilate up to 16x, stretching every staged ifmap window.
+* ``transformer`` -- the projection/attention/FFN GEMMs of one
+  "Attention is All You Need" base-model encoder layer, expressed as
+  batched FC layers (tokens ride in N).
 """
 
 from __future__ import annotations
@@ -116,6 +127,101 @@ def resnet18(batch_size: int = 1) -> List[LayerShape]:
         fc_layer("FC", C=512, M=1000, R=1),
     ]
     return [layer.with_batch(batch_size) for layer in layers]
+
+
+@register_network("mobilenet")
+def mobilenet_v1(batch_size: int = 1) -> List[LayerShape]:
+    """MobileNetV1 (Howard et al., 2017): depthwise-separable stacks.
+
+    The canonical post-paper CNN: after the dense 3x3 stem, every block
+    is a 3x3 *depthwise* conv (``groups == C``, one filter per channel)
+    followed by a 1x1 *pointwise* conv.  Depthwise layers have no
+    cross-channel reuse at all -- the workload-drift stressor the
+    paper's AlexNet evaluation never exercises.  Same-padding shapes:
+    stride-1 3x3 layers use H = E + 2, stride-2 layers H = 2E + 1.
+    """
+    def block(index: int, c: int, m: int, e: int, stride: int):
+        h = 2 * e + 1 if stride == 2 else e + 2
+        return [
+            conv_layer(f"DW{index}", H=h, R=3, E=e, C=c, M=c, U=stride,
+                       groups=c),
+            conv_layer(f"PW{index}", H=e, R=1, E=e, C=c, M=m),
+        ]
+
+    layers = [
+        conv_layer("CONV1", H=225, R=3, E=112, C=3, M=32, U=2),
+        *block(1, c=32, m=64, e=112, stride=1),
+        *block(2, c=64, m=128, e=56, stride=2),
+        *block(3, c=128, m=128, e=56, stride=1),
+        *block(4, c=128, m=256, e=28, stride=2),
+        *block(5, c=256, m=256, e=28, stride=1),
+        *block(6, c=256, m=512, e=14, stride=2),
+        *[layer for i in (7, 8, 9, 10, 11)
+          for layer in block(i, c=512, m=512, e=14, stride=1)],
+        *block(12, c=512, m=1024, e=7, stride=2),
+        *block(13, c=1024, m=1024, e=7, stride=1),
+        fc_layer("FC", C=1024, M=1000, R=1),
+    ]
+    return [layer.with_batch(batch_size) for layer in layers]
+
+
+@register_network("dilated")
+def dilated_context(batch_size: int = 1) -> List[LayerShape]:
+    """A dilated context-aggregation module (Yu & Koltun, 2016).
+
+    Seven 3x3 convs over a 64x64 feature map at C = M = 64 with
+    exponentially growing dilation (1, 1, 2, 4, 8, 16, 1) and a 1x1
+    output head.  Dilation stretches each layer's receptive field -- and
+    every dataflow's staged ifmap windows -- without adding MACs; the
+    padded ifmap is H = E + D*(R-1) = 64 + 2D.
+    """
+    dilations = (1, 1, 2, 4, 8, 16, 1)
+    layers = [
+        conv_layer(f"CTX{i + 1}", H=64 + 2 * d, R=3, E=64, C=64, M=64,
+                   dilation=d)
+        for i, d in enumerate(dilations)
+    ]
+    layers.append(conv_layer("CTX_OUT", H=64, R=1, E=64, C=64, M=64))
+    return [layer.with_batch(batch_size) for layer in layers]
+
+
+def transformer_layer(batch_size: int = 1, seq_len: int = 128,
+                      d_model: int = 512, n_heads: int = 8,
+                      d_ff: int = 2048) -> List[LayerShape]:
+    """The GEMMs of one transformer encoder layer, as batched FC shapes.
+
+    Every matmul of "Attention is All You Need" (Vaswani et al., 2017)
+    maps onto the degenerate-conv FC path: a (tokens x d_in) @
+    (d_in x d_out) GEMM is an FC layer with C = d_in, M = d_out and the
+    token count in N.  The fused QKV and output projections see
+    ``batch_size * seq_len`` tokens; the per-head attention GEMMs
+    (scores = Q @ K^T, context = scores @ V) see one row per (sequence,
+    head, query) triple with the head dimension or the key length as the
+    reduction.  Exposed as a function (rather than only the registered
+    ``transformer`` entry) so benchmarks can sweep ``seq_len``.
+    """
+    tokens = batch_size * seq_len
+    d_head = d_model // n_heads
+    rows = batch_size * n_heads * seq_len
+    return [
+        fc_layer("QKV_PROJ", C=d_model, M=3 * d_model, N=tokens),
+        fc_layer("ATTN_SCORE", C=d_head, M=seq_len, N=rows),
+        fc_layer("ATTN_CTX", C=seq_len, M=d_head, N=rows),
+        fc_layer("ATTN_OUT", C=d_model, M=d_model, N=tokens),
+        fc_layer("FFN1", C=d_model, M=d_ff, N=tokens),
+        fc_layer("FFN2", C=d_ff, M=d_model, N=tokens),
+    ]
+
+
+@register_network("transformer")
+def transformer(batch_size: int = 1) -> List[LayerShape]:
+    """One base-model encoder layer at sequence length 128.
+
+    ``batch_size`` counts *sequences*; each layer's N carries the token
+    (or per-head row) count.  Use :func:`transformer_layer` directly for
+    sequence-length sweeps.
+    """
+    return transformer_layer(batch_size=batch_size, seq_len=128)
 
 
 def total_macs(layers: List[LayerShape]) -> int:

@@ -39,7 +39,8 @@ from repro.registry import (
     objective_registry,
 )
 
-_LAYER_FIELDS = ("name", "H", "R", "E", "C", "M", "U", "N", "type")
+_LAYER_FIELDS = ("name", "H", "R", "E", "C", "M", "U", "N", "type",
+                 "groups", "dilation")
 _REQUEST_FIELDS = ("id", "network", "layers", "batch", "dataflows",
                    "pe_counts", "rf_choices", "objective")
 
@@ -68,8 +69,10 @@ def layer_from_dict(data: Dict) -> LayerShape:
     """Build a :class:`LayerShape` from a JSON object.
 
     ``E`` may be omitted; it is derived from Eq. (1) as
-    ``(H - R + U) // U`` (the shape validation in ``LayerShape`` still
-    applies, so inconsistent explicit values are rejected).
+    ``(H - R_eff + U) // U`` with ``R_eff = dilation*(R-1)+1`` (the
+    shape validation in ``LayerShape`` still applies, so inconsistent
+    explicit values are rejected).  ``groups`` and ``dilation`` default
+    to 1, keeping old clients' requests valid unchanged.
     """
     if not isinstance(data, dict):
         raise ValueError(f"each layer must be an object, got {data!r}")
@@ -90,10 +93,14 @@ def layer_from_dict(data: Dict) -> LayerShape:
     try:
         h, r = int(data["H"]), int(data["R"])
         u = int(data.get("U", 1))
-        e = int(data["E"]) if "E" in data else (h - r + u) // u
+        dilation = int(data.get("dilation", 1))
+        r_eff = dilation * (r - 1) + 1
+        e = int(data["E"]) if "E" in data else (h - r_eff + u) // u
         return LayerShape(name=str(data["name"]), H=h, R=r, E=e,
                           C=int(data["C"]), M=int(data["M"]), U=u,
-                          N=int(data.get("N", 1)), layer_type=kind)
+                          N=int(data.get("N", 1)), layer_type=kind,
+                          groups=int(data.get("groups", 1)),
+                          dilation=dilation)
     except TypeError as exc:
         # int(None) and friends: keep wrong-typed wire values at the
         # ValueError level the serve loop converts to an error line.
@@ -104,7 +111,8 @@ def layer_to_dict(layer: LayerShape) -> Dict:
     """The JSON wire form of a :class:`LayerShape`."""
     return {"name": layer.name, "type": layer.layer_type.value,
             "H": layer.H, "R": layer.R, "E": layer.E, "C": layer.C,
-            "M": layer.M, "U": layer.U, "N": layer.N}
+            "M": layer.M, "U": layer.U, "N": layer.N,
+            "groups": layer.groups, "dilation": layer.dilation}
 
 
 @dataclass(frozen=True)

@@ -59,7 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - only used as a type
     from repro.energy.model import LayerEvaluation
 
 #: Current schema version, written into ``store_meta`` on creation.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Magic tag in ``store_meta`` distinguishing an experiment store from
 #: any other SQLite file.
@@ -164,7 +164,9 @@ CREATE TABLE IF NOT EXISTS layers (
     H INTEGER NOT NULL, R INTEGER NOT NULL, E INTEGER NOT NULL,
     C INTEGER NOT NULL, M INTEGER NOT NULL, U INTEGER NOT NULL,
     N INTEGER NOT NULL,
-    UNIQUE(name, type, H, R, E, C, M, U, N)
+    groups INTEGER NOT NULL DEFAULT 1,
+    dilation INTEGER NOT NULL DEFAULT 1,
+    UNIQUE(name, type, H, R, E, C, M, U, N, groups, dilation)
 );
 CREATE TABLE IF NOT EXISTS hardware (
     hardware_id     INTEGER PRIMARY KEY,
@@ -272,8 +274,40 @@ def _migrate_v2_to_v3(conn: sqlite3.Connection) -> None:
         conn.execute(ddl)
 
 
+def _migrate_v3_to_v4(conn: sqlite3.Connection) -> None:
+    """v3 -> v4: grouped/dilated layer identity.
+
+    ``LayerShape`` grew ``groups`` and ``dilation`` fields, which are
+    part of a layer's interned identity.  The uniqueness constraint of
+    the ``layers`` table is inline (cannot be ALTERed), so the table is
+    rebuilt in place: same ``layer_id`` values (the ``evaluations``
+    references stay valid), old rows defaulting to the paper-implicit
+    ``groups = dilation = 1``.  The migration driver disables
+    foreign-key enforcement around the rebuild (the documented SQLite
+    ALTER TABLE procedure) and re-checks the references afterwards.
+    """
+    conn.execute("""CREATE TABLE layers_v4 (
+        layer_id INTEGER PRIMARY KEY,
+        name TEXT NOT NULL, type TEXT NOT NULL,
+        H INTEGER NOT NULL, R INTEGER NOT NULL, E INTEGER NOT NULL,
+        C INTEGER NOT NULL, M INTEGER NOT NULL, U INTEGER NOT NULL,
+        N INTEGER NOT NULL,
+        groups INTEGER NOT NULL DEFAULT 1,
+        dilation INTEGER NOT NULL DEFAULT 1,
+        UNIQUE(name, type, H, R, E, C, M, U, N, groups, dilation)
+    )""")
+    conn.execute(
+        "INSERT INTO layers_v4 (layer_id, name, type, H, R, E, C, M, U,"
+        " N, groups, dilation)"
+        " SELECT layer_id, name, type, H, R, E, C, M, U, N, 1, 1"
+        " FROM layers")
+    conn.execute("DROP TABLE layers")
+    conn.execute("ALTER TABLE layers_v4 RENAME TO layers")
+
+
 #: Forward migrations, keyed by the version they upgrade *from*.
-_MIGRATIONS = {1: _migrate_v1_to_v2, 2: _migrate_v2_to_v3}
+_MIGRATIONS = {1: _migrate_v1_to_v2, 2: _migrate_v2_to_v3,
+               3: _migrate_v3_to_v4}
 
 
 # ----------------------------------------------------------------------
@@ -499,12 +533,26 @@ class ExperimentStore:
                 raise StoreFormatError(
                     f"{self.path} uses schema v{version} and no migration "
                     f"path to v{SCHEMA_VERSION} exists")
-            with self._write_lock, conn:
-                migrate(conn)
-                version += 1
-                conn.execute(
-                    "UPDATE store_meta SET value=? WHERE key=?",
-                    (str(version), "schema_version"))
+            # Table-rebuilding migrations follow the documented SQLite
+            # ALTER TABLE procedure: enforcement off (a no-op inside a
+            # transaction, hence around it), rebuild, then an explicit
+            # integrity re-check before enforcement returns.
+            conn.execute("PRAGMA foreign_keys=OFF")
+            try:
+                with self._write_lock, conn:
+                    migrate(conn)
+                    version += 1
+                    conn.execute(
+                        "UPDATE store_meta SET value=? WHERE key=?",
+                        (str(version), "schema_version"))
+                broken = conn.execute(
+                    "PRAGMA foreign_key_check").fetchone()
+                if broken is not None:
+                    raise sqlite3.IntegrityError(
+                        f"schema migration to v{version} left dangling "
+                        f"references: {broken}")
+            finally:
+                conn.execute("PRAGMA foreign_keys=ON")
 
     @property
     def schema_version(self) -> int:
@@ -545,7 +593,8 @@ class ExperimentStore:
         return self._intern(conn, "layers", "layer_id", {
             "name": layer.name, "type": layer.layer_type.value,
             "H": layer.H, "R": layer.R, "E": layer.E, "C": layer.C,
-            "M": layer.M, "U": layer.U, "N": layer.N})
+            "M": layer.M, "U": layer.U, "N": layer.N,
+            "groups": layer.groups, "dilation": layer.dilation})
 
     def _hardware_id(self, conn, hw: HardwareConfig) -> int:
         return self._intern(
@@ -609,7 +658,8 @@ class ExperimentStore:
         JOIN layers l ON l.layer_id = e.layer_id
         WHERE d.name=? AND o.name=? AND h.fingerprint=?
           AND l.name=? AND l.type=? AND l.H=? AND l.R=? AND l.E=?
-          AND l.C=? AND l.M=? AND l.U=? AND l.N=?
+          AND l.C=? AND l.M=? AND l.U=? AND l.N=? AND l.groups=?
+          AND l.dilation=?
     """
 
     def get_evaluation(self, key: CacheKey):
@@ -626,7 +676,8 @@ class ExperimentStore:
             key.dataflow, key.objective,
             hardware_fingerprint(key.hardware),
             layer.name, layer.layer_type.value, layer.H, layer.R,
-            layer.E, layer.C, layer.M, layer.U, layer.N)).fetchone()
+            layer.E, layer.C, layer.M, layer.U, layer.N, layer.groups,
+            layer.dilation)).fetchone()
         if row is None:
             return MISSING
         feasible, blob = row

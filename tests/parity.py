@@ -1,0 +1,309 @@
+"""Property-based differential-testing harness for the mapping search.
+
+``tests/test_kernels.py`` pins vector/scalar parity on hand-picked paper
+layers; this module turns that style into a *generator-driven* harness
+any suite (or the CI ``parity-fuzz`` job) can drive over thousands of
+random shapes:
+
+* :class:`ShapeGenerator` -- a seeded random :class:`LayerShape` /
+  :class:`HardwareConfig` source covering the modern-workload taxonomy:
+  dense, grouped, depthwise, dilated, grouped+dilated convs, batched
+  GEMMs (FC shapes) and degenerate edges (1x1 filters, filter == ifmap,
+  stride > filter, batch-1 GEMMs).
+* :func:`check_parity` -- the differential oracle: for one (dataflow,
+  layer, hardware, objective) cell it asserts the vectorized kernel and
+  the scalar streaming search agree bit-for-bit (winner, score bits,
+  candidate count), that both agree with a direct re-enumeration of the
+  candidate space, and that the winner dominates every enumerated
+  candidate under the tie-break rule.
+* :func:`check_buffer_monotonicity` -- growing the global buffer can
+  only grow the candidate set (capacity appears solely in feasibility
+  masks), so the best score must be monotone non-increasing in buffer
+  words.
+
+Shapes are kept deliberately small so hundreds of cells stay cheap; the
+generator is deterministic per seed, making every failure replayable
+from the seed named in the assertion message.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+from contextlib import contextmanager
+
+from repro.arch.energy_costs import EnergyCosts
+from repro.arch.hardware import HardwareConfig, square_array_geometry
+from repro.kernels import score_candidates, select_best
+from repro.mapping.optimizer import OBJECTIVES as _OBJECTIVE_FNS
+from repro.mapping.optimizer import optimize_mapping
+from repro.nn.layer import LayerShape, conv_layer, fc_layer
+
+COSTS = EnergyCosts.table_iv()
+
+#: The built-in objectives, rotated across generated cells.
+OBJECTIVES = ("energy", "edp", "dram")
+
+
+def bits(value: float) -> bytes:
+    """The exact IEEE-754 byte pattern of a float (bit-parity oracle)."""
+    return struct.pack("<d", value)
+
+
+@contextmanager
+def forced_kernel(mode: str):
+    """Temporarily force ``REPRO_KERNEL`` to ``mode`` (restores on exit)."""
+    old = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = mode
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = old
+
+
+class ShapeGenerator:
+    """Seeded random source of valid layer shapes and hardware points.
+
+    Every draw is a fully validated :class:`LayerShape` (the generator
+    constructs E first and derives the padded ifmap size
+    ``H = (E-1)*U + R_eff``, so Eq. (1) holds by construction).  The
+    same seed always replays the same sequence.
+    """
+
+    def __init__(self, seed) -> None:
+        self.rng = random.Random(seed)
+        self._counter = 0
+
+    def _name(self, kind: str) -> str:
+        self._counter += 1
+        return f"P{self._counter}_{kind}"
+
+    def _conv(self, kind: str, *, r: int, e: int, c: int, m: int,
+              u: int = 1, n: int = 1, groups: int = 1,
+              dilation: int = 1) -> LayerShape:
+        h = (e - 1) * u + dilation * (r - 1) + 1
+        return conv_layer(self._name(kind), H=h, R=r, E=e, C=c, M=m, U=u,
+                          N=n, groups=groups, dilation=dilation)
+
+    def dense_conv(self) -> LayerShape:
+        """A plain conv in the paper's own shape class."""
+        rng = self.rng
+        return self._conv("dense", r=rng.choice((1, 3, 3, 5, 7)),
+                          e=rng.randint(1, 14),
+                          c=rng.choice((1, 3, 4, 16, 32, 48)),
+                          m=rng.choice((1, 8, 16, 32, 64)),
+                          u=rng.choice((1, 1, 2, 4)),
+                          n=rng.choice((1, 1, 2, 4, 16)))
+
+    def grouped_conv(self) -> LayerShape:
+        """A grouped conv: G channel groups, C/G reduction depth each."""
+        rng = self.rng
+        g = rng.choice((2, 4, 8, 16, 32))
+        return self._conv("grouped", r=rng.choice((1, 3, 5)),
+                          e=rng.randint(2, 12),
+                          c=g * rng.choice((1, 2, 4)),
+                          m=g * rng.choice((1, 2, 4)),
+                          u=rng.choice((1, 1, 2)),
+                          n=rng.choice((1, 2, 4)), groups=g)
+
+    def depthwise_conv(self) -> LayerShape:
+        """The MobileNet stressor: one filter per channel (G == C == M)."""
+        rng = self.rng
+        g = rng.choice((8, 16, 32, 64, 128))
+        return self._conv("depthwise", r=rng.choice((3, 3, 5)),
+                          e=rng.randint(2, 14), c=g, m=g,
+                          u=rng.choice((1, 1, 2)),
+                          n=rng.choice((1, 2, 4)), groups=g)
+
+    def dilated_conv(self) -> LayerShape:
+        """A dilated conv: taps spread over D*(R-1)+1 ifmap pixels."""
+        rng = self.rng
+        return self._conv("dilated", r=rng.choice((3, 3, 5)),
+                          e=rng.randint(2, 12),
+                          c=rng.choice((4, 16, 32)),
+                          m=rng.choice((8, 16, 32)),
+                          u=rng.choice((1, 1, 2)),
+                          n=rng.choice((1, 2)),
+                          dilation=rng.choice((2, 3, 4)))
+
+    def grouped_dilated_conv(self) -> LayerShape:
+        """Both extensions at once (grouped + dilated)."""
+        rng = self.rng
+        g = rng.choice((2, 4, 8))
+        return self._conv("grouped_dilated", r=3, e=rng.randint(2, 10),
+                          c=g * rng.choice((1, 2, 4)),
+                          m=g * rng.choice((1, 2)),
+                          n=rng.choice((1, 2)), groups=g,
+                          dilation=rng.choice((2, 3)))
+
+    def gemm(self) -> LayerShape:
+        """A transformer-style GEMM as a batched FC shape."""
+        rng = self.rng
+        return fc_layer(self._name("gemm"),
+                        C=rng.choice((16, 64, 128, 256)),
+                        M=rng.choice((32, 64, 256)),
+                        R=rng.choice((1, 1, 1, 6, 7)),
+                        N=rng.choice((1, 4, 16, 64, 128)))
+
+    def edge_case(self) -> LayerShape:
+        """Degenerate geometries the enumerators must survive."""
+        rng = self.rng
+        kind = rng.randrange(5)
+        if kind == 0:    # 1x1 conv (pointwise)
+            return self._conv("edge_1x1", r=1, e=rng.randint(1, 12),
+                              c=rng.choice((1, 16, 64)),
+                              m=rng.choice((1, 16, 64)),
+                              n=rng.choice((1, 4)))
+        if kind == 1:    # filter covers the whole (dilated) ifmap: E = 1
+            return self._conv("edge_full", r=rng.choice((3, 5, 7)), e=1,
+                              c=rng.choice((1, 8, 32)),
+                              m=rng.choice((1, 8, 32)),
+                              dilation=rng.choice((1, 2)))
+        if kind == 2:    # stride exceeds the filter (fetched rows skipped)
+            return self._conv("edge_stride", r=rng.choice((1, 3)),
+                              e=rng.randint(1, 8),
+                              c=rng.choice((4, 16)), m=rng.choice((8, 32)),
+                              u=4, n=rng.choice((1, 4)))
+        if kind == 3:    # batch-1 GEMM (the utilization worst case)
+            return fc_layer(self._name("edge_gemm1"),
+                            C=rng.choice((16, 256)),
+                            M=rng.choice((64, 1024)), N=1)
+        # single-channel depthwise-degenerate conv
+        return self._conv("edge_c1", r=rng.choice((1, 3)),
+                          e=rng.randint(1, 10), c=1, m=1,
+                          n=rng.choice((1, 16)))
+
+    #: (draw method name, weight) -- the default shape mix.
+    _MIX = (("dense_conv", 4), ("grouped_conv", 3), ("depthwise_conv", 2),
+            ("dilated_conv", 3), ("grouped_dilated_conv", 1), ("gemm", 3),
+            ("edge_case", 2))
+
+    def any_shape(self) -> LayerShape:
+        """One draw from the weighted modern-workload mix."""
+        names = [name for name, weight in self._MIX for _ in range(weight)]
+        return getattr(self, self.rng.choice(names))()
+
+    def shapes(self, count: int):
+        """``count`` draws covering every class at least proportionally."""
+        return [self.any_shape() for _ in range(count)]
+
+    def hardware(self) -> HardwareConfig:
+        """A random small hardware point (square-ish array, WAL buffer)."""
+        rng = self.rng
+        pes = rng.choice((64, 128, 168, 256))
+        h, w = square_array_geometry(pes)
+        return HardwareConfig(
+            num_pes=pes, array_h=h, array_w=w,
+            rf_words_per_pe=rng.choice((64, 256, 512)),
+            buffer_words=rng.choice((2048, 16384, 54 * 1024)))
+
+    def objective(self) -> str:
+        """One of the built-in objectives, uniformly."""
+        return self.rng.choice(OBJECTIVES)
+
+
+def _search_both(dataflow, layer, hw, objective: str,
+                 tie_tolerance: float):
+    with forced_kernel("scalar"):
+        scalar = optimize_mapping(dataflow, layer, hw, objective=objective,
+                                  tie_tolerance=tie_tolerance)
+    with forced_kernel("vector"):
+        vector = optimize_mapping(dataflow, layer, hw, objective=objective,
+                                  tie_tolerance=tie_tolerance)
+    return scalar, vector
+
+
+def check_parity(dataflow, layer: LayerShape, hw: HardwareConfig,
+                 objective: str = "energy", tie_tolerance: float = 0.01,
+                 context: str = "") -> int:
+    """Assert full vector/scalar agreement for one search cell.
+
+    Checks, in order: identical candidate counts; field-for-field equal
+    winners (or both infeasible); bit-identical energy/EDP/DRAM scores
+    of the winner; candidate-count consistency between both search paths
+    and a direct re-enumeration of the scalar generator *and* the array
+    block; and dominance -- the winner's score is within the tie whisker
+    of the enumerated minimum, and the argmin row of the scored block
+    reproduces the winning score bit-for-bit.  Returns the candidate
+    count (so callers can aggregate coverage).  ``context`` is prefixed
+    to assertion messages (pass the generator seed for replayability).
+    """
+    where = f"{context}{dataflow.name}/{layer.name}/{objective}"
+    scalar, vector = _search_both(dataflow, layer, hw, objective,
+                                  tie_tolerance)
+    assert scalar.candidates == vector.candidates, (
+        f"{where}: candidate counts diverge "
+        f"({scalar.candidates} scalar vs {vector.candidates} vector)")
+    assert scalar.best == vector.best, f"{where}: winners diverge"
+
+    # Candidate-count consistency with direct enumeration of both paths.
+    streamed = sum(1 for _ in dataflow.enumerate_mappings(layer, hw))
+    assert streamed == scalar.candidates, (
+        f"{where}: search counted {scalar.candidates} candidates but the "
+        f"generator yields {streamed}")
+    block = dataflow.enumerate_candidate_arrays(layer, hw)
+    assert block is not None, f"{where}: no array enumerator"
+    assert len(block) == scalar.candidates, (
+        f"{where}: array block holds {len(block)} rows, scalar search "
+        f"saw {scalar.candidates}")
+
+    if scalar.best is None:
+        assert len(block) == 0, f"{where}: infeasible yet rows exist"
+        return 0
+
+    for metric in ("energy_per_mac", "edp"):
+        assert bits(getattr(scalar.best, metric)(COSTS)) == \
+            bits(getattr(vector.best, metric)(COSTS)), (
+                f"{where}: winner {metric} bits diverge")
+    assert bits(scalar.best.dram_accesses_per_op) == \
+        bits(vector.best.dram_accesses_per_op), (
+            f"{where}: winner DRAM bits diverge")
+
+    # Dominance under the tie-break rule: the winner's score sits within
+    # the tie whisker of the batch minimum, and select_best's row
+    # reproduces it bit-for-bit.
+    scores = score_candidates(block, layer, hw.costs, objective)
+    best_score = scores[select_best(scores, block.active_pes,
+                                    tie_tolerance)]
+    minimum = scores.min()
+    assert minimum <= best_score <= minimum * (1.0 + tie_tolerance), (
+        f"{where}: winner score {best_score} outside the tie whisker "
+        f"of the batch minimum {minimum}")
+    return scalar.candidates
+
+
+def check_buffer_monotonicity(dataflow, layer: LayerShape,
+                              hw: HardwareConfig, objective: str = "energy",
+                              factor: int = 4, context: str = "") -> None:
+    """Growing the buffer must never lose candidates or worsen the best.
+
+    Buffer capacity appears only in feasibility masks, so a larger
+    buffer admits a superset of candidates: the count is monotone
+    non-decreasing and the (tie_tolerance=0) best score monotone
+    non-increasing.  (No such property holds for the PE count --
+    divisor thinning re-picks interior candidates as lists lengthen.)
+    """
+    from dataclasses import replace
+
+    where = f"{context}{dataflow.name}/{layer.name}/{objective}"
+    big_hw = replace(hw, buffer_words=hw.buffer_words * factor)
+    small = optimize_mapping(dataflow, layer, hw, objective=objective,
+                             tie_tolerance=0.0)
+    big = optimize_mapping(dataflow, layer, big_hw, objective=objective,
+                           tie_tolerance=0.0)
+    assert big.candidates >= small.candidates, (
+        f"{where}: {factor}x buffer lost candidates "
+        f"({small.candidates} -> {big.candidates})")
+    if small.best is not None:
+        assert big.best is not None, (
+            f"{where}: {factor}x buffer turned a feasible cell infeasible")
+        score = _OBJECTIVE_FNS[objective]
+        small_score = score(small.best, hw.costs)
+        big_score = score(big.best, hw.costs)
+        assert big_score <= small_score, (
+            f"{where}: {factor}x buffer worsened the best "
+            f"({small_score} -> {big_score})")

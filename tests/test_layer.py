@@ -96,3 +96,109 @@ class TestDerivedCounts:
         assert hash(layer)
         with pytest.raises(AttributeError):
             layer.N = 3
+
+
+class TestGroupsAndDilation:
+    """The modern-workload extensions: grouped and dilated convolution."""
+
+    def test_defaults_are_dense(self):
+        layer = conv_layer("c", H=15, R=3, E=13, C=4, M=8)
+        assert layer.groups == 1 and layer.dilation == 1
+        assert not layer.is_depthwise
+
+    def test_grouped_fields_and_derived_counts(self):
+        layer = conv_layer("g", H=15, R=3, E=13, C=8, M=16, groups=4)
+        assert layer.channels_per_group == 2
+        assert layer.filters_per_group == 4
+        # MACs, weights and psum depth all shrink by 1/G vs dense.
+        dense = conv_layer("d", H=15, R=3, E=13, C=8, M=16)
+        assert layer.macs * 4 == dense.macs
+        assert layer.filter_words * 4 == dense.filter_words
+        assert layer.psum_accumulations * 4 == dense.psum_accumulations
+
+    def test_depthwise_detection(self):
+        dw = conv_layer("dw", H=15, R=3, E=13, C=8, M=8, groups=8)
+        assert dw.is_depthwise
+        assert dw.channels_per_group == 1 and dw.filters_per_group == 1
+
+    def test_per_group_sub_shape(self):
+        layer = conv_layer("g", H=15, R=3, E=13, C=8, M=16, N=2, groups=4)
+        sub = layer.per_group()
+        assert (sub.C, sub.M, sub.groups) == (2, 4, 1)
+        assert (sub.H, sub.R, sub.E, sub.U, sub.N) == (15, 3, 13, 1, 2)
+        assert sub.macs * 4 == layer.macs
+        # Dense layers return themselves (no copy churn).
+        dense = conv_layer("d", H=15, R=3, E=13, C=8, M=16)
+        assert dense.per_group() is dense
+
+    def test_effective_filter_size(self):
+        layer = conv_layer("dil", H=19, R=3, E=15, C=4, M=8, dilation=2)
+        assert layer.R_eff == 5
+        assert (layer.H - layer.R_eff + layer.U) // layer.U == layer.E
+        # Tap-based counts are unchanged by dilation.
+        assert layer.macs == 8 * 4 * 15 * 15 * 9
+
+    def test_groups_must_divide_channels_and_filters(self):
+        with pytest.raises(ValueError, match="groups"):
+            conv_layer("bad", H=15, R=3, E=13, C=6, M=8, groups=4)
+        with pytest.raises(ValueError, match="groups"):
+            conv_layer("bad", H=15, R=3, E=13, C=8, M=6, groups=4)
+
+    def test_dilated_filter_past_ifmap_rejected(self):
+        # R_eff = 4*(3-1)+1 = 9 > H = 7: both the raw constructor and
+        # the convenience builder must refuse identically.
+        with pytest.raises(ValueError, match="exceeds ifmap"):
+            LayerShape(name="bad", H=7, R=3, E=5, C=1, M=1, dilation=4)
+        with pytest.raises(ValueError, match="exceeds ifmap"):
+            conv_layer("bad", H=7, R=3, E=5, C=1, M=1, dilation=4)
+
+    def test_dilation_changes_expected_e(self):
+        with pytest.raises(ValueError, match="expected E"):
+            conv_layer("bad", H=19, R=3, E=17, C=4, M=8, dilation=2)
+
+    def test_groups_dilation_rejected_on_fc(self):
+        with pytest.raises(ValueError, match="CONV"):
+            LayerShape(name="bad", H=6, R=6, E=1, C=16, M=32,
+                       layer_type=LayerType.FC, groups=2)
+        with pytest.raises(ValueError, match="CONV"):
+            LayerShape(name="bad", H=6, R=6, E=1, C=16, M=32,
+                       layer_type=LayerType.FC, dilation=2)
+
+    @pytest.mark.parametrize("field", ["groups", "dilation"])
+    def test_nonpositive_extension_rejected(self, field):
+        kwargs = dict(name="bad", H=15, R=3, E=13, C=4, M=8)
+        kwargs[field] = 0
+        with pytest.raises(ValueError, match="positive integer"):
+            LayerShape(**kwargs)
+
+    def test_with_batch_preserves_extensions(self):
+        layer = conv_layer("g", H=19, R=3, E=15, C=8, M=8, groups=4,
+                           dilation=2)
+        batched = layer.with_batch(16)
+        assert batched.groups == 4 and batched.dilation == 2
+        assert batched.N == 16
+
+    def test_describe_mentions_extensions(self):
+        layer = conv_layer("g", H=19, R=3, E=15, C=8, M=8, groups=4,
+                           dilation=2)
+        text = layer.describe()
+        assert "G=4" in text and "D=2" in text
+        dense = conv_layer("d", H=15, R=3, E=13, C=4, M=8)
+        plain = dense.describe()
+        assert "G=" not in plain and "D=" not in plain
+
+    def test_legacy_state_without_extensions_reads_dense(self):
+        """Pickles from before groups/dilation existed restore via
+        ``__dict__`` without the new attributes; the ``__getattr__``
+        shim must report the dense defaults (and still raise for
+        genuinely unknown names)."""
+        modern = conv_layer("c", H=15, R=3, E=13, C=4, M=8)
+        legacy = object.__new__(LayerShape)
+        for key, value in modern.__dict__.items():
+            if key not in ("groups", "dilation"):
+                object.__setattr__(legacy, key, value)
+        assert legacy.groups == 1 and legacy.dilation == 1
+        assert legacy.R_eff == legacy.R
+        assert legacy.per_group() is legacy
+        with pytest.raises(AttributeError):
+            legacy.no_such_attribute

@@ -509,3 +509,55 @@ class TestConcurrentRecording:
             assert len(runs) == 1
             assert runs[0].finished_at is not None  # run was flushed
             assert len(reopened.query_cells(kind="grid")) == 2
+
+
+class TestModernWorkloadService:
+    """Grouped/dilated layers streamed through the TCP evaluate verb."""
+
+    GROUPED_LAYERS = [
+        {"name": "G1", "H": 9, "R": 3, "C": 16, "M": 16, "groups": 16},
+        {"name": "G2", "H": 9, "R": 3, "C": 8, "M": 16, "groups": 4},
+        {"name": "D1", "H": 11, "R": 3, "C": 8, "M": 8, "dilation": 2},
+    ]
+    SPEC_G = {"verb": "evaluate", "layers": GROUPED_LAYERS, "batch": 1,
+              "dataflows": ["RS", "NLR"], "pe_counts": [16, 64]}
+
+    def test_grouped_grid_streams_cells_then_result(self):
+        with serial_session() as session:
+            with ServerThread(BatchDispatcher(session)) as server:
+                with ServiceClient("127.0.0.1", server.port) as client:
+                    events = list(client.stream(dict(self.SPEC_G,
+                                                     id="grouped")))
+        kinds = [e.get("event") for e in events]
+        assert kinds == ["cell"] * 4 + ["result"]
+        final = events[-1]
+        by_index = {e["index"]: e for e in events[:-1]}
+        for index, cell in enumerate(final["cells"]):
+            assert all(by_index[index][key] == value
+                       for key, value in cell.items())
+
+    def test_grouped_grid_matches_serial_dispatcher(self):
+        """Answers over TCP are bit-identical to the in-process path --
+        groups/dilation survive the JSON round trip."""
+        with serial_session() as session:
+            with ServerThread(BatchDispatcher(session)) as server:
+                reply = call("127.0.0.1", server.port,
+                             dict(self.SPEC_G, verb="batch", id="net"))
+        with serial_session() as reference:
+            expected = BatchDispatcher(reference).run(
+                BatchRequest.from_dict(
+                    {k: v for k, v in self.SPEC_G.items() if k != "verb"}))
+        assert reply["cells"] == [cell.to_dict()
+                                  for cell in expected.cells]
+
+    def test_invalid_grouped_layer_reports_error(self):
+        """A spec whose groups don't divide C fails loudly, not supply
+        a silent dense fallback."""
+        bad = dict(self.SPEC_G, id="bad",
+                   layers=[{"name": "B", "H": 9, "R": 3, "C": 6, "M": 8,
+                            "groups": 4}])
+        with serial_session() as session:
+            with ServerThread(BatchDispatcher(session)) as server:
+                reply = call("127.0.0.1", server.port, bad)
+        assert "error" in reply
+        assert "groups" in reply["error"]

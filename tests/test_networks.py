@@ -86,3 +86,102 @@ class TestVGG16:
     def test_vgg_has_more_conv_work_than_alexnet(self):
         assert (total_macs([l for l in vgg16() if not l.is_fc])
                 > 10 * total_macs(alexnet_conv_layers()))
+
+
+class TestMobileNet:
+    def test_twenty_eight_layers(self):
+        from repro.nn.networks import mobilenet_v1
+        assert len(mobilenet_v1()) == 28
+
+    def test_depthwise_layers_are_depthwise(self):
+        from repro.nn.networks import mobilenet_v1
+        dw = [l for l in mobilenet_v1() if l.name.startswith("DW")]
+        assert len(dw) == 13
+        for layer in dw:
+            assert layer.is_depthwise and layer.groups == layer.C == layer.M
+            assert layer.R == 3
+
+    def test_pointwise_layers_are_dense_1x1(self):
+        from repro.nn.networks import mobilenet_v1
+        pw = [l for l in mobilenet_v1() if l.name.startswith("PW")]
+        assert len(pw) == 13
+        for layer in pw:
+            assert layer.R == 1 and layer.groups == 1
+
+    def test_total_macs_match_published_count(self):
+        """MobileNetV1 at 224x224 is ~569M multiply-adds (Table 4 of
+        Howard et al. 2017 reports 569M)."""
+        from repro.nn.networks import mobilenet_v1
+        assert total_macs(mobilenet_v1()) == 568_740_352
+
+    def test_depthwise_macs_are_a_small_fraction(self):
+        """The paper's point: depthwise layers are ~3% of the MACs but
+        carry the reuse-hostile shape."""
+        from repro.nn.networks import mobilenet_v1
+        layers = mobilenet_v1()
+        dw = total_macs([l for l in layers if l.name.startswith("DW")])
+        assert dw / total_macs(layers) < 0.05
+
+    def test_batch_applied_everywhere(self):
+        from repro.nn.networks import mobilenet_v1
+        for layer in mobilenet_v1(batch_size=4):
+            assert layer.N == 4
+
+
+class TestDilatedContext:
+    def test_dilation_schedule(self):
+        from repro.nn.networks import dilated_context
+        ctx = [l for l in dilated_context() if l.name.startswith("CTX")
+               and l.name != "CTX_OUT"]
+        assert [l.dilation for l in ctx] == [1, 1, 2, 4, 8, 16, 1]
+
+    def test_padded_ifmap_tracks_dilation(self):
+        from repro.nn.networks import dilated_context
+        for layer in dilated_context():
+            if layer.R == 3:
+                assert layer.H == 64 + 2 * layer.dilation
+                assert layer.R_eff == 2 * layer.dilation + 1
+
+    def test_same_macs_every_context_layer(self):
+        """Dilation grows the receptive field without adding MACs."""
+        from repro.nn.networks import dilated_context
+        ctx = [l for l in dilated_context() if l.R == 3]
+        assert len({l.macs for l in ctx}) == 1
+
+
+class TestTransformer:
+    def test_six_gemms_all_fc(self):
+        from repro.nn.networks import transformer
+        layers = transformer()
+        assert len(layers) == 6
+        assert all(l.is_fc for l in layers)
+
+    def test_total_macs_match_closed_form(self):
+        from repro.nn.networks import transformer
+        tokens, d, h, ff, seq = 128, 512, 8, 2048, 128
+        rows = h * seq
+        expected = (tokens * d * 3 * d          # QKV
+                    + rows * (d // h) * seq     # scores
+                    + rows * seq * (d // h)     # context
+                    + tokens * d * d            # output proj
+                    + tokens * d * ff + tokens * ff * d)  # FFN
+        assert total_macs(transformer()) == expected == 419_430_400
+
+    def test_sequence_length_sweep(self):
+        from repro.nn.networks import transformer_layer
+        short = transformer_layer(seq_len=64)
+        long = transformer_layer(seq_len=256)
+        score_short = next(l for l in short if l.name == "ATTN_SCORE")
+        score_long = next(l for l in long if l.name == "ATTN_SCORE")
+        # Attention GEMMs scale quadratically with sequence length...
+        assert score_long.macs == 16 * score_short.macs
+        # ...while the projections scale linearly.
+        qkv_short = next(l for l in short if l.name == "QKV_PROJ")
+        qkv_long = next(l for l in long if l.name == "QKV_PROJ")
+        assert qkv_long.macs == 4 * qkv_short.macs
+
+    def test_batch_counts_sequences(self):
+        from repro.nn.networks import transformer
+        one, four = transformer(1), transformer(4)
+        for a, b in zip(one, four):
+            assert b.N == 4 * a.N

@@ -370,3 +370,101 @@ class TestFormatSafety:
             # Migrated rows keep their values; kind backfills to 'grid'.
             assert all(cell["kind"] == "grid" for cell in cells)
         assert ResultSet.from_store(path).rows == live.rows
+
+
+# ----------------------------------------------------------------------
+# Modern workloads: grouped/dilated/GEMM layers through the store.
+# ----------------------------------------------------------------------
+
+
+class TestModernWorkloadRoundTrip:
+    def _modern_layers(self):
+        from repro.nn.networks import mobilenet_v1, transformer_layer
+        mobile = [l for l in mobilenet_v1() if l.name in ("DW13", "PW13")]
+        gemms = [l for l in transformer_layer(seq_len=32)
+                 if l.name in ("QKV_PROJ", "ATTN_SCORE")]
+        return tuple(mobile + gemms)
+
+    def test_mobilenet_and_transformer_sweep_round_trips(self, tmp_path):
+        """A depthwise + GEMM sweep recorded to SQLite reads back
+        bit-identically (the grouped/dilated columns are part of the
+        interned layer identity)."""
+        path = tmp_path / "modern.db"
+        scenario = Scenario(workload=self._modern_layers(),
+                            dataflows=("RS", "NLR"), batches=(1,),
+                            pe_counts=(64, 128))
+        with recording_session(path) as session:
+            live = session.evaluate(scenario)
+        recovered = ResultSet.from_store(path)
+        assert recovered.rows == live.rows
+        # And the warm tier answers the rerun without rescoring.
+        with recording_session(path) as session:
+            again = session.evaluate(scenario)
+            assert session.cache_stats.misses == 0
+        assert again.rows == live.rows
+
+    def test_grouped_and_dense_twins_intern_separately(self, tmp_path):
+        """A grouped layer and its dense twin (same 9-tuple otherwise)
+        must occupy distinct store identities."""
+        engine = EvaluationEngine(EngineConfig(parallel=False),
+                                  EvaluationCache())
+        dense = conv_layer("X", H=9, R=3, E=7, C=16, M=16)
+        grouped = conv_layer("X", H=9, R=3, E=7, C=16, M=16, groups=16)
+        cell = tiny_scenario().cells()[0]
+        hw = cell.job.hardware
+        with ExperimentStore(tmp_path / "s.db") as store:
+            pairs = []
+            for layer in (dense, grouped):
+                key = CacheKey(dataflow="RS", layer=layer, hardware=hw,
+                               objective="energy")
+                pairs.append(
+                    (key, engine.evaluate_layer(cell.job.dataflow,
+                                                layer, hw)))
+            assert store.put_evaluations(pairs) == 2
+            for key, evaluation in pairs:
+                assert store.get_evaluation(key) == evaluation
+            assert pairs[0][1] != pairs[1][1]
+
+
+class TestV3Migration:
+    def test_v3_database_migrates_in_place(self, tmp_path):
+        """The layers-table rebuild keeps layer_ids (and thus every
+        evaluations row) intact, and the migrated store accepts grouped
+        layers afterwards."""
+        path = tmp_path / "v3.db"
+        with recording_session(path) as session:
+            live = session.evaluate(tiny_scenario(pe_counts=(64, 128)))
+        # Downgrade the layers table to its v3 shape: no groups/dilation
+        # columns, 9-column uniqueness.  The inline UNIQUE means a
+        # rebuild, mirroring what the forward migration has to undo.
+        conn = sqlite3.connect(path)
+        conn.executescript("""
+            PRAGMA foreign_keys=OFF;
+            CREATE TABLE layers_v3 (
+                layer_id INTEGER PRIMARY KEY,
+                name TEXT NOT NULL, type TEXT NOT NULL,
+                H INTEGER NOT NULL, R INTEGER NOT NULL, E INTEGER NOT NULL,
+                C INTEGER NOT NULL, M INTEGER NOT NULL, U INTEGER NOT NULL,
+                N INTEGER NOT NULL,
+                UNIQUE(name, type, H, R, E, C, M, U, N)
+            );
+            INSERT INTO layers_v3
+                SELECT layer_id, name, type, H, R, E, C, M, U, N
+                FROM layers;
+            DROP TABLE layers;
+            ALTER TABLE layers_v3 RENAME TO layers;
+            UPDATE store_meta SET value='3' WHERE key='schema_version';
+        """)
+        conn.commit()
+        conn.close()
+        with ExperimentStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+        assert ResultSet.from_store(path).rows == live.rows
+        # The migrated file records grouped layers without conflict.
+        grouped = Scenario(
+            workload=(conv_layer("T1", H=16, R=3, E=14, C=8, M=16,
+                                 groups=8),),
+            dataflows=("RS",), batches=(1,), pe_counts=(64,))
+        with recording_session(path) as session:
+            rows = session.evaluate(grouped)
+        assert len(rows) == 1

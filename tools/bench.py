@@ -222,6 +222,34 @@ def _dse_stream_bench(sample: int, chunk: int) -> dict:
     }
 
 
+def _modern_workloads_bench(num_pes: int = 256) -> dict:
+    """Time the modern-workload ranking suite; returns the section.
+
+    Runs :func:`repro.analysis.modern.modern_workload_comparison`
+    (MobileNetV1, dilated context, transformer GEMMs alongside the
+    paper's AlexNet CONV suite) on a cold session and records the wall
+    time plus each workload's best dataflow -- so both the cost and the
+    conclusions of the modern-scenario expansion sit in the perf
+    trajectory.
+    """
+    from repro.analysis.modern import (modern_workload_comparison,
+                                       transformer_seq_sweep)
+
+    os.environ["REPRO_KERNEL"] = "vector"
+    start = time.perf_counter()
+    results = modern_workload_comparison(num_pes=num_pes)
+    sweep = transformer_seq_sweep(num_pes=num_pes)
+    seconds = time.perf_counter() - start
+    return {
+        "num_pes": num_pes,
+        "workloads": list(results),
+        "wall_seconds": round(seconds, 4),
+        "best_dataflow": {workload: result.ranking[0]
+                          for workload, result in results.items()},
+        "seq_sweep_points": len(sweep),
+    }
+
+
 def _candidate_counts(pe_counts, rf_choices):
     """Total candidates the RS search scores across the sweep grid."""
     from repro.analysis.sweep import _sweep_grid
@@ -311,6 +339,7 @@ def run_benchmarks(pe_counts, rf_choices, dse_sample=2000,
             "store_warm": _stats_dict(store_stats),
         },
         "dse_stream": _dse_stream_bench(dse_sample, dse_chunk),
+        "modern_workloads": _modern_workloads_bench(),
     }
 
 
@@ -383,6 +412,10 @@ def main(argv=None) -> int:
           f"({dse['streamed']:,} of {dse['space_candidates']:,} candidates, "
           f"{dse['candidates_per_sec']:,.0f}/s, frontier "
           f"{dse['frontier_size']}, peak RSS {dse['peak_rss_mb']} MB)")
+    modern = record["modern_workloads"]
+    winners = ", ".join(f"{workload}:{best}" for workload, best
+                        in modern["best_dataflow"].items())
+    print(f"  modern ranking  {modern['wall_seconds']:8.3f} s  ({winners})")
 
     if args.min_speedup is not None \
             and speedups["vector_vs_scalar"] < args.min_speedup:
