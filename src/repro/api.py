@@ -52,8 +52,10 @@ from typing import (
     Union,
 )
 
+from repro import faults as _faults
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.registry import equal_area_hardware
+from repro.faults import FaultPlan, FaultStats
 from repro.energy.model import NetworkEvaluation
 from repro.engine.cache import CacheStats, EvaluationCache
 from repro.engine.core import (
@@ -518,6 +520,13 @@ class Session:
         Wrap an existing engine instead of building one (the default
         session does this); the session then neither owns its pool nor
         its persistence.
+    ``faults``
+        Arm a :class:`repro.faults.FaultPlan` (or a ``REPRO_FAULTS``
+        spec string) for the session's lifetime -- the programmatic
+        way to run chaos experiments against exactly one session.
+        ``close()`` restores whatever plan (usually none) was armed
+        before; :attr:`fault_stats` snapshots the injection/recovery
+        counters.
 
     Sessions are context managers; ``close()`` finishes the recorded
     run, flushes the persistence tiers and shuts the pool down.
@@ -533,9 +542,12 @@ class Session:
                  store=None,
                  record: Union[bool, str] = False,
                  engine_config: Optional[EngineConfig] = None,
-                 engine: Optional[EvaluationEngine] = None) -> None:
+                 engine: Optional[EvaluationEngine] = None,
+                 faults: "Union[FaultPlan, str, None]" = None) -> None:
         self._store = None
         self._owns_store = False
+        self._fault_previous: Optional[FaultPlan] = None
+        self._faults_armed = False
         self._record_label: Optional[str] = (
             record if isinstance(record, str) else None)
         self._recording = bool(record)
@@ -587,6 +599,13 @@ class Session:
         if self._recording:
             import threading
             self._run_lock = threading.Lock()
+        if faults is not None:
+            # Armed last, once construction cannot fail anymore, so an
+            # invalid session never leaves a stray plan armed.
+            plan = (FaultPlan.from_spec(faults)
+                    if isinstance(faults, str) else faults)
+            self._fault_previous = _faults.arm(plan)
+            self._faults_armed = True
         self._closed = False
 
     @staticmethod
@@ -630,6 +649,17 @@ class Session:
     def cache_stats(self) -> CacheStats:
         """Cumulative hit/miss/eviction counters of the cache."""
         return self._engine.cache.stats
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """The process-wide injection/recovery counters.
+
+        Process-wide rather than per-session (the hardened layers are
+        shared), so real faults count here even with no plan armed --
+        the CacheStats-style snapshot the chaos driver and the
+        ``metrics`` verb both read.
+        """
+        return _faults.stats()
 
     @property
     def store(self):
@@ -846,6 +876,9 @@ class Session:
             self._engine.close()
         if self._owns_store:
             self._store.close()
+        if self._faults_armed:
+            _faults.arm(self._fault_previous)
+            self._faults_armed = False
 
     def __enter__(self) -> "Session":
         return self

@@ -408,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="log a metrics snapshot to stderr every "
                              "SECONDS while the TCP server runs "
                              "(default: off)")
+    server.add_argument("--deadline-ms", type=float, default=0.0,
+                        metavar="MS",
+                        help="default per-request deadline of the TCP "
+                             "server in milliseconds; an expired request "
+                             "answers a terminal 'timeout' event.  A "
+                             "request's own deadline_ms envelope field "
+                             "overrides this (default: no deadline)")
 
     mapping = sub.add_parser(
         "mapping", help="visualize the RS mapping of a layer (Fig. 6)")
@@ -854,6 +861,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                 if args.max_line_bytes is not None
                                 else DEFAULT_MAX_LINE_BYTES),
                 metrics_interval=args.metrics_interval,
+                deadline_ms=args.deadline_ms,
                 ready=announce)
         else:
             served = serve(sys.stdin, sys.stdout,

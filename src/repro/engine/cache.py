@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
+from repro import faults
 from repro.arch.hardware import HardwareConfig
 from repro.nn.layer import LayerShape
 
@@ -307,13 +308,26 @@ def read_snapshot(path: str | Path) -> dict:
 
 
 def write_snapshot(path: str | Path, entries) -> None:
-    """Write a versioned snapshot atomically (temp file + rename).
+    """Write a versioned snapshot crash-safely (temp + fsync + rename).
 
     Atomicity means a reader never sees a half-written snapshot, even
-    when several processes share one cache file.
+    when several processes share one cache file; the fsync before the
+    rename means a crash right *after* the rename cannot leave the new
+    name pointing at unwritten data.  On any failure the temp file is
+    removed and the previous snapshot (if any) is left untouched --
+    the ``cache.flush_io_error`` injection point exercises exactly
+    this path.
     """
     path = Path(path)
     payload = {"format": CACHE_FORMAT, "entries": dict(entries)}
     tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-    tmp.write_bytes(pickle.dumps(payload))
-    tmp.replace(path)
+    try:
+        faults.maybe_raise("cache.flush_io_error", OSError)
+        with open(tmp, "wb") as handle:
+            handle.write(pickle.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise

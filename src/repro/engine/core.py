@@ -54,11 +54,14 @@ of its key, so only wall-clock time changes (see
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import pickle
 import threading
+import time
 from concurrent.futures import (
+    BrokenExecutor,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
@@ -76,6 +79,7 @@ from typing import (
     Union,
 )
 
+from repro import faults
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.dataflows.base import Dataflow
@@ -89,6 +93,8 @@ from repro.nn.layer import LayerShape
 
 _FALSY = {"0", "false", "no", "off"}
 _TRUTHY = {"1", "true", "yes", "on"}
+
+logger = logging.getLogger("repro.engine")
 
 
 def _parse_repro_parallel(raw: Optional[str]):
@@ -141,6 +147,13 @@ class EngineConfig:
         pickling overhead (the old one-future-per-layer dispatch spent
         more time serializing jobs than evaluating them) while keeping
         enough chunks in flight for load balancing.
+    max_pool_retries:
+        How many times a dispatch round may rebuild a broken process
+        pool (a killed worker breaks *every* in-flight future) and
+        re-dispatch only the unfinished chunks, with capped
+        exponential backoff between rounds.  Once exhausted, dispatch
+        degrades to inline serial execution of the remaining chunks --
+        slower, but bit-identical -- rather than failing the batch.
     """
 
     parallel: bool = False
@@ -148,6 +161,7 @@ class EngineConfig:
     max_workers: Optional[int] = None
     min_parallel_jobs: int = 2
     chunk_size: Optional[int] = None
+    max_pool_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.executor not in ("process", "thread"):
@@ -157,6 +171,8 @@ class EngineConfig:
             )
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be a positive integer")
+        if self.max_pool_retries < 0:
+            raise ValueError("max_pool_retries must be >= 0")
 
     @classmethod
     def from_env(cls) -> "EngineConfig":
@@ -296,7 +312,8 @@ def _worker_init(dataflows: Dict[str, Dataflow],
 
 def _evaluate_chunk(dataflows: Tuple[_DataflowRef, ...],
                     hardwares: Tuple[HardwareConfig, ...],
-                    rows: Tuple[Tuple[int, LayerShape, int, str], ...]
+                    rows: Tuple[Tuple[int, LayerShape, int, str], ...],
+                    inject: Optional[str] = None
                     ) -> List[Tuple[bool, object]]:
     """Top-level chunk worker: evaluate a batch of deduplicated rows.
 
@@ -308,9 +325,20 @@ def _evaluate_chunk(dataflows: Tuple[_DataflowRef, ...],
     result -- per-row isolation, so one raising job (a buggy custom
     objective, say) cannot discard its siblings' work the way a shared
     chunk exception would.
+
+    ``inject`` is the parent-side fault marker (the dispatching thread
+    decides via :func:`repro.faults.fire`, so plans armed only in the
+    parent still reach the workers): ``"worker_crash"`` hard-kills this
+    worker, breaking the pool; ``"chunk_slow"`` stalls the chunk.
+    Re-dispatched chunks never carry a marker, which is what makes
+    recovery deterministic.
     """
     from repro.registry import get_dataflow
 
+    if inject == "worker_crash":
+        os._exit(1)
+    elif inject == "chunk_slow":
+        time.sleep(faults.CHUNK_SLOW_S)
     resolved = [get_dataflow(ref) if isinstance(ref, str) else ref
                 for ref in dataflows]
     entries: List[Tuple[bool, object]] = []
@@ -510,27 +538,15 @@ class EvaluationEngine:
                 yield finish(index)
             return
 
-        pool = self._executor()
+        def cache_chunk(chunk, entries) -> None:
+            # Cache from the dispatcher's completion callback, not the
+            # consumption loop: if the caller abandons the stream early
+            # (the documented use), already-computed results are still
+            # kept -- including a failed row's siblings.
+            for (key, _job), (ok, payload) in zip(chunk, entries):
+                if ok:
+                    self.cache.put(key, payload)
 
-        def record(keys: Tuple[CacheKey, ...]):
-            # Cache from the completion callback, not the consumption
-            # loop: if the caller abandons the stream early (the
-            # documented use), already-computed results are still kept
-            # -- including a failed row's siblings.
-            def done(future) -> None:
-                if not future.cancelled() and future.exception() is None:
-                    for key, (ok, payload) in zip(keys, future.result()):
-                        if ok:
-                            self.cache.put(key, payload)
-            return done
-
-        futures = {}
-        for chunk in self._chunked(list(pending.items())):
-            future = pool.submit(_evaluate_chunk,
-                                 *self._chunk_payload(chunk))
-            keys = tuple(key for key, _job in chunk)
-            future.add_done_callback(record(keys))
-            futures[future] = keys
         key_cells: Dict[CacheKey, List[int]] = {}
         remaining: List[int] = []
         for index, keys in enumerate(cell_keys):
@@ -540,9 +556,11 @@ class EvaluationEngine:
                 key_cells.setdefault(key, []).append(index)
             if not missing:  # answered entirely from the cache
                 yield finish(index)
-        for future in as_completed(futures):
+        dispatch = self._dispatch_resilient(
+            self._chunked(list(pending.items())), on_result=cache_chunk)
+        for chunk, entries in dispatch:
             error: Optional[Exception] = None
-            for key, (ok, payload) in zip(futures[future], future.result()):
+            for (key, _job), (ok, payload) in zip(chunk, entries):
                 if not ok:
                     error = error or payload
                     continue
@@ -659,6 +677,92 @@ class EvaluationEngine:
             rows.append((di, job.layer, hi, job.objective))
         return tuple(dataflows), tuple(hardwares), tuple(rows)
 
+    def _inject_marker(self) -> Optional[str]:
+        """The fault marker (if any) to poison the next chunk with.
+
+        Consulted once per submitted chunk, parent-side, so a
+        deterministic rule like ``pool.worker_crash=1@3`` poisons
+        exactly the third chunk of the run.  ``worker_crash`` only
+        applies to process pools -- hard-exiting a *thread* pool worker
+        would kill the whole interpreter.
+        """
+        if (self.config.executor == "process"
+                and faults.fire("pool.worker_crash")):
+            return "worker_crash"
+        if faults.fire("pool.chunk_slow"):
+            return "chunk_slow"
+        return None
+
+    def _dispatch_resilient(self, chunks, on_result=None):
+        """Dispatch chunks to the pool, surviving worker death.
+
+        Yields ``(chunk, entries)`` pairs -- every chunk exactly once,
+        in completion order.  A broken pool (a worker died: OOM kill,
+        segfault, injected ``pool.worker_crash``) fails *every*
+        in-flight future, so the round's unfinished chunks are
+        collected, the pool is rebuilt, and only they are re-dispatched
+        after a capped jittered backoff -- results stay bit-identical
+        because every chunk is a deterministic pure function of its
+        payload.  After ``config.max_pool_retries`` rebuilds the
+        remaining chunks degrade to inline serial execution instead of
+        failing the batch (the parallel -> serial end of the
+        degradation chain).  ``on_result(chunk, entries)`` -- used by
+        the streaming path to cache results even when its consumer
+        abandons the stream -- runs from the future's done-callback on
+        the pool path and inline on the degraded path.
+        """
+        pending = list(chunks)
+        rebuilds = 0
+        while pending:
+            if rebuilds > self.config.max_pool_retries:
+                faults.record("serial_degradations")
+                logger.warning(
+                    "engine: pool failed %d times; degrading %d chunk(s) "
+                    "to inline serial execution", rebuilds, len(pending))
+                for chunk in pending:
+                    entries = _evaluate_chunk(*self._chunk_payload(chunk))
+                    if on_result is not None:
+                        on_result(chunk, entries)
+                    yield chunk, entries
+                return
+            if rebuilds:
+                faults.record("pool_rebuilds")
+                faults.record("chunk_retries", len(pending))
+                logger.warning(
+                    "engine: pool broken; rebuilding and re-dispatching "
+                    "%d unfinished chunk(s) (attempt %d/%d)",
+                    len(pending), rebuilds, self.config.max_pool_retries)
+                self.close()
+                faults.sleep_backoff(rebuilds)
+            pool = self._executor()
+            futures = {}
+            failed: List = []
+            for chunk in pending:
+                try:
+                    future = pool.submit(
+                        _evaluate_chunk, *self._chunk_payload(chunk),
+                        self._inject_marker())
+                except BrokenExecutor:
+                    failed.append(chunk)
+                    continue
+                if on_result is not None:
+                    def done(f, chunk=chunk):
+                        if not f.cancelled() and f.exception() is None:
+                            on_result(chunk, f.result())
+                    future.add_done_callback(done)
+                futures[future] = chunk
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    entries = future.result()
+                except BrokenExecutor:
+                    failed.append(chunk)
+                    continue
+                yield chunk, entries
+            pending = failed
+            if pending:
+                rebuilds += 1
+
     def _run(self, items: List[Tuple[CacheKey, LayerJob]],
              parallel: Optional[bool]
              ) -> List[Tuple[CacheKey, Optional[LayerEvaluation]]]:
@@ -667,14 +771,10 @@ class EvaluationEngine:
                      _evaluate_layer_task(job.dataflow, job.layer,
                                           job.hardware, job.objective))
                     for key, job in items]
-        pool = self._executor()
-        futures = [(chunk, pool.submit(_evaluate_chunk,
-                                       *self._chunk_payload(chunk)))
-                   for chunk in self._chunked(items)]
         results: List[Tuple[CacheKey, Optional[LayerEvaluation]]] = []
         error: Optional[Exception] = None
-        for chunk, future in futures:
-            for (key, _job), (ok, payload) in zip(chunk, future.result()):
+        for chunk, entries in self._dispatch_resilient(self._chunked(items)):
+            for (key, _job), (ok, payload) in zip(chunk, entries):
                 if ok:
                     results.append((key, payload))
                 elif error is None:

@@ -28,10 +28,11 @@ for debugging.  See docs/PERFORMANCE.md.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro import kernels
+from repro import faults, kernels
 from repro.arch.energy_costs import EnergyCosts
 from repro.arch.hardware import HardwareConfig
 from repro.engine.reducer import StreamingBest
@@ -41,6 +42,8 @@ from repro.registry import objective_registry, register_objective
 
 if TYPE_CHECKING:  # avoid a circular import; Dataflow is only a type here
     from repro.dataflows.base import Dataflow
+
+logger = logging.getLogger("repro.mapping")
 
 
 @register_objective("energy")
@@ -119,10 +122,22 @@ def optimize_mapping(dataflow: "Dataflow", layer: LayerShape,
     cost_table = costs or hw.costs
 
     if _vectorizable(dataflow, objective, score):
-        result = _optimize_vectorized(dataflow, layer, hw, cost_table,
-                                      objective, tie_tolerance)
-        if result is not None:
-            return result
+        # First link of the degradation chain: a kernel failure -- a
+        # NumPy regression, a dataflow's buggy array enumerator, an
+        # injected ``kernel.vector_error`` -- falls back to the scalar
+        # streaming path, which is bit-identical by the parity
+        # contract, instead of failing the evaluation.
+        try:
+            result = _optimize_vectorized(dataflow, layer, hw, cost_table,
+                                          objective, tie_tolerance)
+        except Exception as exc:
+            faults.record("kernel_degradations")
+            logger.warning(
+                "vectorized kernel failed for %s/%s (%s); degrading to "
+                "the scalar path", dataflow.name, layer.name, exc)
+        else:
+            if result is not None:
+                return result
 
     # Stream candidates through a single-pass reduction: track the best
     # objective value, and among candidates within a whisker of it keep
@@ -169,6 +184,7 @@ def _optimize_vectorized(dataflow: "Dataflow", layer: LayerShape,
     dataflow's scalar builder -- so the result is field-for-field what
     the streaming reduction would have produced.
     """
+    faults.maybe_raise("kernel.vector_error")
     block = dataflow.enumerate_candidate_arrays(layer, hw)
     if block is None:
         return None

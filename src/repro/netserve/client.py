@@ -24,6 +24,13 @@ failures (connection refused, EOF mid-answer)::
         if "error" in reply:
             ...
 
+Both clients can opt into automatic ``busy`` retries
+(``max_retries=``): a terminal ``{"event": "busy", "retry_after": s}``
+answer is then absorbed by sleeping the server's hint (jittered so a
+burst of rejected clients does not re-arrive as a burst) and resending,
+up to the bound -- after which the ``busy`` event surfaces as usual so
+the caller still sees honest backpressure instead of an infinite loop.
+
 :func:`call` is the one-shot convenience: connect, ask, disconnect.
 """
 
@@ -31,10 +38,24 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
 from typing import Dict, Iterator, Optional
 
 from repro.netserve.protocol import is_terminal
+
+#: Jitter band applied to a ``busy`` reply's ``retry_after`` hint:
+#: each retry sleeps ``retry_after * uniform(*RETRY_JITTER)``.
+RETRY_JITTER = (0.5, 1.5)
+
+
+def _retry_delay(event: Dict, rng: Optional[random.Random] = None) -> float:
+    """The jittered sleep before resending a ``busy``-rejected request."""
+    hint = event.get("retry_after", 0.1)
+    if not isinstance(hint, (int, float)) or hint <= 0:
+        hint = 0.1
+    return float(hint) * (rng or random).uniform(*RETRY_JITTER)
 
 
 class ServiceClient:
@@ -81,18 +102,30 @@ class ServiceClient:
                 "server closed the connection mid-answer")
         return json.loads(line)
 
-    def stream(self, payload: Dict) -> Iterator[Dict]:
-        """Send one request; yield events through the terminal one."""
-        self.send(payload)
-        while True:
-            event = self.read_event()
-            yield event
-            if is_terminal(event):
-                return
+    def stream(self, payload: Dict,
+               max_retries: int = 0) -> Iterator[Dict]:
+        """Send one request; yield events through the terminal one.
 
-    def request(self, payload: Dict) -> Dict:
+        ``max_retries`` opts into automatic ``busy`` handling: a busy
+        answer with retries remaining sleeps the server's jittered
+        ``retry_after`` hint and resends instead of yielding, so the
+        caller only ever sees ``busy`` once the budget is exhausted.
+        """
+        for attempt in range(max_retries + 1):
+            self.send(payload)
+            while True:
+                event = self.read_event()
+                if (event.get("event") == "busy"
+                        and attempt < max_retries):
+                    time.sleep(_retry_delay(event))
+                    break  # resend
+                yield event
+                if is_terminal(event):
+                    return
+
+    def request(self, payload: Dict, max_retries: int = 0) -> Dict:
         """Send one request; return its terminal event only."""
-        for event in self.stream(payload):
+        for event in self.stream(payload, max_retries=max_retries):
             terminal = event
         return terminal
 
@@ -149,19 +182,29 @@ class AsyncServiceClient:
                 "server closed the connection mid-answer")
         return json.loads(line)
 
-    async def stream(self, payload: Dict):
-        """Send one request; yield events through the terminal one."""
-        await self.send(payload)
-        while True:
-            event = await self.read_event()
-            yield event
-            if is_terminal(event):
-                return
+    async def stream(self, payload: Dict, max_retries: int = 0):
+        """Send one request; yield events through the terminal one.
 
-    async def request(self, payload: Dict) -> Dict:
+        ``max_retries`` opts into automatic jittered ``busy`` retries,
+        exactly like :meth:`ServiceClient.stream` (the sleep is
+        ``asyncio.sleep``, so other tasks keep running).
+        """
+        for attempt in range(max_retries + 1):
+            await self.send(payload)
+            while True:
+                event = await self.read_event()
+                if (event.get("event") == "busy"
+                        and attempt < max_retries):
+                    await asyncio.sleep(_retry_delay(event))
+                    break  # resend
+                yield event
+                if is_terminal(event):
+                    return
+
+    async def request(self, payload: Dict, max_retries: int = 0) -> Dict:
         """Send one request; return its terminal event only."""
         terminal: Dict = {}
-        async for event in self.stream(payload):
+        async for event in self.stream(payload, max_retries=max_retries):
             terminal = event
         return terminal
 

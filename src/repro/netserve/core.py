@@ -29,13 +29,16 @@ import threading
 import time
 from typing import Dict, Iterator, Optional, Union
 
+from repro import faults
 from repro.netserve.metrics import ServerMetrics
 from repro.netserve.protocol import (
     DEFAULT_MAX_LINE_BYTES,
     decode_line,
     error_event,
     is_terminal,
+    request_deadline,
     request_priority,
+    timeout_event,
 )
 from repro.service.dispatcher import BatchDispatcher
 from repro.service.schema import BatchRequest, DseRequest, QueryRequest
@@ -109,13 +112,24 @@ class RequestHandler:
             return
         yield from self.handle(payload, request_id)
 
-    def handle(self, payload: Dict, request_id: str) -> Iterator[Dict]:
+    def handle(self, payload: Dict, request_id: str,
+               deadline: Optional[float] = None) -> Iterator[Dict]:
         """Dispatch one decoded payload; never raises.
 
         Yields zero or more streamed events followed by exactly one
         terminal event (see :func:`repro.netserve.protocol.is_terminal`).
         ``request_id`` is the transport's fallback id, used when the
         payload carries no ``id`` of its own.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp (the
+        TCP server stamps it at *admission*, so queue wait counts); a
+        pipe-transport request's ``deadline_ms`` envelope field starts
+        its clock here instead.  Cancellation is cooperative: the clock
+        is checked between events pulled from the verb generator, so an
+        expired request stops computing at the next event boundary and
+        answers a terminal ``timeout`` event -- a request already past
+        its deadline when a worker picks it up does no verb work at
+        all.
         """
         verb = payload.get("verb", "batch")
         verb_label = verb if isinstance(verb, str) else "invalid"
@@ -123,7 +137,7 @@ class RequestHandler:
         start = time.perf_counter()
         observed = False
 
-        def observe(ok: bool) -> None:
+        def observe(ok: bool, timeout: bool = False) -> None:
             # Account *before* the terminal event leaves, so a client
             # that reads its answer and immediately scrapes ``metrics``
             # sees its own request counted.
@@ -131,10 +145,36 @@ class RequestHandler:
             if not observed:
                 observed = True
                 self.metrics.observe(verb_label,
-                                     time.perf_counter() - start, ok=ok)
+                                     time.perf_counter() - start, ok=ok,
+                                     timeout=timeout)
+
+        def expired() -> bool:
+            return deadline is not None and time.monotonic() >= deadline
 
         try:
-            for event in self._dispatch(dict(payload), request_id):
+            payload = dict(payload)
+            deadline_ms = request_deadline(payload, pop=True)
+            if deadline is None and deadline_ms is not None:
+                deadline = time.monotonic() + deadline_ms / 1000.0
+            events = self._dispatch(payload, request_id)
+            while True:
+                timed_out = expired()
+                event = None
+                if not timed_out:
+                    try:
+                        event = next(events)
+                    except StopIteration:
+                        break
+                    # Re-check after the verb worked: a single slow
+                    # event must still answer ``timeout``, not deliver
+                    # a result its client has already given up on.
+                    timed_out = expired()
+                if timed_out:
+                    events.close()
+                    faults.record("deadline_timeouts")
+                    observe(ok=False, timeout=True)
+                    yield timeout_event(request_id, deadline_ms)
+                    return
                 if is_terminal(event):
                     observe(ok=True)
                 yield event
@@ -193,7 +233,7 @@ class RequestHandler:
             raise ValueError(
                 f"unknown {verb} request field(s) {sorted(unknown)}; "
                 f"a {verb!r} request carries only "
-                f"{sorted(_BARE_VERB_FIELDS | {'priority'})}")
+                f"{sorted(_BARE_VERB_FIELDS | {'priority', 'deadline_ms'})}")
 
     def metrics_snapshot(self, request_id: Optional[str] = None) -> Dict:
         """The ``metrics`` answer: counters plus live cache-tier stats.

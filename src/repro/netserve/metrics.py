@@ -11,9 +11,9 @@ current rather than sampled.
 A snapshot reports four sections:
 
 ``requests``
-    Totals plus a per-verb breakdown: count, errors, and latency
-    percentiles (p50/p95, approximated by histogram bucket upper
-    bounds) with the exact mean.
+    Totals plus a per-verb breakdown: count, errors, timeouts, and
+    latency percentiles (p50/p95, approximated by histogram bucket
+    upper bounds) with the exact mean.
 ``queue``
     Admission state: current depth, the window bound, in-flight count
     and the number of ``busy`` rejections so far.
@@ -24,6 +24,11 @@ A snapshot reports four sections:
     The session's cache-tier counters -- LRU hits, store hits, misses,
     hit rate, size, evictions -- straight from
     :class:`repro.engine.cache.CacheStats`.
+``faults``
+    The process-wide injection/recovery counters from
+    :func:`repro.faults.stats` -- pool rebuilds, chunk retries,
+    degradations, flush errors survived -- so a chaos run (or a
+    genuinely unlucky production run) is observable over the wire.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ from __future__ import annotations
 import threading
 import time
 from typing import Callable, Dict, Optional
+
+from repro import faults
 
 #: Histogram bucket upper bounds in milliseconds (log-scale, +inf last).
 LATENCY_BUCKETS_MS = (
@@ -111,15 +118,24 @@ class ServerMetrics:
 
     # ------------------------------------------------------------------
 
-    def observe(self, verb: str, seconds: float, ok: bool) -> None:
-        """Record one handled request: its verb, latency and outcome."""
+    def observe(self, verb: str, seconds: float, ok: bool,
+                timeout: bool = False) -> None:
+        """Record one handled request: its verb, latency and outcome.
+
+        A deadline expiry counts under ``timeouts``, not ``errors`` --
+        the two failure modes call for different fixes (raise the
+        deadline vs. fix the request), so they are never conflated.
+        """
         with self._lock:
             entry = self._verbs.get(verb)
             if entry is None:
-                entry = {"errors": 0, "latency": LatencyHistogram()}
+                entry = {"errors": 0, "timeouts": 0,
+                         "latency": LatencyHistogram()}
                 self._verbs[verb] = entry
             entry["latency"].observe(seconds)
-            if not ok:
+            if timeout:
+                entry["timeouts"] += 1
+            elif not ok:
                 entry["errors"] += 1
 
     def observe_rejection(self) -> None:
@@ -173,11 +189,14 @@ class ServerMetrics:
             uptime = time.monotonic() - self._started
             by_verb = {}
             errors = 0
+            timeouts = 0
             for verb in sorted(self._verbs):
                 entry = self._verbs[verb]
                 by_verb[verb] = {"errors": entry["errors"],
+                                 "timeouts": entry["timeouts"],
                                  **entry["latency"].to_dict()}
                 errors += entry["errors"]
+                timeouts += entry["timeouts"]
             total = sum(e["latency"].total for e in self._verbs.values())
             capacity = self.workers * uptime
             workers = {
@@ -197,9 +216,10 @@ class ServerMetrics:
             "verb": "metrics",
             "uptime_s": round(uptime, 3),
             "requests": {"total": total, "errors": errors,
-                         "by_verb": by_verb},
+                         "timeouts": timeouts, "by_verb": by_verb},
             "queue": queue,
             "workers": workers,
+            "faults": faults.stats().to_dict(),
         }
         if request_id is not None:
             snapshot["id"] = request_id

@@ -12,6 +12,13 @@ two transport-level *envelope* fields the dispatch core never sees:
     Admission priority (any integer, default 0); *lower* runs earlier.
     Ties are served in arrival order.  Ignored by the pipe transport,
     which is inherently serial.
+``deadline_ms``
+    Per-request deadline in milliseconds, measured from *admission*
+    (so time spent queued counts).  A request that exceeds it answers
+    with a terminal ``timeout`` event instead of its result; the
+    handler checks the clock cooperatively between streamed events.
+    The server may also impose a default (``--deadline-ms``) on
+    requests that carry none.
 
 Responses are *events*.  A request answers with zero or more streamed
 intermediate events followed by exactly one terminal event:
@@ -26,6 +33,9 @@ event          meaning
 ``error``      terminal failure; carries a human-readable ``error``
 ``busy``       terminal rejection: the admission window is full;
                carries ``retry_after`` seconds plus queue gauges
+``timeout``    terminal failure: the request exceeded its
+               ``deadline_ms`` (or the server default) before
+               finishing; any partial stream stops here
 ``listening``  server startup announcement (stdout, not per-request)
 =============  =======================================================
 
@@ -116,6 +126,29 @@ def request_priority(payload: Dict, *, pop: bool = False) -> int:
             f"got {raw!r}") from None
 
 
+def request_deadline(payload: Dict, *, pop: bool = False
+                     ) -> Optional[float]:
+    """The request's ``deadline_ms`` envelope value (None when absent).
+
+    ``pop=True`` also strips the envelope field so verb-level
+    validation never sees it, mirroring :func:`request_priority`.  A
+    non-positive or non-numeric deadline is a ``ValueError``, answered
+    as an ``error`` event like any other malformed field.
+    """
+    if "deadline_ms" not in payload:
+        return None
+    raw = payload.pop("deadline_ms") if pop else payload["deadline_ms"]
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise ValueError(
+            f"'deadline_ms' must be a positive number of milliseconds, "
+            f"got {raw!r}")
+    if raw <= 0:
+        raise ValueError(
+            f"'deadline_ms' must be a positive number of milliseconds, "
+            f"got {raw!r}")
+    return float(raw)
+
+
 def is_terminal(event: Dict) -> bool:
     """Whether a response event ends its request's answer stream."""
     return event.get("event") not in STREAM_EVENTS
@@ -124,6 +157,20 @@ def is_terminal(event: Dict) -> bool:
 def error_event(request_id: str, message: str) -> Dict:
     """A terminal ``error`` event (the structured failure answer)."""
     return {"event": "error", "id": request_id, "error": message}
+
+
+def timeout_event(request_id: str,
+                  deadline_ms: Optional[float] = None) -> Dict:
+    """A terminal ``timeout`` event: the request outran its deadline.
+
+    Carries the offending ``deadline_ms`` when the request named one
+    (a server-default deadline reports without it).
+    """
+    event = {"event": "timeout", "id": request_id,
+             "error": "deadline exceeded"}
+    if deadline_ms is not None:
+        event["deadline_ms"] = deadline_ms
+    return event
 
 
 def busy_event(request_id: str, retry_after: float, *,

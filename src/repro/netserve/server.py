@@ -49,6 +49,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro import faults
 from repro.netserve.core import RequestHandler
 from repro.netserve.metrics import ServerMetrics
 from repro.netserve.protocol import (
@@ -57,6 +58,7 @@ from repro.netserve.protocol import (
     busy_event,
     decode_line,
     error_event,
+    request_deadline,
     request_priority,
 )
 from repro.service.dispatcher import BatchDispatcher
@@ -88,6 +90,11 @@ class ServerConfig:
     #: Seconds between metrics snapshots on stderr; 0 disables
     #: (``--metrics-interval``).
     metrics_interval: float = 0.0
+    #: Default per-request deadline in milliseconds, applied to
+    #: requests that carry no ``deadline_ms`` envelope field; 0 means
+    #: no default (``--deadline-ms``).  The clock starts at admission,
+    #: so queue wait counts against the deadline.
+    deadline_ms: float = 0.0
 
 
 class _Connection:
@@ -296,13 +303,13 @@ class EvalServer:
             try:
                 if item is None:
                     return
-                payload, request_id, conn = item
+                payload, request_id, conn, deadline = item
                 self.metrics.worker_started()
                 started = time.monotonic()
                 try:
                     await self._loop.run_in_executor(
                         executor, self._run_request, payload, request_id,
-                        conn)
+                        conn, deadline)
                 finally:
                     self.metrics.worker_finished(time.monotonic() - started)
                     conn.finish_request()
@@ -310,9 +317,17 @@ class EvalServer:
                 self._queue.task_done()
 
     def _run_request(self, payload: Dict, request_id: str,
-                     conn: _Connection) -> None:
-        """Executor-thread body: dispatch and stream events back."""
-        for event in self.handler.handle(payload, request_id):
+                     conn: _Connection,
+                     deadline: Optional[float] = None) -> None:
+        """Executor-thread body: dispatch and stream events back.
+
+        ``deadline`` is the admission-stamped monotonic deadline; the
+        handler checks it cooperatively between events, so an expired
+        request answers ``timeout`` without blocking its worker on the
+        rest of the verb's work.
+        """
+        for event in self.handler.handle(payload, request_id,
+                                         deadline=deadline):
             conn.send_threadsafe(event)
 
     # ------------------------------------------------------------------
@@ -320,6 +335,16 @@ class EvalServer:
     async def _on_connection(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         """One client: read lines, admit or answer, until EOF."""
+        if faults.fire("netserve.conn_drop"):
+            # Injected connection drop: the client sees an immediate
+            # disconnect, exactly like a mid-handshake network failure.
+            faults.record("conn_drops")
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
         conn = _Connection(writer, self._loop)
         self._connections.add(conn)
         self._conn_tasks.add(asyncio.current_task())
@@ -385,15 +410,23 @@ class EvalServer:
             return
         try:
             priority = request_priority(payload)
+            deadline_ms = request_deadline(payload)
         except ValueError:
             # Re-route through the handler so the error event and the
             # metrics accounting match every other malformed field.
             for event in self.handler.handle(payload, request_id):
                 conn.send(event)
             return
+        if deadline_ms is None and self.config.deadline_ms > 0:
+            deadline_ms = self.config.deadline_ms
+        # Stamp the deadline *now*, at admission: a request that sits
+        # queued past its deadline times out without doing verb work.
+        deadline = (time.monotonic() + deadline_ms / 1000.0
+                    if deadline_ms is not None else None)
         try:
             self._queue.put_nowait(
-                (priority, next(self._seq), (payload, request_id, conn)))
+                (priority, next(self._seq),
+                 (payload, request_id, conn, deadline)))
         except asyncio.QueueFull:
             self.metrics.observe_rejection()
             conn.send(busy_event(
@@ -450,6 +483,7 @@ def serve_tcp(dispatcher: Optional[BatchDispatcher] = None, *,
               workers: int = 4, window: int = 64,
               max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
               metrics_interval: float = 0.0,
+              deadline_ms: float = 0.0,
               parallel: Optional[bool] = None,
               ready: Optional[Callable[[Dict], None]] = None) -> int:
     """Run a TCP evaluation server until SIGTERM/``shutdown``.
@@ -462,6 +496,7 @@ def serve_tcp(dispatcher: Optional[BatchDispatcher] = None, *,
     """
     config = ServerConfig(host=host, port=port, workers=workers,
                           window=window, max_line_bytes=max_line_bytes,
-                          metrics_interval=metrics_interval)
+                          metrics_interval=metrics_interval,
+                          deadline_ms=deadline_ms)
     server = EvalServer(dispatcher, config=config, parallel=parallel)
     return asyncio.run(server.run(ready=ready))

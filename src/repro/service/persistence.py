@@ -21,12 +21,15 @@ home for both environment conventions.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Optional
 
+from repro import faults
 from repro.engine.cache import (
     CacheFormatError,
     EvaluationCache,
@@ -41,6 +44,28 @@ from repro.store.db import (  # noqa: F401  (service-layer re-export)
 #: Environment variable naming the default cache file.
 CACHE_ENV = "REPRO_CACHE"
 
+#: Write attempts a cache flush makes before giving up (the snapshot is
+#: a cache -- losing one flush only costs warm-up time, never results).
+FLUSH_ATTEMPTS = 2
+
+logger = logging.getLogger("repro.service")
+
+
+def quarantine(path: Path) -> Optional[Path]:
+    """Move a corrupt snapshot aside as ``<name>.corrupt-<ts>``.
+
+    Keeps the evidence for post-mortems while freeing the canonical
+    name for the next clean flush.  Returns the quarantine path, or
+    None when the move itself failed (in which case the corrupt file is
+    simply left in place and the next flush overwrites it).
+    """
+    target = path.with_name(f"{path.name}.corrupt-{int(time.time())}")
+    try:
+        path.replace(target)
+    except OSError:
+        return None
+    return target
+
 
 def default_cache_path() -> Optional[Path]:
     """The cache file named by ``REPRO_CACHE`` (None when unset/empty)."""
@@ -54,12 +79,23 @@ def load_into(cache: EvaluationCache, path: Path) -> int:
     The merge goes straight from the validated snapshot into ``cache``,
     so only the live cache's own ``max_entries`` bound applies (no
     intermediate cache with a different bound dropping entries on the
-    way).  A missing file is fine (first run); a corrupt one raises
-    :class:`~repro.engine.cache.CacheFormatError`.
+    way).  A missing file is fine (first run); a corrupt one is
+    *quarantined* (moved aside as ``<name>.corrupt-<ts>``, see
+    :func:`quarantine`) and skipped with a warning instead of failing
+    the startup -- a session with a store tier then rebuilds its warm
+    set from the store, and a cache-only session simply starts cold.
     """
     if not path.exists():
         return 0
-    return cache.update_entries(read_snapshot(path))
+    try:
+        entries = read_snapshot(path)
+    except CacheFormatError as exc:
+        moved = quarantine(path)
+        logger.warning(
+            "cache snapshot %s is corrupt (%s); quarantined to %s and "
+            "starting cold", path, exc, moved or "<left in place>")
+        return 0
+    return cache.update_entries(entries)
 
 
 def flush(cache: EvaluationCache, path: Path) -> None:
@@ -72,6 +108,12 @@ def flush(cache: EvaluationCache, path: Path) -> None:
     results.  The live cache itself is not mutated.  A corrupt on-disk
     file cannot be merged and is overwritten (the snapshot is a cache;
     losing it only costs time).
+
+    The write itself (temp + fsync + rename) is retried once with
+    backoff on I/O failure and then *swallowed* with a warning -- a
+    failed flush must never take down the run whose results it was
+    merely memoizing.  Survived failures are counted in
+    ``repro.faults`` stats (``flush_errors``).
     """
     live = cache.snapshot()  # LRU-first order
     try:
@@ -84,7 +126,20 @@ def flush(cache: EvaluationCache, path: Path) -> None:
     if cache.max_entries is not None:
         while len(merged) > cache.max_entries:
             merged.popitem(last=False)  # stale disk-only entries first
-    write_snapshot(path, merged)
+    for attempt in range(1, FLUSH_ATTEMPTS + 1):
+        try:
+            write_snapshot(path, merged)
+            return
+        except OSError as exc:
+            faults.record("flush_errors")
+            if attempt < FLUSH_ATTEMPTS:
+                logger.warning(
+                    "cache flush to %s failed (%s); retrying", path, exc)
+                faults.sleep_backoff(attempt)
+            else:
+                logger.warning(
+                    "cache flush to %s failed after %d attempt(s) (%s); "
+                    "keeping the previous snapshot", path, attempt, exc)
 
 
 @contextmanager

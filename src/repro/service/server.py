@@ -31,7 +31,11 @@ Error paths never kill the loop: a malformed JSON line, an unknown
 verb, a bad field or an over-limit line (``max_line_bytes``) each
 answer with a terminal ``{"event": "error", "id": ..., "error": ...}``
 line and the next request is served normally.  Blank lines are ignored
-and EOF ends the loop.
+and EOF ends the loop.  So do Ctrl-C (``KeyboardInterrupt``) and a
+parent closing the pipe mid-session: both return the served count
+instead of raising, which lets the CLI context managers flush the
+cache snapshot and finish the store run on the way out -- an
+interrupted serve session exits 0 with its state intact.
 """
 
 from __future__ import annotations
@@ -60,19 +64,32 @@ def serve(input_stream: IO[str], output_stream: IO[str],
     handler = RequestHandler(dispatcher, parallel=parallel,
                              max_line_bytes=max_line_bytes)
     served = 0
-    for number, line in enumerate(input_stream, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        failed = False
-        for event in handler.handle_line(line, f"req-{number}"):
-            if event.get("event") == "error":
-                failed = True
-            json.dump(event, output_stream)
-            output_stream.write("\n")
-            output_stream.flush()
-        if not failed:
-            served += 1
-        if handler.shutdown_requested:
-            break
+    try:
+        for number, line in enumerate(input_stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            failed = False
+            for event in handler.handle_line(line, f"req-{number}"):
+                if event.get("event") == "error":
+                    failed = True
+                json.dump(event, output_stream)
+                output_stream.write("\n")
+                output_stream.flush()
+            if not failed:
+                served += 1
+            if handler.shutdown_requested:
+                break
+    except KeyboardInterrupt:
+        # Ctrl-C is a drain request, not a crash: stop reading and let
+        # the CLI's context managers flush cache + store normally.
+        pass
+    except BrokenPipeError:
+        pass  # the parent went away; drain and flush as on EOF
+    except ValueError as exc:
+        # A parent that closes the pipe mid-session makes the next
+        # iteration raise "I/O operation on closed file"; treat it
+        # exactly like EOF.  Anything else is a real bug -- re-raise.
+        if "closed file" not in str(exc):
+            raise
     return served

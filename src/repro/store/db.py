@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import sqlite3
@@ -51,6 +52,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.engine.cache import MISSING, CacheKey
 from repro.arch.hardware import HardwareConfig
 from repro.nn.layer import LayerShape, LayerType
@@ -74,6 +76,15 @@ STORE_ENV = "REPRO_STORE"
 CELL_METRICS = ("energy_per_op", "delay_per_op", "edp_per_op",
                 "dram_reads_per_op", "dram_writes_per_op",
                 "dram_accesses_per_op")
+
+#: Attempts per write transaction before the failure propagates.
+#: Transient ``sqlite3.OperationalError`` (a locked database from a
+#: sibling process, a flaky filesystem, the injected
+#: ``store.write_io_error``) rolls the transaction back cleanly, so a
+#: retry starts from scratch and the store never holds a partial write.
+WRITE_ATTEMPTS = 3
+
+logger = logging.getLogger("repro.store")
 
 
 class StoreFormatError(ValueError):
@@ -606,27 +617,62 @@ class ExperimentStore:
                    "buffer_bytes": hw.buffer_bytes,
                    "config": _pickle(hw)})
 
+    # -- resilient write transactions ------------------------------------
+
+    def _write_txn(self, body):
+        """Run ``body(conn)`` as one write transaction, with retries.
+
+        The body executes under the writer lock inside ``with conn``
+        (commit on success, rollback on exception), so a failed attempt
+        leaves no partial state and a retry starts clean.  Transient
+        ``sqlite3.OperationalError`` -- a sibling process holding the
+        database lock past the busy timeout, an I/O hiccup, the
+        injected ``store.write_io_error`` -- is retried up to
+        :data:`WRITE_ATTEMPTS` times with capped jittered backoff
+        (counted as ``store_write_retries`` in ``repro.faults`` stats)
+        before propagating.
+        """
+        last: Optional[sqlite3.OperationalError] = None
+        for attempt in range(1, WRITE_ATTEMPTS + 1):
+            try:
+                with self._write_lock, self._writer as conn:
+                    faults.maybe_raise("store.write_io_error",
+                                       sqlite3.OperationalError)
+                    return body(conn)
+            except sqlite3.OperationalError as exc:
+                last = exc
+                if attempt < WRITE_ATTEMPTS:
+                    faults.record("store_write_retries")
+                    logger.warning(
+                        "store write to %s failed (%s); retrying "
+                        "(attempt %d/%d)", self.path, exc, attempt,
+                        WRITE_ATTEMPTS)
+                    faults.sleep_backoff(attempt)
+        raise last
+
     # -- runs -----------------------------------------------------------
 
     def begin_run(self, label: Optional[str] = None,
                   command: Optional[str] = None) -> int:
         """Open a new run, capturing commit + BENCH provenance eagerly."""
-        with self._write_lock, self._writer as conn:
+        def body(conn: sqlite3.Connection) -> int:
             cursor = conn.execute(
                 "INSERT INTO runs (label, command, commit_sha, bench_json,"
                 " schema_version, started_at) VALUES (?, ?, ?, ?, ?, ?)",
                 (label, command, current_commit(), bench_provenance(),
                  SCHEMA_VERSION, _utc_now()))
             return cursor.lastrowid
+        return self._write_txn(body)
 
     def finish_run(self, run_id: int) -> None:
         """Stamp a run finished and freeze its recorded-cell count."""
-        with self._write_lock, self._writer as conn:
+        def body(conn: sqlite3.Connection) -> None:
             conn.execute(
                 "UPDATE runs SET finished_at=?, n_cells="
                 "(SELECT COUNT(*) FROM cells WHERE run_id=?) "
                 "WHERE run_id=?",
                 (_utc_now(), run_id, run_id))
+        self._write_txn(body)
 
     def runs(self, commit: Optional[str] = None) -> List[RunRecord]:
         """Every recorded run, newest first (optionally one commit's)."""
@@ -701,8 +747,9 @@ class ExperimentStore:
         items = list(items)
         if not items:
             return 0
-        added = 0
-        with self._write_lock, self._writer as conn:
+
+        def body(conn: sqlite3.Connection) -> int:
+            added = 0
             for key, value in items:
                 row = (self._dataflow_id(conn, key.dataflow),
                        self._layer_id(conn, key.layer),
@@ -716,7 +763,8 @@ class ExperimentStore:
                      _pickle(value) if value is not None else None,
                      run_id))
                 added += cursor.rowcount
-        return added
+            return added
+        return self._write_txn(body)
 
     def evaluation_count(self) -> int:
         """Number of layer-evaluation records in the store."""
@@ -740,7 +788,8 @@ class ExperimentStore:
         rows = list(rows)
         if not rows:
             return 0
-        with self._write_lock, self._writer as conn:
+
+        def body(conn: sqlite3.Connection) -> int:
             for row in rows:
                 feasible = bool(row.feasible)
                 metrics = [getattr(row, name) if feasible else None
@@ -767,7 +816,8 @@ class ExperimentStore:
                      getattr(row, "buffer_bytes", None),
                      getattr(row, "area", None),
                      cand_index, space_fp))
-        return len(rows)
+            return len(rows)
+        return self._write_txn(body)
 
     _CELL_COLUMNS = (
         "cell_id", "run_id", "kind", "workload", "dataflow", "batch",
@@ -851,7 +901,8 @@ class ExperimentStore:
         ``started_at``.
         """
         now = _utc_now()
-        with self._write_lock, self._writer as conn:
+
+        def body(conn: sqlite3.Connection) -> None:
             conn.execute(
                 "INSERT INTO explorations (space_fp, run_id, total, done,"
                 " space_json, started_at, updated_at) "
@@ -862,6 +913,7 @@ class ExperimentStore:
                 " updated_at=excluded.updated_at",
                 (space_fp, run_id, int(total), int(done), space_json,
                  now, now))
+        self._write_txn(body)
 
     def exploration(self, space_fp: str) -> Optional[Dict]:
         """The checkpoint row for one space fingerprint (None if absent).

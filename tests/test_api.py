@@ -409,11 +409,17 @@ class TestSession:
             assert session.cache.stats.since(before).misses == 0
         assert warm == cold
 
-    def test_corrupt_cache_file_fails_at_construction(self, tmp_path):
+    def test_corrupt_cache_file_quarantined_at_construction(self, tmp_path):
+        # The resilience contract: a corrupt snapshot is moved aside as
+        # <name>.corrupt-<ts> and the session starts cold instead of
+        # refusing to construct (docs/RESILIENCE.md).
         path = tmp_path / "bad.pkl"
         path.write_bytes(b"garbage")
-        with pytest.raises(ValueError, match="not a valid snapshot"):
-            Session(cache_file=path)
+        with Session(cache_file=path, parallel=False) as session:
+            assert session.cache_stats.size == 0
+        assert list(tmp_path.glob("bad.pkl.corrupt-*"))
+        # The close flushed a fresh, valid snapshot under the old name.
+        assert path.exists()
 
     def test_default_session_shares_the_default_engine_cache(self):
         from repro.engine.core import default_engine

@@ -164,12 +164,19 @@ class TestCliBatch:
         assert main(["batch", spec]) == 2
         assert "unknown network" in capsys.readouterr().err
 
-    def test_batch_corrupt_cache_file_exits_2(self, tmp_path, capsys):
+    def test_batch_corrupt_cache_file_quarantined(self, tmp_path, caplog):
+        # Resilience contract: a corrupt snapshot is quarantined aside
+        # with a warning and the run proceeds cold (and reflushes a
+        # clean snapshot on exit) instead of failing with exit 2.
         cache = tmp_path / "corrupt.pkl"
         cache.write_bytes(b"garbage")
         assert main(["batch", self.spec_file(tmp_path), "--serial",
-                     "--cache-file", str(cache)]) == 2
-        assert "not a valid snapshot" in capsys.readouterr().err
+                     "--cache-file", str(cache)]) == 0
+        assert any("quarantined" in record.message
+                   for record in caplog.records)
+        assert list(tmp_path.glob("corrupt.pkl.corrupt-*"))
+        from repro.engine.cache import read_snapshot
+        assert read_snapshot(cache)  # the reflushed snapshot is valid
 
     def test_batch_max_cache_entries_bound(self, tmp_path, capsys):
         assert main(["batch", self.spec_file(tmp_path), "--serial",

@@ -53,8 +53,27 @@ class TestDocsPages:
         for anchor in ("evaluate", "metrics", "shutdown", "busy",
                        "retry_after", "--window", "priority",
                        "is_terminal", "lru_hits", "p95_ms",
-                       "loadgen.py", "--tcp"):
+                       "loadgen.py", "--tcp", "deadline_ms",
+                       "timeout", "--deadline-ms", "max_retries"):
             assert anchor in text, f"SERVICE.md lost its {anchor} coverage"
+
+    def test_resilience_page_covers_the_fault_contract(self):
+        text = (ROOT / "docs" / "RESILIENCE.md").read_text()
+        for anchor in ("pool.worker_crash", "kernel.vector_error",
+                       "cache.flush_io_error", "store.write_io_error",
+                       "netserve.conn_drop", "pool.chunk_slow",
+                       "REPRO_FAULTS", "FaultPlan", "FaultStats",
+                       "backoff", "bit-identical", "quarantined",
+                       "chaos.py", "deadline_ms", "max_pool_retries"):
+            assert anchor in text, \
+                f"RESILIENCE.md lost its {anchor} coverage"
+
+    def test_architecture_page_covers_the_failure_path(self):
+        text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for anchor in ("repro.faults", "BrokenExecutor", "FaultStats",
+                       "RESILIENCE.md", "chaos-smoke"):
+            assert anchor in text, \
+                f"ARCHITECTURE.md lost its {anchor} failure-path section"
 
     def test_architecture_page_covers_the_request_path(self):
         text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
@@ -69,6 +88,7 @@ class TestDocsPages:
         assert "docs/NOTATION.md" in text
         assert "docs/EXPERIMENT_STORE.md" in text
         assert "docs/SERVICE.md" in text
+        assert "docs/RESILIENCE.md" in text
 
 
 class TestDocLinks:

@@ -561,3 +561,210 @@ class TestModernWorkloadService:
                 reply = call("127.0.0.1", server.port, bad)
         assert "error" in reply
         assert "groups" in reply["error"]
+
+
+class TestDeadlines:
+    """Per-request deadlines: envelope parsing, pipe + TCP expiry."""
+
+    def test_request_deadline_parses_and_pops(self):
+        from repro.netserve.protocol import request_deadline
+
+        payload = {"verb": "metrics", "deadline_ms": 250}
+        assert request_deadline(payload) == 250
+        assert "deadline_ms" in payload
+        assert request_deadline(payload, pop=True) == 250
+        assert "deadline_ms" not in payload
+        assert request_deadline({"verb": "metrics"}) is None
+
+    @pytest.mark.parametrize("bad", [True, "fast", 0, -5, [250]])
+    def test_request_deadline_rejects_bad_values(self, bad):
+        from repro.netserve.protocol import request_deadline
+
+        with pytest.raises(ValueError, match="deadline_ms"):
+            request_deadline({"deadline_ms": bad})
+
+    def test_timeout_event_is_terminal(self):
+        from repro.netserve.protocol import timeout_event
+
+        event = timeout_event("req-9", 250)
+        assert event["event"] == "timeout"
+        assert event["id"] == "req-9"
+        assert event["deadline_ms"] == 250
+        assert "deadline exceeded" in event["error"]
+        assert is_terminal(event)
+
+    def test_pipe_transport_honors_deadline_ms(self):
+        from repro.netserve.core import RequestHandler
+
+        with serial_session() as session:
+            handler = RequestHandler(BatchDispatcher(session))
+            events = list(handler.handle(
+                dict(SPEC_A, deadline_ms=0.0001), "req-1"))
+        assert len(events) == 1
+        assert events[0]["event"] == "timeout"
+        verbs = handler.metrics.snapshot()["requests"]["by_verb"]
+        assert verbs["evaluate"]["timeouts"] == 1
+        assert verbs["evaluate"]["errors"] == 0
+
+    def test_tcp_deadline_expires_without_touching_others(self):
+        with serial_session() as session:
+            with ServerThread(BatchDispatcher(session),
+                              workers=2) as server:
+                healthy = {}
+
+                def stream_healthy():
+                    with ServiceClient("127.0.0.1", server.port,
+                                       timeout=60) as client:
+                        healthy["events"] = list(
+                            client.stream(dict(SPEC_A, id="healthy")))
+
+                worker = threading.Thread(target=stream_healthy)
+                worker.start()
+                doomed = call("127.0.0.1", server.port,
+                              dict(SPEC_A, id="doomed",
+                                   deadline_ms=0.001))
+                worker.join(60)
+                snapshot = call("127.0.0.1", server.port,
+                                {"verb": "metrics"})
+        assert doomed["event"] == "timeout" and doomed["id"] == "doomed"
+        events = healthy["events"]
+        assert events[-1]["event"] == "result"
+        assert sum(e["event"] == "cell" for e in events) == 2
+        assert snapshot["requests"]["timeouts"] >= 1
+        assert snapshot["faults"]["deadline_timeouts"] >= 1
+
+    def test_server_default_deadline_and_per_request_override(self):
+        with serial_session() as session:
+            with ServerThread(BatchDispatcher(session),
+                              deadline_ms=0.001) as server:
+                defaulted = call("127.0.0.1", server.port,
+                                 dict(SPEC_A, id="defaulted"))
+                overridden = call("127.0.0.1", server.port,
+                                  dict(SPEC_A, id="overridden",
+                                       deadline_ms=60_000))
+        assert defaulted["event"] == "timeout"
+        assert overridden["event"] == "result"
+
+    def test_bad_deadline_answers_error_not_disconnect(self):
+        with serial_session() as session:
+            with ServerThread(BatchDispatcher(session)) as server:
+                with ServiceClient("127.0.0.1", server.port) as client:
+                    bad = client.request(dict(SPEC_A, deadline_ms=-1))
+                    good = client.request(dict(SPEC_A, id="after"))
+        assert "error" in bad and "deadline_ms" in bad["error"]
+        assert good["event"] == "result"
+
+
+class TestConnDrop:
+    def test_injected_drop_kills_one_connection_only(self):
+        from repro import faults
+        from repro.faults import FaultPlan
+
+        previous = faults.arm(FaultPlan.from_spec("netserve.conn_drop=1"))
+        try:
+            with serial_session() as session:
+                with ServerThread(BatchDispatcher(session)) as server:
+                    dropped = ServiceClient("127.0.0.1", server.port,
+                                            timeout=10)
+                    with pytest.raises((ConnectionError, OSError)):
+                        try:
+                            dropped.request(dict(SPEC_A, id="dropped"))
+                        finally:
+                            dropped.close()
+                    survivor = call("127.0.0.1", server.port,
+                                    dict(SPEC_A, id="survivor"))
+                    snapshot = call("127.0.0.1", server.port,
+                                    {"verb": "metrics"})
+            assert survivor["event"] == "result"
+            assert snapshot["faults"]["conn_drops"] >= 1
+        finally:
+            faults.arm(previous)
+
+
+class _BusyOnceServer:
+    """A hand-rolled line server: ``busy`` answers, then a result.
+
+    Lets the client retry tests control exactly how many ``busy``
+    rejections precede the eventual answer, which the real admission
+    window cannot do deterministically.
+    """
+
+    def __init__(self, busy_answers: int) -> None:
+        import socket
+
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self._busy_left = busy_answers
+        self.requests = 0
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        conn, _ = self._listener.accept()
+        reader = conn.makefile("rb")
+        while True:
+            line = reader.readline()
+            if not line:
+                break
+            self.requests += 1
+            request_id = json.loads(line).get("id", "r")
+            if self._busy_left > 0:
+                self._busy_left -= 1
+                event = {"event": "busy", "id": request_id,
+                         "retry_after": 0.01}
+            else:
+                event = {"event": "result", "id": request_id}
+            conn.sendall((json.dumps(event) + "\n").encode("utf-8"))
+        conn.close()
+
+    def __enter__(self) -> "_BusyOnceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._listener.close()
+        self._thread.join(5)
+
+
+class TestClientBusyRetry:
+    def test_retry_delay_is_jittered_around_the_hint(self):
+        import random
+
+        from repro.netserve.client import RETRY_JITTER, _retry_delay
+
+        rng = random.Random(0)
+        low, high = RETRY_JITTER
+        for _ in range(100):
+            delay = _retry_delay({"retry_after": 2.0}, rng=rng)
+            assert 2.0 * low <= delay <= 2.0 * high
+        # A missing or nonsense hint falls back to a small positive one.
+        assert _retry_delay({}, rng=rng) > 0
+        assert _retry_delay({"retry_after": -3}, rng=rng) > 0
+
+    def test_blocking_client_retries_busy_then_succeeds(self):
+        with _BusyOnceServer(busy_answers=1) as fake:
+            with ServiceClient("127.0.0.1", fake.port,
+                               timeout=10) as client:
+                reply = client.request({"id": "r1"}, max_retries=1)
+        assert reply["event"] == "result"
+        assert fake.requests == 2  # the rejected send plus the retry
+
+    def test_busy_surfaces_once_the_budget_is_spent(self):
+        with _BusyOnceServer(busy_answers=5) as fake:
+            with ServiceClient("127.0.0.1", fake.port,
+                               timeout=10) as client:
+                reply = client.request({"id": "r1"}, max_retries=2)
+        assert reply["event"] == "busy"  # honest backpressure survives
+        assert fake.requests == 3
+
+    def test_async_client_retries_busy_then_succeeds(self):
+        from repro.netserve.client import AsyncServiceClient
+
+        async def drive(port):
+            async with await AsyncServiceClient.connect(
+                    "127.0.0.1", port) as client:
+                return await client.request({"id": "r1"}, max_retries=1)
+
+        with _BusyOnceServer(busy_answers=1) as fake:
+            reply = asyncio.run(drive(fake.port))
+        assert reply["event"] == "result"
+        assert fake.requests == 2

@@ -27,7 +27,12 @@ regression.
 
 The record also carries a ``cache_tiers`` section -- LRU hits, store
 hits, misses and evictions per warm path -- so cache regressions show
-up in the perf trajectory, not just wall time.  The ``serve`` section
+up in the perf trajectory, not just wall time -- and a ``faults``
+section backing the fault-injection framework's two perf claims: the
+disarmed :func:`repro.faults.fire` fast path stays in the
+nanosecond range, and a process-pool sweep that absorbs an injected
+worker crash recovers for a bounded wall-clock premium while staying
+bit-identical to the fault-free run.  The ``serve`` section
 (TCP server throughput/latency) is written by ``tools/loadgen.py`` and
 preserved verbatim when this script rewrites the record; a record
 whose ``commit`` no longer matches ``git rev-parse HEAD`` draws a
@@ -250,6 +255,67 @@ def _modern_workloads_bench(num_pes: int = 256) -> dict:
     }
 
 
+def _faults_bench() -> dict:
+    """Measure the fault framework's two costs; returns the section.
+
+    ``disarmed_fire_ns`` is the per-call price every injection point
+    pays when no plan is armed -- the zero-overhead claim.  The sweep
+    pair then times one small process-pool grid fault-free and again
+    with one injected worker crash: the difference is the full price of
+    losing a pool mid-sweep (rebuild + backoff + re-dispatch), asserted
+    bit-identical before it is recorded.
+    """
+    from repro import faults
+    from repro.api import Scenario, Session
+    from repro.engine import EngineConfig
+    from repro.nn.layer import conv_layer
+
+    assert faults.active() is None, "a fault plan is armed; refusing to time"
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        faults.fire("pool.worker_crash")
+    disarmed_ns = (time.perf_counter() - start) / calls * 1e9
+
+    layers = (conv_layer("F1", H=14, R=3, E=12, C=8, M=16, N=1),)
+    grid = dict(workload=layers, dataflows=("RS",),
+                pe_counts=(16, 32, 64, 128), batches=(1,))
+    config = EngineConfig(parallel=True, executor="process",
+                          max_workers=2, chunk_size=2)
+
+    def timed_sweep(plan):
+        faults.reset_stats()
+        with Session(engine_config=config, faults=plan) as session:
+            start = time.perf_counter()
+            results = session.evaluate(Scenario(**grid), parallel=True)
+            return ([row.to_dict() for row in results],
+                    time.perf_counter() - start)
+
+    baseline_rows, baseline_s = timed_sweep(None)
+    crashed_rows, crashed_s = timed_sweep(
+        faults.FaultPlan.from_spec("pool.worker_crash=1"))
+    stats = faults.stats()
+    faults.reset_stats()
+    if crashed_rows != baseline_rows:
+        raise AssertionError(
+            "crash-recovered sweep drifted from the fault-free baseline "
+            "-- refusing to record its timing")
+    if stats.pool_rebuilds < 1:
+        raise AssertionError(
+            "the injected worker crash never broke the pool; the "
+            "recovery timing measured nothing")
+    return {
+        "disarmed_fire_ns": round(disarmed_ns, 1),
+        "sweep_cells": len(baseline_rows),
+        "baseline_seconds": round(baseline_s, 4),
+        "crash_recovery_seconds": round(crashed_s, 4),
+        "recovery_overhead_seconds": round(crashed_s - baseline_s, 4),
+        "pool_rebuilds": stats.pool_rebuilds,
+        "chunk_retries": stats.chunk_retries,
+        "injected": stats.total_injected,
+    }
+
+
 def _candidate_counts(pe_counts, rf_choices):
     """Total candidates the RS search scores across the sweep grid."""
     from repro.analysis.sweep import _sweep_grid
@@ -340,6 +406,7 @@ def run_benchmarks(pe_counts, rf_choices, dse_sample=2000,
         },
         "dse_stream": _dse_stream_bench(dse_sample, dse_chunk),
         "modern_workloads": _modern_workloads_bench(),
+        "faults": _faults_bench(),
     }
 
 
@@ -416,6 +483,13 @@ def main(argv=None) -> int:
     winners = ", ".join(f"{workload}:{best}" for workload, best
                         in modern["best_dataflow"].items())
     print(f"  modern ranking  {modern['wall_seconds']:8.3f} s  ({winners})")
+    fsec = record["faults"]
+    print(f"  fault framework {fsec['disarmed_fire_ns']:5.0f} ns/fire "
+          f"disarmed; crash recovery "
+          f"+{fsec['recovery_overhead_seconds']:.3f} s over "
+          f"{fsec['baseline_seconds']:.3f} s baseline "
+          f"({fsec['pool_rebuilds']} rebuild(s), "
+          f"{fsec['chunk_retries']} chunk retries)")
 
     if args.min_speedup is not None \
             and speedups["vector_vs_scalar"] < args.min_speedup:
